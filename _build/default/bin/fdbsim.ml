@@ -1,0 +1,304 @@
+(* fdbsim: command-line driver for the functional distributed database.
+
+   Subcommands:
+     run        — execute a query script through the lenient pipeline
+     workload   — generate and run a synthetic workload, print concurrency
+     table      — reproduce a paper table (1, 2 or 3)
+     fel        — run a mini-FEL program
+     topo       — describe a topology *)
+
+open Cmdliner
+module W = Fdb_workload.Workload
+module Topology = Fdb_net.Topology
+module Machine = Fdb_rediflow.Machine
+module Engine = Fdb_kernel.Engine
+open Fdb
+
+(* -- shared argument converters -------------------------------------------- *)
+
+let topology_of_string s =
+  match String.split_on_char ':' s with
+  | [ "single" ] -> Ok (Topology.single ())
+  | [ "hypercube"; d ] -> (
+      match int_of_string_opt d with
+      | Some d when d >= 0 -> Ok (Topology.hypercube d)
+      | _ -> Error "hypercube:<dim>")
+  | [ "mesh"; dims ] -> (
+      match List.map int_of_string_opt (String.split_on_char 'x' dims) with
+      | [ Some x; Some y; Some z ] -> Ok (Topology.mesh3d x y z)
+      | _ -> Error "mesh:<x>x<y>x<z>")
+  | [ "ring"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 2 -> Ok (Topology.ring n)
+      | _ -> Error "ring:<n>")
+  | [ "star"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 2 -> Ok (Topology.star n)
+      | _ -> Error "star:<n>")
+  | [ "torus"; dims ] -> (
+      match List.map int_of_string_opt (String.split_on_char 'x' dims) with
+      | [ Some x; Some y ] -> Ok (Topology.torus2d x y)
+      | _ -> Error "torus:<x>x<y>")
+  | [ "bus"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Ok (Topology.bus n)
+      | _ -> Error "bus:<n>")
+  | [ "complete"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 2 -> Ok (Topology.complete n)
+      | _ -> Error "complete:<n>")
+  | _ ->
+      Error
+        "expected single | hypercube:<d> | mesh:<x>x<y>x<z> | ring:<n> | \
+         star:<n> | torus:<x>x<y> | bus:<n> | complete:<n>"
+
+let topology_conv =
+  let parse s =
+    match topology_of_string s with
+    | Ok t -> Ok t
+    | Error e -> Error (`Msg ("bad topology: " ^ e))
+  in
+  Arg.conv (parse, fun ppf t -> Topology.pp ppf t)
+
+let topo_arg =
+  Arg.(
+    value
+    & opt (some topology_conv) None
+    & info [ "t"; "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Run on a Rediflow machine with this topology (e.g. hypercube:3, \
+           mesh:3x3x3, ring:8).  Without it, the ideal machine is used.")
+
+let semantics_arg =
+  let s =
+    Arg.enum [ ("prepend", Pipeline.Prepend); ("ordered", Pipeline.Ordered_unique) ]
+  in
+  Arg.(
+    value & opt s Pipeline.Prepend
+    & info [ "semantics" ] ~docv:"SEM"
+        ~doc:
+          "Insert semantics: $(b,prepend) (the paper's multiset lists) or \
+           $(b,ordered) (keyed sets).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload random seed.")
+
+let mode_of topo =
+  match topo with
+  | None -> Pipeline.Ideal
+  | Some t -> Pipeline.On_machine (Machine.default_config t)
+
+let print_stats (report : Pipeline.report) =
+  let s = report.Pipeline.stats in
+  Format.printf
+    "@.engine: %d tasks, %d cycles, max ply %d, avg ply %.2f@." s.Engine.tasks
+    s.Engine.cycles s.Engine.max_ply s.Engine.avg_ply;
+  match (report.Pipeline.speedup, report.Pipeline.machine) with
+  | (Some sp, Some m) ->
+      Format.printf
+        "machine: speedup %.2f, utilization %.2f, %d messages, %d migrations@."
+        sp
+        (Machine.utilization m ~cycles:s.Engine.cycles)
+        m.Machine.net.Fdb_net.Fabric.sent m.Machine.migrations
+  | _ -> ()
+
+(* -- run: execute a script --------------------------------------------------- *)
+
+let run_cmd =
+  let script_arg =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:"Query script file ( ;-or-newline separated; -- comments).  \
+                Reads stdin when omitted.")
+  in
+  let relations_arg =
+    Arg.(
+      value & opt (list string) [ "R"; "S" ]
+      & info [ "relations" ] ~docv:"NAMES"
+          ~doc:"Relation names to create (schema: key:int, val:string).")
+  in
+  let go script relations semantics topo =
+    let src =
+      match script with
+      | Some path -> In_channel.with_open_text path In_channel.input_all
+      | None -> In_channel.input_all stdin
+    in
+    match Fdb_query.Parser.parse_script src with
+    | Error e ->
+        Format.eprintf "parse error: %s@." e;
+        exit 1
+    | Ok queries ->
+        let schemas =
+          List.map
+            (fun name ->
+              Fdb_relational.Schema.make ~name
+                ~cols:
+                  [ ("key", Fdb_relational.Schema.CInt);
+                    ("val", Fdb_relational.Schema.CStr) ])
+            relations
+        in
+        let spec = { Pipeline.schemas; initial = [] } in
+        let tagged = List.map (fun q -> (0, q)) queries in
+        let report =
+          Pipeline.run ~semantics ~mode:(mode_of topo) spec tagged
+        in
+        List.iter
+          (fun ((_, q), (_, r)) ->
+            Format.printf "%-50s => %a@."
+              (Fdb_query.Ast.to_string q)
+              Pipeline.pp_response r)
+          (List.combine tagged report.Pipeline.responses);
+        print_stats report
+  in
+  let doc = "Execute a query script through the lenient pipeline." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const go $ script_arg $ relations_arg $ semantics_arg $ topo_arg)
+
+(* -- workload: synthetic runs ------------------------------------------------- *)
+
+let workload_cmd =
+  let txns =
+    Arg.(value & opt int 50 & info [ "n"; "transactions" ] ~doc:"Transactions.")
+  in
+  let relations =
+    Arg.(value & opt int 3 & info [ "r"; "relations" ] ~doc:"Relations.")
+  in
+  let tuples =
+    Arg.(value & opt int 50 & info [ "tuples" ] ~doc:"Initial tuples.")
+  in
+  let inserts =
+    Arg.(value & opt float 14.0 & info [ "inserts" ] ~doc:"Insert percentage.")
+  in
+  let deletes =
+    Arg.(value & opt float 0.0 & info [ "deletes" ] ~doc:"Delete percentage.")
+  in
+  let updates =
+    Arg.(value & opt float 0.0 & info [ "updates" ] ~doc:"Update percentage.")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~doc:"Client streams.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Verify serializability against the reference.")
+  in
+  let go txns relations tuples inserts deletes updates clients seed semantics
+      topo check =
+    let w =
+      W.generate
+        { W.default_spec with
+          transactions = txns;
+          relations;
+          initial_tuples = tuples;
+          insert_pct = inserts;
+          delete_pct = deletes;
+          update_pct = updates;
+          clients;
+          seed }
+    in
+    let tagged = Experiment.merged_workload w in
+    let spec = Pipeline.db_spec_of_workload w in
+    let report = Pipeline.run ~semantics ~mode:(mode_of topo) spec tagged in
+    Format.printf "%d transactions (%d inserts) over %d relations@."
+      txns (W.insert_count w) relations;
+    print_stats report;
+    if check then begin
+      match Pipeline.check_serializable ~semantics ~mode:(mode_of topo) spec tagged with
+      | Ok _ -> Format.printf "serializability: OK@."
+      | Error e ->
+          Format.printf "serializability: VIOLATED — %s@." e;
+          exit 1
+    end
+  in
+  let doc = "Generate a synthetic workload and measure its concurrency." in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(
+      const go $ txns $ relations $ tuples $ inserts $ deletes $ updates
+      $ clients $ seed_arg $ semantics_arg $ topo_arg $ check)
+
+(* -- table: the paper's tables ------------------------------------------------ *)
+
+let table_cmd =
+  let which =
+    Arg.(
+      required & pos 0 (some (enum [ ("1", 1); ("2", 2); ("3", 3) ])) None
+      & info [] ~docv:"N" ~doc:"Which table (1, 2 or 3).")
+  in
+  let go which seed =
+    match which with
+    | 1 ->
+        Format.printf "@[<v>%a@]@." Experiment.pp_table1
+          (Experiment.table1 ~seed ())
+    | 2 ->
+        Format.printf "@[<v>%a@]@." Experiment.pp_speedup_table
+          (Experiment.table2 ~seed ())
+    | _ ->
+        Format.printf "@[<v>%a@]@." Experiment.pp_speedup_table
+          (Experiment.table3 ~seed ())
+  in
+  let doc = "Reproduce one of the paper's tables." in
+  Cmd.v (Cmd.info "table" ~doc) Term.(const go $ which $ seed_arg)
+
+(* -- fel: run a FEL program ---------------------------------------------------- *)
+
+let fel_cmd =
+  let file =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"FEL program; stdin when omitted.")
+  in
+  let demand =
+    Arg.(
+      value & flag
+      & info [ "demand"; "lazy" ]
+          ~doc:
+            "Demand-driven (call-by-need) evaluation instead of the              default lenient (data-driven) model.  Infinite streams work;              anticipatory parallelism is lost.")
+  in
+  let go file demand =
+    let src =
+      match file with
+      | Some path -> In_channel.with_open_text path In_channel.input_all
+      | None -> In_channel.input_all stdin
+    in
+    let mode = if demand then Fdb_fel.Eval.Demand else Fdb_fel.Eval.Lenient in
+    match Fdb_fel.Eval.run_string ~mode src with
+    | Ok (result, stats) ->
+        Format.printf "%s@.%a@." result Engine.pp_stats stats
+    | Error e ->
+        Format.eprintf "%s@." e;
+        exit 1
+  in
+  let doc = "Evaluate a mini-FEL program on the lenient kernel." in
+  Cmd.v (Cmd.info "fel" ~doc) Term.(const go $ file $ demand)
+
+(* -- topo: describe a topology -------------------------------------------------- *)
+
+let topo_cmd =
+  let topo =
+    Arg.(
+      required & pos 0 (some topology_conv) None
+      & info [] ~docv:"TOPO" ~doc:"Topology to describe.")
+  in
+  let go topo =
+    Format.printf "%a@." Topology.pp topo;
+    let n = Topology.size topo in
+    for u = 0 to min (n - 1) 15 do
+      Format.printf "  %2d -> %s@." u
+        (String.concat ", "
+           (List.map string_of_int (Topology.neighbors topo u)))
+    done;
+    if n > 16 then Format.printf "  ...@."
+  in
+  let doc = "Describe a topology (size, diameter, adjacency)." in
+  Cmd.v (Cmd.info "topo" ~doc) Term.(const go $ topo)
+
+let () =
+  let doc =
+    "A functional distributed database (Keller & Lindstrom, ICDCS 1985)"
+  in
+  let info = Cmd.info "fdbsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; workload_cmd; table_cmd; fel_cmd; topo_cmd ]))

@@ -1,0 +1,1 @@
+examples/distributed_sites.ml: Cluster Fdb Fdb_kernel Fdb_net Fdb_query Fdb_rediflow Fdb_relational Format List Pipeline Printf Schema Tuple Value

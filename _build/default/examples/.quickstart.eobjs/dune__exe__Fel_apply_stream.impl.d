@@ -1,0 +1,1 @@
+examples/fel_apply_stream.ml: Fdb_fel Fdb_kernel Format Printf

@@ -1,0 +1,1 @@
+examples/fel_apply_stream.mli:

@@ -1,0 +1,1 @@
+examples/lazy_streams.ml: Fdb_fel Fdb_kernel Format String

@@ -1,0 +1,1 @@
+examples/multi_user.ml: Fdb Fdb_kernel Fdb_merge Fdb_query Fdb_relational Format List Pipeline Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+examples/time_travel.ml: Database Fdb_query Fdb_relational Fdb_txn Format List Schema String

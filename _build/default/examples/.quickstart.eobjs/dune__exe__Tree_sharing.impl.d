@@ -1,0 +1,1 @@
+examples/tree_sharing.ml: Fdb_persistent Fdb_relational Format List Printf Relation Schema Tuple Value

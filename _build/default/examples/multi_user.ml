@@ -1,0 +1,92 @@
+(* Multi-user serializable execution — the paper's Figure 2-3 scenario,
+   scaled up to a small bank.
+
+   Two tellers and an auditor submit query streams concurrently.  The
+   streams pass through the pseudo-functional merge; the merged stream is
+   processed by the lenient pipeline, which extracts all the concurrency
+   the data dependencies allow while answering exactly as a sequential
+   execution of the merged order would (serializability).
+
+   Run with:  dune exec examples/multi_user.exe *)
+
+open Fdb
+open Fdb_relational
+module M = Fdb_merge.Merge
+module Engine = Fdb_kernel.Engine
+
+let schemas =
+  [ Schema.make ~name:"Accounts"
+      ~cols:[ ("acct", Schema.CInt); ("owner", Schema.CStr) ];
+    Schema.make ~name:"Audit"
+      ~cols:[ ("acct", Schema.CInt); ("note", Schema.CStr) ] ]
+
+let tup k s = Tuple.make [ Value.Int k; Value.Str s ]
+
+let spec =
+  {
+    Pipeline.schemas;
+    initial =
+      [ ("Accounts",
+         List.init 20 (fun i -> tup (1000 + i) (Printf.sprintf "cust%d" i)));
+        ("Audit", []) ];
+  }
+
+let teller_1 =
+  [ "insert (2001, \"newcomer\") into Accounts";
+    "find 2001 in Accounts";
+    "insert (2001, \"opened\") into Audit" ]
+
+let teller_2 =
+  [ "insert (2002, \"walkin\") into Accounts";
+    "find 2002 in Accounts" ]
+
+let auditor = [ "count Accounts"; "select * from Audit"; "count Audit" ]
+
+let () =
+  let parse = Fdb_query.Parser.parse_exn in
+  let streams = List.map (List.map parse) [ teller_1; teller_2; auditor ] in
+  let merged = M.merge M.Arrival_order streams in
+  let tagged = List.map (fun t -> (t.M.tag, t.M.item)) merged in
+  Format.printf "-- merged stream (tags route the responses) --@.";
+  List.iter
+    (fun t ->
+      Format.printf "  [client %d] %s@." t.M.tag
+        (Fdb_query.Ast.to_string t.M.item))
+    merged;
+  let report = Pipeline.run ~trace:true spec tagged in
+  Format.printf "@.-- per-client responses (choose on the tagged stream) --@.";
+  List.iteri
+    (fun tag name ->
+      Format.printf "%s:@." name;
+      List.iter
+        (fun r -> Format.printf "  %a@." Pipeline.pp_response r)
+        (Pipeline.responses_for ~tag report))
+    [ "teller 1"; "teller 2"; "auditor" ];
+  let s = report.Pipeline.stats in
+  Format.printf
+    "@.-- concurrency extracted from the merged (logically sequential) \
+     stream --@.";
+  Format.printf
+    "%d unit tasks over %d cycles: max ply %d, average ply %.1f@."
+    s.Engine.tasks s.Engine.cycles s.Engine.max_ply s.Engine.avg_ply;
+  (* And the punchline: those responses are exactly the sequential ones. *)
+  (match Pipeline.check_serializable spec tagged with
+  | Ok _ -> Format.printf "serializable: lenient == sequential reference@."
+  | Error e -> Format.printf "NOT SERIALIZABLE: %s@." e);
+  (* The same scenario with the merge itself on the engine: clients are
+     lenient stream producers, the arbiter interleaves them by arrival,
+     and the dispatch chain chases the merged stream as it materializes —
+     the whole Figure 2-1/2-3 architecture as one task graph. *)
+  let (engine_report, engine_merged) = Pipeline.run_streams spec streams in
+  let s = engine_report.Pipeline.stats in
+  Format.printf
+    "@.-- the same run with the merge on the engine (run_streams) --@.";
+  Format.printf
+    "the arbiter merged %d queries; %d tasks over %d cycles (max ply %d)@."
+    (List.length engine_merged) s.Engine.tasks s.Engine.cycles
+    s.Engine.max_ply;
+  let reference = Pipeline.reference spec engine_merged in
+  Format.printf "serializable against the arbiter's own order: %b@."
+    (List.for_all2
+       (fun (t1, a) (t2, b) -> t1 = t2 && Pipeline.response_equal a b)
+       engine_report.Pipeline.responses reference)

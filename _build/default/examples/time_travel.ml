@@ -1,0 +1,61 @@
+(* Complete archives (paper §3.3): functional updating makes it cheap to
+   keep every database version, and any old version still answers queries
+   exactly as it did when it was current.
+
+   Run with:  dune exec examples/time_travel.exe *)
+
+open Fdb_relational
+module Txn = Fdb_txn.Txn
+module History = Fdb_txn.History
+
+let schemas =
+  [ Schema.make ~name:"Balance"
+      ~cols:[ ("acct", Schema.CInt); ("note", Schema.CStr) ];
+    Schema.make ~name:"Log" ~cols:[ ("id", Schema.CInt); ("entry", Schema.CStr) ] ]
+
+let script =
+  [ "insert (1, \"opened\") into Balance";
+    "insert (100, \"day one\") into Log";
+    "insert (2, \"opened\") into Balance";
+    "update Balance set note = \"frozen\" where acct = 1";
+    "delete 2 from Balance";
+    "insert (101, \"day two\") into Log" ]
+
+let () =
+  let queries = List.map Fdb_query.Parser.parse_exn script in
+  let (archive, responses) =
+    History.of_queries (Database.create schemas) queries
+  in
+  Format.printf "-- committing %d transactions into the archive --@."
+    (List.length script);
+  List.iter2
+    (fun src r -> Format.printf "  %-55s => %a@." src Txn.pp_response r)
+    script responses;
+  Format.printf "@.-- the archive holds every version --@.";
+  Format.printf "versions: %d (v0 = initial)@." (History.length archive);
+  for i = 0 to History.length archive - 1 do
+    let count rel =
+      match History.query_at archive i (Fdb_query.Parser.parse_exn ("count " ^ rel)) with
+      | Txn.Counted n -> n
+      | _ -> assert false
+    in
+    let changed = History.changed_relations archive i in
+    Format.printf "  v%d: Balance=%d Log=%d  %s@." i (count "Balance")
+      (count "Log")
+      (if changed = [] then "(shares everything with its predecessor)"
+       else "rebuilt: " ^ String.concat ", " changed)
+  done;
+  Format.printf "@.-- time-travel queries --@.";
+  let probe i src =
+    Format.printf "  at v%d, %-28s => %a@." i src Txn.pp_response
+      (History.query_at archive i (Fdb_query.Parser.parse_exn src))
+  in
+  probe 3 "find 1 in Balance";
+  probe 4 "find 1 in Balance";
+  probe 4 "find 2 in Balance";
+  probe 5 "find 2 in Balance";
+  Format.printf
+    "@.physical sharing across consecutive versions: %.0f%% of relation@.\
+     slots shared — archiving every version costs only the touched@.\
+     relations (\"complete archives\", paper s3.3).@."
+    (100.0 *. History.sharing_ratio archive)

@@ -1,0 +1,64 @@
+(* Figure 2-2, hands on: functional updating of a paged B-tree relation.
+
+   One insert produces a "new directory" — the pages on the root-to-leaf
+   path — while every other page is shared with the old version.  This is
+   the partial physical reconstruction that gives full logical
+   reconstruction (paper §2.2, §3.3: only ~(log n)/n of a relation is
+   rebuilt).
+
+   Run with:  dune exec examples/tree_sharing.exe *)
+
+open Fdb_relational
+module Meter = Fdb_persistent.Meter
+
+let schema =
+  Schema.make ~name:"Ledger"
+    ~cols:[ ("serial", Schema.CInt); ("entry", Schema.CStr) ]
+
+let show_backend backend n =
+  let tuples =
+    List.init n (fun i ->
+        Tuple.make [ Value.Int (2 * i); Value.Str (Printf.sprintf "e%d" i) ])
+  in
+  let rel =
+    match Relation.of_tuples ~backend schema tuples with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let meter = Meter.create () in
+  let rel' =
+    match
+      Relation.insert ~meter rel
+        (Tuple.make [ Value.Int 501; Value.Str "inserted" ])
+    with
+    | Ok (r, true) -> r
+    | Ok (_, false) -> failwith "duplicate?"
+    | Error e -> failwith e
+  in
+  let (shared, total) = Relation.shared_units ~old:rel rel' in
+  Format.printf
+    "%-10s n=%-6d  rebuilt %3d units, shared %6d of %6d (%.2f%% rebuilt)@."
+    (Relation.backend_name backend)
+    n (Meter.allocs meter) shared total
+    (100.0 *. float_of_int (total - shared) /. float_of_int total);
+  (* the old version answers queries exactly as before *)
+  assert (Relation.size rel = n);
+  assert (Relation.size rel' = n + 1);
+  assert (Relation.find_key rel (Value.Int 501) = None)
+
+let () =
+  Format.printf "-- one insert into a relation of n tuples --@.@.";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun backend -> show_backend backend n)
+        [ Relation.List_backend; Relation.Avl_backend; Relation.Two3_backend;
+          Relation.Btree_backend 8 ];
+      Format.printf "@.")
+    [ 100; 1000; 10000 ];
+  Format.printf
+    "The linked list (the paper's experimental representation) rebuilds\n\
+     O(position) cells; every tree representation rebuilds only the\n\
+     O(log n) path to the touched leaf — the 'new directory' of Figure\n\
+     2-2 — and shares everything else.  Old versions remain fully\n\
+     queryable: updating never destroys.@."

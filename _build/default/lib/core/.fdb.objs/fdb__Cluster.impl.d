@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Fabric Fdb_net Fdb_query List Pipeline Topology

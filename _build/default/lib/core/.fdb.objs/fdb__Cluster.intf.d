@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Fdb_net Fdb_query Pipeline Topology

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Fdb_net Fdb_query Fdb_workload Format Pipeline Topology

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Engine Fdb_kernel Fdb_query Fdb_rediflow Fdb_relational Fdb_workload Format Machine Schema Tuple Value

@@ -1,0 +1,163 @@
+open Fdb_net
+module Ast = Fdb_query.Ast
+
+type t = {
+  topology : Topology.t;
+  primary : int;
+  semantics : Pipeline.semantics;
+  mode : Pipeline.mode;
+  spec : Pipeline.db_spec;
+}
+
+let create ?topology ?(primary = 0) ?(semantics = Pipeline.Prepend)
+    ?(mode = Pipeline.Ideal) spec =
+  let topology =
+    match topology with Some t -> t | None -> Topology.bus 4
+  in
+  { topology; primary; semantics; mode; spec }
+
+type outcome = {
+  merged : (int * Ast.query) list;
+  per_site : (int * Pipeline.response list) list;
+  report : Pipeline.report;
+  request_messages : int;
+  response_messages : int;
+  transport_cycles : int;
+}
+
+(* Drive a fabric until quiescent, collecting deliveries in order. *)
+let drain fabric =
+  let deliveries = ref [] and cycles = ref 0 in
+  while Fabric.in_flight fabric > 0 do
+    deliveries := !deliveries @ Fabric.step fabric;
+    incr cycles
+  done;
+  (!deliveries, !cycles)
+
+(* The request trip: every site injects one query per cycle toward the
+   primary; the medium's delivery order is the merge. *)
+let merge_requests cluster sessions =
+  let fabric = Fabric.create cluster.topology in
+  let remaining = List.map (fun (s, qs) -> (s, ref qs)) sessions in
+  let arrivals = ref [] and cycles = ref 0 in
+  let pending () =
+    List.exists (fun (_, qs) -> !qs <> []) remaining
+    || Fabric.in_flight fabric > 0
+  in
+  while pending () do
+    List.iter
+      (fun (site, qs) ->
+        match !qs with
+        | [] -> ()
+        | q :: rest ->
+            qs := rest;
+            Fabric.send fabric ~src:site ~dst:cluster.primary (site, q))
+      remaining;
+    arrivals := !arrivals @ Fabric.step fabric;
+    incr cycles
+  done;
+  (List.map snd !arrivals, !cycles)
+
+let submit cluster sessions =
+  let n = Topology.size cluster.topology in
+  List.iter
+    (fun (site, _) ->
+      if site < 0 || site >= n then
+        invalid_arg "Cluster.submit: site outside the topology";
+      if site = cluster.primary then
+        invalid_arg "Cluster.submit: clients must not sit on the primary")
+    sessions;
+  let (merged, request_cycles) = merge_requests cluster sessions in
+  let request_messages = List.length merged in
+  (* Process the merged stream on the lenient pipeline. *)
+  let report =
+    Pipeline.run ~semantics:cluster.semantics ~mode:cluster.mode cluster.spec
+      merged
+  in
+  (* Response trip: the primary sends each tagged response home; each site
+     chooses its own substream. *)
+  let back = Fabric.create cluster.topology in
+  List.iter
+    (fun (site, resp) ->
+      Fabric.send back ~src:cluster.primary ~dst:site (site, resp))
+    report.Pipeline.responses;
+  let (returned, response_cycles) = drain back in
+  let per_site =
+    List.map
+      (fun (site, _) ->
+        ( site,
+          List.filter_map
+            (fun (_, (tag, resp)) -> if tag = site then Some resp else None)
+            returned ))
+      sessions
+  in
+  {
+    merged;
+    per_site;
+    report;
+    request_messages;
+    response_messages = List.length returned;
+    transport_cycles = request_cycles + response_cycles;
+  }
+
+type failover = {
+  f_merged : (int * Ast.query) list;
+  f_served_before_crash : Pipeline.response list;
+  f_replayed : Pipeline.response list;
+  f_prefix_agrees : bool;
+  f_per_site : (int * Pipeline.response list) list;
+}
+
+let submit_with_failover cluster ~fail_after sessions =
+  if fail_after < 0 then
+    invalid_arg "Cluster.submit_with_failover: fail_after < 0";
+  let (merged, _) = merge_requests cluster sessions in
+  let n = List.length merged in
+  let k = min fail_after n in
+  let prefix = List.filteri (fun i _ -> i < k) merged in
+  (* The primary answers the prefix, then crashes. *)
+  let primary_run =
+    Pipeline.run ~semantics:cluster.semantics ~mode:cluster.mode cluster.spec
+      prefix
+  in
+  let served = List.map snd primary_run.Pipeline.responses in
+  (* The standby replays the whole merged stream from the initial
+     database: same stream, same versions, same answers. *)
+  let standby_run =
+    Pipeline.run ~semantics:cluster.semantics ~mode:cluster.mode cluster.spec
+      merged
+  in
+  let all_responses = standby_run.Pipeline.responses in
+  let replayed =
+    List.filteri (fun i _ -> i < k) (List.map snd all_responses)
+  in
+  let f_prefix_agrees =
+    List.for_all2 Pipeline.response_equal served replayed
+  in
+  (* Clients receive the prefix from the primary and the suffix from the
+     standby; by determinism that equals the standby's full answer set. *)
+  let f_per_site =
+    List.map
+      (fun (site, _) ->
+        ( site,
+          List.filter_map
+            (fun (tag, r) -> if tag = site then Some r else None)
+            all_responses ))
+      sessions
+  in
+  {
+    f_merged = merged;
+    f_served_before_crash = served;
+    f_replayed = replayed;
+    f_prefix_agrees;
+    f_per_site;
+  }
+
+let serializable outcome cluster =
+  let reference =
+    Pipeline.reference ~semantics:cluster.semantics cluster.spec
+      outcome.merged
+  in
+  List.for_all2
+    (fun (t1, r1) (t2, r2) -> t1 = t2 && Pipeline.response_equal r1 r2)
+    outcome.report.Pipeline.responses reference

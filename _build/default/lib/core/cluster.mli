@@ -1,0 +1,77 @@
+(** The primary-site model over a physical network (paper §3, Figure 3-1).
+
+    Client sites submit tagged query messages onto a shared medium.  The
+    medium itself "acts as one large merge pseudo-function": the primary
+    site receives an interleaving that respects each client's order, which
+    becomes the merged transaction stream.  After processing, tagged
+    responses are sent back over the medium, and each site [choose]s the
+    substream addressed to it.
+
+    The bus transport and the response routing are simulated cycle by cycle
+    with {!Fdb_net.Fabric}; transaction processing itself runs on the
+    lenient pipeline in the selected mode. *)
+
+open Fdb_net
+
+type t
+
+val create :
+  ?topology:Topology.t ->
+  ?primary:int ->
+  ?semantics:Pipeline.semantics ->
+  ?mode:Pipeline.mode ->
+  Pipeline.db_spec ->
+  t
+(** Default topology: a bus with one node per submitting site plus the
+    primary at node 0.  [primary] defaults to 0. *)
+
+type outcome = {
+  merged : (int * Fdb_query.Ast.query) list;
+      (** the arrival order the medium produced *)
+  per_site : (int * Pipeline.response list) list;
+      (** responses as delivered back to each site, in that site's order *)
+  report : Pipeline.report;  (** the pipeline execution *)
+  request_messages : int;  (** messages carried site -> primary *)
+  response_messages : int;  (** messages carried primary -> site *)
+  transport_cycles : int;  (** bus cycles spent on both trips *)
+}
+
+val submit : t -> (int * Fdb_query.Ast.query list) list -> outcome
+(** [(site, queries)] per client session.  Sites inject one query per bus
+    cycle starting together; the medium's serialization is the merge.
+    @raise Invalid_argument if a site is outside the topology or equals
+    the primary. *)
+
+val serializable : outcome -> t -> bool
+(** Check the outcome's responses against the sequential reference of its
+    merged order. *)
+
+(** {1 Failover by deterministic replay}
+
+    The paper defers failure transparency to future work (§1) but lays the
+    ground for it: the stream of database versions is a {e pure function}
+    of the merged transaction stream.  So if the primary fails after
+    answering a prefix, any standby that saw the same merged order (the
+    medium broadcasts it) can replay from the initial database and continue
+    — and determinism guarantees its answers for the already-served prefix
+    are identical, so clients never see an inconsistency. *)
+
+type failover = {
+  f_merged : (int * Fdb_query.Ast.query) list;
+  f_served_before_crash : Pipeline.response list;
+      (** what the primary answered before failing *)
+  f_replayed : Pipeline.response list;
+      (** the standby's answers for the same prefix, by replay *)
+  f_prefix_agrees : bool;
+      (** determinism check: served = replayed on the prefix *)
+  f_per_site : (int * Pipeline.response list) list;
+      (** every client's complete responses (prefix from the primary,
+          suffix from the standby) *)
+}
+
+val submit_with_failover :
+  t -> fail_after:int -> (int * Fdb_query.Ast.query list) list -> failover
+(** Run the request trip, let the primary process and answer the first
+    [fail_after] transactions, crash it, and have the standby replay the
+    whole merged stream from the initial database.
+    @raise Invalid_argument if [fail_after] is negative. *)

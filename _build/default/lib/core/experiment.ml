@@ -1,0 +1,624 @@
+open Fdb_kernel
+open Fdb_net
+open Fdb_rediflow
+open Fdb_relational
+module W = Fdb_workload.Workload
+module M = Fdb_merge.Merge
+module Ast = Fdb_query.Ast
+
+let merged_workload (w : W.t) =
+  List.map
+    (fun t -> (t.M.tag, t.M.item))
+    (M.merge M.Arrival_order w.W.client_streams)
+
+let grid = List.concat_map
+    (fun pct -> List.map (fun k -> (pct, k)) W.paper_relation_counts)
+    W.paper_insert_percentages
+
+let workload_for ?(transactions = 50) ?(initial_tuples = 50) ?(seed = 42) pct k =
+  W.generate
+    { W.default_spec with
+      transactions;
+      initial_tuples;
+      relations = k;
+      insert_pct = pct;
+      seed }
+
+(* -- Table I --------------------------------------------------------------- *)
+
+type concurrency_cell = {
+  c_pct : float;
+  c_relations : int;
+  c_max_ply : int;
+  c_avg_ply : float;
+  c_tasks : int;
+  c_cycles : int;
+}
+
+let table1 ?transactions ?initial_tuples ?seed ?semantics () =
+  List.map
+    (fun (pct, k) ->
+      let w = workload_for ?transactions ?initial_tuples ?seed pct k in
+      let report =
+        Pipeline.run ?semantics (Pipeline.db_spec_of_workload w)
+          (merged_workload w)
+      in
+      let s = report.Pipeline.stats in
+      {
+        c_pct = pct;
+        c_relations = k;
+        c_max_ply = s.Engine.max_ply;
+        c_avg_ply = s.Engine.avg_ply;
+        c_tasks = s.Engine.tasks;
+        c_cycles = s.Engine.cycles;
+      })
+    grid
+
+let cell_for cells pct k =
+  List.find (fun c -> c.c_pct = pct && c.c_relations = k) cells
+
+let pp_table1 ppf cells =
+  Format.fprintf ppf "percent      number of relations@,";
+  Format.fprintf ppf "updates    %14s %14s %14s@," "5" "3" "1";
+  Format.fprintf ppf "           %14s %14s %14s@," "max / avg" "max / avg"
+    "max / avg";
+  List.iter
+    (fun pct ->
+      Format.fprintf ppf "%5.0f%%    " pct;
+      List.iter
+        (fun k ->
+          let c = cell_for cells pct k in
+          Format.fprintf ppf " %6d / %5.1f" c.c_max_ply c.c_avg_ply)
+        W.paper_relation_counts;
+      Format.pp_print_cut ppf ())
+    W.paper_insert_percentages
+
+(* -- Tables II and III ------------------------------------------------------ *)
+
+type speedup_cell = {
+  s_pct : float;
+  s_relations : int;
+  s_speedup : float;
+  s_utilization : float;
+  s_migrations : int;
+  s_messages : int;
+  s_cycles : int;
+}
+
+let speedup_table ?transactions ?initial_tuples ?seed ?semantics topo =
+  List.map
+    (fun (pct, k) ->
+      let w = workload_for ?transactions ?initial_tuples ?seed pct k in
+      let report =
+        Pipeline.run ?semantics
+          ~mode:(Pipeline.On_machine (Machine.default_config topo))
+          (Pipeline.db_spec_of_workload w)
+          (merged_workload w)
+      in
+      let s = report.Pipeline.stats in
+      let m = Option.get report.Pipeline.machine in
+      {
+        s_pct = pct;
+        s_relations = k;
+        s_speedup = Option.get report.Pipeline.speedup;
+        s_utilization = Machine.utilization m ~cycles:s.Engine.cycles;
+        s_migrations = m.Machine.migrations;
+        s_messages = m.Machine.net.Fabric.sent;
+        s_cycles = s.Engine.cycles;
+      })
+    grid
+
+let table2 ?seed () = speedup_table ?seed (Topology.hypercube 3)
+let table3 ?seed () = speedup_table ?seed (Topology.mesh3d 3 3 3)
+
+let pp_speedup_table ppf cells =
+  Format.fprintf ppf "percent      number of relations@,";
+  Format.fprintf ppf "updates    %6s %6s %6s@," "5" "3" "1";
+  List.iter
+    (fun pct ->
+      Format.fprintf ppf "%5.0f%%    " pct;
+      List.iter
+        (fun k ->
+          let c =
+            List.find (fun c -> c.s_pct = pct && c.s_relations = k) cells
+          in
+          Format.fprintf ppf " %6.1f" c.s_speedup)
+        W.paper_relation_counts;
+      Format.pp_print_cut ppf ())
+    W.paper_insert_percentages
+
+(* -- Figure 2-1 ------------------------------------------------------------- *)
+
+let fig21 ppf () =
+  Format.fprintf ppf
+    "@[<v>Figure 2-1: transaction application as a functional program@,@,";
+  Format.fprintf ppf
+    "  old-databases = initial-database ^ new-databases@,\
+    \  [responses, new-databases] = apply-stream:[transactions, old-databases]@,@,";
+  let schemas =
+    [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ]
+  in
+  let spec =
+    {
+      Pipeline.schemas;
+      initial = [ ("R", [ Tuple.make [ Value.Int 1; Value.Str "one" ] ]) ];
+    }
+  in
+  let queries =
+    List.map
+      (fun s -> (0, Fdb_query.Parser.parse_exn s))
+      [ "insert (2, \"two\") into R"; "find 2 in R"; "count R" ]
+  in
+  let report = Pipeline.run spec queries in
+  Format.fprintf ppf "three transactions through apply-stream:@,";
+  List.iteri
+    (fun i ((_, q), (_, r)) ->
+      Format.fprintf ppf "  txn %d: %-28s -> %a@," i (Ast.to_string q)
+        Pipeline.pp_response r)
+    (List.combine queries report.Pipeline.responses);
+  Format.fprintf ppf
+    "engine: %d unit tasks over %d cycles (every version shares the@,\
+    \        untouched relations of its predecessor)@]@."
+    report.Pipeline.stats.Engine.tasks report.Pipeline.stats.Engine.cycles
+
+(* -- Figure 2-2 / section 3.3 ----------------------------------------------- *)
+
+type sharing_row = {
+  h_n : int;
+  h_pages : int;
+  h_rebuilt : int;
+  h_shared : int;
+  h_fraction : float;
+}
+
+module IntBt = Fdb_persistent.Btree.Make (Fdb_persistent.Ordered.Int)
+
+let fig22 ?(branching = 8) ?(sizes = [ 50; 100; 1000; 10000; 100000 ]) () =
+  List.map
+    (fun n ->
+      let t = IntBt.of_list ~branching (List.init n (fun i -> 2 * i)) in
+      let t' = IntBt.insert (2 * n) t in
+      let (shared, total) = IntBt.shared_pages ~old:t t' in
+      {
+        h_n = n;
+        h_pages = total;
+        h_rebuilt = total - shared;
+        h_shared = shared;
+        h_fraction = float_of_int (total - shared) /. float_of_int total;
+      })
+    sizes
+
+let pp_fig22 ppf rows =
+  Format.fprintf ppf "%10s %8s %8s %8s %10s@," "tuples" "pages" "rebuilt"
+    "shared" "fraction";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%10d %8d %8d %8d %10.5f@," r.h_n r.h_pages
+        r.h_rebuilt r.h_shared r.h_fraction)
+    rows
+
+(* -- Figure 2-3 ------------------------------------------------------------- *)
+
+let fig23 ppf () =
+  (* The paper's exact example: two input streams whose merge decomposes
+     into a de-facto parallel schedule. *)
+  let stream1 = [ "insert (10, \"x\") into R"; "find 10 in R";
+                  "insert (20, \"y\") into S" ]
+  and stream2 = [ "insert (30, \"z\") into S"; "find 30 in S" ] in
+  let parse = Fdb_query.Parser.parse_exn in
+  let merged =
+    M.merge M.Arrival_order
+      [ List.map parse stream1; List.map parse stream2 ]
+  in
+  let tagged = List.map (fun t -> (t.M.tag, t.M.item)) merged in
+  let schemas =
+    List.map
+      (fun name ->
+        Schema.make ~name
+          ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ])
+      [ "R"; "S" ]
+  in
+  let initial =
+    [ ("R", List.init 4 (fun i -> Tuple.make
+                             [ Value.Int i; Value.Str (string_of_int i) ]));
+      ("S", List.init 4 (fun i -> Tuple.make
+                             [ Value.Int (100 + i); Value.Str "s" ])) ]
+  in
+  let spec = { Pipeline.schemas; initial } in
+  let report = Pipeline.run ~trace:true spec tagged in
+  Format.fprintf ppf "@[<v>Figure 2-3: merging and decomposition@,@,";
+  Format.fprintf ppf "input stream 1 (user A):@,";
+  List.iter (fun q -> Format.fprintf ppf "  %s@," q) stream1;
+  Format.fprintf ppf "input stream 2 (user B):@,";
+  List.iter (fun q -> Format.fprintf ppf "  %s@," q) stream2;
+  Format.fprintf ppf "@,merged transaction stream:@,";
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "  [user %c] %s@,"
+        (if t.M.tag = 0 then 'A' else 'B')
+        (Ast.to_string t.M.item))
+    merged;
+  Format.fprintf ppf "@,de-facto parallel execution schedule (cycle: tasks):@,";
+  let by_cycle = Hashtbl.create 16 in
+  List.iter
+    (fun (cycle, label) ->
+      let old = Option.value ~default:[] (Hashtbl.find_opt by_cycle cycle) in
+      Hashtbl.replace by_cycle cycle (label :: old))
+    report.Pipeline.stats.Engine.trace;
+  let cycles = List.sort_uniq compare (Hashtbl.fold (fun c _ acc -> c :: acc) by_cycle []) in
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %3d: %s@," c
+        (String.concat "  " (List.rev (Hashtbl.find by_cycle c))))
+    cycles;
+  Format.fprintf ppf "@,responses:@,";
+  List.iter
+    (fun (tag, r) ->
+      Format.fprintf ppf "  [user %c] %a@,"
+        (if tag = 0 then 'A' else 'B')
+        Pipeline.pp_response r)
+    report.Pipeline.responses;
+  Format.fprintf ppf "(max ply %d, avg ply %.1f over %d cycles)@]@."
+    report.Pipeline.stats.Engine.max_ply report.Pipeline.stats.Engine.avg_ply
+    report.Pipeline.stats.Engine.cycles
+
+(* -- Ablation: relation representation -------------------------------------- *)
+
+type repr_row = {
+  r_backend : string;
+  r_n : int;
+  r_units_per_insert : float;
+  r_shared_fraction : float;
+}
+
+let ablation_repr ?(sizes = [ 50; 500; 5000 ]) () =
+  let backends =
+    [ Relation.List_backend; Relation.Avl_backend; Relation.Two3_backend;
+      Relation.Btree_backend 8 ]
+  in
+  let schema =
+    Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ]
+  in
+  List.concat_map
+    (fun backend ->
+      List.map
+        (fun n ->
+          let tuples =
+            List.init n (fun i ->
+                Tuple.make [ Value.Int (2 * i); Value.Str "v" ])
+          in
+          let rel =
+            match Relation.of_tuples ~backend schema tuples with
+            | Ok r -> r
+            | Error e -> failwith e
+          in
+          (* Average the reconstruction cost of 20 inserts at scattered
+             key positions. *)
+          let meter = Fdb_persistent.Meter.create () in
+          let probes = List.init 20 (fun i -> (i * 2 * n / 20) + 1) in
+          let last =
+            List.fold_left
+              (fun _ key ->
+                match
+                  Relation.insert ~meter rel
+                    (Tuple.make [ Value.Int key; Value.Str "new" ])
+                with
+                | Ok (r', _) -> Some r'
+                | Error e -> failwith e)
+              None probes
+          in
+          let (shared, total) =
+            Relation.shared_units ~old:rel (Option.get last)
+          in
+          {
+            r_backend = Relation.backend_name backend;
+            r_n = n;
+            r_units_per_insert =
+              float_of_int (Fdb_persistent.Meter.allocs meter)
+              /. float_of_int (List.length probes);
+            r_shared_fraction = float_of_int shared /. float_of_int total;
+          })
+        sizes)
+    backends
+
+let pp_ablation_repr ppf rows =
+  Format.fprintf ppf "%10s %8s %18s %14s@," "backend" "tuples"
+    "rebuilt units/ins" "shared fraction";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%10s %8d %18.1f %14.4f@," r.r_backend r.r_n
+        r.r_units_per_insert r.r_shared_fraction)
+    rows
+
+(* -- Ablation: topology and load balancing ----------------------------------- *)
+
+type topo_row = {
+  t_name : string;
+  t_pes : int;
+  t_balance : bool;
+  t_speedup : float;
+  t_cycles : int;
+  t_migrations : int;
+}
+
+let ablation_topo ?(seed = 42) () =
+  let topos =
+    [ Topology.single (); Topology.ring 8; Topology.star 8;
+      Topology.hypercube 3; Topology.torus2d 3 3; Topology.mesh3d 3 3 3;
+      Topology.hypercube 4; Topology.bus 8 ]
+  in
+  let w = workload_for ~seed 14.0 3 in
+  let spec = Pipeline.db_spec_of_workload w in
+  let tagged = merged_workload w in
+  List.concat_map
+    (fun topo ->
+      List.map
+        (fun balance ->
+          let cfg = { (Machine.default_config topo) with Machine.balance } in
+          let report =
+            Pipeline.run ~mode:(Pipeline.On_machine cfg) spec tagged
+          in
+          let m = Option.get report.Pipeline.machine in
+          {
+            t_name = Topology.name topo;
+            t_pes = Topology.size topo;
+            t_balance = balance;
+            t_speedup = Option.get report.Pipeline.speedup;
+            t_cycles = report.Pipeline.stats.Engine.cycles;
+            t_migrations = m.Machine.migrations;
+          })
+        [ true; false ])
+    topos
+
+let pp_ablation_topo ppf rows =
+  Format.fprintf ppf "%14s %5s %9s %9s %8s %11s@," "topology" "PEs" "balance"
+    "speedup" "cycles" "migrations";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%14s %5d %9s %9.2f %8d %11d@," r.t_name r.t_pes
+        (if r.t_balance then "on" else "off")
+        r.t_speedup r.t_cycles r.t_migrations)
+    rows
+
+(* -- Ablation: merge policy --------------------------------------------------- *)
+
+type merge_row = {
+  m_policy : string;
+  m_clients : int;
+  m_max_ply : int;
+  m_avg_ply : float;
+  m_serializable : bool;
+}
+
+let ablation_merge ?(seed = 42) () =
+  let policies =
+    [ ("arrival", M.Arrival_order); ("bursty", M.Eager_clients [ 3; 1 ]);
+      ("random", M.Seeded 7); ("concat", M.Concatenated) ]
+  in
+  List.concat_map
+    (fun clients ->
+      let w =
+        W.generate { W.default_spec with W.clients; seed; insert_pct = 14.0 }
+      in
+      let spec = Pipeline.db_spec_of_workload w in
+      List.map
+        (fun (name, policy) ->
+          let tagged =
+            List.map
+              (fun t -> (t.M.tag, t.M.item))
+              (M.merge policy w.W.client_streams)
+          in
+          let report = Pipeline.run spec tagged in
+          let ok =
+            match Pipeline.check_serializable spec tagged with
+            | Ok _ -> true
+            | Error _ -> false
+          in
+          {
+            m_policy = name;
+            m_clients = clients;
+            m_max_ply = report.Pipeline.stats.Engine.max_ply;
+            m_avg_ply = report.Pipeline.stats.Engine.avg_ply;
+            m_serializable = ok;
+          })
+        policies)
+    [ 2; 4; 8 ]
+
+let pp_ablation_merge ppf rows =
+  Format.fprintf ppf "%8s %8s %8s %8s %14s@," "policy" "clients" "max ply"
+    "avg ply" "serializable";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8s %8d %8d %8.1f %14b@," r.m_policy r.m_clients
+        r.m_max_ply r.m_avg_ply r.m_serializable)
+    rows
+
+(* -- Ablation: engine-level representation ----------------------------------- *)
+
+type engine_repr_row = {
+  e_repr : string;
+  e_pct : float;
+  e_tasks : int;
+  e_cycles : int;
+  e_max_ply : int;
+  e_avg_ply : float;
+}
+
+let ablation_engine_repr ?(seed = 42) () =
+  let module Llist = Fdb_lenient.Llist in
+  let module Ltree = Fdb_lenient.Ltree in
+  let n = 50 and ops = 50 in
+  (* Deterministic op stream: `Ins of a fresh odd key, `Find of an existing
+     even key; kinds shuffled. *)
+  let plan pct =
+    let rand = Random.State.make [| seed |] in
+    let n_ins = int_of_float (Float.round (pct *. float_of_int ops /. 100.0)) in
+    let kinds = Array.init ops (fun i -> if i < n_ins then `Ins else `Find) in
+    for i = ops - 1 downto 1 do
+      let j = Random.State.int rand (i + 1) in
+      let tmp = kinds.(i) in
+      kinds.(i) <- kinds.(j);
+      kinds.(j) <- tmp
+    done;
+    Array.to_list
+      (Array.map (fun kind -> (kind, 2 * Random.State.int rand n)) kinds)
+  in
+  (* Issue one operation per cycle down a token chain carrying the current
+     version, like the pipeline's dispatch; [step] launches the cell-level
+     work and returns the next version. *)
+  let run_chain eng initial step pct =
+    let fresh = ref ((2 * n) + 1) in
+    let rec chain token = function
+      | [] -> ()
+      | (kind, key) :: rest ->
+          let next = Engine.ivar eng in
+          Engine.await ~label:"dispatch" token (fun state ->
+              let op =
+                match kind with
+                | `Ins ->
+                    let x = !fresh in
+                    fresh := x + 2;
+                    `Ins x
+                | `Find -> `Find key
+              in
+              Engine.put next (step state op));
+          chain next rest
+    in
+    let first = Engine.ivar eng in
+    chain first (plan pct);
+    Engine.spawn eng (fun () -> Engine.put first initial);
+    Engine.run eng
+  in
+  let run_list pct =
+    let eng = Engine.create () in
+    let initial = Llist.of_list eng (List.init n (fun i -> 2 * i)) in
+    let step state = function
+      | `Ins x -> fst (Llist.insert_unique eng ~cmp:compare x state)
+      | `Find key ->
+          ignore
+            (Llist.find_until eng ~stop:(fun y -> y > key)
+               (fun y -> y = key)
+               state);
+          state
+    in
+    run_chain eng initial step pct
+  in
+  let run_tree pct =
+    let eng = Engine.create () in
+    let initial =
+      Ltree.of_list eng ~cmp:compare (List.init n (fun i -> 2 * i))
+    in
+    let step state = function
+      | `Ins x -> fst (Ltree.insert eng ~cmp:compare x state)
+      | `Find key ->
+          ignore (Ltree.find eng ~cmp:compare key state);
+          state
+    in
+    run_chain eng initial step pct
+  in
+  List.concat_map
+    (fun pct ->
+      let mk name (s : Engine.run_stats) =
+        {
+          e_repr = name;
+          e_pct = pct;
+          e_tasks = s.Engine.tasks;
+          e_cycles = s.Engine.cycles;
+          e_max_ply = s.Engine.max_ply;
+          e_avg_ply = s.Engine.avg_ply;
+        }
+      in
+      [ mk "list" (run_list pct); mk "two3" (run_tree pct) ])
+    W.paper_insert_percentages
+
+let pp_ablation_engine_repr ppf rows =
+  Format.fprintf ppf "%6s %6s %8s %8s %8s %8s@," "repr" "upd%" "tasks"
+    "cycles" "max ply" "avg ply";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%6s %6.0f %8d %8d %8d %8.1f@," r.e_repr r.e_pct
+        r.e_tasks r.e_cycles r.e_max_ply r.e_avg_ply)
+    rows
+
+(* -- Scaling beyond the paper's point ----------------------------------------- *)
+
+type scaling_row = {
+  g_transactions : int;
+  g_tuples : int;
+  g_max_ply : int;
+  g_avg_ply : float;
+  g_cycles : int;
+  g_tasks : int;
+}
+
+let scaling ?(seed = 42) () =
+  List.concat_map
+    (fun transactions ->
+      List.map
+        (fun tuples ->
+          let w =
+            workload_for ~transactions ~initial_tuples:tuples ~seed 14.0 3
+          in
+          let report =
+            Pipeline.run (Pipeline.db_spec_of_workload w) (merged_workload w)
+          in
+          let s = report.Pipeline.stats in
+          {
+            g_transactions = transactions;
+            g_tuples = tuples;
+            g_max_ply = s.Engine.max_ply;
+            g_avg_ply = s.Engine.avg_ply;
+            g_cycles = s.Engine.cycles;
+            g_tasks = s.Engine.tasks;
+          })
+        [ 50; 200 ])
+    [ 25; 50; 100; 200 ]
+
+let pp_scaling ppf rows =
+  Format.fprintf ppf "%8s %8s %8s %8s %8s %8s@," "txns" "tuples" "max ply"
+    "avg ply" "cycles" "tasks";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%8d %8d %8d %8.1f %8d %8d@," r.g_transactions
+        r.g_tuples r.g_max_ply r.g_avg_ply r.g_cycles r.g_tasks)
+    rows
+
+(* -- Ablation: insert semantics ----------------------------------------------- *)
+
+type semantics_row = {
+  x_semantics : string;
+  x_pct : float;
+  x_max_ply : int;
+  x_avg_ply : float;
+  x_tasks : int;
+}
+
+let ablation_semantics ?(seed = 42) () =
+  List.concat_map
+    (fun (name, semantics) ->
+      List.map
+        (fun pct ->
+          let w = workload_for ~seed pct 3 in
+          let report =
+            Pipeline.run ~semantics (Pipeline.db_spec_of_workload w)
+              (merged_workload w)
+          in
+          let s = report.Pipeline.stats in
+          {
+            x_semantics = name;
+            x_pct = pct;
+            x_max_ply = s.Engine.max_ply;
+            x_avg_ply = s.Engine.avg_ply;
+            x_tasks = s.Engine.tasks;
+          })
+        W.paper_insert_percentages)
+    [ ("prepend", Pipeline.Prepend); ("ordered", Pipeline.Ordered_unique) ]
+
+let pp_ablation_semantics ppf rows =
+  Format.fprintf ppf "%10s %6s %8s %8s %8s@," "semantics" "upd%" "max ply"
+    "avg ply" "tasks";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%10s %6.0f %8d %8.1f %8d@," r.x_semantics r.x_pct
+        r.x_max_ply r.x_avg_ply r.x_tasks)
+    rows

@@ -1,0 +1,172 @@
+(** Experiment runners: one function per paper table/figure plus the
+    ablations listed in DESIGN.md.  Everything is deterministic in the
+    seed; the bench harness and the CLI both call these. *)
+
+open Fdb_net
+
+(** {1 Table I — maximum and average concurrency (ideal mode)} *)
+
+type concurrency_cell = {
+  c_pct : float;
+  c_relations : int;
+  c_max_ply : int;
+  c_avg_ply : float;
+  c_tasks : int;
+  c_cycles : int;
+}
+
+val table1 :
+  ?transactions:int -> ?initial_tuples:int -> ?seed:int ->
+  ?semantics:Pipeline.semantics -> unit -> concurrency_cell list
+(** The paper grid: relations in {5, 3, 1} x insert percentage in
+    {0, 4, 7, 14, 24, 38}. *)
+
+val pp_table1 : Format.formatter -> concurrency_cell list -> unit
+(** Same layout as the paper's Table I. *)
+
+(** {1 Tables II and III — speedup on a machine} *)
+
+type speedup_cell = {
+  s_pct : float;
+  s_relations : int;
+  s_speedup : float;
+  s_utilization : float;
+  s_migrations : int;
+  s_messages : int;
+  s_cycles : int;
+}
+
+val speedup_table :
+  ?transactions:int -> ?initial_tuples:int -> ?seed:int ->
+  ?semantics:Pipeline.semantics -> Topology.t -> speedup_cell list
+
+val table2 : ?seed:int -> unit -> speedup_cell list
+(** 8-node binary hypercube. *)
+
+val table3 : ?seed:int -> unit -> speedup_cell list
+(** 27-node (3x3x3) Euclidean cube. *)
+
+val pp_speedup_table : Format.formatter -> speedup_cell list -> unit
+
+(** {1 Figure 2-1 — apply-stream in action} *)
+
+val fig21 : Format.formatter -> unit -> unit
+(** Prints the functional-equation view of transaction processing and runs
+    a three-transaction demonstration showing the version stream. *)
+
+(** {1 Figure 2-2 / §3.3 — page sharing under functional updating} *)
+
+type sharing_row = {
+  h_n : int;  (** tuples in the relation *)
+  h_pages : int;  (** pages in the new version *)
+  h_rebuilt : int;  (** pages built by one insert *)
+  h_shared : int;
+  h_fraction : float;  (** rebuilt / total — the (log n)/n claim *)
+}
+
+val fig22 : ?branching:int -> ?sizes:int list -> unit -> sharing_row list
+
+val pp_fig22 : Format.formatter -> sharing_row list -> unit
+
+(** {1 Figure 2-3 — merge and de-facto parallel schedule} *)
+
+val fig23 : Format.formatter -> unit -> unit
+(** Runs the paper's exact two-stream example with tracing and prints the
+    merged stream and the cycle-by-cycle schedule it decomposed into. *)
+
+(** {1 Ablations} *)
+
+type repr_row = {
+  r_backend : string;
+  r_n : int;
+  r_units_per_insert : float;  (** cells/nodes/pages rebuilt, averaged *)
+  r_shared_fraction : float;
+}
+
+val ablation_repr : ?sizes:int list -> unit -> repr_row list
+(** List vs AVL vs 2-3 vs B-tree reconstruction cost per update (the §2.3 /
+    §5 projection that trees beat lists). *)
+
+val pp_ablation_repr : Format.formatter -> repr_row list -> unit
+
+type topo_row = {
+  t_name : string;
+  t_pes : int;
+  t_balance : bool;
+  t_speedup : float;
+  t_cycles : int;
+  t_migrations : int;
+}
+
+val ablation_topo : ?seed:int -> unit -> topo_row list
+(** The default workload across ring / star / torus / hypercube / mesh /
+    bus, with load balancing on and off. *)
+
+val pp_ablation_topo : Format.formatter -> topo_row list -> unit
+
+type merge_row = {
+  m_policy : string;
+  m_clients : int;
+  m_max_ply : int;
+  m_avg_ply : float;
+  m_serializable : bool;
+}
+
+val ablation_merge : ?seed:int -> unit -> merge_row list
+(** Merge-policy sensitivity (§2.4's "judicious ordering" future work):
+    every interleaving must stay serializable; concurrency may differ. *)
+
+val pp_ablation_merge : Format.formatter -> merge_row list -> unit
+
+type engine_repr_row = {
+  e_repr : string;
+  e_pct : float;
+  e_tasks : int;
+  e_cycles : int;
+  e_max_ply : int;
+  e_avg_ply : float;
+}
+
+val ablation_engine_repr : ?seed:int -> unit -> engine_repr_row list
+(** List vs 2-3 tree {e at the engine level}: the same single-relation
+    insert/find stream executed over a lenient ordered list and a lenient
+    2-3 tree.  Quantifies §2.3's projection inside the task-graph model
+    itself (the pure-structure version is {!val:ablation_repr}). *)
+
+val pp_ablation_engine_repr : Format.formatter -> engine_repr_row list -> unit
+
+type semantics_row = {
+  x_semantics : string;
+  x_pct : float;
+  x_max_ply : int;
+  x_avg_ply : float;
+  x_tasks : int;
+}
+
+val ablation_semantics : ?seed:int -> unit -> semantics_row list
+(** Prepend (the paper's multiset lists) vs Ordered_unique (keyed sets):
+    how the insert representation changes the concurrency profile. *)
+
+val pp_ablation_semantics : Format.formatter -> semantics_row list -> unit
+
+type scaling_row = {
+  g_transactions : int;
+  g_tuples : int;
+  g_max_ply : int;
+  g_avg_ply : float;
+  g_cycles : int;
+  g_tasks : int;
+}
+
+val scaling : ?seed:int -> unit -> scaling_row list
+(** Beyond the paper's fixed 50x50 point: how the extracted concurrency
+    grows with the stream length and the relation size (3 relations,
+    14% inserts). *)
+
+val pp_scaling : Format.formatter -> scaling_row list -> unit
+
+(** {1 Shared plumbing} *)
+
+val merged_workload :
+  Fdb_workload.Workload.t -> (int * Fdb_query.Ast.query) list
+(** Merge the workload's client streams in arrival order and tag them. *)

@@ -1,0 +1,116 @@
+(** The lenient transaction pipeline — the paper's system.
+
+    A merged, tagged query stream is processed "sequentially" by a chain of
+    dispatch tasks (one per transaction, the unfolding of [apply-stream]);
+    each dispatch immediately constructs the next database version as a
+    tuple of relation slots, sharing every untouched slot, and launches the
+    transaction's cell-level work.  All synchronization is implicit in the
+    single-assignment cells: scans chase inserts one cell behind
+    (pipelining), independent scans flood, and nothing ever locks.
+
+    Execution can be measured on the ideal machine (ply widths — Table I)
+    or on a Rediflow machine over a concrete topology (speedup — Tables II
+    and III).
+
+    Two insert semantics are provided:
+    - {!constructor:Prepend} — the 1985 experiment's linked-list multiset
+      semantics: insert is a 1-task cons at the head, find scans the whole
+      relation collecting matches;
+    - {!constructor:Ordered_unique} — keyed-set semantics over sorted
+      lists, matching the production interpreter [Fdb_txn.Txn]: inserts
+      copy up to the splice point and reject duplicates, probes stop at the
+      ordered position.
+
+    Either way, {!val:reference} gives the pure sequential meaning of the
+    same stream and {!val:check_serializable} verifies the lenient run
+    against it — the paper's serializability claim, as an executable
+    property. *)
+
+open Fdb_kernel
+open Fdb_relational
+open Fdb_rediflow
+
+type semantics = Prepend | Ordered_unique
+
+type mode = Ideal | On_machine of Machine.config
+
+type response =
+  | Inserted of bool
+  | Found of Tuple.t list  (** every tuple with the probed key *)
+  | Deleted of int  (** number of tuples removed *)
+  | Selected of Tuple.t list
+  | Counted of int
+  | Aggregated of Value.t option  (** sum/min/max; [None] when empty *)
+  | Updated of int  (** rows rewritten *)
+  | Joined of Tuple.t list
+  | Failed of string
+
+val response_equal : response -> response -> bool
+
+val pp_response : Format.formatter -> response -> unit
+
+type db_spec = {
+  schemas : Schema.t list;
+  initial : (string * Tuple.t list) list;
+}
+
+val db_spec_of_workload : Fdb_workload.Workload.t -> db_spec
+
+type report = {
+  responses : (int * response) list;  (** (tag, response), merged order *)
+  stats : Engine.run_stats;
+  machine : Machine.machine_stats option;
+  speedup : float option;  (** tasks / makespan, machine mode only *)
+  final_db : (string * Tuple.t list) list;
+      (** contents of the last database version, per relation *)
+}
+
+val responses_for : tag:int -> report -> response list
+(** Route a client's substream of responses (choose on the tagged response
+    stream). *)
+
+val run :
+  ?semantics:semantics ->
+  ?mode:mode ->
+  ?trace:bool ->
+  ?primary:int ->
+  db_spec ->
+  (int * Fdb_query.Ast.query) list ->
+  report
+(** Execute the merged stream.  Defaults: [Prepend], [Ideal], no trace,
+    primary site 0.  In machine mode the initial relation cells are dealt
+    round-robin across the PEs and dispatch runs on the primary site.
+    @raise Failure if the run leaves a response unresolved (an engine bug —
+    surfaced loudly rather than silently). *)
+
+val run_streams :
+  ?semantics:semantics ->
+  ?mode:mode ->
+  ?trace:bool ->
+  ?primary:int ->
+  db_spec ->
+  Fdb_query.Ast.query list list ->
+  report * (int * Fdb_query.Ast.query) list
+(** The whole architecture as one task graph: each client stream is a
+    lenient producer (one query per cycle), the engine-level merge arbiter
+    ({!Fdb_lenient.Lmerge}) interleaves them by arrival, and the dispatch
+    chain chases the merged stream as it materializes.  Returns the report
+    and the merged order the arbiter actually produced (for checking
+    against {!val:reference}). *)
+
+val reference :
+  ?semantics:semantics ->
+  db_spec ->
+  (int * Fdb_query.Ast.query) list ->
+  (int * response) list
+(** The sequential meaning of the merged stream: what processing it
+    one-transaction-at-a-time would answer. *)
+
+val check_serializable :
+  ?semantics:semantics ->
+  ?mode:mode ->
+  db_spec ->
+  (int * Fdb_query.Ast.query) list ->
+  (bool, string) result
+(** Run both and compare responses position by position; [Error] carries
+    the first mismatch, pretty-printed. *)

@@ -1,0 +1,1 @@
+lib/fel/ast.ml: Format

@@ -1,0 +1,1 @@
+lib/fel/eval.ml: Ast Buffer Engine Fdb_kernel Format List Parser Printf String

@@ -1,0 +1,1 @@
+lib/fel/eval.mli: Ast Engine Fdb_kernel

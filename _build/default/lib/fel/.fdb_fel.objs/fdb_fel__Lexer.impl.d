@@ -1,0 +1,1 @@
+lib/fel/lexer.ml: Buffer Format List Printf String

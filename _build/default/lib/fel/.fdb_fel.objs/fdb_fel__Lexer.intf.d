@@ -1,0 +1,1 @@
+lib/fel/lexer.mli: Format

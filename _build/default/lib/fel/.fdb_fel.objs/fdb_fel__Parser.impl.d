@@ -1,0 +1,1 @@
+lib/fel/parser.ml: Ast Format Lexer List Printf

@@ -1,0 +1,1 @@
+lib/fel/parser.mli: Ast

@@ -1,0 +1,72 @@
+type pattern =
+  | Pvar of string
+  | Ptuple of string list
+
+type expr =
+  | Var of string
+  | Int_lit of int
+  | Str_lit of string
+  | Nil_lit
+  | List of expr list
+  | Seq of expr * expr
+  | App of expr * expr
+  | Map of expr * expr
+  | If of expr * expr * expr
+  | Binop of string * expr * expr
+  | Block of equation list * expr
+
+and equation =
+  | Def_fun of string * pattern * expr
+  | Def_val of pattern * expr
+
+type program = { equations : equation list; result : expr }
+
+let pp_pattern ppf = function
+  | Pvar x -> Format.pp_print_string ppf x
+  | Ptuple xs ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Format.pp_print_string)
+        xs
+
+let rec pp_expr ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Int_lit n -> Format.fprintf ppf "%d" n
+  | Str_lit s -> Format.fprintf ppf "%S" s
+  | Nil_lit -> Format.pp_print_string ppf "[]"
+  | List es ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        es
+  | Seq (a, b) -> Format.fprintf ppf "(%a ^ %a)" pp_expr a pp_expr b
+  | App (f, x) -> Format.fprintf ppf "%a:%a" pp_atomish f pp_atomish x
+  | Map (f, s) -> Format.fprintf ppf "(%a || %a)" pp_expr f pp_expr s
+  | If (c, t, e) ->
+      Format.fprintf ppf "(if %a then %a else %a)" pp_expr c pp_expr t pp_expr e
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp_expr a op pp_expr b
+  | Block (eqs, res) ->
+      Format.fprintf ppf "@[<v 2>{ %a,@ RESULT %a }@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           pp_equation)
+        eqs pp_expr res
+
+and pp_atomish ppf e =
+  match e with
+  | Var _ | Int_lit _ | Str_lit _ | Nil_lit | List _ | App _ ->
+      pp_expr ppf e
+  | Seq _ | Map _ | If _ | Binop _ | Block _ ->
+      Format.fprintf ppf "(%a)" pp_expr e
+
+and pp_equation ppf = function
+  | Def_fun (f, p, e) ->
+      Format.fprintf ppf "%s:%a = %a" f pp_pattern p pp_expr e
+  | Def_val (p, e) -> Format.fprintf ppf "%a = %a" pp_pattern p pp_expr e
+
+let pp_program ppf { equations; result } =
+  Format.fprintf ppf "@[<v>%a@,RESULT %a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_equation)
+    equations pp_expr result

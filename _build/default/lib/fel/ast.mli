@@ -1,0 +1,35 @@
+(** Abstract syntax of mini-FEL, the Function Equation Language the paper's
+    system was written in [13].
+
+    The subset covers everything the paper's programs use: equations
+    (including destructuring ones), lenient list/tuple construction,
+    [^] (followed-by), [||] (apply-to-all), application with [:],
+    conditionals, arithmetic and comparison, and equation blocks with a
+    [RESULT] expression. *)
+
+type pattern =
+  | Pvar of string
+  | Ptuple of string list  (** [[x, y] = ...] destructuring *)
+
+type expr =
+  | Var of string
+  | Int_lit of int
+  | Str_lit of string
+  | Nil_lit  (** [[]] — the empty stream *)
+  | List of expr list  (** [[e1, ..., en]] — lenient tuple/list *)
+  | Seq of expr * expr  (** [e ^ s] — followed-by *)
+  | App of expr * expr  (** [f:x] *)
+  | Map of expr * expr  (** [f || s] — apply-to-all *)
+  | If of expr * expr * expr
+  | Binop of string * expr * expr  (** + - * / = != < <= > >= *)
+  | Block of equation list * expr  (** [{ eq, ..., RESULT e }] *)
+
+and equation =
+  | Def_fun of string * pattern * expr  (** [f:p = e] *)
+  | Def_val of pattern * expr  (** [x = e] or [[x, y] = e] *)
+
+type program = { equations : equation list; result : expr }
+
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_program : Format.formatter -> program -> unit

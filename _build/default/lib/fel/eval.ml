@@ -1,0 +1,398 @@
+open Fdb_kernel
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type value =
+  | VInt of int
+  | VStr of string
+  | VBool of bool
+  | VNil
+  | VCons of fvalue * fvalue
+  | VClosure of env * Ast.pattern * Ast.expr
+  | VPrim of string
+
+and fvalue = value Engine.ivar
+
+and env = (string * fvalue) list
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> error "unbound identifier %s" x
+
+(* One forwarding task: when [src] fills, copy into [dst]. *)
+let forward _eng ?(label = "forward") src dst =
+  Engine.await ~label src (fun v -> Engine.put dst v)
+
+type mode = Lenient | Demand
+
+(* A cell filled by [f ()]'s result, computed only when first demanded. *)
+let delay eng ?label f =
+  let knot = ref None in
+  let iv =
+    Engine.suspend eng ?label (fun () ->
+        match !knot with
+        | Some iv -> forward eng ?label (f ()) iv
+        | None -> assert false)
+  in
+  knot := Some iv;
+  iv
+
+let type_name = function
+  | VInt _ -> "int"
+  | VStr _ -> "string"
+  | VBool _ -> "bool"
+  | VNil -> "[]"
+  | VCons _ -> "stream"
+  | VClosure _ -> "function"
+  | VPrim _ -> "primitive"
+
+(* Shallow equality, enough for the paper's "transactions = []" tests.
+   Comparing two nonempty streams is a runtime error rather than a deep
+   (possibly divergent) traversal. *)
+let equal_values a b =
+  match (a, b) with
+  | (VInt x, VInt y) -> x = y
+  | (VStr x, VStr y) -> String.equal x y
+  | (VBool x, VBool y) -> x = y
+  | (VNil, VNil) -> true
+  | (VNil, VCons _) | (VCons _, VNil) -> false
+  | (VCons _, VCons _) -> error "cannot compare two streams with ="
+  | _ -> error "cannot compare %s with %s" (type_name a) (type_name b)
+
+let arith op a b =
+  match (op, a, b) with
+  | ("+", VInt x, VInt y) -> VInt (x + y)
+  | ("-", VInt x, VInt y) -> VInt (x - y)
+  | ("*", VInt x, VInt y) -> VInt (x * y)
+  | ("/", VInt x, VInt y) ->
+      if y = 0 then error "division by zero" else VInt (x / y)
+  | ("+", VStr x, VStr y) -> VStr (x ^ y)
+  | ("=", _, _) -> VBool (equal_values a b)
+  | ("!=", _, _) -> VBool (not (equal_values a b))
+  | ("<", VInt x, VInt y) -> VBool (x < y)
+  | ("<=", VInt x, VInt y) -> VBool (x <= y)
+  | (">", VInt x, VInt y) -> VBool (x > y)
+  | (">=", VInt x, VInt y) -> VBool (x >= y)
+  | ("<", VStr x, VStr y) -> VBool (x < y)
+  | ("<=", VStr x, VStr y) -> VBool (x <= y)
+  | (">", VStr x, VStr y) -> VBool (x > y)
+  | (">=", VStr x, VStr y) -> VBool (x >= y)
+  | _ -> error "bad operands for %s: %s, %s" op (type_name a) (type_name b)
+
+let truthy = function
+  | VBool b -> b
+  | VInt n -> n <> 0
+  | v -> error "%s is not a condition" (type_name v)
+
+(* Bind a pattern to an argument future.  Tuple patterns walk the cons
+   cells as they materialize — selection from an incomplete object. *)
+let bind eng pat (arg : fvalue) env =
+  match pat with
+  | Ast.Pvar x -> (x, arg) :: env
+  | Ast.Ptuple xs ->
+      let cells = List.map (fun x -> (x, Engine.ivar eng)) xs in
+      let rec walk cursor = function
+        | [] -> ()
+        | (x, cell) :: rest ->
+            Engine.await ~label:("select:" ^ x) cursor (function
+              | VCons (h, t) ->
+                  forward eng ~label:("bind:" ^ x) h cell;
+                  walk t rest
+              | v -> error "cannot destructure %s" (type_name v))
+      in
+      walk arg cells;
+      List.rev_append cells env
+
+let rec eval_m mode eng env e : fvalue =
+  (* In Demand mode, a subexpression in a constructor/argument/definition
+     position becomes a suspended cell; everything else is forced as
+     needed.  [Lenient] evaluates every subexpression immediately (the
+     paper's data-driven model). *)
+  let sub env e =
+    match mode with
+    | Lenient -> eval_m mode eng env e
+    | Demand -> delay eng ~label:"thunk" (fun () -> eval_m mode eng env e)
+  in
+  match e with
+  | Ast.Var x -> lookup env x
+  | Ast.Int_lit n -> Engine.full eng (VInt n)
+  | Ast.Str_lit s -> Engine.full eng (VStr s)
+  | Ast.Nil_lit -> Engine.full eng VNil
+  | Ast.List es ->
+      (* lenient tuple: the spine exists immediately *)
+      let rec build = function
+        | [] -> Engine.full eng VNil
+        | e :: rest -> Engine.full eng (VCons (sub env e, build rest))
+      in
+      build es
+  | Ast.Seq (a, b) -> Engine.full eng (VCons (sub env a, sub env b))
+  | Ast.App (Ast.Var "result-on", Ast.List [ body; site_e ]) ->
+      (* Site pragma (paper §3.2): RESULT-ON:[expr, site] yields the value
+         of expr but computes its outermost function on the given site.
+         A syntactic form: the body's evaluation is launched from a task
+         placed there, so the work it spawns starts on that site. *)
+      let r = Engine.ivar eng in
+      Engine.await ~label:"result-on" (eval_m mode eng env site_e) (fun v ->
+          match v with
+          | VInt site ->
+              Engine.spawn eng ~label:"result-on" ~site (fun () ->
+                  forward eng ~label:"result-on" (eval_m mode eng env body) r)
+          | v -> error "result-on: site must be an int, got %s" (type_name v));
+      r
+  | Ast.App (f, arg) ->
+      let r = Engine.ivar eng in
+      let fv = eval_m mode eng env f and av = sub env arg in
+      apply mode eng fv av r;
+      r
+  | Ast.Map (f, s) ->
+      let fv = eval_m mode eng env f in
+      let rec step sv =
+        (* In Demand mode each output cell is produced only when demanded,
+           so infinite inputs are fine; in Lenient mode the whole stream
+           maps eagerly ("anticipatory" production). *)
+        let produce out sv =
+          Engine.await ~label:"apply-to-all" sv (function
+            | VNil -> Engine.put out VNil
+            | VCons (h, t) ->
+                let mapped = Engine.ivar eng in
+                apply mode eng fv h mapped;
+                Engine.put out (VCons (mapped, step t))
+            | v -> error "|| applied to %s" (type_name v))
+        in
+        match mode with
+        | Lenient ->
+            let out = Engine.ivar eng in
+            produce out sv;
+            out
+        | Demand ->
+            let knot = ref None in
+            let out =
+              Engine.suspend eng ~label:"apply-to-all" (fun () ->
+                  match !knot with
+                  | Some out -> produce out sv
+                  | None -> assert false)
+            in
+            knot := Some out;
+            out
+      in
+      step (eval_m mode eng env s)
+  | Ast.If (c, t, e) ->
+      let r = Engine.ivar eng in
+      Engine.await ~label:"if" (eval_m mode eng env c) (fun v ->
+          if truthy v then forward eng (eval_m mode eng env t) r
+          else forward eng (eval_m mode eng env e) r);
+      r
+  | Ast.Binop (op, a, b) ->
+      let r = Engine.ivar eng in
+      let av = eval_m mode eng env a and bv = eval_m mode eng env b in
+      Engine.await ~label:op av (fun va ->
+          Engine.await ~label:op bv (fun vb -> Engine.put r (arith op va vb)));
+      r
+  | Ast.Block (eqs, res) -> eval_block mode eng env eqs res
+
+and apply mode eng fv av r =
+  Engine.await ~label:"apply" fv (function
+    | VClosure (cenv, pat, body) ->
+        let env' = bind eng pat av cenv in
+        forward eng ~label:"return" (eval_m mode eng env' body) r
+    | VPrim name -> prim eng name av r
+    | v -> error "%s is not applicable" (type_name v))
+
+and prim eng name av r =
+  Engine.await ~label:name av (fun v ->
+      match (name, v) with
+      | ("first", VCons (h, _)) -> forward eng ~label:"first" h r
+      | ("rest", VCons (_, t)) -> forward eng ~label:"rest" t r
+      | (("first" | "rest"), VNil) -> error "%s of []" name
+      | ("null?", VNil) -> Engine.put r (VBool true)
+      | ("null?", VCons _) -> Engine.put r (VBool false)
+      | ("not", VBool b) -> Engine.put r (VBool (not b))
+      | ("my-site", _) ->
+          (* Site pragma (paper §3.2): the site this task runs on. *)
+          Engine.put r (VInt (Engine.current_site eng))
+      | (_, v) -> error "%s applied to %s" name (type_name v))
+
+and eval_block mode eng env eqs res =
+  eval_m mode eng (bind_equations mode eng env eqs) res
+
+(* Letrec: every left-hand side gets its cell first, so recursive
+   equations (old = initial ^ new) and recursive functions work.  In
+   Demand mode value equations are suspended until first use. *)
+and bind_equations mode eng env eqs =
+  let env_ref = ref env in
+  let lazy_cell label f =
+    match mode with
+    | Lenient -> None
+    | Demand -> Some (delay eng ~label f)
+  in
+  let cells =
+    List.concat_map
+      (fun eq ->
+        match eq with
+        | Ast.Def_fun (f, _, _) -> [ (f, Engine.ivar eng) ]
+        | Ast.Def_val (Ast.Pvar x, rhs) -> (
+            match
+              lazy_cell ("def:" ^ x) (fun () -> eval_m mode eng !env_ref rhs)
+            with
+            | Some cell -> [ (x, cell) ]
+            | None -> [ (x, Engine.ivar eng) ])
+        | Ast.Def_val (Ast.Ptuple xs, rhs) -> (
+            match mode with
+            | Lenient -> List.map (fun x -> (x, Engine.ivar eng)) xs
+            | Demand ->
+                (* one shared suspended RHS; each name selects its
+                   component on demand *)
+                let rhsv =
+                  delay eng ~label:"def-tuple" (fun () ->
+                      eval_m mode eng !env_ref rhs)
+                in
+                List.mapi
+                  (fun i x ->
+                    ( x,
+                      delay eng ~label:("def:" ^ x) (fun () ->
+                          let out = Engine.ivar eng in
+                          let rec walk j cursor =
+                            Engine.await ~label:("def:" ^ x) cursor (function
+                              | VCons (h, t) ->
+                                  if j = i then forward eng h out
+                                  else walk (j + 1) t
+                              | v ->
+                                  error "cannot destructure %s" (type_name v))
+                          in
+                          walk 0 rhsv;
+                          out) ))
+                  xs))
+      eqs
+  in
+  let env' = List.rev_append cells env in
+  env_ref := env';
+  let cell x = List.assoc x cells in
+  List.iter
+    (fun eq ->
+      match (mode, eq) with
+      | (_, Ast.Def_fun (f, pat, body)) ->
+          Engine.put (cell f) (VClosure (env', pat, body))
+      | (Demand, Ast.Def_val _) -> ()
+      | (Lenient, Ast.Def_val (Ast.Pvar x, rhs)) ->
+          forward eng ~label:("def:" ^ x) (eval_m Lenient eng env' rhs)
+            (cell x)
+      | (Lenient, Ast.Def_val (Ast.Ptuple xs, rhs)) ->
+          let rhsv = eval_m Lenient eng env' rhs in
+          let rec walk cursor = function
+            | [] -> ()
+            | x :: rest ->
+                Engine.await ~label:("def:" ^ x) cursor (function
+                  | VCons (h, t) ->
+                      forward eng ~label:("def:" ^ x) h (cell x);
+                      walk t rest
+                  | v -> error "cannot destructure %s" (type_name v))
+          in
+          walk rhsv xs)
+    eqs;
+  env'
+
+let eval eng env e = eval_m Lenient eng env e
+
+let prelude_src =
+  {| ;; the mini-FEL standard prelude: list functions, written in FEL
+     length:s = if null?:s then 0 else 1 + length:(rest:s),
+     append:[a, b] = if null?:a then b else first:a ^ append:[rest:a, b],
+     take:[n, s] = if n = 0 then [] else first:s ^ take:[n - 1, rest:s],
+     drop:[n, s] = if n = 0 then s else drop:[n - 1, rest:s],
+     reverse:s = {
+       rev:[s, acc] = if null?:s then acc else rev:[rest:s, first:s ^ acc],
+       RESULT rev:[s, []]
+     },
+     member:[x, s] =
+       if null?:s then 0 else if first:s = x then 1 else member:[x, rest:s],
+     sum:s = if null?:s then 0 else first:s + sum:(rest:s),
+     nth:[n, s] = if n = 0 then first:s else nth:[n - 1, rest:s],
+     filter:[p, s] =
+       if null?:s then []
+       else if p:(first:s) then first:s ^ filter:[p, rest:s]
+       else filter:[p, rest:s],
+     foldr:[f, z, s] =
+       if null?:s then z else f:[first:s, foldr:[f, z, rest:s]],
+     iota:n = {
+       go:[i, m] = if i = m then [] else i ^ go:[i + 1, m],
+       RESULT go:[0, n]
+     }
+  |}
+
+let base_env eng =
+  List.map
+    (fun name -> (name, Engine.full eng (VPrim name)))
+    [ "first"; "rest"; "null?"; "not"; "my-site" ]
+
+let render fv =
+  let buf = Buffer.create 64 in
+  let rec go fv =
+    match Engine.peek fv with
+    | None -> Buffer.add_string buf "_|_"
+    | Some v -> (
+        match v with
+        | VInt n -> Buffer.add_string buf (string_of_int n)
+        | VStr s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+        | VBool b -> Buffer.add_string buf (string_of_bool b)
+        | VNil -> Buffer.add_string buf "[]"
+        | VClosure _ -> Buffer.add_string buf "<function>"
+        | VPrim p -> Buffer.add_string buf ("<prim:" ^ p ^ ">")
+        | VCons _ ->
+            Buffer.add_char buf '[';
+            let rec cells fv first =
+              match Engine.peek fv with
+              | None -> if not first then Buffer.add_string buf " | _|_"
+                        else Buffer.add_string buf "_|_"
+              | Some VNil -> ()
+              | Some (VCons (h, t)) ->
+                  if not first then Buffer.add_string buf ", ";
+                  go h;
+                  cells t false
+              | Some v ->
+                  if not first then Buffer.add_string buf " | ";
+                  Buffer.add_string buf (type_name v)
+            in
+            cells fv true;
+            Buffer.add_char buf ']')
+  in
+  go fv;
+  Buffer.contents buf
+
+let env_with_prelude ?(mode = Lenient) eng =
+  match Parser.parse_program (prelude_src ^ ", RESULT 0") with
+  | Error e -> failwith ("FEL prelude does not parse: " ^ e)
+  | Ok p -> bind_equations mode eng (base_env eng) p.Ast.equations
+
+(* Drive a value to full materialization — the printing demand.  Needed in
+   Demand mode, where nothing runs until something asks. *)
+let rec deep_force eng fv k =
+  Engine.await ~label:"force" fv (function
+    | VCons (h, t) -> deep_force eng h (fun () -> deep_force eng t k)
+    | _ -> k ())
+
+let eval_program ?(mode = Lenient) eng (program : Ast.program) =
+  let result =
+    eval_block mode eng
+      (env_with_prelude ~mode eng)
+      program.Ast.equations program.Ast.result
+  in
+  (match mode with Demand -> deep_force eng result (fun () -> ()) | Lenient -> ());
+  result
+
+let run_program ?max_cycles ?mode (program : Ast.program) =
+  let eng = Engine.create () in
+  match eval_program ?mode eng program with
+  | result -> (
+      match Engine.run ?max_cycles eng with
+      | stats -> Ok (render result, stats)
+      | exception Runtime_error msg -> Error ("runtime error: " ^ msg)
+      | exception Engine.Stalled msg -> Error ("stalled: " ^ msg))
+  | exception Runtime_error msg -> Error ("runtime error: " ^ msg)
+
+let run_string ?max_cycles ?mode src =
+  match Parser.parse_program src with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok program -> run_program ?max_cycles ?mode program

@@ -1,0 +1,78 @@
+(** Mini-FEL evaluator: compiles equations to a lenient task graph on the
+    {!Fdb_kernel.Engine}.
+
+    Every value is a future (a single-assignment cell).  Constructors
+    ([ ], [^]) are lenient: the cell is available immediately, components
+    fill in as their producers run.  Every continuation — an application
+    step, a conditional decision, an arithmetic operation, a stream-map
+    step — costs one engine task, so the concurrency statistics of a FEL
+    run are directly comparable with the paper's. *)
+
+open Fdb_kernel
+
+exception Runtime_error of string
+
+type mode =
+  | Lenient
+      (** the paper's data-driven model: every subexpression evaluates
+          immediately, constructors are non-strict — maximal "anticipatory"
+          parallelism, but unbounded recursive producers diverge *)
+  | Demand
+      (** call-by-need: constructor components, arguments and value
+          equations are suspended until first use — infinite streams work,
+          at the cost of the anticipatory parallelism *)
+
+type value =
+  | VInt of int
+  | VStr of string
+  | VBool of bool
+  | VNil
+  | VCons of fvalue * fvalue
+  | VClosure of env * Ast.pattern * Ast.expr
+  | VPrim of string
+
+and fvalue = value Engine.ivar
+
+and env = (string * fvalue) list
+
+val eval : Engine.t -> env -> Ast.expr -> fvalue
+(** Launch evaluation (Lenient mode); the result cell fills as the graph
+    executes. *)
+
+val eval_m : mode -> Engine.t -> env -> Ast.expr -> fvalue
+
+val base_env : Engine.t -> env
+(** Primitives: [first], [rest], [null?], [not], [my-site].  Two site
+    pragmas from the paper's §3.2 are supported: [my-site:[]] evaluates to
+    the site the task runs on, and [result-on:[expr, site]] computes
+    [expr]'s outermost function on the given site (a syntactic form). *)
+
+val prelude_src : string
+(** The standard prelude, written in FEL: [length], [append], [take],
+    [drop], [reverse], [member], [sum], [nth], [filter], [foldr], [iota].
+    Program equations shadow prelude names. *)
+
+val env_with_prelude : ?mode:mode -> Engine.t -> env
+(** {!val:base_env} plus the prelude's equations (function definitions cost
+    no tasks until applied). *)
+
+val eval_program : ?mode:mode -> Engine.t -> Ast.program -> fvalue
+(** Launch a whole program on a caller-supplied engine (e.g. one driven by
+    the Rediflow machine scheduler); run the engine afterwards and inspect
+    the cell.  In Demand mode a deep printing demand is installed on the
+    result, so the run materializes exactly what the result needs. *)
+
+val run_program :
+  ?max_cycles:int -> ?mode:mode -> Ast.program ->
+  (string * Engine.run_stats, string) result
+(** Evaluate a whole program on a fresh ideal engine (default: Lenient);
+    the result is rendered with {!val:render} after quiescence. *)
+
+val run_string :
+  ?max_cycles:int -> ?mode:mode -> string ->
+  (string * Engine.run_stats, string) result
+(** Parse then run. *)
+
+val render : fvalue -> string
+(** Force-print a value from the cells that are filled; unresolved parts
+    print as [_|_]. *)

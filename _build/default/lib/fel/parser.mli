@@ -1,0 +1,13 @@
+(** Mini-FEL parser.
+
+    Precedence, loosest first: [if/then/else], [^] (right-associative),
+    [||] (left), comparisons (non-associative), [+ -], [* /], and [:]
+    application (left).  A program is a sequence of comma- or
+    newline-separated equations ending with [RESULT expr]. *)
+
+val parse_expr : string -> (Ast.expr, string) result
+
+val parse_program : string -> (Ast.program, string) result
+
+val parse_program_exn : string -> Ast.program
+(** @raise Failure with the error message. *)

@@ -1,0 +1,1 @@
+lib/kernel/engine.ml: Format List Printf Queue Vec

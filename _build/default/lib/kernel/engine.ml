@@ -1,0 +1,217 @@
+exception Double_put of string
+exception Stalled of string
+
+type task = {
+  tid : int;
+  label : string;
+  mutable home : int;
+  work : unit -> unit;
+}
+
+type scheduler = {
+  sched_name : string;
+  sched_enqueue : task -> src:int -> unit;
+  sched_next_batch : unit -> task list;
+  sched_advance : unit -> unit;
+  sched_pending : unit -> bool;
+}
+
+type t = {
+  mutable next_tid : int;
+  mutable executed : int;
+  mutable cycle : int;
+  mutable current : int;  (* site of the running task; -1 at setup *)
+  mutable waiting : int;  (* continuations registered but not yet woken *)
+  mutable sched : scheduler;
+  mutable started : bool;
+  plies : Vec.t;
+  trace_on : bool;
+  mutable trace_rev : (int * string) list;
+}
+
+(* The ideal scheduler: everything ready runs in the next cycle.  Two
+   queues, swapped each cycle, so tasks enabled while a cycle executes run
+   in the following one. *)
+let ideal_scheduler () =
+  let now = Queue.create () and next = Queue.create () in
+  {
+    sched_name = "ideal";
+    sched_enqueue = (fun task ~src:_ -> Queue.push task next);
+    sched_next_batch =
+      (fun () ->
+        let batch = List.of_seq (Queue.to_seq now) in
+        Queue.clear now;
+        batch);
+    sched_advance = (fun () -> Queue.transfer next now);
+    sched_pending = (fun () -> not (Queue.is_empty now && Queue.is_empty next));
+  }
+
+let create ?(trace = false) ?scheduler () =
+  let sched =
+    match scheduler with Some s -> s | None -> ideal_scheduler ()
+  in
+  {
+    next_tid = 0;
+    executed = 0;
+    cycle = 0;
+    current = -1;
+    waiting = 0;
+    sched;
+    started = false;
+    plies = Vec.create ();
+    trace_on = trace;
+    trace_rev = [];
+  }
+
+let set_scheduler eng sched =
+  if eng.started then invalid_arg "Engine.set_scheduler: engine already ran";
+  eng.sched <- sched
+
+let current_site eng = eng.current
+let now eng = eng.cycle
+let tasks_executed eng = eng.executed
+
+let enqueue eng ?(label = "") ~site work =
+  let task = { tid = eng.next_tid; label; home = site; work } in
+  eng.next_tid <- eng.next_tid + 1;
+  eng.sched.sched_enqueue task ~src:eng.current
+
+let spawn eng ?label ?site work =
+  let site = match site with Some s -> s | None -> max eng.current 0 in
+  enqueue eng ?label ~site work
+
+(* Single-assignment cells, Rediflow-style: a cell lives at the site of the
+   task that created it, and a continuation on a cell becomes a task AT THE
+   CELL'S SITE ("access by one processor of another processor's memory ...
+   becomes a task for the receiving processor", paper §3.4).  The scheduler
+   charges the transfer: the demand message when the value already exists,
+   the data delivery when the put arrives later. *)
+type 'a state =
+  | Empty of 'a waiter list
+  | Full of 'a
+
+and 'a waiter = { wlabel : string; wk : 'a -> unit }
+
+type 'a ivar = {
+  eng : t;
+  home : int;
+  mutable state : 'a state;
+  (* Demand-driven production: a suspended computation expected to
+     (eventually) put this cell, launched by the first await.  [None] for
+     ordinary data-driven cells. *)
+  mutable producer : (string * (unit -> unit)) option;
+}
+
+let ivar eng =
+  { eng; home = max eng.current 0; state = Empty []; producer = None }
+
+let ivar_at eng ~site = { eng; home = site; state = Empty []; producer = None }
+
+let full eng v =
+  { eng; home = max eng.current 0; state = Full v; producer = None }
+
+let full_at eng ~site v = { eng; home = site; state = Full v; producer = None }
+
+let suspend eng ?(label = "demand") work =
+  let iv = ivar eng in
+  iv.producer <- Some (label, work);
+  iv
+
+(* Launch a cell's suspended producer (at most once). *)
+let demand iv =
+  match iv.producer with
+  | None -> ()
+  | Some (label, work) ->
+      iv.producer <- None;
+      let eng = iv.eng in
+      let task = { tid = eng.next_tid; label; home = iv.home; work } in
+      eng.next_tid <- eng.next_tid + 1;
+      eng.sched.sched_enqueue task ~src:eng.current
+
+let home iv = iv.home
+
+let wake iv ~src w v =
+  let eng = iv.eng in
+  eng.waiting <- eng.waiting - 1;
+  let task =
+    { tid = eng.next_tid; label = w.wlabel; home = iv.home;
+      work = (fun () -> w.wk v) }
+  in
+  eng.next_tid <- eng.next_tid + 1;
+  eng.sched.sched_enqueue task ~src
+
+let put iv v =
+  match iv.state with
+  | Full _ -> raise (Double_put "Engine.put: cell already full")
+  | Empty waiters ->
+      iv.state <- Full v;
+      (* The data travels from the putting site to the cell's home, then
+         each waiting continuation fires there.  Waiters were pushed in
+         front; wake in registration order. *)
+      let src = iv.eng.current in
+      List.iter (fun w -> wake iv ~src w v) (List.rev waiters)
+
+let await ?(label = "") iv k =
+  let eng = iv.eng in
+  eng.waiting <- eng.waiting + 1;
+  match iv.state with
+  | Full v ->
+      (* The demand travels from the awaiting site to the data. *)
+      wake iv ~src:eng.current { wlabel = label; wk = k } v
+  | Empty waiters ->
+      iv.state <- Empty ({ wlabel = label; wk = k } :: waiters);
+      demand iv
+
+let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
+let is_full iv = match iv.state with Full _ -> true | Empty _ -> false
+
+type run_stats = {
+  cycles : int;
+  tasks : int;
+  max_ply : int;
+  avg_ply : float;
+  busy_cycles : int;
+  orphans : int;
+  trace : (int * string) list;
+}
+
+let exec eng (task : task) =
+  eng.current <- task.home;
+  eng.executed <- eng.executed + 1;
+  if eng.trace_on && task.label <> "" then
+    eng.trace_rev <- (eng.cycle, task.label) :: eng.trace_rev;
+  task.work ();
+  eng.current <- -1
+
+let run ?(max_cycles = 20_000_000) eng =
+  eng.started <- true;
+  let sched = eng.sched in
+  sched.sched_advance ();
+  (* promote setup-time tasks into the first cycle *)
+  while sched.sched_pending () do
+    if eng.cycle >= max_cycles then
+      raise (Stalled (Printf.sprintf "no quiescence after %d cycles" max_cycles));
+    let batch = sched.sched_next_batch () in
+    Vec.push eng.plies (List.length batch);
+    List.iter (exec eng) batch;
+    eng.cycle <- eng.cycle + 1;
+    sched.sched_advance ()
+  done;
+  let cycles = eng.cycle in
+  let busy = Vec.fold (fun a p -> if p > 0 then a + 1 else a) 0 eng.plies in
+  {
+    cycles;
+    tasks = eng.executed;
+    max_ply = Vec.max_value eng.plies;
+    avg_ply =
+      (if cycles = 0 then 0.0
+       else float_of_int eng.executed /. float_of_int cycles);
+    busy_cycles = busy;
+    orphans = eng.waiting;
+    trace = List.rev eng.trace_rev;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>cycles=%d tasks=%d max_ply=%d avg_ply=%.2f busy=%d orphans=%d@]"
+    s.cycles s.tasks s.max_ply s.avg_ply s.busy_cycles s.orphans

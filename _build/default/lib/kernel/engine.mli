@@ -1,0 +1,138 @@
+(** The lenient-evaluation kernel.
+
+    Keller & Lindstrom's database programs run on a reduction machine whose
+    observable behaviour is a dynamic graph of unit-length tasks connected by
+    single-assignment cells ("lenient data constructors").  This module
+    reproduces that model directly:
+
+    - an {!type:ivar} is a single-assignment cell: {!val:put} fills it once;
+      {!val:await} registers a continuation that becomes a runnable task when
+      (and as soon as) the value is present;
+    - every continuation and every {!val:spawn}ed closure costs exactly one
+      time unit when executed (the paper's ideal-mode "unit task lengths");
+    - a pluggable {!type:scheduler} decides which ready tasks run in each
+      cycle.  {!val:ideal_scheduler} runs {e all} of them — the paper's
+      "arbitrary degree of parallelism" mode used for Table I; the Rediflow
+      machine scheduler (in [Fdb_rediflow]) runs one task per processing
+      element and charges communication delays.
+
+    The per-cycle number of executed tasks is the {e ply width}; the run
+    statistics expose its maximum and average, which are exactly the
+    concurrency figures of the paper's Table I. *)
+
+exception Double_put of string
+(** Raised when {!val:put} is applied twice to the same cell; lenient cells
+    are single-assignment. *)
+
+exception Stalled of string
+(** Raised by {!val:run} when the cycle budget is exhausted. *)
+
+type t
+(** An engine instance: one program run. *)
+
+type task = {
+  tid : int;  (** unique, allocation-ordered task id *)
+  label : string;  (** human-readable label, used by the trace *)
+  mutable home : int;  (** site the task is currently placed on *)
+  work : unit -> unit;  (** the unit of computation *)
+}
+
+type scheduler = {
+  sched_name : string;
+  sched_enqueue : task -> src:int -> unit;
+      (** A task became ready.  [src] is the site of the event that enabled
+          it (the task that spawned it, or the [put] that woke it); [-1]
+          for setup-time events outside any task. *)
+  sched_next_batch : unit -> task list;
+      (** Tasks to execute in the current cycle.  May be empty while
+          messages are still in flight. *)
+  sched_advance : unit -> unit;
+      (** End of cycle: move time forward (deliver messages, balance
+          load, ...). *)
+  sched_pending : unit -> bool;
+      (** Is any work queued or in flight? *)
+}
+
+val create : ?trace:bool -> ?scheduler:scheduler -> unit -> t
+(** Fresh engine.  Default scheduler is {!val:ideal_scheduler}.  When
+    [trace] is set, each executed task with a non-empty label is recorded
+    as [(cycle, label)] — used to print de-facto parallel schedules
+    (paper Figure 2-3). *)
+
+val ideal_scheduler : unit -> scheduler
+(** Unbounded processors, zero communication cost: every ready task runs in
+    the cycle after it becomes ready. *)
+
+val set_scheduler : t -> scheduler -> unit
+(** Replace the scheduler before any task has been spawned. *)
+
+val spawn : t -> ?label:string -> ?site:int -> (unit -> unit) -> unit
+(** Create a unit task, ready in the next cycle.  [site] defaults to the
+    site of the currently executing task (locality of spawning). *)
+
+val current_site : t -> int
+(** Site of the task being executed, or [-1] during setup. *)
+
+val now : t -> int
+(** Current cycle number. *)
+
+val tasks_executed : t -> int
+
+(** {1 Single-assignment cells} *)
+
+type 'a ivar
+
+val ivar : t -> 'a ivar
+(** Fresh empty cell. *)
+
+val ivar_at : t -> site:int -> 'a ivar
+(** Fresh empty cell homed at an explicit site. *)
+
+val full : t -> 'a -> 'a ivar
+(** Cell created already holding a value (costs no task). *)
+
+val home : 'a ivar -> int
+(** The site a cell lives on; continuations on the cell execute there. *)
+
+val full_at : t -> site:int -> 'a -> 'a ivar
+(** Like {!val:full} but homed at an explicit site — used to place
+    pre-existing data (the initial database) across the machine. *)
+
+val suspend : t -> ?label:string -> (unit -> unit) -> 'a ivar
+(** Demand-driven cell: the computation is launched (as one task, at the
+    cell's creation site) by the {e first} {!val:await} on the cell, and is
+    expected to eventually {!val:put} it.  This is lazy evaluation as a
+    special case of the lenient machinery — the engine stays data-driven
+    once a demand has fired. *)
+
+val put : 'a ivar -> 'a -> unit
+(** Fill the cell and wake all waiters.  @raise Double_put on refill. *)
+
+val await : ?label:string -> 'a ivar -> ('a -> unit) -> unit
+(** Run the continuation as a fresh unit task once the value is present.
+    The continuation is homed at the {e cell's} site — the task moves to
+    the data, as in Rediflow (paper §3.4) — and the scheduler charges the
+    demand or data transfer. *)
+
+val peek : 'a ivar -> 'a option
+(** Non-consuming, zero-cost read; used to extract results after a run. *)
+
+val is_full : 'a ivar -> bool
+
+(** {1 Running} *)
+
+type run_stats = {
+  cycles : int;  (** makespan in cycles *)
+  tasks : int;  (** total tasks executed *)
+  max_ply : int;  (** widest cycle — "maximum concurrency" *)
+  avg_ply : float;  (** tasks / cycles — "average concurrency" *)
+  busy_cycles : int;  (** cycles in which at least one task ran *)
+  orphans : int;  (** waiters never woken: latent deadlock *)
+  trace : (int * string) list;  (** (cycle, label) events, oldest first *)
+}
+
+val run : ?max_cycles:int -> t -> run_stats
+(** Drive the scheduler to quiescence.  @raise Stalled if [max_cycles]
+    (default 20,000,000) elapse first. *)
+
+val pp_stats : Format.formatter -> run_stats -> unit

@@ -1,0 +1,31 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create () = { data = Array.make 64 0; len = 0 }
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let bigger = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 bigger 0 v.len;
+    v.data <- bigger
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let to_array v = Array.sub v.data 0 v.len
+
+let fold f init v =
+  let acc = ref init in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let max_value v = fold (fun a x -> if x > a then x else a) 0 v
+
+let sum v = fold ( + ) 0 v

@@ -1,0 +1,23 @@
+(** Resizable integer vector (OCaml 5.1 has no [Dynarray]); used by the
+    engine to record per-cycle ply widths without list-reversal churn. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> int -> unit
+
+val length : t -> int
+
+val get : t -> int -> int
+(** [get v i] is the [i]th element. @raise Invalid_argument if out of range. *)
+
+val to_array : t -> int array
+
+val fold : (int -> int -> int) -> int -> t -> int
+(** [fold f init v] folds [f] over the elements left to right. *)
+
+val max_value : t -> int
+(** Largest element, or 0 when empty. *)
+
+val sum : t -> int

@@ -1,0 +1,1 @@
+lib/lenient/llist.ml: Engine Fdb_kernel List

@@ -1,0 +1,1 @@
+lib/lenient/llist.mli: Engine Fdb_kernel

@@ -1,0 +1,1 @@
+lib/lenient/lmerge.ml: Engine Fdb_kernel List Llist

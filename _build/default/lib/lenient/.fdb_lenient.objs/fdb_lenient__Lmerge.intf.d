@@ -1,0 +1,1 @@
+lib/lenient/lmerge.mli: Engine Fdb_kernel Llist

@@ -1,0 +1,1 @@
+lib/lenient/ltree.ml: Engine Fdb_kernel List

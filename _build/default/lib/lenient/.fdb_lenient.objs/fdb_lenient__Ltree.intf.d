@@ -1,0 +1,1 @@
+lib/lenient/ltree.mli: Engine Fdb_kernel

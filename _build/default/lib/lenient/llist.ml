@@ -1,0 +1,307 @@
+open Fdb_kernel
+
+type 'a cell = Nil | Cons of 'a * 'a t
+and 'a t = 'a cell Engine.ivar
+
+let nil eng = Engine.full eng Nil
+let cons eng x tail = Engine.full eng (Cons (x, tail))
+let empty eng = Engine.ivar eng
+
+let of_list eng ?(place = fun _ -> 0) xs =
+  let rec build i = function
+    | [] -> Engine.full_at eng ~site:(place i) Nil
+    | x :: rest ->
+        Engine.full_at eng ~site:(place i) (Cons (x, build (i + 1) rest))
+  in
+  build 0 xs
+
+let produce eng ?(label = "produce") xs =
+  let head = Engine.ivar eng in
+  let rec step xs out =
+    Engine.spawn eng ~label (fun () ->
+        match xs with
+        | [] -> Engine.put out Nil
+        | x :: rest ->
+            let out' = Engine.ivar eng in
+            Engine.put out (Cons (x, out'));
+            step rest out')
+  in
+  step xs head;
+  head
+
+let to_list_now l =
+  let rec chase acc l =
+    match Engine.peek l with
+    | None -> None
+    | Some Nil -> Some (List.rev acc)
+    | Some (Cons (x, rest)) -> chase (x :: acc) rest
+  in
+  chase [] l
+
+let prefix_now l =
+  let rec chase acc l =
+    match Engine.peek l with
+    | None | Some Nil -> List.rev acc
+    | Some (Cons (x, rest)) -> chase (x :: acc) rest
+  in
+  chase [] l
+
+let find eng ?(label = "find") pred l =
+  let result = Engine.ivar eng in
+  let rec step l =
+    Engine.await ~label l (function
+      | Nil -> Engine.put result None
+      | Cons (x, rest) ->
+          if pred x then Engine.put result (Some x) else step rest)
+  in
+  step l;
+  result
+
+let find_until eng ?(label = "find_until") ~stop pred l =
+  let result = Engine.ivar eng in
+  let rec step l =
+    Engine.await ~label l (function
+      | Nil -> Engine.put result None
+      | Cons (x, rest) ->
+          if pred x then Engine.put result (Some x)
+          else if stop x then Engine.put result None
+          else step rest)
+  in
+  step l;
+  result
+
+let fold eng ?(label = "fold") f init l =
+  let result = Engine.ivar eng in
+  let rec step acc l =
+    Engine.await ~label l (function
+      | Nil -> Engine.put result acc
+      | Cons (x, rest) -> step (f acc x) rest)
+  in
+  step init l;
+  result
+
+let length eng ?(label = "length") l = fold eng ~label (fun n _ -> n + 1) 0 l
+
+let count eng ?(label = "count") pred l =
+  fold eng ~label (fun n x -> if pred x then n + 1 else n) 0 l
+
+let exists eng ?(label = "exists") pred l =
+  let result = Engine.ivar eng in
+  let rec step l =
+    Engine.await ~label l (function
+      | Nil -> Engine.put result false
+      | Cons (x, rest) -> if pred x then Engine.put result true else step rest)
+  in
+  step l;
+  result
+
+let insert_ordered eng ?(label = "insert") ~cmp x l =
+  let head = Engine.ivar eng and ack = Engine.ivar eng in
+  let rec step l out =
+    Engine.await ~label l (function
+      | Nil ->
+          Engine.put out (Cons (x, nil eng));
+          Engine.put ack ()
+      | Cons (y, rest) as old_cell ->
+          if cmp x y <= 0 then begin
+            (* splice and share the untouched suffix *)
+            Engine.put out (Cons (x, Engine.full eng old_cell));
+            Engine.put ack ()
+          end
+          else begin
+            let out' = Engine.ivar eng in
+            Engine.put out (Cons (y, out'));
+            step rest out'
+          end)
+  in
+  step l head;
+  (head, ack)
+
+let append_elem eng ?(label = "append") x l =
+  let head = Engine.ivar eng and ack = Engine.ivar eng in
+  let rec step l out =
+    Engine.await ~label l (function
+      | Nil ->
+          Engine.put out (Cons (x, nil eng));
+          Engine.put ack ()
+      | Cons (y, rest) ->
+          let out' = Engine.ivar eng in
+          Engine.put out (Cons (y, out'));
+          step rest out')
+  in
+  step l head;
+  (head, ack)
+
+let insert_unique eng ?(label = "insert_unique") ~cmp x l =
+  let head = Engine.ivar eng and ack = Engine.ivar eng in
+  let rec step l out =
+    Engine.await ~label l (function
+      | Nil ->
+          Engine.put out (Cons (x, nil eng));
+          Engine.put ack true
+      | Cons (y, rest) as old_cell ->
+          let c = cmp x y in
+          if c = 0 then begin
+            (* already present: share from here on, discard the copies *)
+            Engine.put out old_cell;
+            Engine.put ack false
+          end
+          else if c < 0 then begin
+            Engine.put out (Cons (x, Engine.full eng old_cell));
+            Engine.put ack true
+          end
+          else begin
+            let out' = Engine.ivar eng in
+            Engine.put out (Cons (y, out'));
+            step rest out'
+          end)
+  in
+  step l head;
+  (head, ack)
+
+let delete_ordered eng ?(label = "delete_ordered") ~cmp x l =
+  let head = Engine.ivar eng and ack = Engine.ivar eng in
+  let rec step l out =
+    Engine.await ~label l (function
+      | Nil ->
+          Engine.put out Nil;
+          Engine.put ack false
+      | Cons (y, rest) as old_cell ->
+          let c = cmp x y in
+          if c = 0 then begin
+            Engine.await ~label rest (fun suffix -> Engine.put out suffix);
+            Engine.put ack true
+          end
+          else if c < 0 then begin
+            (* passed the ordered position: absent *)
+            Engine.put out old_cell;
+            Engine.put ack false
+          end
+          else begin
+            let out' = Engine.ivar eng in
+            Engine.put out (Cons (y, out'));
+            step rest out'
+          end)
+  in
+  step l head;
+  (head, ack)
+
+let update_all eng ?(label = "update_all") rewrite l =
+  let head = Engine.ivar eng and ack = Engine.ivar eng in
+  let rec step changed l out =
+    Engine.await ~label l (function
+      | Nil ->
+          Engine.put out Nil;
+          Engine.put ack changed
+      | Cons (y, rest) ->
+          let out' = Engine.ivar eng in
+          (match rewrite y with
+          | Some y' ->
+              Engine.put out (Cons (y', out'));
+              step (changed + 1) rest out'
+          | None ->
+              Engine.put out (Cons (y, out'));
+              step changed rest out'))
+  in
+  step 0 l head;
+  (head, ack)
+
+let delete_all eng ?(label = "delete_all") pred l =
+  let head = Engine.ivar eng and ack = Engine.ivar eng in
+  let rec step removed l out =
+    Engine.await ~label l (function
+      | Nil ->
+          Engine.put out Nil;
+          Engine.put ack removed
+      | Cons (y, rest) ->
+          if pred y then step (removed + 1) rest out
+          else begin
+            let out' = Engine.ivar eng in
+            Engine.put out (Cons (y, out'));
+            step removed rest out'
+          end)
+  in
+  step 0 l head;
+  (head, ack)
+
+let delete_first eng ?(label = "delete") pred l =
+  let head = Engine.ivar eng and ack = Engine.ivar eng in
+  let rec step l out =
+    Engine.await ~label l (function
+      | Nil ->
+          Engine.put out Nil;
+          Engine.put ack false
+      | Cons (y, rest) ->
+          if pred y then begin
+            (* drop y, share the suffix *)
+            Engine.await ~label rest (fun suffix -> Engine.put out suffix);
+            Engine.put ack true
+          end
+          else begin
+            let out' = Engine.ivar eng in
+            Engine.put out (Cons (y, out'));
+            step rest out'
+          end)
+  in
+  step l head;
+  (head, ack)
+
+let map eng ?(label = "map") f l =
+  let head = Engine.ivar eng in
+  let rec step l out =
+    Engine.await ~label l (function
+      | Nil -> Engine.put out Nil
+      | Cons (x, rest) ->
+          let out' = Engine.ivar eng in
+          Engine.put out (Cons (f x, out'));
+          step rest out')
+  in
+  step l head;
+  head
+
+let filter eng ?(label = "filter") pred l =
+  let head = Engine.ivar eng in
+  let rec step l out =
+    Engine.await ~label l (function
+      | Nil -> Engine.put out Nil
+      | Cons (x, rest) ->
+          if pred x then begin
+            let out' = Engine.ivar eng in
+            Engine.put out (Cons (x, out'));
+            step rest out'
+          end
+          else step rest out)
+  in
+  step l head;
+  head
+
+let append eng ?(label = "append2") a b =
+  let head = Engine.ivar eng in
+  let rec step l out =
+    Engine.await ~label l (function
+      | Nil -> Engine.await ~label b (fun cell -> Engine.put out cell)
+      | Cons (x, rest) ->
+          let out' = Engine.ivar eng in
+          Engine.put out (Cons (x, out'));
+          step rest out')
+  in
+  step a head;
+  head
+
+let select eng ?(label = "select") pred l =
+  let head = Engine.ivar eng and strict = Engine.ivar eng in
+  let rec step acc l out =
+    Engine.await ~label l (function
+      | Nil ->
+          Engine.put out Nil;
+          Engine.put strict (List.rev acc)
+      | Cons (x, rest) ->
+          if pred x then begin
+            let out' = Engine.ivar eng in
+            Engine.put out (Cons (x, out'));
+            step (x :: acc) rest out'
+          end
+          else step acc rest out)
+  in
+  step [] l head;
+  (head, strict)

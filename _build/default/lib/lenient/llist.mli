@@ -1,0 +1,115 @@
+(** Lenient lists: the paper's stream/relation representation.
+
+    A lenient list is a chain of single-assignment cells.  The spine is
+    produced one cell per cycle and may be consumed while still being
+    produced — a scan can chase an insertion one cell behind ("processing
+    incomplete objects", paper §1).  Every operation below costs exactly one
+    engine task per cell it touches, which is what makes the ply widths of
+    the paper's Table I reproducible. *)
+
+open Fdb_kernel
+
+type 'a cell = Nil | Cons of 'a * 'a t
+and 'a t = 'a cell Engine.ivar
+
+(** {1 Construction} *)
+
+val nil : Engine.t -> 'a t
+(** The empty list (already materialized). *)
+
+val cons : Engine.t -> 'a -> 'a t -> 'a t
+(** Lenient cons: the cell is immediately available; head and tail may be
+    anything, including not-yet-filled lists.  Costs no task by itself. *)
+
+val empty : Engine.t -> 'a t
+(** A list whose spine has not been produced yet ([put] its cell later). *)
+
+val of_list : Engine.t -> ?place:(int -> int) -> 'a list -> 'a t
+(** Fully materialized list.  [place i] is the site at which element [i]'s
+    cell is recorded as having been produced (default: site 0). *)
+
+val produce : Engine.t -> ?label:string -> 'a list -> 'a t
+(** A producer task chain that fills one cell per cycle — a stream source. *)
+
+(** {1 Post-run extraction (zero engine cost)} *)
+
+val to_list_now : 'a t -> 'a list option
+(** [Some elements] if the whole spine is materialized, else [None]. *)
+
+val prefix_now : 'a t -> 'a list
+(** The materialized prefix (everything before the first empty cell). *)
+
+(** {1 Scanning operations — one task per cell} *)
+
+val find : Engine.t -> ?label:string -> ('a -> bool) -> 'a t -> 'a option Engine.ivar
+(** Linear scan; early-exits on the first hit. *)
+
+val find_until :
+  Engine.t -> ?label:string -> stop:('a -> bool) -> ('a -> bool) -> 'a t ->
+  'a option Engine.ivar
+(** Like {!val:find} but also gives up early at the first element
+    satisfying [stop] — the sorted-relation probe (the key cannot occur
+    past its ordered position). *)
+
+val length : Engine.t -> ?label:string -> 'a t -> int Engine.ivar
+
+val fold : Engine.t -> ?label:string -> ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b Engine.ivar
+
+val count : Engine.t -> ?label:string -> ('a -> bool) -> 'a t -> int Engine.ivar
+
+val exists : Engine.t -> ?label:string -> ('a -> bool) -> 'a t -> bool Engine.ivar
+
+(** {1 Reconstructing operations — copy a prefix, share the suffix} *)
+
+val insert_ordered :
+  Engine.t -> ?label:string -> cmp:('a -> 'a -> int) -> 'a -> 'a t ->
+  'a t * unit Engine.ivar
+(** Ordered insertion: copies cells while they precede [x], then splices
+    [Cons (x, suffix)] and shares the untouched suffix with the old version
+    (selective object copying, paper §2.2).  The returned acknowledgement
+    fills when the splice point has been found — the transaction's
+    response. *)
+
+val append_elem : Engine.t -> ?label:string -> 'a -> 'a t -> 'a t * unit Engine.ivar
+(** Insertion at the end: copies the whole spine (the conservative
+    linked-list representation used in the paper's experiments). *)
+
+val delete_first :
+  Engine.t -> ?label:string -> ('a -> bool) -> 'a t -> 'a t * bool Engine.ivar
+(** Remove the first matching element; acknowledgement says whether one was
+    found.  Prefix copied, suffix shared. *)
+
+val insert_unique :
+  Engine.t -> ?label:string -> cmp:('a -> 'a -> int) -> 'a -> 'a t ->
+  'a t * bool Engine.ivar
+(** Ordered set insertion: like {!val:insert_ordered} but when an
+    equal element is already present the old version is shared from that
+    cell on and the acknowledgement is [false]. *)
+
+val delete_ordered :
+  Engine.t -> ?label:string -> cmp:('a -> 'a -> int) -> 'a -> 'a t ->
+  'a t * bool Engine.ivar
+(** Remove the first element comparing equal to the argument from a sorted
+    list, giving up early once elements exceed it. *)
+
+val update_all :
+  Engine.t -> ?label:string -> ('a -> 'a option) -> 'a t -> 'a t * int Engine.ivar
+(** Rewrite matching elements ([Some] = replacement) in a full copy-scan;
+    the acknowledgement counts rewrites. *)
+
+val delete_all :
+  Engine.t -> ?label:string -> ('a -> bool) -> 'a t -> 'a t * int Engine.ivar
+(** Remove every matching element (full copy-scan); the acknowledgement
+    counts removals. *)
+
+(** {1 Whole-list transformations — one task per cell, fully pipelined} *)
+
+val map : Engine.t -> ?label:string -> ('a -> 'b) -> 'a t -> 'b t
+
+val filter : Engine.t -> ?label:string -> ('a -> bool) -> 'a t -> 'a t
+
+val append : Engine.t -> ?label:string -> 'a t -> 'a t -> 'a t
+
+val select : Engine.t -> ?label:string -> ('a -> bool) -> 'a t -> 'a t * 'a list Engine.ivar
+(** Like {!val:filter} but additionally delivers the complete result as a
+    strict list once the scan finishes (a query response). *)

@@ -1,0 +1,40 @@
+open Fdb_kernel
+
+let merge eng ?(label = "merge") inputs =
+  let head = Engine.ivar eng in
+  match inputs with
+  | [] ->
+      Engine.put head Llist.Nil;
+      head
+  | _ ->
+      (* The arbiter's state: the output cell currently awaiting content
+         and the number of input streams still producing.  Continuations
+         within one cycle execute sequentially, so the mutable tail is a
+         faithful model of the paper's single merge point. *)
+      let tail = ref head in
+      let live = ref (List.length inputs) in
+      let emit v =
+        let next = Engine.ivar eng in
+        Engine.put !tail (Llist.Cons (v, next));
+        tail := next
+      in
+      let finish () =
+        decr live;
+        if !live = 0 then Engine.put !tail Llist.Nil
+      in
+      List.iteri
+        (fun tag l ->
+          let rec chase l =
+            Engine.await ~label l (function
+              | Llist.Nil -> finish ()
+              | Llist.Cons (x, rest) ->
+                  emit (tag, x);
+                  chase rest)
+          in
+          chase l)
+        inputs;
+      head
+
+let choose eng ?(label = "choose") ~tag merged =
+  let own = Llist.filter eng ~label (fun (t, _) -> t = tag) merged in
+  Llist.map eng ~label snd own

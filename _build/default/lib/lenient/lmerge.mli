@@ -1,0 +1,22 @@
+(** The merge pseudo-function at the engine level (paper §2.4, §3.1).
+
+    [merge] is an arbiter: it chases every input stream's cells and appends
+    each element to the single output stream {e in the order the cells
+    become available} — timing-dependent, hence not a function, exactly as
+    the paper says.  Within one input the order is always preserved; across
+    inputs the interleaving is decided by production timing (and, on equal
+    cycles, by deterministic scheduler order, which is what makes runs
+    reproducible).
+
+    Elements are tagged with their origin stream so responses can be routed
+    back; {!val:choose} is the inverse selection a site applies to the
+    medium (Figure 3-1). *)
+
+open Fdb_kernel
+
+val merge : Engine.t -> ?label:string -> 'a Llist.t list -> (int * 'a) Llist.t
+(** One arbiter continuation per arriving cell; the output cell for an
+    element is available the cycle after the element itself. *)
+
+val choose : Engine.t -> ?label:string -> tag:int -> (int * 'a) Llist.t -> 'a Llist.t
+(** The substream of one origin, untagged. *)

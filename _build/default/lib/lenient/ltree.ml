@@ -1,0 +1,192 @@
+open Fdb_kernel
+
+type 'a node =
+  | Leaf
+  | N2 of 'a t * 'a * 'a t
+  | N3 of 'a t * 'a * 'a t * 'a * 'a t
+
+and 'a t = 'a node Engine.ivar
+
+let empty eng = Engine.full eng Leaf
+
+let find eng ?(label = "tree_find") ~cmp x t =
+  let result = Engine.ivar eng in
+  let rec step t =
+    Engine.await ~label t (function
+      | Leaf -> Engine.put result None
+      | N2 (l, a, r) ->
+          let c = cmp x a in
+          if c = 0 then Engine.put result (Some a)
+          else if c < 0 then step l
+          else step r
+      | N3 (l, a, m, b, r) ->
+          let ca = cmp x a in
+          if ca = 0 then Engine.put result (Some a)
+          else if ca < 0 then step l
+          else
+            let cb = cmp x b in
+            if cb = 0 then Engine.put result (Some b)
+            else if cb < 0 then step m
+            else step r)
+  in
+  step t;
+  result
+
+(* Insertion result flowing back up the recursion:
+   - [Same]: an equal element exists; the whole old version is shared.
+   - [Grown t']: replacement subtree of the same height.
+   - [Split (l, m, r)]: the subtree split; the parent absorbs the median. *)
+type 'a grow = Same | Grown of 'a t | Split of 'a t * 'a * 'a t
+
+let insert eng ?(label = "tree_insert") ~cmp x t =
+  let ack = Engine.ivar eng in
+  let full n = Engine.full eng n in
+  let rec ins t k =
+    Engine.await ~label t (function
+      | Leaf ->
+          Engine.put ack true;
+          k (Split (full Leaf, x, full Leaf))
+      | N2 (l, a, r) ->
+          let c = cmp x a in
+          if c = 0 then begin
+            Engine.put ack false;
+            k Same
+          end
+          else if c < 0 then
+            ins l (function
+              | Same -> k Same
+              | Grown l' -> k (Grown (full (N2 (l', a, r))))
+              | Split (t1, m, t2) -> k (Grown (full (N3 (t1, m, t2, a, r)))))
+          else
+            ins r (function
+              | Same -> k Same
+              | Grown r' -> k (Grown (full (N2 (l, a, r'))))
+              | Split (t1, m, t2) -> k (Grown (full (N3 (l, a, t1, m, t2)))))
+      | N3 (l, a, m, b, r) ->
+          let ca = cmp x a in
+          if ca = 0 then begin
+            Engine.put ack false;
+            k Same
+          end
+          else if ca < 0 then
+            ins l (function
+              | Same -> k Same
+              | Grown l' -> k (Grown (full (N3 (l', a, m, b, r))))
+              | Split (t1, mm, t2) ->
+                  k (Split (full (N2 (t1, mm, t2)), a, full (N2 (m, b, r)))))
+          else
+            let cb = cmp x b in
+            if cb = 0 then begin
+              Engine.put ack false;
+              k Same
+            end
+            else if cb < 0 then
+              ins m (function
+                | Same -> k Same
+                | Grown m' -> k (Grown (full (N3 (l, a, m', b, r))))
+                | Split (t1, mm, t2) ->
+                    k (Split (full (N2 (l, a, t1)), mm, full (N2 (t2, b, r)))))
+            else
+              ins r (function
+                | Same -> k Same
+                | Grown r' -> k (Grown (full (N3 (l, a, m, b, r'))))
+                | Split (t1, mm, t2) ->
+                    k (Split (full (N2 (l, a, m)), b, full (N2 (t1, mm, t2)))))
+    )
+  in
+  let root = Engine.ivar eng in
+  ins t (fun outcome ->
+      match outcome with
+      | Same ->
+          (* share the old version wholesale *)
+          Engine.await ~label t (fun n -> Engine.put root n)
+      | Grown t' -> Engine.await ~label t' (fun n -> Engine.put root n)
+      | Split (l, m, r) -> Engine.put root (N2 (l, m, r)));
+  (root, ack)
+
+let fold_inorder eng ?(label = "tree_fold") f init t =
+  let result = Engine.ivar eng in
+  (* Continuation-passing traversal; each node costs one task. *)
+  let rec go t acc k =
+    Engine.await ~label t (function
+      | Leaf -> k acc
+      | N2 (l, a, r) -> go l acc (fun acc -> go r (f acc a) k)
+      | N3 (l, a, m, b, r) ->
+          go l acc (fun acc ->
+              go m (f acc a) (fun acc -> go r (f acc b) k)))
+  in
+  go t init (fun acc -> Engine.put result acc);
+  result
+
+(* Strict construction at setup: build a pure tree then wrap each node in a
+   full cell.  Done with the pure 2-3 insertion algorithm inlined to avoid
+   a dependency on fdb_persistent. *)
+type 'a pure = PLeaf | P2 of 'a pure * 'a * 'a pure | P3 of 'a pure * 'a * 'a pure * 'a * 'a pure
+
+let of_list eng ~cmp xs =
+  let rec pins x t =
+    match t with
+    | PLeaf -> `Up (PLeaf, x, PLeaf)
+    | P2 (l, a, r) ->
+        let c = cmp x a in
+        if c = 0 then `Done t
+        else if c < 0 then (
+          match pins x l with
+          | `Done l' -> `Done (P2 (l', a, r))
+          | `Up (t1, m, t2) -> `Done (P3 (t1, m, t2, a, r)))
+        else (
+          match pins x r with
+          | `Done r' -> `Done (P2 (l, a, r'))
+          | `Up (t1, m, t2) -> `Done (P3 (l, a, t1, m, t2)))
+    | P3 (l, a, m, b, r) ->
+        let ca = cmp x a in
+        if ca = 0 then `Done t
+        else if ca < 0 then (
+          match pins x l with
+          | `Done l' -> `Done (P3 (l', a, m, b, r))
+          | `Up (t1, mm, t2) -> `Up (P2 (t1, mm, t2), a, P2 (m, b, r)))
+        else
+          let cb = cmp x b in
+          if cb = 0 then `Done t
+          else if cb < 0 then (
+            match pins x m with
+            | `Done m' -> `Done (P3 (l, a, m', b, r))
+            | `Up (t1, mm, t2) -> `Up (P2 (l, a, t1), mm, P2 (t2, b, r)))
+          else (
+            match pins x r with
+            | `Done r' -> `Done (P3 (l, a, m, b, r'))
+            | `Up (t1, mm, t2) -> `Up (P2 (l, a, m), b, P2 (t1, mm, t2)))
+  in
+  let pure =
+    List.fold_left
+      (fun t x ->
+        match pins x t with `Done t' -> t' | `Up (l, m, r) -> P2 (l, m, r))
+      PLeaf xs
+  in
+  let rec wrap = function
+    | PLeaf -> Engine.full eng Leaf
+    | P2 (l, a, r) -> Engine.full eng (N2 (wrap l, a, wrap r))
+    | P3 (l, a, m, b, r) ->
+        Engine.full eng (N3 (wrap l, a, wrap m, b, wrap r))
+  in
+  wrap pure
+
+let to_list_now t =
+  let exception Incomplete in
+  let rec go acc t =
+    match Engine.peek t with
+    | None -> raise Incomplete
+    | Some Leaf -> acc
+    | Some (N2 (l, a, r)) -> go (a :: go acc r) l
+    | Some (N3 (l, a, m, b, r)) -> go (a :: go (b :: go acc r) m) l
+  in
+  match go [] t with xs -> Some xs | exception Incomplete -> None
+
+let size_now t =
+  let rec go t =
+    match Engine.peek t with
+    | None | Some Leaf -> 0
+    | Some (N2 (l, _, r)) -> 1 + go l + go r
+    | Some (N3 (l, _, m, _, r)) -> 2 + go l + go m + go r
+  in
+  go t

@@ -1,0 +1,49 @@
+(** Lenient 2-3 trees: the engine-level tree representation the paper
+    projects for relations ("tree representations are projected to be even
+    more efficient, since fewer nodes need to be modified on insertion",
+    §4; implicit synchronization in functional tree-updating, §2.3).
+
+    Every node lives in a single-assignment cell.  A search costs one task
+    per level; an insertion descends (one task per level) and rebuilds the
+    path bottom-up (one task per level), sharing every untouched subtree
+    with the old version.  Unlike lists, the new version's {e root} only
+    materializes after the rebuild returns — readers of the new version
+    synchronize on it implicitly, which is exactly the paper's
+    "functional approach to tree-updating induces implicit
+    synchronization". *)
+
+open Fdb_kernel
+
+type 'a node =
+  | Leaf
+  | N2 of 'a t * 'a * 'a t
+  | N3 of 'a t * 'a * 'a t * 'a * 'a t
+
+and 'a t = 'a node Engine.ivar
+
+val empty : Engine.t -> 'a t
+
+val of_list : Engine.t -> cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Build (strictly, at setup time) from a list; duplicates keep the first
+    occurrence. *)
+
+val find : Engine.t -> ?label:string -> cmp:('a -> 'a -> int) -> 'a -> 'a t ->
+  'a option Engine.ivar
+(** One task per level. *)
+
+val insert :
+  Engine.t -> ?label:string -> cmp:('a -> 'a -> int) -> 'a -> 'a t ->
+  'a t * bool Engine.ivar
+(** Path-copying insertion with 2-3 rebalancing; the acknowledgement is
+    [false] when an equal element was present (the old version is then
+    shared wholesale). *)
+
+val fold_inorder :
+  Engine.t -> ?label:string -> ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b Engine.ivar
+(** Sequential in-order traversal, one task per node. *)
+
+val to_list_now : 'a t -> 'a list option
+(** Post-run extraction; [None] if any cell is still empty. *)
+
+val size_now : 'a t -> int
+(** Elements in the materialized part. *)

@@ -1,0 +1,1 @@
+lib/merge/merge.ml: Array Float Format Int List Random

@@ -1,0 +1,1 @@
+lib/merge/merge.mli: Format

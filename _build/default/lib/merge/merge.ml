@@ -1,0 +1,103 @@
+type 'a tagged = { tag : int; item : 'a }
+
+type policy =
+  | Arrival_order
+  | Eager_clients of int list
+  | Seeded of int
+  | Concatenated
+
+(* Queues of the remaining items of each stream. *)
+let drain_step queues tag acc =
+  match queues.(tag) with
+  | [] -> (acc, false)
+  | item :: rest ->
+      queues.(tag) <- rest;
+      ({ tag; item } :: acc, true)
+
+let total_left queues = Array.exists (fun q -> q <> []) queues
+
+let merge policy streams =
+  let queues = Array.of_list streams in
+  let n = Array.length queues in
+  if n = 0 then []
+  else
+    let acc = ref [] in
+    (match policy with
+    | Arrival_order ->
+        while total_left queues do
+          for tag = 0 to n - 1 do
+            let (acc', _) = drain_step queues tag !acc in
+            acc := acc'
+          done
+        done
+    | Eager_clients bursts ->
+        let bursts = if bursts = [] then [ 1 ] else bursts in
+        let nb = List.length bursts in
+        let round = ref 0 in
+        while total_left queues do
+          for tag = 0 to n - 1 do
+            let burst = List.nth bursts ((!round + tag) mod nb) in
+            for _ = 1 to burst do
+              let (acc', _) = drain_step queues tag !acc in
+              acc := acc'
+            done
+          done;
+          incr round
+        done
+    | Seeded seed ->
+        let rand = Random.State.make [| seed |] in
+        while total_left queues do
+          let nonempty =
+            List.filter
+              (fun tag -> queues.(tag) <> [])
+              (List.init n (fun i -> i))
+          in
+          let tag =
+            List.nth nonempty (Random.State.int rand (List.length nonempty))
+          in
+          let (acc', _) = drain_step queues tag !acc in
+          acc := acc'
+        done
+    | Concatenated ->
+        for tag = 0 to n - 1 do
+          let continue = ref true in
+          while !continue do
+            let (acc', took) = drain_step queues tag !acc in
+            acc := acc';
+            continue := took
+          done
+        done);
+    List.rev !acc
+
+let merge_timed streams =
+  let entries =
+    List.concat
+      (List.mapi
+         (fun tag items ->
+           List.mapi (fun seq (time, item) -> (time, tag, seq, item)) items)
+         streams)
+  in
+  let ordered =
+    List.sort
+      (fun (t1, g1, s1, _) (t2, g2, s2, _) ->
+        match Float.compare t1 t2 with
+        | 0 -> ( match Int.compare g1 g2 with 0 -> Int.compare s1 s2 | c -> c)
+        | c -> c)
+      entries
+  in
+  List.map (fun (_, tag, _, item) -> { tag; item }) ordered
+
+let choose ~tag merged =
+  List.filter_map
+    (fun t -> if t.tag = tag then Some t.item else None)
+    merged
+
+let tags_used merged =
+  List.sort_uniq Int.compare (List.map (fun t -> t.tag) merged)
+
+let pp pp_item ppf merged =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:Format.pp_print_cut
+       (fun ppf t -> Format.fprintf ppf "[%d] %a" t.tag pp_item t.item))
+    merged

@@ -1,0 +1,39 @@
+(** The pseudo-functional merge (paper §2.4).
+
+    A merge takes several query streams and produces one interleaving; it
+    is the {e only} non-functional ingredient of the whole system.  Each
+    merged item carries the tag of its origin stream so the response can be
+    routed back ("the tagging idea", §2.4); [choose] is the inverse
+    selection a site applies to the shared medium (§3.1, Figure 3-1).
+
+    Real merges are timing-nondeterministic.  Here every policy is a
+    {e deterministic model} of one possible arrival order — which is all
+    serializability requires: the system must be correct for every
+    interleaving, and the property tests quantify over policies and seeds. *)
+
+type 'a tagged = { tag : int; item : 'a }
+
+type policy =
+  | Arrival_order  (** round-robin across streams: one item per client turn *)
+  | Eager_clients of int list
+      (** clients drain in bursts of the given sizes (cyclically) *)
+  | Seeded of int  (** uniformly random nonempty stream each step *)
+  | Concatenated  (** stream 0 entirely, then stream 1, ... (degenerate) *)
+
+val merge : policy -> 'a list list -> 'a tagged list
+(** Interleave the streams.  Every policy preserves the relative order of
+    items within each input stream. *)
+
+val merge_timed : (float * 'a) list list -> 'a tagged list
+(** Merge by explicit arrival timestamps (nondecreasing within each
+    stream); ties broken by stream index.  The physical-network model: the
+    medium delivers in arrival order. *)
+
+val choose : tag:int -> 'a tagged list -> 'a list
+(** The site-selection function: the substream belonging to one origin. *)
+
+val tags_used : 'a tagged list -> int list
+(** Sorted distinct tags. *)
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a tagged list -> unit

@@ -1,0 +1,1 @@
+lib/net/reliable.ml: Fabric Hashtbl List Option Random Topology

@@ -1,0 +1,124 @@
+type stats = { sent : int; delivered : int; hops : int; max_in_flight : int }
+
+type 'a msg = { dst : int; payload : 'a }
+
+type 'a t = {
+  topo : Topology.t;
+  links : (int * int) list;  (* cached; serviced in this fixed order *)
+  capacity : int;
+  (* Point-to-point: queue.(u) has per-neighbour FIFO queues keyed by the
+     neighbour's position in (neighbors topo u).  Shared bus / local
+     hand-off: dedicated queues. *)
+  link_q : (int, 'a msg Queue.t) Hashtbl.t;  (* key: u * n + v *)
+  local_q : 'a msg Queue.t array;  (* src = dst hand-offs *)
+  bus_q : 'a msg Queue.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable hops : int;
+  mutable in_flight : int;
+  mutable max_in_flight : int;
+}
+
+let create ?(link_capacity = 1) topo =
+  if link_capacity < 1 then invalid_arg "Fabric.create: capacity < 1";
+  let n = Topology.size topo in
+  let link_q = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace link_q ((u * n) + v) (Queue.create ()))
+    (Topology.links topo);
+  {
+    topo;
+    links = Topology.links topo;
+    capacity = link_capacity;
+    link_q;
+    local_q = Array.init n (fun _ -> Queue.create ());
+    bus_q = Queue.create ();
+    sent = 0;
+    delivered = 0;
+    hops = 0;
+    in_flight = 0;
+    max_in_flight = 0;
+  }
+
+let topology f = f.topo
+
+let enqueue_link f u v m =
+  let n = Topology.size f.topo in
+  match Hashtbl.find_opt f.link_q ((u * n) + v) with
+  | Some q -> Queue.push m q
+  | None -> invalid_arg "Fabric: no such link"
+
+let send f ~src ~dst payload =
+  let n = Topology.size f.topo in
+  if src < 0 || dst < 0 || src >= n || dst >= n then
+    invalid_arg "Fabric.send: bad endpoint";
+  let m = { dst; payload } in
+  f.sent <- f.sent + 1;
+  f.in_flight <- f.in_flight + 1;
+  if f.in_flight > f.max_in_flight then f.max_in_flight <- f.in_flight;
+  if src = dst then Queue.push m f.local_q.(src)
+  else
+    match Topology.kind f.topo with
+    | Topology.Shared_bus -> Queue.push m f.bus_q
+    | Topology.Point_to_point ->
+        enqueue_link f src (Topology.next_hop f.topo ~src ~dst) m
+
+let broadcast f ~src payload =
+  let n = Topology.size f.topo in
+  for dst = 0 to n - 1 do
+    if dst <> src then send f ~src ~dst payload
+  done
+
+let step f =
+  let deliveries = ref [] in
+  let deliver m =
+    f.delivered <- f.delivered + 1;
+    f.in_flight <- f.in_flight - 1;
+    deliveries := (m.dst, m.payload) :: !deliveries
+  in
+  (* Local hand-offs: all of them complete (no medium involved). *)
+  Array.iter
+    (fun q ->
+      while not (Queue.is_empty q) do
+        deliver (Queue.pop q)
+      done)
+    f.local_q;
+  (match Topology.kind f.topo with
+  | Topology.Shared_bus ->
+      let budget = ref f.capacity in
+      while !budget > 0 && not (Queue.is_empty f.bus_q) do
+        f.hops <- f.hops + 1;
+        deliver (Queue.pop f.bus_q);
+        decr budget
+      done
+  | Topology.Point_to_point ->
+      let n = Topology.size f.topo in
+      (* Collect this cycle's moves first so a message moves at most one
+         hop per cycle. *)
+      let moves = ref [] in
+      List.iter
+        (fun (u, v) ->
+          let q = Hashtbl.find f.link_q ((u * n) + v) in
+          let budget = ref f.capacity in
+          while !budget > 0 && not (Queue.is_empty q) do
+            moves := (v, Queue.pop q) :: !moves;
+            decr budget
+          done)
+        (Topology.links f.topo);
+      List.iter
+        (fun (at, m) ->
+          f.hops <- f.hops + 1;
+          if at = m.dst then deliver m
+          else enqueue_link f at (Topology.next_hop f.topo ~src:at ~dst:m.dst) m)
+        (List.rev !moves));
+  List.rev !deliveries
+
+let in_flight f = f.in_flight
+
+let stats f : stats =
+  {
+    sent = f.sent;
+    delivered = f.delivered;
+    hops = f.hops;
+    max_in_flight = f.max_in_flight;
+  }

@@ -1,0 +1,39 @@
+(** Store-and-forward message transport over a {!Topology.t}.
+
+    Point-to-point topologies: a message advances one hop per cycle; each
+    directed link forwards at most [link_capacity] messages per cycle, FIFO.
+    Shared bus: the medium delivers at most [link_capacity] messages per
+    cycle in arrival order (the "one large merge pseudo-function" of
+    Figure 3-1).
+
+    The fabric is deterministic: links are serviced in a fixed order. *)
+
+type 'a t
+
+type stats = {
+  sent : int;  (** messages injected *)
+  delivered : int;  (** messages that reached their destination *)
+  hops : int;  (** total link traversals *)
+  max_in_flight : int;
+}
+
+val create : ?link_capacity:int -> Topology.t -> 'a t
+(** Default capacity: 1 message per link per cycle. *)
+
+val topology : 'a t -> Topology.t
+
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+(** Inject a message.  [src = dst] delivers on the next {!val:step} (local
+    hand-off still takes a cycle, keeping timing uniform). *)
+
+val broadcast : 'a t -> src:int -> 'a -> unit
+(** Send a copy to every other node (the primary pushing tagged responses
+    onto the medium, Figure 3-1). *)
+
+val step : 'a t -> (int * 'a) list
+(** Advance one cycle; returns [(dst, payload)] deliveries, in deterministic
+    order. *)
+
+val in_flight : 'a t -> int
+
+val stats : 'a t -> stats

@@ -1,0 +1,142 @@
+type 'a frame =
+  | Data of { src : int; dst : int; seq : int; payload : 'a }
+  | Ack of { src : int; dst : int; seq : int }
+      (* acknowledges Data seq sent src -> dst; travels dst -> src *)
+
+type 'a outstanding = {
+  o_dst : int;
+  o_seq : int;
+  o_payload : 'a;
+  mutable o_age : int;
+}
+
+type stats = {
+  transmissions : int;
+  drops : int;
+  duplicates : int;
+  delivered : int;
+}
+
+type 'a t = {
+  fabric : 'a frame Fabric.t;
+  rand : Random.State.t;
+  drop_one_in : int;
+  retransmit_after : int;
+  next_seq : (int * int, int) Hashtbl.t;  (* (src, dst) -> next seq *)
+  pending : (int, 'a outstanding list ref) Hashtbl.t;  (* per source *)
+  seen : (int * int * int, unit) Hashtbl.t;  (* (src, dst, seq) delivered *)
+  mutable s_transmissions : int;
+  mutable s_drops : int;
+  mutable s_duplicates : int;
+  mutable s_delivered : int;
+}
+
+let create ?(drop_one_in = 0) ?(seed = 42) ?retransmit_after ?link_capacity
+    topo =
+  let retransmit_after =
+    match retransmit_after with
+    | Some n ->
+        if n < 1 then invalid_arg "Reliable.create: retransmit_after < 1";
+        n
+    | None -> (4 * Topology.diameter topo) + 4
+  in
+  if drop_one_in = 1 then
+    invalid_arg "Reliable.create: drop_one_in = 1 loses everything";
+  {
+    fabric = Fabric.create ?link_capacity topo;
+    rand = Random.State.make [| seed |];
+    drop_one_in;
+    retransmit_after;
+    next_seq = Hashtbl.create 16;
+    pending = Hashtbl.create 16;
+    seen = Hashtbl.create 64;
+    s_transmissions = 0;
+    s_drops = 0;
+    s_duplicates = 0;
+    s_delivered = 0;
+  }
+
+let pending_of t src =
+  match Hashtbl.find_opt t.pending src with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace t.pending src l;
+      l
+
+let transmit t ~src ~dst frame =
+  (match frame with Data _ -> t.s_transmissions <- t.s_transmissions + 1 | Ack _ -> ());
+  Fabric.send t.fabric ~src ~dst frame
+
+let send t ~src ~dst payload =
+  let key = (src, dst) in
+  let seq = Option.value ~default:0 (Hashtbl.find_opt t.next_seq key) in
+  Hashtbl.replace t.next_seq key (seq + 1);
+  let slot = pending_of t src in
+  slot := !slot @ [ { o_dst = dst; o_seq = seq; o_payload = payload; o_age = 0 } ];
+  transmit t ~src ~dst (Data { src; dst; seq; payload })
+
+let lost t =
+  t.drop_one_in > 0 && Random.State.int t.rand t.drop_one_in = 0
+
+let step t =
+  (* Retransmission timers. *)
+  Hashtbl.iter
+    (fun src slot ->
+      List.iter
+        (fun o ->
+          o.o_age <- o.o_age + 1;
+          if o.o_age >= t.retransmit_after then begin
+            o.o_age <- 0;
+            transmit t ~src ~dst:o.o_dst
+              (Data { src; dst = o.o_dst; seq = o.o_seq; payload = o.o_payload })
+          end)
+        !slot)
+    t.pending;
+  (* Medium. *)
+  let deliveries = ref [] in
+  List.iter
+    (fun (_, frame) ->
+      if lost t then t.s_drops <- t.s_drops + 1
+      else
+        match frame with
+        | Data { src; dst; seq; payload } ->
+            if Hashtbl.mem t.seen (src, dst, seq) then
+              t.s_duplicates <- t.s_duplicates + 1
+            else begin
+              Hashtbl.replace t.seen (src, dst, seq) ();
+              t.s_delivered <- t.s_delivered + 1;
+              deliveries := (dst, payload) :: !deliveries
+            end;
+            (* always (re-)acknowledge *)
+            transmit t ~src:dst ~dst:src (Ack { src; dst; seq })
+        | Ack { src; dst; seq } ->
+            let slot = pending_of t src in
+            slot :=
+              List.filter
+                (fun o -> not (o.o_dst = dst && o.o_seq = seq))
+                !slot)
+    (Fabric.step t.fabric);
+  List.rev !deliveries
+
+let idle t =
+  Fabric.in_flight t.fabric = 0
+  && Hashtbl.fold (fun _ slot acc -> acc && !slot = []) t.pending true
+
+let run_to_quiescence ?(max_steps = 100_000) t =
+  let out = ref [] and steps = ref 0 in
+  while not (idle t) do
+    if !steps > max_steps then
+      failwith "Reliable.run_to_quiescence: no quiescence";
+    incr steps;
+    out := !out @ step t
+  done;
+  !out
+
+let stats t =
+  {
+    transmissions = t.s_transmissions;
+    drops = t.s_drops;
+    duplicates = t.s_duplicates;
+    delivered = t.s_delivered;
+  }

@@ -1,0 +1,45 @@
+(** Exactly-once delivery over a lossy medium.
+
+    The paper leaves failure transparency as "an opportunity for future
+    investigation" (§1).  This module explores the transport half of that
+    opportunity: a sequence-numbered, acknowledged, retransmitting channel
+    layered over a {!Fabric.t} whose deliveries can be dropped.
+
+    Semantics per (src, dst) pair: FIFO senders, at-least-once transmission
+    by timeout-driven retransmission, exactly-once {e delivery} by receiver
+    deduplication.  Acknowledgements travel the same lossy medium. *)
+
+type 'a t
+
+type stats = {
+  transmissions : int;  (** data injections, including retransmissions *)
+  drops : int;  (** messages (data or ack) lost by the medium *)
+  duplicates : int;  (** retransmitted data suppressed at the receiver *)
+  delivered : int;  (** unique payloads handed to the application *)
+}
+
+val create :
+  ?drop_one_in:int ->
+  ?seed:int ->
+  ?retransmit_after:int ->
+  ?link_capacity:int ->
+  Topology.t ->
+  'a t
+(** [drop_one_in] = n loses roughly one in n arrivals (default 0: lossless);
+    [retransmit_after] is the sender timeout in steps (default
+    [4 * diameter + 4]). *)
+
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+
+val step : 'a t -> (int * 'a) list
+(** Advance one cycle; returns fresh [(dst, payload)] deliveries (never a
+    duplicate). *)
+
+val idle : 'a t -> bool
+(** Nothing outstanding, in flight, or awaiting acknowledgement. *)
+
+val run_to_quiescence : ?max_steps:int -> 'a t -> (int * 'a) list
+(** Step until {!val:idle} (or raise [Failure] after [max_steps], default
+    100,000); returns all deliveries in order. *)
+
+val stats : 'a t -> stats

@@ -1,0 +1,195 @@
+type kind = Point_to_point | Shared_bus
+
+type t = {
+  name : string;
+  n : int;
+  kind : kind;
+  adj : int list array;
+  (* dist.(dst).(src) and hop.(dst).(src): BFS tables toward each
+     destination; hop.(dst).(src) = -1 when src = dst or unreachable. *)
+  dist : int array array;
+  hop : int array array;
+}
+
+let name t = t.name
+let size t = t.n
+let kind t = t.kind
+
+let bfs_toward adj n dst =
+  let dist = Array.make n max_int and hop = Array.make n (-1) in
+  dist.(dst) <- 0;
+  let q = Queue.create () in
+  Queue.push dst q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let du = dist.(u) in
+    let visit v =
+      if dist.(v) = max_int then begin
+        dist.(v) <- du + 1;
+        (* first hop from v toward dst is u when v is reached from u *)
+        hop.(v) <- u;
+        Queue.push v q
+      end
+    in
+    List.iter visit adj.(u)
+  done;
+  (dist, hop)
+
+let build name kind n edges =
+  if n <= 0 then invalid_arg "Topology: size must be positive";
+  let adj = Array.make n [] in
+  let add (u, v) =
+    if u < 0 || v < 0 || u >= n || v >= n || u = v then
+      invalid_arg "Topology: bad edge";
+    if not (List.mem v adj.(u)) then adj.(u) <- v :: adj.(u);
+    if not (List.mem u adj.(v)) then adj.(v) <- u :: adj.(v)
+  in
+  List.iter add edges;
+  Array.iteri (fun i ns -> adj.(i) <- List.sort compare ns) adj;
+  let dist = Array.make n [||] and hop = Array.make n [||] in
+  for dst = 0 to n - 1 do
+    let d, h = bfs_toward adj n dst in
+    dist.(dst) <- d;
+    hop.(dst) <- h
+  done;
+  { name; n; kind; adj; dist; hop }
+
+let hypercube d =
+  if d < 0 || d > 16 then invalid_arg "Topology.hypercube";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  build (Printf.sprintf "hypercube-%d" n) Point_to_point n !edges
+
+let mesh3d nx ny nz =
+  if nx <= 0 || ny <= 0 || nz <= 0 then invalid_arg "Topology.mesh3d";
+  let n = nx * ny * nz in
+  let id x y z = x + (nx * (y + (ny * z))) in
+  let edges = ref [] in
+  for x = 0 to nx - 1 do
+    for y = 0 to ny - 1 do
+      for z = 0 to nz - 1 do
+        if x + 1 < nx then edges := (id x y z, id (x + 1) y z) :: !edges;
+        if y + 1 < ny then edges := (id x y z, id x (y + 1) z) :: !edges;
+        if z + 1 < nz then edges := (id x y z, id x y (z + 1)) :: !edges
+      done
+    done
+  done;
+  build (Printf.sprintf "mesh-%dx%dx%d" nx ny nz) Point_to_point n !edges
+
+let ring n =
+  if n < 2 then invalid_arg "Topology.ring";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  build (Printf.sprintf "ring-%d" n) Point_to_point n edges
+
+let line n =
+  if n < 2 then invalid_arg "Topology.line";
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  build (Printf.sprintf "line-%d" n) Point_to_point n edges
+
+let torus2d nx ny =
+  if nx < 2 || ny < 2 then invalid_arg "Topology.torus2d";
+  let n = nx * ny in
+  let id x y = x + (nx * y) in
+  let edges = ref [] in
+  for x = 0 to nx - 1 do
+    for y = 0 to ny - 1 do
+      let u = id x y in
+      let r = id ((x + 1) mod nx) y and d = id x ((y + 1) mod ny) in
+      if u <> r then edges := (u, r) :: !edges;
+      if u <> d then edges := (u, d) :: !edges
+    done
+  done;
+  build (Printf.sprintf "torus-%dx%d" nx ny) Point_to_point n !edges
+
+let star n =
+  if n < 2 then invalid_arg "Topology.star";
+  let edges = List.init (n - 1) (fun i -> (0, i + 1)) in
+  build (Printf.sprintf "star-%d" n) Point_to_point n edges
+
+let complete n =
+  if n < 2 then invalid_arg "Topology.complete";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  build (Printf.sprintf "complete-%d" n) Point_to_point n !edges
+
+let bus n =
+  if n < 1 then invalid_arg "Topology.bus";
+  (* Model the medium as a complete adjacency so distance is uniformly 1;
+     the fabric serializes it (Shared_bus kind). *)
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  build (Printf.sprintf "bus-%d" n) Shared_bus n !edges
+
+let single () = build "single" Point_to_point 1 []
+
+let random ~seed ~n ~extra_edges =
+  if n < 2 then invalid_arg "Topology.random";
+  let rand = Random.State.make [| seed |] in
+  (* random spanning tree: attach each node to a random earlier one *)
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (Random.State.int rand v, v) :: !edges
+  done;
+  let tries = ref (10 * extra_edges) and added = ref 0 in
+  while !added < extra_edges && !tries > 0 do
+    decr tries;
+    let u = Random.State.int rand n and v = Random.State.int rand n in
+    if u <> v && not (List.mem (u, v) !edges || List.mem (v, u) !edges)
+    then begin
+      edges := (u, v) :: !edges;
+      incr added
+    end
+  done;
+  build (Printf.sprintf "random-%d-%d" n seed) Point_to_point n !edges
+
+let neighbors t u =
+  if u < 0 || u >= t.n then invalid_arg "Topology.neighbors";
+  t.adj.(u)
+
+let distance t u v =
+  if u < 0 || v < 0 || u >= t.n || v >= t.n then
+    invalid_arg "Topology.distance";
+  let d = t.dist.(v).(u) in
+  if d = max_int then invalid_arg "Topology.distance: unreachable" else d
+
+let next_hop t ~src ~dst =
+  if src = dst then invalid_arg "Topology.next_hop: src = dst";
+  let h = t.hop.(dst).(src) in
+  if h = -1 then invalid_arg "Topology.next_hop: unreachable" else h
+
+let diameter t =
+  let best = ref 0 in
+  for u = 0 to t.n - 1 do
+    for v = 0 to t.n - 1 do
+      let d = t.dist.(v).(u) in
+      if d <> max_int && d > !best then best := d
+    done
+  done;
+  !best
+
+let links t =
+  match t.kind with
+  | Shared_bus -> []
+  | Point_to_point ->
+      let acc = ref [] in
+      for u = t.n - 1 downto 0 do
+        List.iter (fun v -> acc := (u, v) :: !acc) (List.rev t.adj.(u))
+      done;
+      List.sort compare !acc
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d nodes, diameter %d)" t.name t.n (diameter t)

@@ -1,0 +1,64 @@
+(** Interconnection topologies for the Rediflow machine model.
+
+    The paper evaluates on an 8-node binary hypercube (Table II) and a
+    27-node 3x3x3 "Euclidean cube" (Table III); the physical-network
+    discussion (§3.1, Figure 3-1) uses an Ethernet-like shared bus.  The
+    additional shapes are for the topology ablation. *)
+
+type kind =
+  | Point_to_point  (** messages travel hop by hop over links *)
+  | Shared_bus  (** one shared medium; every pair is one hop apart *)
+
+type t
+
+val name : t -> string
+val size : t -> int
+val kind : t -> kind
+
+val hypercube : int -> t
+(** [hypercube d]: 2^d nodes; nodes adjacent iff their ids differ in one
+    bit.  [hypercube 3] is the paper's 8-node machine. *)
+
+val mesh3d : int -> int -> int -> t
+(** [mesh3d nx ny nz]: Euclidean grid, 6-neighbour adjacency.
+    [mesh3d 3 3 3] is the paper's 27-node cube. *)
+
+val ring : int -> t
+
+val line : int -> t
+(** A path: node i is adjacent to i-1 and i+1. *)
+
+val torus2d : int -> int -> t
+
+val star : int -> t
+(** Node 0 is the hub. *)
+
+val complete : int -> t
+
+val bus : int -> t
+(** Ethernet-like shared medium (§3.1): the medium is one big merge. *)
+
+val single : unit -> t
+(** One node, no links — the sequential machine. *)
+
+val random : seed:int -> n:int -> extra_edges:int -> t
+(** A random connected graph: a random spanning tree plus [extra_edges]
+    random extra links.  Used for routing robustness tests. *)
+
+val neighbors : t -> int -> int list
+(** Sorted neighbour ids. *)
+
+val distance : t -> int -> int -> int
+(** Hop count along a shortest path. *)
+
+val next_hop : t -> src:int -> dst:int -> int
+(** First node after [src] on a shortest path to [dst].
+    @raise Invalid_argument if [src = dst] or [dst] unreachable. *)
+
+val diameter : t -> int
+
+val links : t -> (int * int) list
+(** All directed links (u, v), lexicographically sorted.  Empty for a
+    shared bus. *)
+
+val pp : Format.formatter -> t -> unit

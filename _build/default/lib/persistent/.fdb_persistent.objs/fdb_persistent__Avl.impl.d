@@ -1,0 +1,1 @@
+lib/persistent/avl.ml: Hashtbl List Meter Ordered

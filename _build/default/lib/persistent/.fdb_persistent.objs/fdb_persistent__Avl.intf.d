@@ -1,0 +1,1 @@
+lib/persistent/avl.mli: Meter Ordered

@@ -1,0 +1,1 @@
+lib/persistent/btree.ml: Array Hashtbl List Meter Ordered

@@ -1,0 +1,1 @@
+lib/persistent/btree.mli: Meter Ordered

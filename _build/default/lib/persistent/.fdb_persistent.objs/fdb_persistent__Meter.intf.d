@@ -1,0 +1,1 @@
+lib/persistent/meter.mli:

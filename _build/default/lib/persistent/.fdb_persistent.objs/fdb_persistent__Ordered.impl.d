@@ -1,0 +1,1 @@
+lib/persistent/ordered.ml: Int String

@@ -1,0 +1,1 @@
+lib/persistent/plist.ml: List Meter Ordered

@@ -1,0 +1,1 @@
+lib/persistent/plist.mli: Meter Ordered

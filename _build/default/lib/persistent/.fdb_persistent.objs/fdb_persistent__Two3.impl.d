@@ -1,0 +1,1 @@
+lib/persistent/two3.ml: Hashtbl List Meter Ordered

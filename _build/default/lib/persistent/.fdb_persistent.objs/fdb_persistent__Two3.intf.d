@@ -1,0 +1,1 @@
+lib/persistent/two3.mli: Meter Ordered

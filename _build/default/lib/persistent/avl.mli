@@ -1,0 +1,38 @@
+(** Persistent AVL trees with metered path copying.
+
+    Myers [18] is cited by the paper for "efficient applicative data types"
+    based on AVL trees; this is the corresponding representation for a
+    relation.  Set semantics: inserting an element already present returns
+    the tree unchanged (and physically shared). *)
+
+module Make (Elt : Ordered.S) : sig
+  type t
+
+  val empty : t
+
+  val of_list : Elt.t list -> t
+
+  val to_list : t -> Elt.t list
+  (** In-order, ascending. *)
+
+  val size : t -> int
+
+  val height : t -> int
+
+  val member : Elt.t -> t -> bool
+
+  val find : Elt.t -> t -> Elt.t option
+  (** The stored element equal to the argument, if any (useful when
+      [compare] only inspects a key field). *)
+
+  val insert : ?meter:Meter.t -> Elt.t -> t -> t
+
+  val delete : ?meter:Meter.t -> Elt.t -> t -> t * bool
+
+  val shared_nodes : old:t -> t -> int * int
+  (** [(shared, total)] physical-node sharing of the new version against the
+      old one. *)
+
+  val invariant : t -> bool
+  (** Ordering, height consistency, and balance factors in [-1, 1]. *)
+end

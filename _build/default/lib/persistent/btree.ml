@@ -1,0 +1,378 @@
+module Make (Elt : Ordered.S) = struct
+  (* Classic B-tree: elements live in every page.  A directory page with k
+     keys has k+1 children. *)
+  type node =
+    | Leaf of Elt.t array
+    | Dir of node array * Elt.t array
+
+  type t = { branching : int; root : node }
+
+  let create ?(branching = 8) () =
+    if branching < 3 then invalid_arg "Btree.create: branching < 3";
+    { branching; root = Leaf [||] }
+
+  let branching t = t.branching
+
+  let max_keys t = t.branching - 1
+  let min_keys t = (t.branching - 1) / 2
+
+  (* -- array helpers ------------------------------------------------------ *)
+
+  let array_insert a i x =
+    let n = Array.length a in
+    Array.init (n + 1) (fun j ->
+        if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+  let array_remove a i =
+    let n = Array.length a in
+    Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+  let array_set a i x =
+    let a' = Array.copy a in
+    a'.(i) <- x;
+    a'
+
+  (* Position of x among sorted keys: [Found i] or [Child i]. *)
+  let locate keys x =
+    let n = Array.length keys in
+    let rec go i =
+      if i >= n then `Child n
+      else
+        let c = Elt.compare x keys.(i) in
+        if c = 0 then `Found i else if c < 0 then `Child i else go (i + 1)
+    in
+    go 0
+
+  (* -- queries ------------------------------------------------------------ *)
+
+  let rec find_node x = function
+    | Leaf keys -> (
+        match locate keys x with `Found i -> Some keys.(i) | `Child _ -> None)
+    | Dir (children, keys) -> (
+        match locate keys x with
+        | `Found i -> Some keys.(i)
+        | `Child i -> find_node x children.(i))
+
+  let find x t = find_node x t.root
+  let member x t = find x t <> None
+
+  let to_list t =
+    let rec go acc = function
+      | Leaf keys -> Array.fold_right (fun x acc -> x :: acc) keys acc
+      | Dir (children, keys) ->
+          let n = Array.length keys in
+          let acc = ref (go acc children.(n)) in
+          for i = n - 1 downto 0 do
+            acc := go (keys.(i) :: !acc) children.(i)
+          done;
+          !acc
+    in
+    go [] t.root
+
+  let range ~lo ~hi t =
+    let rec go acc = function
+      | Leaf keys ->
+          Array.fold_right
+            (fun x acc ->
+              if Elt.compare lo x <= 0 && Elt.compare x hi <= 0 then x :: acc
+              else acc)
+            keys acc
+      | Dir (children, keys) ->
+          let n = Array.length keys in
+          let acc = ref (go acc children.(n)) in
+          for i = n - 1 downto 0 do
+            let k = keys.(i) in
+            let acc' =
+              if Elt.compare lo k <= 0 && Elt.compare k hi <= 0 then
+                k :: !acc
+              else !acc
+            in
+            (* prune subtrees wholly outside the range *)
+            let descend =
+              (i = 0 || Elt.compare keys.(i - 1) hi <= 0)
+              && Elt.compare lo k <= 0
+            in
+            acc := if descend then go acc' children.(i) else acc'
+          done;
+          !acc
+    in
+    go [] t.root
+
+  let rec size_node = function
+    | Leaf keys -> Array.length keys
+    | Dir (children, keys) ->
+        Array.fold_left (fun acc c -> acc + size_node c) (Array.length keys)
+          children
+
+  let size t = size_node t.root
+
+  let height t =
+    let rec go = function
+      | Leaf _ -> 1
+      | Dir (children, _) -> 1 + go children.(0)
+    in
+    go t.root
+
+  let rec pages = function
+    | Leaf _ -> 1
+    | Dir (children, _) ->
+        Array.fold_left (fun acc c -> acc + pages c) 1 children
+
+  let page_count t = pages t.root
+
+  (* -- insertion ----------------------------------------------------------- *)
+
+  type grow = Done of node | Split of node * Elt.t * node
+
+  let split_keys keys =
+    let n = Array.length keys in
+    let mid = n / 2 in
+    (Array.sub keys 0 mid, keys.(mid), Array.sub keys (mid + 1) (n - mid - 1))
+
+  let insert ?meter x t =
+    let leaf keys =
+      Meter.alloc meter 1;
+      Leaf keys
+    and dir children keys =
+      Meter.alloc meter 1;
+      Dir (children, keys)
+    in
+    let rec ins = function
+      | Leaf keys as whole -> (
+          match locate keys x with
+          | `Found _ -> Done whole
+          | `Child i ->
+              let keys' = array_insert keys i x in
+              if Array.length keys' <= max_keys t then Done (leaf keys')
+              else
+                let (lk, m, rk) = split_keys keys' in
+                Split (leaf lk, m, leaf rk))
+      | Dir (children, keys) as whole -> (
+          match locate keys x with
+          | `Found _ -> Done whole
+          | `Child i -> (
+              match ins children.(i) with
+              | Done c ->
+                  if c == children.(i) then Done whole
+                  else Done (dir (array_set children i c) keys)
+              | Split (a, k, b) ->
+                  let keys' = array_insert keys i k in
+                  let children' =
+                    array_insert (array_set children i a) (i + 1) b
+                  in
+                  if Array.length keys' <= max_keys t then
+                    Done (dir children' keys')
+                  else begin
+                    let (lk, m, rk) = split_keys keys' in
+                    let nl = Array.length lk + 1 in
+                    let nc = Array.length children' in
+                    Split
+                      ( dir (Array.sub children' 0 nl) lk,
+                        m,
+                        dir (Array.sub children' nl (nc - nl)) rk )
+                  end))
+    in
+    match ins t.root with
+    | Done root -> { t with root }
+    | Split (a, k, b) ->
+        Meter.alloc meter 1;
+        { t with root = Dir ([| a; b |], [| k |]) }
+
+  (* -- deletion ------------------------------------------------------------ *)
+
+  let underfull t = function
+    | Leaf keys | Dir (_, keys) -> Array.length keys < min_keys t
+
+
+  (* Repair an underfull child [i] of a directory page by borrowing from or
+     merging with an adjacent sibling.  Returns new (children, keys); the
+     resulting page may itself be underfull (handled by the caller). *)
+  let fix t ?meter children keys i =
+    let leaf ks =
+      Meter.alloc meter 1;
+      Leaf ks
+    and dir cs ks =
+      Meter.alloc meter 1;
+      Dir (cs, ks)
+    in
+    let merge_or_borrow li ri =
+      (* li = left child index; separator keys.(li); ri = li + 1 *)
+      let sep = keys.(li) in
+      match (children.(li), children.(ri)) with
+      | (Leaf lk, Leaf rk) ->
+          if Array.length lk > min_keys t && i = ri then
+            (* borrow max of left up through the separator *)
+            let n = Array.length lk in
+            let up = lk.(n - 1) in
+            let l' = leaf (Array.sub lk 0 (n - 1)) in
+            let r' = leaf (array_insert rk 0 sep) in
+            ( array_set (array_set children li l') ri r',
+              array_set keys li up )
+          else if Array.length rk > min_keys t && i = li then
+            let up = rk.(0) in
+            let r' = leaf (array_remove rk 0) in
+            let l' = leaf (array_insert lk (Array.length lk) sep) in
+            ( array_set (array_set children li l') ri r',
+              array_set keys li up )
+          else
+            let merged = leaf (Array.concat [ lk; [| sep |]; rk ]) in
+            (array_set (array_remove children ri) li merged,
+             array_remove keys li)
+      | (Dir (lc, lk), Dir (rc, rk)) ->
+          if Array.length lk > min_keys t && i = ri then
+            let nk = Array.length lk and nc = Array.length lc in
+            let up = lk.(nk - 1) in
+            let l' = dir (Array.sub lc 0 (nc - 1)) (Array.sub lk 0 (nk - 1)) in
+            let r' =
+              dir (array_insert rc 0 lc.(nc - 1)) (array_insert rk 0 sep)
+            in
+            ( array_set (array_set children li l') ri r',
+              array_set keys li up )
+          else if Array.length rk > min_keys t && i = li then
+            let up = rk.(0) in
+            let r' = dir (array_remove rc 0) (array_remove rk 0) in
+            let l' =
+              dir
+                (array_insert lc (Array.length lc) rc.(0))
+                (array_insert lk (Array.length lk) sep)
+            in
+            ( array_set (array_set children li l') ri r',
+              array_set keys li up )
+          else
+            let merged =
+              dir (Array.append lc rc) (Array.concat [ lk; [| sep |]; rk ])
+            in
+            (array_set (array_remove children ri) li merged,
+             array_remove keys li)
+      | _ -> assert false (* siblings are at the same depth *)
+    in
+    if i > 0 then merge_or_borrow (i - 1) i else merge_or_borrow i (i + 1)
+
+  (* Remove and return the maximum element. *)
+  let rec take_max t ?meter = function
+    | Leaf keys ->
+        let n = Array.length keys in
+        Meter.alloc meter 1;
+        (keys.(n - 1), Leaf (Array.sub keys 0 (n - 1)))
+    | Dir (children, keys) ->
+        let i = Array.length children - 1 in
+        let (m, c') = take_max t ?meter children.(i) in
+        let children' = array_set children i c' in
+        Meter.alloc meter 1;
+        if underfull t c' then begin
+          let (cs, ks) = fix t ?meter children' keys i in
+          (m, Dir (cs, ks))
+        end
+        else (m, Dir (children', keys))
+
+  let delete ?meter x t =
+    let rec del = function
+      | Leaf keys -> (
+          match locate keys x with
+          | `Found i ->
+              Meter.alloc meter 1;
+              Leaf (array_remove keys i)
+          | `Child _ -> raise Not_found)
+      | Dir (children, keys) ->
+          let (i, replace) =
+            match locate keys x with
+            | `Found i -> (i, true)
+            | `Child i -> (i, false)
+          in
+          let (c', keys') =
+            if replace then begin
+              (* replace the separator with its predecessor from child i *)
+              let (m, c') = take_max t ?meter children.(i) in
+              (c', array_set keys i m)
+            end
+            else (del children.(i), keys)
+          in
+          let children' = array_set children i c' in
+          Meter.alloc meter 1;
+          if underfull t c' then begin
+            let (cs, ks) = fix t ?meter children' keys' i in
+            Dir (cs, ks)
+          end
+          else Dir (children', keys')
+    in
+    match del t.root with
+    | Dir (children, [||]) -> ({ t with root = children.(0) }, true)
+    | root -> ({ t with root }, true)
+    | exception Not_found -> (t, false)
+
+  (* -- construction, measurement, checking -------------------------------- *)
+
+  let of_list ?branching xs =
+    List.fold_left (fun t x -> insert x t) (create ?branching ()) xs
+
+  let shared_pages ~old t =
+    let module H = Hashtbl.Make (struct
+      type t = node
+
+      let equal = ( == )
+      let hash = Hashtbl.hash
+    end) in
+    let seen = H.create 64 in
+    let rec remember n =
+      if not (H.mem seen n) then begin
+        H.add seen n ();
+        match n with
+        | Leaf _ -> ()
+        | Dir (children, _) -> Array.iter remember children
+      end
+    in
+    remember old.root;
+    let rec go (shared, total) n =
+      if H.mem seen n then
+        let k = pages n in
+        (shared + k, total + k)
+      else
+        match n with
+        | Leaf _ -> (shared, total + 1)
+        | Dir (children, _) ->
+            Array.fold_left go (shared, total + 1) children
+    in
+    go (0, 0) t.root
+
+  exception Broken
+
+  let invariant t =
+    let check_sorted keys lo hi =
+      let n = Array.length keys in
+      for i = 0 to n - 2 do
+        if Elt.compare keys.(i) keys.(i + 1) >= 0 then raise Broken
+      done;
+      (match lo with
+      | Some v when n > 0 && Elt.compare v keys.(0) >= 0 -> raise Broken
+      | _ -> ());
+      match hi with
+      | Some v when n > 0 && Elt.compare keys.(n - 1) v >= 0 -> raise Broken
+      | _ -> ()
+    in
+    let rec check ~root lo hi = function
+      | Leaf keys ->
+          check_sorted keys lo hi;
+          if (not root) && Array.length keys < min_keys t then raise Broken;
+          if Array.length keys > max_keys t then raise Broken;
+          1
+      | Dir (children, keys) ->
+          check_sorted keys lo hi;
+          let nk = Array.length keys in
+          if Array.length children <> nk + 1 then raise Broken;
+          if (not root) && nk < min_keys t then raise Broken;
+          if nk > max_keys t then raise Broken;
+          if root && nk < 1 then raise Broken;
+          let depth = ref (-1) in
+          for i = 0 to nk do
+            let lo' = if i = 0 then lo else Some keys.(i - 1) in
+            let hi' = if i = nk then hi else Some keys.(i) in
+            let d = check ~root:false lo' hi' children.(i) in
+            if !depth = -1 then depth := d
+            else if d <> !depth then raise Broken
+          done;
+          !depth + 1
+    in
+    match check ~root:true None None t.root with
+    | _ -> true
+    | exception Broken -> false
+end

@@ -1,0 +1,47 @@
+(** Persistent B-trees with an explicit page model.
+
+    Section 3.3 of the paper argues that when "the size of a tree node is
+    one physical page", rebuilding the O(log n) pages on the path from the
+    root costs little next to the page-transit time, and Figure 2-2 shows an
+    update producing a new directory that shares every unmodified page with
+    the old one.  Every node here (leaf or directory) is one page;
+    {!val:shared_pages} measures exactly the figure's claim. *)
+
+module Make (Elt : Ordered.S) : sig
+  type t
+
+  val create : ?branching:int -> unit -> t
+  (** [branching] is the maximum number of children per directory page
+      (default 8; minimum 3).  Pages hold at most [branching - 1] keys. *)
+
+  val branching : t -> int
+
+  val of_list : ?branching:int -> Elt.t list -> t
+
+  val to_list : t -> Elt.t list
+
+  val size : t -> int
+
+  val height : t -> int
+
+  val page_count : t -> int
+
+  val member : Elt.t -> t -> bool
+
+  val find : Elt.t -> t -> Elt.t option
+
+  val range : lo:Elt.t -> hi:Elt.t -> t -> Elt.t list
+  (** Elements [x] with [lo <= x <= hi], ascending. *)
+
+  val insert : ?meter:Meter.t -> Elt.t -> t -> t
+  (** Set semantics; meters one allocation per rebuilt page. *)
+
+  val delete : ?meter:Meter.t -> Elt.t -> t -> t * bool
+
+  val shared_pages : old:t -> t -> int * int
+  (** [(shared, total)] over the new version's pages. *)
+
+  val invariant : t -> bool
+  (** Uniform leaf depth, key ordering, and page occupancy bounds (root
+      exempt from the minimum). *)
+end

@@ -1,0 +1,9 @@
+type t = { mutable allocs : int }
+
+let create () = { allocs = 0 }
+let reset m = m.allocs <- 0
+
+let alloc m k =
+  match m with None -> () | Some m -> m.allocs <- m.allocs + k
+
+let allocs m = m.allocs

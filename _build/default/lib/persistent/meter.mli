@@ -1,0 +1,18 @@
+(** Allocation meter for persistent structures.
+
+    The paper's updating story (§2.2, §3.3) is quantitative: a functional
+    update must reconstruct only a small part of a structure — all but
+    [(log n)/n] of a tree-represented relation is shared.  Operations accept
+    an optional meter that counts the nodes (or pages) built by the
+    operation, so benches can report exactly that fraction. *)
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val alloc : t option -> int -> unit
+(** [alloc m k] records [k] freshly built nodes.  [None] meters nothing. *)
+
+val allocs : t -> int

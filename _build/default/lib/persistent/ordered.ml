@@ -1,0 +1,19 @@
+(** Element signature shared by all persistent ordered structures. *)
+
+module type S = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Int = struct
+  type t = int
+
+  let compare = Int.compare
+end
+
+module String = struct
+  type t = string
+
+  let compare = String.compare
+end

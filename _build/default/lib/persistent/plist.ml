@@ -1,0 +1,94 @@
+module Make (Elt : Ordered.S) = struct
+  type cell = Nil | Cons of Elt.t * cell
+
+  type t = cell
+
+  let empty = Nil
+
+  let rec of_sorted = function [] -> Nil | x :: r -> Cons (x, of_sorted r)
+
+  let of_list xs = of_sorted (List.sort Elt.compare xs)
+
+  let to_list t =
+    let rec go acc = function
+      | Nil -> List.rev acc
+      | Cons (x, r) -> go (x :: acc) r
+    in
+    go [] t
+
+  let size t =
+    let rec go n = function Nil -> n | Cons (_, r) -> go (n + 1) r in
+    go 0 t
+
+  let is_empty t = t = Nil
+
+  let rec member x = function
+    | Nil -> false
+    | Cons (y, r) ->
+        let c = Elt.compare x y in
+        if c = 0 then true else if c < 0 then false else member x r
+
+  let rec find p = function
+    | Nil -> None
+    | Cons (y, r) -> if p y then Some y else find p r
+
+  let insert ?meter x t =
+    let rec go = function
+      | Nil ->
+          Meter.alloc meter 1;
+          Cons (x, Nil)
+      | Cons (y, r) as whole ->
+          if Elt.compare x y <= 0 then begin
+            Meter.alloc meter 1;
+            Cons (x, whole)
+          end
+          else begin
+            Meter.alloc meter 1;
+            Cons (y, go r)
+          end
+    in
+    go t
+
+  let delete ?meter x t =
+    let rec go = function
+      | Nil -> (Nil, false)
+      | Cons (y, r) ->
+          let c = Elt.compare x y in
+          if c = 0 then (r, true)
+          else if c < 0 then (Cons (y, r), false)
+          else begin
+            let (r', found) = go r in
+            if found then begin
+              Meter.alloc meter 1;
+              (Cons (y, r'), true)
+            end
+            else (Cons (y, r), false)
+          end
+    in
+    go t
+
+  let shared_cells ~old t =
+    (* Walk the new spine and test physical membership of each Cons cell in
+       the old spine ([Nil] is an immediate value, not a cell).  Suffix
+       sharing means that once a shared cell is found the rest is shared
+       too, but we verify cell by cell to keep the measurement
+       assumption-free. *)
+    let rec mem_phys cell = function
+      | Nil -> false
+      | Cons (_, r) as c -> cell == c || mem_phys cell r
+    in
+    let rec go shared total = function
+      | Nil -> (shared, total)
+      | Cons (_, r) as c ->
+          let shared = if mem_phys c old then shared + 1 else shared in
+          go shared (total + 1) r
+    in
+    go 0 0 t
+
+  let invariant t =
+    let rec go = function
+      | Nil | Cons (_, Nil) -> true
+      | Cons (x, (Cons (y, _) as r)) -> Elt.compare x y <= 0 && go r
+    in
+    go t
+end

@@ -1,0 +1,40 @@
+(** Persistent ordered linked list — the relation representation used in the
+    paper's experiments ("for simplicity, a linked-list implementation of
+    both the database and individual relations was used", §4).
+
+    An ordered insert copies the prefix before the insertion point and
+    shares the suffix; this is the pure counterpart of
+    {!Fdb_lenient.Llist.insert_ordered}. *)
+
+module Make (Elt : Ordered.S) : sig
+  type t
+
+  val empty : t
+
+  val of_list : Elt.t list -> t
+  (** Sorts the input. *)
+
+  val to_list : t -> Elt.t list
+
+  val size : t -> int
+
+  val is_empty : t -> bool
+
+  val member : Elt.t -> t -> bool
+
+  val find : (Elt.t -> bool) -> t -> Elt.t option
+
+  val insert : ?meter:Meter.t -> Elt.t -> t -> t
+  (** Ordered insert; duplicates are kept adjacent.  Meters one allocation
+      per copied cell plus one for the new cell. *)
+
+  val delete : ?meter:Meter.t -> Elt.t -> t -> t * bool
+  (** Remove the first element equal to the argument. *)
+
+  val shared_cells : old:t -> t -> int * int
+  (** [(shared, total)]: of the new version's [total] cells, how many are
+      physically shared with the old version. *)
+
+  val invariant : t -> bool
+  (** Elements are in nondecreasing order. *)
+end

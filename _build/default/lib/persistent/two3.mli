@@ -1,0 +1,33 @@
+(** Persistent 2-3 trees.
+
+    The paper cites Hoffman & O'Donnell's equational 2-3 tree programs
+    (transcribed to FEL by Ibrahim) as the tree representation whose
+    functional updating shares all but O(log n) of a relation.  Set
+    semantics; full insert and delete with rebalancing. *)
+
+module Make (Elt : Ordered.S) : sig
+  type t
+
+  val empty : t
+
+  val of_list : Elt.t list -> t
+
+  val to_list : t -> Elt.t list
+
+  val size : t -> int
+
+  val height : t -> int
+
+  val member : Elt.t -> t -> bool
+
+  val find : Elt.t -> t -> Elt.t option
+
+  val insert : ?meter:Meter.t -> Elt.t -> t -> t
+
+  val delete : ?meter:Meter.t -> Elt.t -> t -> t * bool
+
+  val shared_nodes : old:t -> t -> int * int
+
+  val invariant : t -> bool
+  (** All leaves at the same depth; keys strictly ordered. *)
+end

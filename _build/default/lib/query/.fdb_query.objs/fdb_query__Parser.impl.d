@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Fdb_relational Format Lexer List Printf String Value

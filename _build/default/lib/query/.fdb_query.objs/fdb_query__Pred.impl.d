@@ -1,0 +1,1 @@
+lib/query/pred.ml: Ast Fdb_relational Format List Printf Result Schema Tuple Value

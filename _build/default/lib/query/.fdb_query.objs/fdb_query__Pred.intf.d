@@ -1,0 +1,1 @@
+lib/query/pred.mli: Ast Fdb_relational Schema Tuple Value

@@ -1,0 +1,108 @@
+open Fdb_relational
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | True
+  | Cmp of string * cmp * Value.t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type agg = Sum | Min | Max
+
+type query =
+  | Insert of { rel : string; values : Value.t list }
+  | Find of { rel : string; key : Value.t }
+  | Delete of { rel : string; key : Value.t }
+  | Select of { rel : string; cols : string list option; where : pred }
+  | Count of { rel : string }
+  | Aggregate of { agg : agg; rel : string; col : string; where : pred }
+  | Update of { rel : string; col : string; value : Value.t; where : pred }
+  | Join of { left : string; right : string; on : string * string }
+
+let is_update = function
+  | Insert _ | Delete _ | Update _ -> true
+  | Find _ | Select _ | Count _ | Aggregate _ | Join _ -> false
+
+let relations_touched = function
+  | Insert { rel; _ } | Find { rel; _ } | Delete { rel; _ }
+  | Select { rel; _ } | Count { rel } | Aggregate { rel; _ }
+  | Update { rel; _ } ->
+      [ rel ]
+  | Join { left; right; _ } -> [ left; right ]
+
+let pp_cmp ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Eq -> "="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+(* Precedence: Or (1) < And (2) < Not (3); parenthesize when a child binds
+   looser than its context.  The parser is right-associative, so the left
+   operand prints one level tighter: a left-nested (a and b) and c keeps
+   its parentheses and round-trips. *)
+let rec pp_pred_prec prec ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Cmp (col, c, v) -> Format.fprintf ppf "%s %a %a" col pp_cmp c Value.pp v
+  | And (a, b) ->
+      let body ppf () =
+        Format.fprintf ppf "%a and %a" (pp_pred_prec 3) a (pp_pred_prec 2) b
+      in
+      if prec > 2 then Format.fprintf ppf "(%a)" body ()
+      else body ppf ()
+  | Or (a, b) ->
+      let body ppf () =
+        Format.fprintf ppf "%a or %a" (pp_pred_prec 2) a (pp_pred_prec 1) b
+      in
+      if prec > 1 then Format.fprintf ppf "(%a)" body ()
+      else body ppf ()
+  | Not p -> Format.fprintf ppf "not %a" (pp_pred_prec 4) p
+
+let pp_pred = pp_pred_prec 0
+
+let pp_values ppf vs =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Value.pp)
+    vs
+
+let pp ppf = function
+  | Insert { rel; values } ->
+      Format.fprintf ppf "insert %a into %s" pp_values values rel
+  | Find { rel; key } -> Format.fprintf ppf "find %a in %s" Value.pp key rel
+  | Delete { rel; key } ->
+      Format.fprintf ppf "delete %a from %s" Value.pp key rel
+  | Select { rel; cols; where } ->
+      let pp_cols ppf = function
+        | None -> Format.pp_print_string ppf "*"
+        | Some cs ->
+            Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+              Format.pp_print_string ppf cs
+      in
+      Format.fprintf ppf "select %a from %s" pp_cols cols rel;
+      (match where with
+      | True -> ()
+      | w -> Format.fprintf ppf " where %a" pp_pred w)
+  | Count { rel } -> Format.fprintf ppf "count %s" rel
+  | Aggregate { agg; rel; col; where } ->
+      let verb = match agg with Sum -> "sum" | Min -> "min" | Max -> "max" in
+      Format.fprintf ppf "%s %s from %s" verb col rel;
+      (match where with
+      | True -> ()
+      | w -> Format.fprintf ppf " where %a" pp_pred w)
+  | Update { rel; col; value; where } ->
+      Format.fprintf ppf "update %s set %s = %a" rel col Value.pp value;
+      (match where with
+      | True -> ()
+      | w -> Format.fprintf ppf " where %a" pp_pred w)
+  | Join { left; right; on = (lc, rc) } ->
+      Format.fprintf ppf "join %s and %s on %s = %s" left right lc rc
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,53 @@
+(** Abstract syntax of the symbolic query language (paper §2.1: "an
+    incoming query is in symbolic form").
+
+    Concrete syntax examples:
+    - [insert (7, "g") into R]
+    - [find 7 in R]
+    - [delete 7 from R]
+    - [select name, age from People where age >= 30 and not (name = "x")]
+    - [count R]
+    - [sum age from People where age >= 30], [min age from People]
+    - [update People set age = 38 where name = "ada"]
+    - [join R and S on b = c] *)
+
+open Fdb_relational
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | True
+  | Cmp of string * cmp * Value.t  (** column, operator, literal *)
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type agg = Sum | Min | Max
+
+type query =
+  | Insert of { rel : string; values : Value.t list }
+  | Find of { rel : string; key : Value.t }
+  | Delete of { rel : string; key : Value.t }
+  | Select of { rel : string; cols : string list option; where : pred }
+      (** [cols = None] means [*]. *)
+  | Count of { rel : string }
+  | Aggregate of { agg : agg; rel : string; col : string; where : pred }
+      (** [sum col from R where ...] / [min ...] / [max ...] *)
+  | Update of { rel : string; col : string; value : Value.t; where : pred }
+      (** [update R set col = v where ...]; the key column cannot be
+          updated. *)
+  | Join of { left : string; right : string; on : string * string }
+
+val is_update : query -> bool
+(** Does the query produce a new database version? *)
+
+val relations_touched : query -> string list
+
+val pp_cmp : Format.formatter -> cmp -> unit
+
+val pp_pred : Format.formatter -> pred -> unit
+
+val pp : Format.formatter -> query -> unit
+(** Prints valid concrete syntax (parses back to the same query). *)
+
+val to_string : query -> string

@@ -1,0 +1,12 @@
+(** Recursive-descent parser: the symbolic half of the paper's
+    [translate : queries -> transactions]. *)
+
+val parse : string -> (Ast.query, string) result
+(** Parse one query.  Errors are human-readable messages. *)
+
+val parse_exn : string -> Ast.query
+(** @raise Failure with the error message. *)
+
+val parse_script : string -> (Ast.query list, string) result
+(** Parse a [;]-or-newline-separated sequence of queries; blank lines and
+    [--] comments are skipped. *)

@@ -1,0 +1,29 @@
+(** Predicate compilation: resolve column names against a schema once,
+    producing a tuple test.  This is the "higher-order function" step of the
+    paper's [translate] (§2.1). *)
+
+open Fdb_relational
+
+val compile : Schema.t -> Ast.pred -> (Tuple.t -> bool, string) result
+(** [Error] when a predicate mentions a column the schema lacks. *)
+
+val eval : Schema.t -> Ast.pred -> Tuple.t -> (bool, string) result
+(** One-shot convenience wrapper over {!val:compile}. *)
+
+val compile_aggregate :
+  Schema.t -> Ast.agg -> string -> Ast.pred ->
+  ( (Value.t option -> Tuple.t -> Value.t option)
+    * (Value.t option -> Value.t option),
+    string )
+  result
+(** [(step, finish)] for a fold over the relation's tuples: [step] folds
+    one (filtered) tuple into the accumulator, [finish] closes it (the sum
+    of no rows is [Int 0]; min/max of no rows is [None]).  Errors: unknown
+    column, or [sum] over a non-numeric column. *)
+
+val compile_update :
+  Schema.t -> string -> Value.t -> Ast.pred ->
+  (Tuple.t -> Tuple.t option, string) result
+(** A per-tuple rewrite: [Some t'] when the tuple matches and changes.
+    Errors: unknown column, attempting to update the key column (0), or a
+    value of the wrong type. *)

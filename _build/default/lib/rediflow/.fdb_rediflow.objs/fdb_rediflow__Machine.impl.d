@@ -1,0 +1,1 @@
+lib/rediflow/machine.ml: Array Engine Fabric Fdb_kernel Fdb_net List Queue Topology

@@ -1,0 +1,1 @@
+lib/rediflow/machine.mli: Engine Fabric Fdb_kernel Fdb_net Topology

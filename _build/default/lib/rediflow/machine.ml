@@ -1,0 +1,140 @@
+open Fdb_kernel
+open Fdb_net
+
+type config = {
+  topo : Topology.t;
+  link_capacity : int;
+  balance : bool;
+  balance_threshold : int;
+}
+
+let default_config topo =
+  { topo; link_capacity = 1; balance = true; balance_threshold = 2 }
+
+type t = {
+  cfg : config;
+  n : int;
+  ready : Engine.task Queue.t array;
+  incoming : Engine.task Queue.t array;  (* arrivals, merged at advance *)
+  fabric : Engine.task Fabric.t;
+  pe_tasks : int array;
+  mutable migrations : int;
+  mutable idle_cycles : int;
+}
+
+let create cfg =
+  let n = Topology.size cfg.topo in
+  {
+    cfg;
+    n;
+    ready = Array.init n (fun _ -> Queue.create ());
+    incoming = Array.init n (fun _ -> Queue.create ());
+    fabric = Fabric.create ~link_capacity:cfg.link_capacity cfg.topo;
+    pe_tasks = Array.make n 0;
+    migrations = 0;
+    idle_cycles = 0;
+  }
+
+let clamp_site m s = if s < 0 || s >= m.n then 0 else s
+
+let enqueue m (task : Engine.task) ~src =
+  task.Engine.home <- clamp_site m task.Engine.home;
+  let dst = task.Engine.home in
+  if src < 0 || src = dst then Queue.push task m.incoming.(dst)
+  else Fabric.send m.fabric ~src:(clamp_site m src) ~dst task
+
+let next_batch m =
+  let batch = ref [] in
+  for pe = m.n - 1 downto 0 do
+    if not (Queue.is_empty m.ready.(pe)) then begin
+      let task = Queue.pop m.ready.(pe) in
+      m.pe_tasks.(pe) <- m.pe_tasks.(pe) + 1;
+      batch := task :: !batch
+    end
+  done;
+  if !batch = [] then m.idle_cycles <- m.idle_cycles + 1;
+  !batch
+
+let balance m =
+  (* Pressure diffusion: service links in fixed order; move at most one
+     task per directed link per cycle, from the tail of the heavier queue
+     toward the lighter neighbour.  The export travels like any message. *)
+  let moved = Array.make m.n 0 in
+  let consider (u, v) =
+    let lu = Queue.length m.ready.(u) - moved.(u)
+    and lv = Queue.length m.ready.(v) in
+    if lu > lv + m.cfg.balance_threshold then begin
+      (* take from the back: keep old work local, export fresh work *)
+      let keep = Queue.create () in
+      Queue.transfer m.ready.(u) keep;
+      let exported = ref None in
+      while not (Queue.is_empty keep) do
+        let t = Queue.pop keep in
+        if Queue.is_empty keep && !exported = None then exported := Some t
+        else Queue.push t m.ready.(u)
+      done;
+      match !exported with
+      | None -> ()
+      | Some task ->
+          moved.(u) <- moved.(u) + 1;
+          m.migrations <- m.migrations + 1;
+          task.Engine.home <- v;
+          Fabric.send m.fabric ~src:u ~dst:v task
+    end
+  in
+  List.iter consider (Topology.links m.cfg.topo)
+
+let advance m =
+  List.iter
+    (fun (dst, (task : Engine.task)) ->
+      task.Engine.home <- dst;
+      Queue.push task m.incoming.(dst))
+    (Fabric.step m.fabric);
+  for pe = 0 to m.n - 1 do
+    Queue.transfer m.incoming.(pe) m.ready.(pe)
+  done;
+  if m.cfg.balance then balance m
+
+let pending m =
+  Fabric.in_flight m.fabric > 0
+  || Array.exists (fun q -> not (Queue.is_empty q)) m.ready
+  || Array.exists (fun q -> not (Queue.is_empty q)) m.incoming
+
+let scheduler m =
+  {
+    Engine.sched_name = Topology.name m.cfg.topo;
+    sched_enqueue = (fun task ~src -> enqueue m task ~src);
+    sched_next_batch = (fun () -> next_batch m);
+    sched_advance = (fun () -> advance m);
+    sched_pending = (fun () -> pending m);
+  }
+
+type machine_stats = {
+  pe_tasks : int array;
+  migrations : int;
+  net : Fabric.stats;
+  idle_cycles : int;
+}
+
+let machine_stats (m : t) =
+  {
+    pe_tasks = Array.copy m.pe_tasks;
+    migrations = m.migrations;
+    net = Fabric.stats m.fabric;
+    idle_cycles = m.idle_cycles;
+  }
+
+let utilization st ~cycles =
+  let p = Array.length st.pe_tasks in
+  if p = 0 || cycles = 0 then 0.0
+  else
+    float_of_int (Array.fold_left ( + ) 0 st.pe_tasks)
+    /. float_of_int (p * cycles)
+
+let imbalance st =
+  let p = Array.length st.pe_tasks in
+  let total = Array.fold_left ( + ) 0 st.pe_tasks in
+  if p = 0 || total = 0 then 1.0
+  else
+    let mx = Array.fold_left max 0 st.pe_tasks in
+    float_of_int mx /. (float_of_int total /. float_of_int p)

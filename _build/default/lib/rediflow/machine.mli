@@ -1,0 +1,50 @@
+(** The Rediflow machine simulator (paper §4, second simulation mode).
+
+    A fixed set of processing elements sits on a {!Fdb_net.Topology.t}.
+    Each PE executes at most one unit task per cycle from its local ready
+    queue.  A task enabled by an event on another PE travels the network
+    store-and-forward (one hop per cycle, per-link FIFO) before becoming
+    ready — this is the "communication delay taken into account".
+
+    Load management uses Rediflow's pressure model: after each cycle a PE
+    whose queue exceeds a neighbour's by more than [balance_threshold]
+    exports one queued task along that link (at normal message cost).
+
+    Use {!val:scheduler} to drive an {!Fdb_kernel.Engine.t}; speedup
+    relative to the one-PE run of the same program is the figure reported
+    in the paper's Tables II and III. *)
+
+open Fdb_kernel
+open Fdb_net
+
+type config = {
+  topo : Topology.t;
+  link_capacity : int;  (** messages per link per cycle (default 1) *)
+  balance : bool;  (** pressure-gradient load balancing (default on) *)
+  balance_threshold : int;  (** queue-length difference that triggers an
+                                export (default 2) *)
+}
+
+val default_config : Topology.t -> config
+
+type t
+
+val create : config -> t
+
+val scheduler : t -> Engine.scheduler
+(** Scheduler to pass to {!Fdb_kernel.Engine.create}. *)
+
+type machine_stats = {
+  pe_tasks : int array;  (** tasks executed per PE *)
+  migrations : int;  (** load-balancing task exports *)
+  net : Fabric.stats;
+  idle_cycles : int;  (** cycles in which no PE executed anything *)
+}
+
+val machine_stats : t -> machine_stats
+
+val utilization : machine_stats -> cycles:int -> float
+(** Mean fraction of PE-cycles spent executing tasks. *)
+
+val imbalance : machine_stats -> float
+(** max/mean of per-PE task counts (1.0 = perfectly balanced). *)

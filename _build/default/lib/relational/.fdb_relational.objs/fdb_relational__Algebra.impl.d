@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array List Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Format List Option Printf Relation Result Schema String

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Avl Btree Fdb_persistent Format List Plist Printf Schema Tuple Two3 Value

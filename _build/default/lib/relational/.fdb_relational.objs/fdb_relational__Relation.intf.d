@@ -1,0 +1,1 @@
+lib/relational/relation.mli: Fdb_persistent Format Schema Tuple Value

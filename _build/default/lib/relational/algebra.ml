@@ -1,0 +1,34 @@
+let select = List.filter
+
+let project idxs tuples =
+  let pick t =
+    Array.of_list
+      (List.map
+         (fun i ->
+           if i < 0 || i >= Tuple.arity t then
+             invalid_arg "Algebra.project: column index out of range"
+           else Tuple.get t i)
+         idxs)
+  in
+  List.map pick tuples
+
+let join ~left_col ~right_col left right =
+  List.concat_map
+    (fun lt ->
+      List.filter_map
+        (fun rt ->
+          if Value.equal (Tuple.get lt left_col) (Tuple.get rt right_col) then
+            Some (Array.append lt rt)
+          else None)
+        right)
+    left
+
+let union a b = List.sort_uniq Tuple.compare (a @ b)
+
+let difference a b =
+  List.filter (fun t -> not (List.exists (Tuple.equal t) b)) a
+
+let intersection a b = List.filter (fun t -> List.exists (Tuple.equal t) b) a
+
+let product a b =
+  List.concat_map (fun lt -> List.map (fun rt -> Array.append lt rt) b) a

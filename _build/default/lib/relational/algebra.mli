@@ -1,0 +1,23 @@
+(** Relational-algebra operators over materialized tuple lists.
+
+    These are the pure building blocks used by query translation; the
+    lenient engine versions (which pipeline) live in the core library. *)
+
+val select : (Tuple.t -> bool) -> Tuple.t list -> Tuple.t list
+
+val project : int list -> Tuple.t list -> Tuple.t list
+(** Keep the given column indices, in the given order.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val join : left_col:int -> right_col:int -> Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Natural join on one column pair; result tuples are the concatenation of
+    the matching pairs. *)
+
+val union : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Set union (by full-tuple equality), result sorted. *)
+
+val difference : Tuple.t list -> Tuple.t list -> Tuple.t list
+
+val intersection : Tuple.t list -> Tuple.t list -> Tuple.t list
+
+val product : Tuple.t list -> Tuple.t list -> Tuple.t list

@@ -1,0 +1,37 @@
+(** The versioned database: an immutable mapping from relation names to
+    relations (paper §2.1).  Every update produces a new version that shares
+    all untouched relations with its predecessor — the "selective object
+    copying" the concurrency story depends on. *)
+
+type t
+
+val create : ?backend:Relation.backend -> Schema.t list -> t
+(** Empty relations, one per schema.
+    @raise Invalid_argument on duplicate relation names. *)
+
+val names : t -> string list
+
+val relation : t -> string -> Relation.t option
+
+val schema_of : t -> string -> Schema.t option
+
+val replace : t -> string -> Relation.t -> t
+(** New version with one slot replaced; all other slots physically shared.
+    @raise Invalid_argument when the name is unknown. *)
+
+val insert : t -> rel:string -> Tuple.t -> (t * bool, string) result
+(** [Ok (db', added)]; [Error] on unknown relation or schema mismatch. *)
+
+val delete : t -> rel:string -> key:Value.t -> (t * bool, string) result
+
+val find : t -> rel:string -> key:Value.t -> (Tuple.t option, string) result
+
+val total_tuples : t -> int
+
+val load : t -> rel:string -> Tuple.t list -> (t, string) result
+(** Bulk insert. *)
+
+val shares_relation : old:t -> t -> string -> bool
+(** Is the named relation physically the same object in both versions? *)
+
+val pp : Format.formatter -> t -> unit

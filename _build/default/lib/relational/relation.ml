@@ -1,0 +1,156 @@
+open Fdb_persistent
+
+module TupleByKey = struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare_key
+end
+
+module PL = Plist.Make (TupleByKey)
+module AV = Avl.Make (TupleByKey)
+module T23 = Two3.Make (TupleByKey)
+module BT = Btree.Make (TupleByKey)
+
+type backend =
+  | List_backend
+  | Avl_backend
+  | Two3_backend
+  | Btree_backend of int
+
+let backend_name = function
+  | List_backend -> "list"
+  | Avl_backend -> "avl"
+  | Two3_backend -> "two3"
+  | Btree_backend b -> Printf.sprintf "btree-%d" b
+
+type repr =
+  | L of PL.t
+  | A of AV.t
+  | T of T23.t
+  | B of BT.t
+
+type t = { schema : Schema.t; back : backend; repr : repr }
+
+let create ?(backend = List_backend) schema =
+  let repr =
+    match backend with
+    | List_backend -> L PL.empty
+    | Avl_backend -> A AV.empty
+    | Two3_backend -> T T23.empty
+    | Btree_backend b -> B (BT.create ~branching:b ())
+  in
+  { schema; back = backend; repr }
+
+let schema r = r.schema
+let backend r = r.back
+
+let size r =
+  match r.repr with
+  | L l -> PL.size l
+  | A a -> AV.size a
+  | T t -> T23.size t
+  | B b -> BT.size b
+
+let to_list r =
+  match r.repr with
+  | L l -> PL.to_list l
+  | A a -> AV.to_list a
+  | T t -> T23.to_list t
+  | B b -> BT.to_list b
+
+(* A probe tuple carrying only the key; compare_key ignores the rest. *)
+let probe key = [| key |]
+
+let mem_key r key =
+  match r.repr with
+  | L l -> PL.member (probe key) l
+  | A a -> AV.member (probe key) a
+  | T t -> T23.member (probe key) t
+  | B b -> BT.member (probe key) b
+
+let find_key r key =
+  match r.repr with
+  | L l -> PL.find (fun tup -> Value.equal (Tuple.key tup) key) l
+  | A a -> AV.find (probe key) a
+  | T t -> T23.find (probe key) t
+  | B b -> BT.find (probe key) b
+
+let insert ?meter r tuple =
+  if not (Schema.matches r.schema tuple) then
+    Error
+      (Format.asprintf "tuple %a does not match schema %a" Tuple.pp tuple
+         Schema.pp r.schema)
+  else if mem_key r (Tuple.key tuple) then Ok (r, false)
+  else
+    let repr =
+      match r.repr with
+      | L l -> L (PL.insert ?meter tuple l)
+      | A a -> A (AV.insert ?meter tuple a)
+      | T t -> T (T23.insert ?meter tuple t)
+      | B b -> B (BT.insert ?meter tuple b)
+    in
+    Ok ({ r with repr }, true)
+
+let delete_key ?meter r key =
+  match r.repr with
+  | L l ->
+      let (l', found) = PL.delete ?meter (probe key) l in
+      ({ r with repr = L l' }, found)
+  | A a ->
+      let (a', found) = AV.delete ?meter (probe key) a in
+      ({ r with repr = A a' }, found)
+  | T t ->
+      let (t', found) = T23.delete ?meter (probe key) t in
+      ({ r with repr = T t' }, found)
+  | B b ->
+      let (b', found) = BT.delete ?meter (probe key) b in
+      ({ r with repr = B b' }, found)
+
+let select r pred = List.filter pred (to_list r)
+
+let update ?meter r rewrite =
+  (* Rewrites preserve the key, so delete + insert per touched row keeps
+     the representation's ordering invariants. *)
+  let touched =
+    List.filter_map
+      (fun tup ->
+        match rewrite tup with
+        | None -> None
+        | Some tup' ->
+            if not (Value.equal (Tuple.key tup) (Tuple.key tup')) then
+              invalid_arg "Relation.update: rewrite changed the key";
+            Some tup')
+      (to_list r)
+  in
+  let r' =
+    List.fold_left
+      (fun r tup ->
+        let (r, _) = delete_key ?meter r (Tuple.key tup) in
+        match insert ?meter r tup with
+        | Ok (r, _) -> r
+        | Error e -> invalid_arg ("Relation.update: " ^ e))
+      r touched
+  in
+  (r', List.length touched)
+
+let of_tuples ?backend schema tuples =
+  let rec go r = function
+    | [] -> Ok r
+    | tup :: rest -> (
+        match insert r tup with
+        | Ok (r', _) -> go r' rest
+        | Error e -> Error e)
+  in
+  go (create ?backend schema) tuples
+
+let shared_units ~old r =
+  match (old.repr, r.repr) with
+  | (L o, L n) -> PL.shared_cells ~old:o n
+  | (A o, A n) -> AV.shared_nodes ~old:o n
+  | (T o, T n) -> T23.shared_nodes ~old:o n
+  | (B o, B n) -> BT.shared_pages ~old:o n
+  | _ -> invalid_arg "Relation.shared_units: backend mismatch"
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a [%s, %d tuples]@]" Schema.pp r.schema
+    (backend_name r.back) (size r)

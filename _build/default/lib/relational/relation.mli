@@ -1,0 +1,56 @@
+(** A relation: a persistent set of tuples with unique keys (column 0),
+    stored in one of the interchangeable persistent representations.
+
+    The paper's experiments use the linked-list backend; §2.2/§3.3 project
+    tree backends for better sharing — the ablation benches compare them. *)
+
+type backend =
+  | List_backend  (** ordered linked list (the paper's experimental setup) *)
+  | Avl_backend
+  | Two3_backend
+  | Btree_backend of int  (** branching factor *)
+
+val backend_name : backend -> string
+
+type t
+
+val create : ?backend:backend -> Schema.t -> t
+(** Empty relation (default backend: [List_backend]). *)
+
+val schema : t -> Schema.t
+
+val backend : t -> backend
+
+val size : t -> int
+
+val to_list : t -> Tuple.t list
+(** Ascending key order. *)
+
+val insert : ?meter:Fdb_persistent.Meter.t -> t -> Tuple.t -> (t * bool, string) result
+(** [Ok (t', added)]: [added] is false when the key was already present
+    (the relation is returned physically unchanged).  [Error] on schema
+    mismatch. *)
+
+val delete_key : ?meter:Fdb_persistent.Meter.t -> t -> Value.t -> t * bool
+
+val find_key : t -> Value.t -> Tuple.t option
+
+val mem_key : t -> Value.t -> bool
+
+val select : t -> (Tuple.t -> bool) -> Tuple.t list
+
+val update : ?meter:Fdb_persistent.Meter.t -> t -> (Tuple.t -> Tuple.t option) -> t * int
+(** Rewrite tuples: the function returns [Some t'] for rows to replace
+    (the key must not change — enforced with [Invalid_argument]).  Returns
+    the rewrite count. *)
+
+val of_tuples : ?backend:backend -> Schema.t -> Tuple.t list -> (t, string) result
+(** Bulk load; fails on the first schema mismatch.  Duplicate keys keep the
+    first occurrence. *)
+
+val shared_units : old:t -> t -> int * int
+(** [(shared, total)] physical sharing (cells, nodes or pages, per the
+    backend) of the new version against the old.  Both must use the same
+    backend. @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit

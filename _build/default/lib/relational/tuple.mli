@@ -1,0 +1,28 @@
+(** Tuples of data items.  By convention, component 0 is the key used for
+    [find]/[delete] by key and for relation ordering. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+
+val key : t -> Value.t
+(** @raise Invalid_argument on the empty tuple. *)
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+
+val set : t -> int -> Value.t -> t
+(** Copy with one component replaced. *)
+
+val compare : t -> t -> int
+(** Lexicographic, so key-first. *)
+
+val equal : t -> t -> bool
+
+val compare_key : t -> t -> int
+(** Key components only. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,31 @@
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Real of float
+
+let rank = function Int _ -> 0 | Str _ -> 1 | Bool _ -> 2 | Real _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | (Int x, Int y) -> Int.compare x y
+  | (Str x, Str y) -> String.compare x y
+  | (Bool x, Bool y) -> Bool.compare x y
+  | (Real x, Real y) -> Float.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Int x -> Format.fprintf ppf "%d" x
+  | Str x -> Format.fprintf ppf "%S" x
+  | Bool x -> Format.fprintf ppf "%b" x
+  | Real x -> Format.fprintf ppf "%g" x
+
+let to_string v = Format.asprintf "%a" pp v
+
+let type_name = function
+  | Int _ -> "int"
+  | Str _ -> "string"
+  | Bool _ -> "bool"
+  | Real _ -> "real"

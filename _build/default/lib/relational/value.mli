@@ -1,0 +1,19 @@
+(** Atomic data items stored in tuples. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Real of float
+
+val compare : t -> t -> int
+(** Total order: within a constructor the natural order; across
+    constructors, by constructor (Int < Str < Bool < Real). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val type_name : t -> string

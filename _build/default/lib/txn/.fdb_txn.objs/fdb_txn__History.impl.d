@@ -1,0 +1,1 @@
+lib/txn/history.ml: Database Fdb_relational List Txn

@@ -1,0 +1,1 @@
+lib/txn/history.mli: Database Fdb_query Fdb_relational Txn

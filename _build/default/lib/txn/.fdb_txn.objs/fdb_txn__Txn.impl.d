@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Algebra Database Fdb_query Fdb_relational Format List Option Printf Relation Result Schema String Tuple Value

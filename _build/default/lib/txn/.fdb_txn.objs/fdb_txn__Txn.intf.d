@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Database Fdb_query Fdb_relational Format Tuple Value

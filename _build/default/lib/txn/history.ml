@@ -1,0 +1,60 @@
+open Fdb_relational
+
+type t = { versions : Database.t list (* newest first, never empty *) }
+
+let create db0 = { versions = [ db0 ] }
+
+let newest t =
+  match t.versions with [] -> assert false | db :: _ -> db
+
+let commit t txn =
+  let (response, db') = txn (newest t) in
+  ({ versions = db' :: t.versions }, response)
+
+let commit_query t query = commit t (Txn.translate query)
+
+let of_queries db0 queries =
+  let (t, rev_responses) =
+    List.fold_left
+      (fun (t, acc) query ->
+        let (t', r) = commit_query t query in
+        (t', r :: acc))
+      (create db0, [])
+      queries
+  in
+  (t, List.rev rev_responses)
+
+let length t = List.length t.versions
+
+let version t i =
+  let n = length t in
+  if i < 0 || i >= n then invalid_arg "History.version: out of range";
+  List.nth t.versions (n - 1 - i)
+
+let latest = newest
+
+let query_at t i query = fst (Txn.translate query (version t i))
+
+let changed_relations t i =
+  if i <= 0 then []
+  else
+    let before = version t (i - 1) and after = version t i in
+    List.filter
+      (fun name -> not (Database.shares_relation ~old:before after name))
+      (Database.names after)
+
+let sharing_ratio t =
+  let n = length t in
+  if n < 2 then 1.0
+  else begin
+    let shared = ref 0 and total = ref 0 in
+    for i = 1 to n - 1 do
+      let before = version t (i - 1) and after = version t i in
+      List.iter
+        (fun name ->
+          incr total;
+          if Database.shares_relation ~old:before after name then incr shared)
+        (Database.names after)
+    done;
+    float_of_int !shared /. float_of_int !total
+  end

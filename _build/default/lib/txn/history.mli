@@ -1,0 +1,42 @@
+(** Complete archives of database versions (paper §3.3: "there is reason to
+    believe that some applications will permit 'complete archives' to be
+    constructed").
+
+    Because every transaction produces a new version that shares almost all
+    structure with its predecessor, retaining {e every} version is cheap —
+    and gives time travel for free: any historical version answers
+    read-only queries exactly as it did when it was current. *)
+
+open Fdb_relational
+
+type t
+
+val create : Database.t -> t
+(** An archive whose version 0 is the initial database. *)
+
+val commit : t -> Txn.t -> t * Txn.response
+(** Apply a transaction to the newest version and archive the result. *)
+
+val commit_query : t -> Fdb_query.Ast.query -> t * Txn.response
+
+val of_queries : Database.t -> Fdb_query.Ast.query list -> t * Txn.response list
+
+val length : t -> int
+(** Number of versions, including version 0. *)
+
+val version : t -> int -> Database.t
+(** @raise Invalid_argument when out of range. *)
+
+val latest : t -> Database.t
+
+val query_at : t -> int -> Fdb_query.Ast.query -> Txn.response
+(** Run a query against a historical version (read-only: the archive is
+    not extended, and an update query's new version is discarded). *)
+
+val changed_relations : t -> int -> string list
+(** Relations physically replaced by version [i] (relative to [i - 1]);
+    empty for version 0 or read-only transactions. *)
+
+val sharing_ratio : t -> float
+(** Across consecutive versions, the fraction of relation slots physically
+    shared — the archive-cheapness measurement (1.0 = everything shared). *)

@@ -1,0 +1,161 @@
+open Fdb_relational
+module Ast = Fdb_query.Ast
+module Pred = Fdb_query.Pred
+module Parser = Fdb_query.Parser
+
+type response =
+  | Inserted of bool
+  | Found of Tuple.t option
+  | Deleted of bool
+  | Selected of Tuple.t list
+  | Counted of int
+  | Aggregated of Value.t option
+  | Updated of int
+  | Joined of Tuple.t list
+  | Failed of string
+
+let response_equal a b =
+  match (a, b) with
+  | (Inserted x, Inserted y) -> x = y
+  | (Found x, Found y) -> Option.equal Tuple.equal x y
+  | (Deleted x, Deleted y) -> x = y
+  | (Selected x, Selected y) -> List.equal Tuple.equal x y
+  | (Counted x, Counted y) -> x = y
+  | (Aggregated x, Aggregated y) -> Option.equal Value.equal x y
+  | (Updated x, Updated y) -> x = y
+  | (Joined x, Joined y) -> List.equal Tuple.equal x y
+  | (Failed x, Failed y) -> String.equal x y
+  | ( ( Inserted _ | Found _ | Deleted _ | Selected _ | Counted _
+      | Aggregated _ | Updated _ | Joined _ | Failed _ ),
+      _ ) ->
+      false
+
+let pp_tuples ppf ts =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Tuple.pp)
+    ts
+
+let pp_response ppf = function
+  | Inserted b -> Format.fprintf ppf "inserted %b" b
+  | Found None -> Format.fprintf ppf "found nothing"
+  | Found (Some t) -> Format.fprintf ppf "found %a" Tuple.pp t
+  | Deleted b -> Format.fprintf ppf "deleted %b" b
+  | Selected ts -> Format.fprintf ppf "selected %a" pp_tuples ts
+  | Counted n -> Format.fprintf ppf "counted %d" n
+  | Aggregated None -> Format.fprintf ppf "aggregated nothing"
+  | Aggregated (Some v) -> Format.fprintf ppf "aggregated %a" Value.pp v
+  | Updated n -> Format.fprintf ppf "updated %d" n
+  | Joined ts -> Format.fprintf ppf "joined %a" pp_tuples ts
+  | Failed msg -> Format.fprintf ppf "failed: %s" msg
+
+type t = Database.t -> response * Database.t
+
+let fail db msg = (Failed msg, db)
+
+let with_relation db rel k =
+  match Database.relation db rel with
+  | None -> fail db (Printf.sprintf "unknown relation %s" rel)
+  | Some r -> k r
+
+let resolve_columns schema cols =
+  let rec go = function
+    | [] -> Ok []
+    | c :: rest -> (
+        match Schema.column_index schema c with
+        | None ->
+            Error
+              (Printf.sprintf "relation %s has no column %s"
+                 (Schema.name schema) c)
+        | Some i -> Result.map (fun is -> i :: is) (go rest))
+  in
+  go cols
+
+let translate query : t =
+  match query with
+  | Ast.Insert { rel; values } ->
+      fun db -> (
+        match Database.insert db ~rel (Tuple.make values) with
+        | Ok (db', added) -> (Inserted added, db')
+        | Error e -> fail db e)
+  | Ast.Find { rel; key } ->
+      fun db -> (
+        match Database.find db ~rel ~key with
+        | Ok t -> (Found t, db)
+        | Error e -> fail db e)
+  | Ast.Delete { rel; key } ->
+      fun db -> (
+        match Database.delete db ~rel ~key with
+        | Ok (db', found) -> (Deleted found, db')
+        | Error e -> fail db e)
+  | Ast.Select { rel; cols; where } ->
+      fun db ->
+        with_relation db rel (fun r ->
+            let schema = Relation.schema r in
+            match Pred.compile schema where with
+            | Error e -> fail db e
+            | Ok test -> (
+                let rows = Relation.select r test in
+                match cols with
+                | None -> (Selected rows, db)
+                | Some cs -> (
+                    match resolve_columns schema cs with
+                    | Error e -> fail db e
+                    | Ok idxs -> (Selected (Algebra.project idxs rows), db))))
+  | Ast.Count { rel } ->
+      fun db -> with_relation db rel (fun r -> (Counted (Relation.size r), db))
+  | Ast.Aggregate { agg; rel; col; where } ->
+      fun db ->
+        with_relation db rel (fun r ->
+            match Pred.compile_aggregate (Relation.schema r) agg col where with
+            | Error e -> fail db e
+            | Ok (step, finish) ->
+                ( Aggregated
+                    (finish (List.fold_left step None (Relation.to_list r))),
+                  db ))
+  | Ast.Update { rel; col; value; where } ->
+      fun db ->
+        with_relation db rel (fun r ->
+            match Pred.compile_update (Relation.schema r) col value where with
+            | Error e -> fail db e
+            | Ok rewrite ->
+                let (r', changed) = Relation.update r rewrite in
+                if changed = 0 then (Updated 0, db)
+                else (Updated changed, Database.replace db rel r'))
+  | Ast.Join { left; right; on = (lc, rc) } ->
+      fun db ->
+        with_relation db left (fun lr ->
+            with_relation db right (fun rr ->
+                match
+                  ( Schema.column_index (Relation.schema lr) lc,
+                    Schema.column_index (Relation.schema rr) rc )
+                with
+                | (None, _) ->
+                    fail db
+                      (Printf.sprintf "relation %s has no column %s" left lc)
+                | (_, None) ->
+                    fail db
+                      (Printf.sprintf "relation %s has no column %s" right rc)
+                | (Some li, Some ri) ->
+                    ( Joined
+                        (Algebra.join ~left_col:li ~right_col:ri
+                           (Relation.to_list lr) (Relation.to_list rr)),
+                      db )))
+
+let translate_string src = Result.map translate (Parser.parse src)
+
+let apply_stream txns db0 =
+  let rec go db = function
+    | [] -> ([], [])
+    | txn :: rest ->
+        let (resp, db') = txn db in
+        let (resps, dbs) = go db' rest in
+        (resp :: resps, db' :: dbs)
+  in
+  go db0 txns
+
+let run_queries db queries =
+  let (resps, dbs) = apply_stream (List.map translate queries) db in
+  let final = match List.rev dbs with [] -> db | last :: _ -> last in
+  (resps, final)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Fdb_query Fdb_relational Float List Printf Random Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Fdb_query Fdb_relational Schema Tuple

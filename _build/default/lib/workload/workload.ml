@@ -1,0 +1,166 @@
+open Fdb_relational
+module Ast = Fdb_query.Ast
+
+type spec = {
+  transactions : int;
+  relations : int;
+  initial_tuples : int;
+  insert_pct : float;
+  delete_pct : float;
+  update_pct : float;
+  miss_ratio : float;
+  clients : int;
+  seed : int;
+}
+
+let default_spec =
+  {
+    transactions = 50;
+    relations = 3;
+    initial_tuples = 50;
+    insert_pct = 14.0;
+    delete_pct = 0.0;
+    update_pct = 0.0;
+    miss_ratio = 0.1;
+    clients = 2;
+    seed = 42;
+  }
+
+let paper_insert_percentages = [ 0.0; 4.0; 7.0; 14.0; 24.0; 38.0 ]
+let paper_relation_counts = [ 5; 3; 1 ]
+
+type t = {
+  spec : spec;
+  schemas : Schema.t list;
+  initial : (string * Tuple.t list) list;
+  client_streams : Ast.query list list;
+}
+
+let relation_name i = Printf.sprintf "R%d" i
+
+let schema_for i =
+  Schema.make ~name:(relation_name i)
+    ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ]
+
+let tuple_for key = Tuple.make [ Value.Int key; Value.Str (Printf.sprintf "t%d" key) ]
+
+let check spec =
+  if spec.transactions < 0 then invalid_arg "Workload: transactions < 0";
+  if spec.relations < 1 then invalid_arg "Workload: relations < 1";
+  if spec.initial_tuples < 0 then invalid_arg "Workload: initial_tuples < 0";
+  if spec.clients < 1 then invalid_arg "Workload: clients < 1";
+  if spec.insert_pct < 0.0 || spec.delete_pct < 0.0 || spec.update_pct < 0.0
+     || spec.insert_pct +. spec.delete_pct +. spec.update_pct > 100.0
+  then invalid_arg "Workload: bad operation mix";
+  if spec.miss_ratio < 0.0 || spec.miss_ratio > 1.0 then
+    invalid_arg "Workload: miss_ratio outside [0, 1]"
+
+(* How many of [n] transactions are of a kind given its percentage;
+   round half up so the paper's 7% of 50 becomes 4. *)
+let count_of_pct pct n =
+  int_of_float (Float.round (pct *. float_of_int n /. 100.0))
+
+let generate spec =
+  check spec;
+  let rand = Random.State.make [| spec.seed |] in
+  let k = spec.relations in
+  let schemas = List.init k (fun i -> schema_for (i + 1)) in
+  (* Initial tuples: keys 0 .. initial-1, dealt round-robin. *)
+  let initial_keys = Array.make k [] in
+  for key = spec.initial_tuples - 1 downto 0 do
+    let r = key mod k in
+    initial_keys.(r) <- key :: initial_keys.(r)
+  done;
+  let initial =
+    List.init k (fun i ->
+        (relation_name (i + 1), List.map tuple_for initial_keys.(i)))
+  in
+  (* Kind sequence: the right counts of inserts/deletes, shuffled. *)
+  let n = spec.transactions in
+  let n_ins = count_of_pct spec.insert_pct n in
+  let n_del = count_of_pct spec.delete_pct n in
+  let n_upd = count_of_pct spec.update_pct n in
+  let kinds = Array.make n `Find in
+  for i = 0 to n_ins - 1 do
+    kinds.(i) <- `Insert
+  done;
+  for i = n_ins to min (n - 1) (n_ins + n_del - 1) do
+    kinds.(i) <- `Delete
+  done;
+  for i = n_ins + n_del to min (n - 1) (n_ins + n_del + n_upd - 1) do
+    kinds.(i) <- `Update
+  done;
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rand (i + 1) in
+    let tmp = kinds.(i) in
+    kinds.(i) <- kinds.(j);
+    kinds.(j) <- tmp
+  done;
+  (* Present keys per relation evolve as inserts/deletes are generated. *)
+  let present = Array.map (fun ks -> ref ks) initial_keys in
+  let next_key = ref spec.initial_tuples in
+  let pick_relation () = Random.State.int rand k in
+  let queries =
+    Array.to_list
+      (Array.mapi
+         (fun _i kind ->
+           let r = pick_relation () in
+           let rel = relation_name (r + 1) in
+           match kind with
+           | `Insert ->
+               let key = !next_key in
+               incr next_key;
+               present.(r) := key :: !(present.(r));
+               Ast.Insert { rel; values = [ Value.Int key;
+                                            Value.Str (Printf.sprintf "t%d" key) ] }
+           | `Delete -> (
+               match !(present.(r)) with
+               | [] ->
+                   (* nothing to delete here: probe an absent key *)
+                   Ast.Delete { rel; key = Value.Int (-1) }
+               | keys ->
+                   let key =
+                     List.nth keys (Random.State.int rand (List.length keys))
+                   in
+                   present.(r) := List.filter (fun x -> x <> key) keys;
+                   Ast.Delete { rel; key = Value.Int key })
+           | `Update -> (
+               match !(present.(r)) with
+               | [] -> Ast.Update { rel; col = "val";
+                                    value = Value.Str "touched";
+                                    where = Ast.Cmp ("key", Ast.Eq, Value.Int (-1)) }
+               | keys ->
+                   let key =
+                     List.nth keys (Random.State.int rand (List.length keys))
+                   in
+                   Ast.Update
+                     { rel; col = "val";
+                       value = Value.Str (Printf.sprintf "u%d" key);
+                       where = Ast.Cmp ("key", Ast.Eq, Value.Int key) })
+           | `Find ->
+               let miss = Random.State.float rand 1.0 < spec.miss_ratio in
+               if miss || !(present.(r)) = [] then
+                 Ast.Find { rel; key = Value.Int (-1 - Random.State.int rand 1000) }
+               else
+                 let keys = !(present.(r)) in
+                 Ast.Find
+                   { rel;
+                     key =
+                       Value.Int
+                         (List.nth keys (Random.State.int rand (List.length keys)))
+                   })
+         kinds)
+  in
+  (* Deal queries round-robin into client streams. *)
+  let streams = Array.make spec.clients [] in
+  List.iteri
+    (fun i q -> streams.(i mod spec.clients) <- q :: streams.(i mod spec.clients))
+    queries;
+  let client_streams = Array.to_list (Array.map List.rev streams) in
+  { spec; schemas; initial; client_streams }
+
+let all_queries w = List.concat w.client_streams
+
+let insert_count w =
+  List.length
+    (List.filter (function Ast.Insert _ -> true | _ -> false) (all_queries w))

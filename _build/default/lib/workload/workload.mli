@@ -1,0 +1,49 @@
+(** Deterministic workload generation.
+
+    The paper's experiment (§4): 50 transactions over a database of 1, 3 or
+    5 relations holding 50 tuples in total, all transactions single-tuple
+    inserts or finds, with the insert percentage swept through
+    {0, 4, 7, 14, 24, 38}.  The exact scripts were not published; this
+    module regenerates statistically equivalent ones from a seed. *)
+
+open Fdb_relational
+
+type spec = {
+  transactions : int;
+  relations : int;
+  initial_tuples : int;  (** spread round-robin over the relations *)
+  insert_pct : float;  (** percentage of transactions that are inserts *)
+  delete_pct : float;  (** extension beyond the paper; 0 in the paper grid *)
+  update_pct : float;  (** extension: single-row updates; 0 in the paper grid *)
+  miss_ratio : float;  (** fraction of finds probing an absent key *)
+  clients : int;  (** how many streams the queries are dealt into *)
+  seed : int;
+}
+
+val default_spec : spec
+(** The paper's base point: 50 transactions, 3 relations, 50 tuples,
+    14% inserts, no deletes or updates, 10% misses, 2 clients, seed 42. *)
+
+val paper_insert_percentages : float list
+(** [0; 4; 7; 14; 24; 38] *)
+
+val paper_relation_counts : int list
+(** [5; 3; 1] — the column order of Tables I-III. *)
+
+type t = {
+  spec : spec;
+  schemas : Schema.t list;
+  initial : (string * Tuple.t list) list;  (** per-relation bulk load *)
+  client_streams : Fdb_query.Ast.query list list;
+}
+
+val generate : spec -> t
+(** Deterministic in [spec] (including the seed). *)
+
+val all_queries : t -> Fdb_query.Ast.query list
+(** The streams concatenated (generation order). *)
+
+val insert_count : t -> int
+
+val relation_name : int -> string
+(** ["R1"], ["R2"], ... *)

@@ -1,0 +1,1 @@
+test/test_fel.ml: Alcotest Fdb_fel Fdb_kernel Fdb_net Fdb_rediflow Format List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Engine Fdb_kernel List Option QCheck2 QCheck_alcotest Random

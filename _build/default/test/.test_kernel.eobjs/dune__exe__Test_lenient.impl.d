@@ -1,0 +1,1 @@
+test/test_lenient.ml: Alcotest Engine Fdb_kernel Fdb_lenient List Llist Lmerge Ltree Printf QCheck2 QCheck_alcotest

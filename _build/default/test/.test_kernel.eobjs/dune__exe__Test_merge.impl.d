@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Fdb_merge Float List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Fabric Fdb_net List Printf QCheck2 QCheck_alcotest Random Reliable Topology

@@ -1,0 +1,1 @@
+test/test_persistent.ml: Alcotest Avl Btree Fdb_persistent List Meter Ordered Plist Printf QCheck2 QCheck_alcotest Two3

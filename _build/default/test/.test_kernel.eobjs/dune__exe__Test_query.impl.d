@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Fdb_query Fdb_relational List QCheck2 QCheck_alcotest Schema String Tuple Value

@@ -1,0 +1,1 @@
+test/test_rediflow.ml: Alcotest Array Engine Fdb_kernel Fdb_net Fdb_rediflow Machine Printf QCheck2 QCheck_alcotest Random Topology

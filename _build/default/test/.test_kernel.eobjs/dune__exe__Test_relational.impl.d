@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Array Database Fdb_relational List QCheck2 QCheck_alcotest Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Database Fdb_query Fdb_relational Fdb_txn List QCheck2 QCheck_alcotest Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Fdb_query Fdb_relational Fdb_workload List Printf

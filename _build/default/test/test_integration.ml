@@ -1,0 +1,246 @@
+(* Cross-layer integration tests: the two execution stacks against each
+   other, full client-to-client scenarios over networks (lossy included),
+   and end-to-end workload runs. *)
+
+open Fdb
+open Fdb_relational
+module Ast = Fdb_query.Ast
+module Txn = Fdb_txn.Txn
+module W = Fdb_workload.Workload
+module M = Fdb_merge.Merge
+module Topology = Fdb_net.Topology
+module Reliable = Fdb_net.Reliable
+module Machine = Fdb_rediflow.Machine
+module Engine = Fdb_kernel.Engine
+
+(* -- the two stacks agree -------------------------------------------------- *)
+
+(* Map the production interpreter's responses onto the pipeline's. *)
+let txn_response_matches (a : Txn.response) (b : Pipeline.response) =
+  match (a, b) with
+  | (Txn.Inserted x, Pipeline.Inserted y) -> x = y
+  | (Txn.Found None, Pipeline.Found []) -> true
+  | (Txn.Found (Some t), Pipeline.Found [ u ]) -> Tuple.equal t u
+  | (Txn.Deleted x, Pipeline.Deleted y) -> (if x then 1 else 0) = y
+  | (Txn.Selected x, Pipeline.Selected y) | (Txn.Joined x, Pipeline.Joined y)
+    ->
+      List.equal Tuple.equal x y
+  | (Txn.Counted x, Pipeline.Counted y) -> x = y
+  | (Txn.Aggregated x, Pipeline.Aggregated y) -> Option.equal Value.equal x y
+  | (Txn.Updated x, Pipeline.Updated y) -> x = y
+  | (Txn.Failed _, Pipeline.Failed _) -> true
+  | _ -> false
+
+let build_database spec =
+  let db = Database.create spec.Pipeline.schemas in
+  List.fold_left
+    (fun db (rel, tuples) ->
+      match Database.load db ~rel tuples with
+      | Ok db -> db
+      | Error e -> Alcotest.fail e)
+    db spec.Pipeline.initial
+
+let prop_production_equals_pipeline =
+  (* On keyed workloads the sequential production interpreter (set
+     semantics over persistent relations) and the lenient pipeline in
+     Ordered_unique mode must answer identically. *)
+  QCheck2.Test.make ~name:"Txn interpreter == lenient pipeline (ordered)"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 5 40))
+    (fun (seed, txns) ->
+      let w =
+        W.generate
+          { W.default_spec with
+            seed;
+            transactions = txns;
+            insert_pct = 20.0;
+            delete_pct = 10.0 }
+      in
+      let spec = Pipeline.db_spec_of_workload w in
+      let tagged = Experiment.merged_workload w in
+      let queries = List.map snd tagged in
+      let (txn_responses, _) = Txn.run_queries (build_database spec) queries in
+      let pipeline =
+        (Pipeline.run ~semantics:Pipeline.Ordered_unique spec tagged)
+          .Pipeline.responses
+      in
+      List.for_all2
+        (fun a (_, b) -> txn_response_matches a b)
+        txn_responses pipeline)
+
+let test_two_stacks_on_script () =
+  let script =
+    {| insert (1, "a") into R
+       insert (2, "b") into R
+       find 1 in R
+       sum key from R
+       update R set val = "z" where key = 2
+       find 2 in R
+       delete 1 from R
+       count R
+       select * from R where key >= 0 |}
+  in
+  let queries =
+    match Fdb_query.Parser.parse_script script with
+    | Ok qs -> qs
+    | Error e -> Alcotest.fail e
+  in
+  let schemas =
+    [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ]
+  in
+  let spec = { Pipeline.schemas; initial = [] } in
+  let (txn_responses, _) = Txn.run_queries (build_database spec) queries in
+  let pipeline =
+    (Pipeline.run ~semantics:Pipeline.Ordered_unique spec
+       (List.map (fun q -> (0, q)) queries))
+      .Pipeline.responses
+  in
+  List.iteri
+    (fun i (a, (_, b)) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d agrees (%s vs %s)" i
+           (Format.asprintf "%a" Txn.pp_response a)
+           (Format.asprintf "%a" Pipeline.pp_response b))
+        true (txn_response_matches a b))
+    (List.combine txn_responses pipeline)
+
+(* -- full client-to-client scenario over a lossy transport ------------------ *)
+
+let test_queries_over_lossy_transport () =
+  (* Clients serialize query texts over a lossy reliable channel to the
+     primary; the merged arrival order is processed by the pipeline; the
+     outcome matches a direct run of the same order. *)
+  let topo = Topology.star 4 in
+  let channel = Reliable.create ~drop_one_in:3 ~seed:5 topo in
+  let client_streams =
+    [ (1, [ "insert (100, \"x\") into R"; "find 100 in R" ]);
+      (2, [ "count R"; "insert (101, \"y\") into R" ]);
+      (3, [ "select * from R where key >= 100" ]) ]
+  in
+  List.iter
+    (fun (site, queries) ->
+      List.iter (fun src -> Reliable.send channel ~src:site ~dst:0 src) queries)
+    client_streams;
+  let arrived = Reliable.run_to_quiescence channel in
+  Alcotest.(check int) "all queries arrived" 5 (List.length arrived);
+  let tagged =
+    List.map
+      (fun (_, text) -> (0, Fdb_query.Parser.parse_exn text))
+      arrived
+  in
+  let schemas =
+    [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ]
+  in
+  let spec = { Pipeline.schemas; initial = [] } in
+  match Pipeline.check_serializable spec tagged with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+(* -- end-to-end cluster on a machine ---------------------------------------- *)
+
+let test_cluster_machine_end_to_end () =
+  let w =
+    W.generate { W.default_spec with transactions = 30; clients = 3 }
+  in
+  let spec = Pipeline.db_spec_of_workload w in
+  let cluster =
+    Cluster.create ~topology:(Topology.bus 4)
+      ~mode:(Pipeline.On_machine (Machine.default_config (Topology.hypercube 3)))
+      spec
+  in
+  let sessions =
+    List.mapi (fun i stream -> (i + 1, stream)) w.W.client_streams
+  in
+  let outcome = Cluster.submit cluster sessions in
+  Alcotest.(check int) "every query answered" 30
+    (List.fold_left
+       (fun acc (_, rs) -> acc + List.length rs)
+       0 outcome.Cluster.per_site);
+  Alcotest.(check bool) "serializable over the machine" true
+    (Cluster.serializable outcome cluster);
+  let s = outcome.Cluster.report.Pipeline.stats in
+  Alcotest.(check int) "no orphans" 0 s.Engine.orphans
+
+(* -- the experiment grid is self-consistent --------------------------------- *)
+
+let test_table_grids_complete () =
+  let t1 = Experiment.table1 ~transactions:10 ~initial_tuples:10 () in
+  Alcotest.(check int) "table1 grid" 18 (List.length t1);
+  let rows = Experiment.ablation_engine_repr () in
+  Alcotest.(check int) "A5 rows" 12 (List.length rows);
+  (* trees always do less work than lists on the same stream *)
+  List.iter
+    (fun pct ->
+      let find repr =
+        List.find
+          (fun r -> r.Experiment.e_repr = repr && r.Experiment.e_pct = pct)
+          rows
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "tree cheaper at %.0f%%" pct)
+        true
+        ((find "two3").Experiment.e_tasks < (find "list").Experiment.e_tasks))
+    [ 0.0; 14.0; 38.0 ]
+
+(* -- FEL to database round trip --------------------------------------------- *)
+
+let test_fel_computes_workload_answer () =
+  (* Compute a sum both through the database pipeline and through a FEL
+     program over the same data. *)
+  let keys = [ 3; 14; 15; 92; 65 ] in
+  let schemas =
+    [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ]
+  in
+  let spec =
+    {
+      Pipeline.schemas;
+      initial =
+        [ ("R",
+           List.map
+             (fun k -> Tuple.make [ Value.Int k; Value.Str "v" ])
+             keys) ];
+    }
+  in
+  let report =
+    Pipeline.run spec [ (0, Fdb_query.Parser.parse_exn "sum key from R") ]
+  in
+  let db_sum =
+    match report.Pipeline.responses with
+    | [ (_, Pipeline.Aggregated (Some (Value.Int n))) ] -> n
+    | _ -> Alcotest.fail "no sum"
+  in
+  let fel_src =
+    Printf.sprintf
+      "total:s = if null?:s then 0 else first:s + total:(rest:s), RESULT total:[%s]"
+      (String.concat ", " (List.map string_of_int keys))
+  in
+  match Fdb_fel.Eval.run_string fel_src with
+  | Ok (result, _) ->
+      Alcotest.(check string) "same sum" (string_of_int db_sum) result
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "stack agreement",
+        [
+          QCheck_alcotest.to_alcotest prop_production_equals_pipeline;
+          Alcotest.test_case "script through both stacks" `Quick
+            test_two_stacks_on_script;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "queries over lossy transport" `Quick
+            test_queries_over_lossy_transport;
+          Alcotest.test_case "cluster on a machine" `Quick
+            test_cluster_machine_end_to_end;
+        ] );
+      ( "experiments",
+        [ Alcotest.test_case "grids complete" `Quick test_table_grids_complete ]
+      );
+      ( "fel",
+        [
+          Alcotest.test_case "FEL agrees with the database" `Quick
+            test_fel_computes_workload_answer;
+        ] );
+    ]

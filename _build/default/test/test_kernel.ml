@@ -1,0 +1,359 @@
+(* Unit and property tests for the lenient-evaluation kernel. *)
+
+open Fdb_kernel
+
+let run_ideal f =
+  let eng = Engine.create () in
+  let out = f eng in
+  let stats = Engine.run eng in
+  (out, stats)
+
+(* -- ivar basics -------------------------------------------------------- *)
+
+let test_put_then_await () =
+  let (got, stats) =
+    run_ideal (fun eng ->
+        let iv = Engine.ivar eng in
+        let got = ref None in
+        Engine.spawn eng (fun () -> Engine.put iv 42);
+        Engine.await iv (fun v -> got := Some v);
+        got)
+  in
+  Alcotest.(check (option int)) "value seen" (Some 42) !got;
+  Alcotest.(check int) "no orphans" 0 stats.Engine.orphans
+
+let test_await_already_full () =
+  let (got, _) =
+    run_ideal (fun eng ->
+        let iv = Engine.full eng "hello" in
+        let got = ref "" in
+        Engine.await iv (fun v -> got := v);
+        got)
+  in
+  Alcotest.(check string) "value seen" "hello" !got
+
+let test_double_put_raises () =
+  let eng = Engine.create () in
+  let iv = Engine.ivar eng in
+  Engine.spawn eng (fun () -> Engine.put iv 1);
+  Engine.spawn eng (fun () ->
+      Alcotest.check_raises "second put" (Engine.Double_put
+        "Engine.put: cell already full") (fun () -> Engine.put iv 2));
+  ignore (Engine.run eng)
+
+let test_multiple_waiters_in_order () =
+  let (seen, _) =
+    run_ideal (fun eng ->
+        let iv = Engine.ivar eng in
+        let seen = ref [] in
+        for i = 1 to 5 do
+          Engine.await iv (fun v -> seen := (i, v) :: !seen)
+        done;
+        Engine.spawn eng (fun () -> Engine.put iv 9);
+        seen)
+  in
+  Alcotest.(check (list (pair int int)))
+    "waiters woken in registration order"
+    [ (1, 9); (2, 9); (3, 9); (4, 9); (5, 9) ]
+    (List.rev !seen)
+
+let test_orphan_detection () =
+  let eng = Engine.create () in
+  let iv : int Engine.ivar = Engine.ivar eng in
+  Engine.await iv (fun _ -> ());
+  Engine.await iv (fun _ -> ());
+  let stats = Engine.run eng in
+  Alcotest.(check int) "two orphans" 2 stats.Engine.orphans
+
+let test_peek () =
+  let eng = Engine.create () in
+  let iv = Engine.ivar eng in
+  Alcotest.(check (option int)) "empty" None (Engine.peek iv);
+  Engine.spawn eng (fun () -> Engine.put iv 7);
+  ignore (Engine.run eng);
+  Alcotest.(check (option int)) "full" (Some 7) (Engine.peek iv);
+  Alcotest.(check bool) "is_full" true (Engine.is_full iv)
+
+(* -- task-graph shapes: known ply profiles ------------------------------ *)
+
+(* A chain of n dependent tasks must take n cycles with ply 1. *)
+let test_chain_ply () =
+  let n = 20 in
+  let eng = Engine.create () in
+  let rec chain i prev =
+    if i < n then begin
+      let next = Engine.ivar eng in
+      Engine.await prev (fun v -> Engine.put next (v + 1));
+      chain (i + 1) next
+    end
+    else prev
+  in
+  let first = Engine.ivar eng in
+  let last = chain 0 first in
+  Engine.spawn eng (fun () -> Engine.put first 0);
+  let stats = Engine.run eng in
+  Alcotest.(check (option int)) "chain result" (Some n) (Engine.peek last);
+  Alcotest.(check int) "ply of a chain" 1 stats.Engine.max_ply;
+  Alcotest.(check int) "n+1 tasks" (n + 1) stats.Engine.tasks
+
+(* A fan-out of width w from one source: ply w in one cycle. *)
+let test_fanout_ply () =
+  let w = 16 in
+  let eng = Engine.create () in
+  let src = Engine.ivar eng in
+  let hits = ref 0 in
+  for _ = 1 to w do
+    Engine.await src (fun _ -> incr hits)
+  done;
+  Engine.spawn eng (fun () -> Engine.put src ());
+  let stats = Engine.run eng in
+  Alcotest.(check int) "all ran" w !hits;
+  Alcotest.(check int) "max ply = fanout width" w stats.Engine.max_ply
+
+(* Diamond: a -> (b, c) -> d.  Four tasks, three cycles, max ply 2. *)
+let test_diamond () =
+  let eng = Engine.create () in
+  let a = Engine.ivar eng
+  and b = Engine.ivar eng
+  and c = Engine.ivar eng in
+  let d = ref 0 in
+  Engine.await a (fun v -> Engine.put b (v + 1));
+  Engine.await a (fun v -> Engine.put c (v + 2));
+  Engine.await b (fun vb -> Engine.await c (fun vc -> d := vb + vc));
+  Engine.spawn eng (fun () -> Engine.put a 10);
+  let stats = Engine.run eng in
+  Alcotest.(check int) "diamond result" 23 !d;
+  Alcotest.(check int) "max ply" 2 stats.Engine.max_ply
+
+(* Two independent chains run concurrently: makespan ~ one chain. *)
+let test_independent_chains_overlap () =
+  let n = 30 in
+  let build eng =
+    let first = Engine.ivar eng in
+    let rec chain i prev =
+      if i < n then begin
+        let next = Engine.ivar eng in
+        Engine.await prev (fun v -> Engine.put next (v + 1));
+        chain (i + 1) next
+      end
+    in
+    chain 0 first;
+    Engine.spawn eng (fun () -> Engine.put first 0)
+  in
+  let eng = Engine.create () in
+  build eng;
+  build eng;
+  let stats = Engine.run eng in
+  Alcotest.(check int) "both chains' tasks" (2 * (n + 1)) stats.Engine.tasks;
+  Alcotest.(check bool) "overlapped (makespan ~ n, not 2n)" true
+    (stats.Engine.cycles <= n + 3);
+  Alcotest.(check int) "ply 2 steady state" 2 stats.Engine.max_ply
+
+let test_trace_records_labels () =
+  let eng = Engine.create ~trace:true () in
+  let iv = Engine.ivar eng in
+  Engine.spawn eng ~label:"producer" (fun () -> Engine.put iv 1);
+  Engine.await ~label:"consumer" iv (fun _ -> ());
+  let stats = Engine.run eng in
+  let labels = List.map snd stats.Engine.trace in
+  Alcotest.(check (list string)) "trace labels" [ "producer"; "consumer" ]
+    labels;
+  (* consumer runs the cycle after producer *)
+  (match stats.Engine.trace with
+  | [ (c1, _); (c2, _) ] ->
+      Alcotest.(check int) "one cycle apart" 1 (c2 - c1)
+  | _ -> Alcotest.fail "expected two trace events")
+
+let test_avg_ply_definition () =
+  let eng = Engine.create () in
+  let src = Engine.ivar eng in
+  for _ = 1 to 10 do
+    Engine.await src (fun _ -> ())
+  done;
+  Engine.spawn eng (fun () -> Engine.put src ());
+  let stats = Engine.run eng in
+  Alcotest.(check int) "tasks" 11 stats.Engine.tasks;
+  Alcotest.(check (float 1e-9)) "avg = tasks/cycles"
+    (float_of_int stats.Engine.tasks /. float_of_int stats.Engine.cycles)
+    stats.Engine.avg_ply
+
+let test_stalled () =
+  (* A self-perpetuating task chain never quiesces: run must raise. *)
+  let eng = Engine.create () in
+  let rec tick () = Engine.spawn eng tick in
+  Engine.spawn eng tick;
+  Alcotest.check_raises "stalls"
+    (Engine.Stalled "no quiescence after 100 cycles") (fun () ->
+      ignore (Engine.run ~max_cycles:100 eng))
+
+let test_spawn_site_inheritance () =
+  let eng = Engine.create () in
+  let sites = ref [] in
+  Engine.spawn eng ~site:3 (fun () ->
+      sites := Engine.current_site eng :: !sites;
+      Engine.spawn eng (fun () ->
+          sites := Engine.current_site eng :: !sites));
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "child inherits parent site" [ 3; 3 ]
+    (List.rev !sites)
+
+(* -- demand-driven cells -------------------------------------------------- *)
+
+let test_suspend_without_demand_never_fires () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let iv : unit Engine.ivar = Engine.suspend eng (fun () -> incr fired) in
+  let stats = Engine.run eng in
+  Alcotest.(check int) "not fired without demand" 0 !fired;
+  Alcotest.(check int) "zero tasks" 0 stats.Engine.tasks;
+  Alcotest.(check bool) "cell still empty" false (Engine.is_full iv)
+
+let test_suspend_produces_on_demand () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let knot = ref None in
+  let iv =
+    Engine.suspend eng (fun () ->
+        incr fired;
+        Engine.put (Option.get !knot) 7)
+  in
+  knot := Some iv;
+  let got = ref 0 in
+  Engine.await iv (fun v -> got := v);
+  let stats = Engine.run eng in
+  Alcotest.(check int) "produced once" 1 !fired;
+  Alcotest.(check int) "value" 7 !got;
+  Alcotest.(check int) "producer + waiter = 2 tasks" 2 stats.Engine.tasks
+
+let test_suspend_fires_once_under_two_demands () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let knot = ref None in
+  let iv =
+    Engine.suspend eng (fun () ->
+        incr fired;
+        Engine.put (Option.get !knot) "x")
+  in
+  knot := Some iv;
+  let hits = ref 0 in
+  Engine.await iv (fun _ -> incr hits);
+  Engine.await iv (fun _ -> incr hits);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "one production" 1 !fired;
+  Alcotest.(check int) "both waiters woken" 2 !hits
+
+let test_demand_chain_is_sequential () =
+  (* A chain of suspended cells forces one per demand step: the classic
+     lazy-list cost profile. *)
+  let eng = Engine.create () in
+  let n = 15 in
+  let rec build i =
+    if i = 0 then Engine.full eng 0
+    else begin
+      let knot = ref None in
+      let prev = build (i - 1) in
+      let iv =
+        Engine.suspend eng (fun () ->
+            Engine.await prev (fun v -> Engine.put (Option.get !knot) (v + 1)))
+      in
+      knot := Some iv;
+      iv
+    end
+  in
+  let top = build n in
+  let got = ref (-1) in
+  Engine.await top (fun v -> got := v);
+  let stats = Engine.run eng in
+  Alcotest.(check int) "value" n !got;
+  Alcotest.(check int) "ply 1 (no speculation)" 1 stats.Engine.max_ply
+
+(* -- qcheck: random DAGs execute all tasks exactly once ------------------ *)
+
+let prop_random_dag =
+  QCheck2.Test.make ~name:"random dag executes every node once" ~count:100
+    QCheck2.Gen.(pair (int_range 1 60) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rand = Random.State.make [| seed |] in
+      let eng = Engine.create () in
+      let cells = Array.init n (fun _ -> Engine.ivar eng) in
+      let fired = Array.make n 0 in
+      (* node i waits on a random earlier node (or the root) *)
+      for i = n - 1 downto 1 do
+        let j = Random.State.int rand i in
+        Engine.await cells.(j) (fun v ->
+            fired.(i) <- fired.(i) + 1;
+            Engine.put cells.(i) (v + 1))
+      done;
+      Engine.spawn eng (fun () ->
+          fired.(0) <- fired.(0) + 1;
+          Engine.put cells.(0) 0);
+      let stats = Engine.run eng in
+      Array.for_all (fun c -> c = 1) fired
+      && stats.Engine.tasks = n
+      && stats.Engine.orphans = 0)
+
+let prop_ply_bounds =
+  QCheck2.Test.make ~name:"avg ply <= max ply <= tasks" ~count:100
+    QCheck2.Gen.(pair (int_range 1 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rand = Random.State.make [| seed |] in
+      let eng = Engine.create () in
+      let root = Engine.ivar eng in
+      for _ = 1 to n do
+        if Random.State.bool rand then Engine.await root (fun _ -> ())
+        else Engine.spawn eng (fun () -> ())
+      done;
+      Engine.spawn eng (fun () -> Engine.put root ());
+      let s = Engine.run eng in
+      s.Engine.avg_ply <= float_of_int s.Engine.max_ply +. 1e-9
+      && s.Engine.max_ply <= s.Engine.tasks
+      && s.Engine.busy_cycles <= s.Engine.cycles)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "ivar",
+        [
+          Alcotest.test_case "put then await" `Quick test_put_then_await;
+          Alcotest.test_case "await already full" `Quick
+            test_await_already_full;
+          Alcotest.test_case "double put raises" `Quick test_double_put_raises;
+          Alcotest.test_case "waiters in order" `Quick
+            test_multiple_waiters_in_order;
+          Alcotest.test_case "orphan detection" `Quick test_orphan_detection;
+          Alcotest.test_case "peek/is_full" `Quick test_peek;
+        ] );
+      ( "ply",
+        [
+          Alcotest.test_case "chain" `Quick test_chain_ply;
+          Alcotest.test_case "fan-out" `Quick test_fanout_ply;
+          Alcotest.test_case "diamond" `Quick test_diamond;
+          Alcotest.test_case "independent chains overlap" `Quick
+            test_independent_chains_overlap;
+          Alcotest.test_case "avg ply definition" `Quick
+            test_avg_ply_definition;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "trace" `Quick test_trace_records_labels;
+          Alcotest.test_case "stall detection" `Quick test_stalled;
+          Alcotest.test_case "site inheritance" `Quick
+            test_spawn_site_inheritance;
+        ] );
+      ( "demand",
+        [
+          Alcotest.test_case "no demand, no production" `Quick
+            test_suspend_without_demand_never_fires;
+          Alcotest.test_case "produces on demand" `Quick
+            test_suspend_produces_on_demand;
+          Alcotest.test_case "fires once" `Quick
+            test_suspend_fires_once_under_two_demands;
+          Alcotest.test_case "demand chain" `Quick
+            test_demand_chain_is_sequential;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_dag;
+          QCheck_alcotest.to_alcotest prop_ply_bounds;
+        ] );
+    ]

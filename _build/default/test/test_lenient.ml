@@ -1,0 +1,614 @@
+(* Tests for lenient lists: correctness of every operation plus the
+   pipelining timing properties the paper's concurrency story rests on. *)
+
+open Fdb_kernel
+open Fdb_lenient
+
+let run f =
+  let eng = Engine.create () in
+  let out = f eng in
+  let stats = Engine.run eng in
+  (out, stats)
+
+let ilist = Alcotest.(list int)
+
+let get_list name l =
+  match Llist.to_list_now l with
+  | Some xs -> xs
+  | None -> Alcotest.failf "%s: list not fully materialized" name
+
+let get name iv =
+  match Engine.peek iv with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: ivar empty after run" name
+
+(* -- construction -------------------------------------------------------- *)
+
+let test_of_list_roundtrip () =
+  let (l, _) = run (fun eng -> Llist.of_list eng [ 1; 2; 3; 4 ]) in
+  Alcotest.check ilist "roundtrip" [ 1; 2; 3; 4 ] (get_list "of_list" l)
+
+let test_produce () =
+  let (l, stats) = run (fun eng -> Llist.produce eng [ 1; 2; 3 ]) in
+  Alcotest.check ilist "produced" [ 1; 2; 3 ] (get_list "produce" l);
+  (* one task per cell plus the Nil *)
+  Alcotest.(check int) "4 tasks" 4 stats.Engine.tasks;
+  Alcotest.(check int) "sequential production" 1 stats.Engine.max_ply
+
+let test_prefix_now () =
+  let eng = Engine.create () in
+  let tail = Llist.empty eng in
+  let l = Llist.cons eng 1 (Llist.cons eng 2 tail) in
+  Alcotest.check ilist "prefix" [ 1; 2 ] (Llist.prefix_now l);
+  Alcotest.(check (option ilist)) "incomplete" None (Llist.to_list_now l)
+
+(* -- scans ---------------------------------------------------------------- *)
+
+let test_find_hit_miss () =
+  let ((hit, miss), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 10; 20; 30 ] in
+        (Llist.find eng (fun x -> x = 20) l, Llist.find eng (fun x -> x > 99) l))
+  in
+  Alcotest.(check (option int)) "hit" (Some 20) (get "hit" hit);
+  Alcotest.(check (option int)) "miss" None (get "miss" miss)
+
+let test_find_early_exit () =
+  (* Finding the first element of a long list must cost 1 task, not n. *)
+  let (_, stats) =
+    run (fun eng ->
+        let l = Llist.of_list eng (List.init 100 (fun i -> i)) in
+        Llist.find eng (fun x -> x = 0) l)
+  in
+  Alcotest.(check int) "early exit" 1 stats.Engine.tasks
+
+let test_length_fold_count_exists () =
+  let ((len, sum, evens, has), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 1; 2; 3; 4; 5 ] in
+        ( Llist.length eng l,
+          Llist.fold eng ( + ) 0 l,
+          Llist.count eng (fun x -> x mod 2 = 0) l,
+          Llist.exists eng (fun x -> x = 4) l ))
+  in
+  Alcotest.(check int) "length" 5 (get "len" len);
+  Alcotest.(check int) "sum" 15 (get "sum" sum);
+  Alcotest.(check int) "evens" 2 (get "count" evens);
+  Alcotest.(check bool) "exists" true (get "exists" has)
+
+(* -- reconstruction ------------------------------------------------------- *)
+
+let test_insert_ordered_middle () =
+  let ((l', ack), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 1; 3; 5; 7 ] in
+        Llist.insert_ordered eng ~cmp:compare 4 l)
+  in
+  Alcotest.check ilist "inserted" [ 1; 3; 4; 5; 7 ] (get_list "insert" l');
+  Alcotest.(check unit) "acked" () (get "ack" ack)
+
+let test_insert_ordered_front_and_back () =
+  let ((front, back), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 2; 4 ] in
+        let (f, _) = Llist.insert_ordered eng ~cmp:compare 1 l in
+        let (b, _) = Llist.insert_ordered eng ~cmp:compare 9 l in
+        (f, b))
+  in
+  Alcotest.check ilist "front" [ 1; 2; 4 ] (get_list "front" front);
+  Alcotest.check ilist "back" [ 2; 4; 9 ] (get_list "back" back)
+
+let test_insert_into_empty () =
+  let ((l', _), _) =
+    run (fun eng ->
+        let l = Llist.nil eng in
+        Llist.insert_ordered eng ~cmp:compare 42 l)
+  in
+  Alcotest.check ilist "singleton" [ 42 ] (get_list "insert-empty" l')
+
+let test_insert_shares_suffix () =
+  (* Inserting near the front of a long list costs O(position) tasks:
+     the suffix is shared, not copied. *)
+  let (_, stats) =
+    run (fun eng ->
+        let l = Llist.of_list eng (List.init 100 (fun i -> 2 * i)) in
+        Llist.insert_ordered eng ~cmp:compare 5 l)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "tasks (%d) ~ position, not length" stats.Engine.tasks)
+    true
+    (stats.Engine.tasks <= 6)
+
+let test_append_elem_copies_spine () =
+  let ((l', _), stats) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 1; 2; 3 ] in
+        Llist.append_elem eng 4 l)
+  in
+  Alcotest.check ilist "appended" [ 1; 2; 3; 4 ] (get_list "append" l');
+  Alcotest.(check int) "n+1 tasks" 4 stats.Engine.tasks
+
+let test_delete_found_and_missing () =
+  let ((l1, a1, l2, a2), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 1; 2; 3 ] in
+        let (l1, a1) = Llist.delete_first eng (fun x -> x = 2) l in
+        let (l2, a2) = Llist.delete_first eng (fun x -> x = 9) l in
+        (l1, a1, l2, a2))
+  in
+  Alcotest.check ilist "deleted" [ 1; 3 ] (get_list "del" l1);
+  Alcotest.(check bool) "found" true (get "ack1" a1);
+  Alcotest.check ilist "unchanged" [ 1; 2; 3 ] (get_list "del-miss" l2);
+  Alcotest.(check bool) "not found" false (get "ack2" a2)
+
+let test_old_version_intact () =
+  (* Persistence: the pre-insert version must be untouched. *)
+  let ((old_l, new_l), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 1; 5; 9 ] in
+        let (l', _) = Llist.insert_ordered eng ~cmp:compare 3 l in
+        (l, l'))
+  in
+  Alcotest.check ilist "old version" [ 1; 5; 9 ] (get_list "old" old_l);
+  Alcotest.check ilist "new version" [ 1; 3; 5; 9 ] (get_list "new" new_l)
+
+(* -- keyed-set operations --------------------------------------------------- *)
+
+let test_insert_unique () =
+  let ((l1, a1, l2, a2), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 1; 3; 5 ] in
+        let (l1, a1) = Llist.insert_unique eng ~cmp:compare 4 l in
+        let (l2, a2) = Llist.insert_unique eng ~cmp:compare 3 l in
+        (l1, a1, l2, a2))
+  in
+  Alcotest.check ilist "added" [ 1; 3; 4; 5 ] (get_list "uniq" l1);
+  Alcotest.(check bool) "ack true" true (get "a1" a1);
+  Alcotest.check ilist "duplicate keeps contents" [ 1; 3; 5 ]
+    (get_list "dup" l2);
+  Alcotest.(check bool) "ack false" false (get "a2" a2)
+
+let test_delete_ordered_early_stop () =
+  let ((l', ack), stats) =
+    run (fun eng ->
+        let l = Llist.of_list eng (List.init 100 (fun i -> 2 * i)) in
+        Llist.delete_ordered eng ~cmp:compare 5 l)
+  in
+  Alcotest.(check bool) "absent" false (get "ack" ack);
+  Alcotest.(check int) "unchanged" 100 (List.length (get_list "del" l'));
+  (* gave up at the ordered position (~3 cells), not at the end *)
+  Alcotest.(check bool)
+    (Printf.sprintf "early stop (%d tasks)" stats.Engine.tasks)
+    true
+    (stats.Engine.tasks <= 5)
+
+let test_delete_ordered_hit () =
+  let ((l', ack), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 2; 4; 6; 8 ] in
+        Llist.delete_ordered eng ~cmp:compare 6 l)
+  in
+  Alcotest.(check bool) "found" true (get "ack" ack);
+  Alcotest.check ilist "removed" [ 2; 4; 8 ] (get_list "del" l')
+
+let test_update_all () =
+  let ((l', count), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 1; 2; 3; 4 ] in
+        Llist.update_all eng
+          (fun x -> if x mod 2 = 0 then Some (x * 10) else None)
+          l)
+  in
+  Alcotest.check ilist "rewritten" [ 1; 20; 3; 40 ] (get_list "upd" l');
+  Alcotest.(check int) "count" 2 (get "count" count)
+
+let test_find_until () =
+  let ((hit, stopped), stats) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 2; 4; 6; 8; 10 ] in
+        ( Llist.find_until eng ~stop:(fun y -> y > 6) (fun y -> y = 6) l,
+          Llist.find_until eng ~stop:(fun y -> y > 6) (fun y -> y = 7) l ))
+  in
+  Alcotest.(check (option int)) "hit" (Some 6) (get "hit" hit);
+  Alcotest.(check (option int)) "stopped early" None (get "stop" stopped);
+  (* hit scan: 3 cells; stopped scan: 4 cells (stops at 8) *)
+  Alcotest.(check int) "bounded work" 7 stats.Engine.tasks
+
+let prop_update_all_matches_map =
+  QCheck2.Test.make ~name:"update_all == List.map with count" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 30) (int_range 0 20))
+    (fun xs ->
+      let rewrite x = if x mod 3 = 0 then Some (x + 100) else None in
+      let ((l', count), _) =
+        run (fun eng -> Llist.update_all eng rewrite (Llist.of_list eng xs))
+      in
+      let expected =
+        List.map (fun x -> match rewrite x with Some y -> y | None -> x) xs
+      in
+      let expected_count =
+        List.length (List.filter (fun x -> rewrite x <> None) xs)
+      in
+      Llist.to_list_now l' = Some expected
+      && Engine.peek count = Some expected_count)
+
+(* -- transformations ------------------------------------------------------ *)
+
+let test_map_filter_append () =
+  let ((m, f, a), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 1; 2; 3; 4 ] in
+        let r = Llist.of_list eng [ 9; 8 ] in
+        ( Llist.map eng (fun x -> x * 10) l,
+          Llist.filter eng (fun x -> x mod 2 = 0) l,
+          Llist.append eng l r ))
+  in
+  Alcotest.check ilist "map" [ 10; 20; 30; 40 ] (get_list "map" m);
+  Alcotest.check ilist "filter" [ 2; 4 ] (get_list "filter" f);
+  Alcotest.check ilist "append" [ 1; 2; 3; 4; 9; 8 ] (get_list "append" a)
+
+let test_select () =
+  let ((lazy_out, strict_out), _) =
+    run (fun eng ->
+        let l = Llist.of_list eng [ 1; 2; 3; 4; 5; 6 ] in
+        Llist.select eng (fun x -> x > 3) l)
+  in
+  Alcotest.check ilist "lazy side" [ 4; 5; 6 ] (get_list "select" lazy_out);
+  Alcotest.check ilist "strict side" [ 4; 5; 6 ] (get "strict" strict_out)
+
+(* -- the paper's pipelining claims, as timing assertions ------------------ *)
+
+(* A find chasing an in-progress insert completes ~1 cell behind it:
+   total makespan stays ~n + O(1), not 2n. *)
+let test_scan_chases_insert () =
+  let n = 60 in
+  let (_, stats) =
+    run (fun eng ->
+        let l = Llist.of_list eng (List.init n (fun i -> 2 * i)) in
+        (* insert at the very end: copies all n cells *)
+        let (l', _) = Llist.insert_ordered eng ~cmp:compare (2 * n) l in
+        (* scan of the new version starts immediately *)
+        Llist.find eng (fun x -> x = 2 * n) l')
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined makespan %d ~ n" stats.Engine.cycles)
+    true
+    (stats.Engine.cycles <= n + 6);
+  Alcotest.(check bool) "steady-state ply 2" true (stats.Engine.max_ply >= 2)
+
+(* k independent scans of the same list flood: makespan ~ n, ply ~ k. *)
+let test_flooding_scans () =
+  let n = 40 and k = 8 in
+  let (_, stats) =
+    run (fun eng ->
+        let l = Llist.of_list eng (List.init n (fun i -> i)) in
+        for _ = 1 to k do
+          ignore (Llist.find eng (fun x -> x = n - 1) l)
+        done)
+  in
+  Alcotest.(check int) "ply = k" k stats.Engine.max_ply;
+  Alcotest.(check bool) "makespan ~ n" true (stats.Engine.cycles <= n + 4)
+
+(* Writers to the same list pipeline: w successive inserts at the back of
+   an n-list finish in ~n + w cycles, not w * n. *)
+let test_pipelined_writers () =
+  let n = 40 and w = 6 in
+  let (_, stats) =
+    run (fun eng ->
+        let l = ref (Llist.of_list eng (List.init n (fun i -> i))) in
+        for j = 1 to w do
+          let (l', _) = Llist.insert_ordered eng ~cmp:compare (n + j) !l in
+          l := l'
+        done)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "write pipeline makespan %d ~ n + w" stats.Engine.cycles)
+    true
+    (stats.Engine.cycles <= n + (2 * w) + 4)
+
+(* -- lenient 2-3 trees ----------------------------------------------------- *)
+
+let test_ltree_find () =
+  let ((hit, miss), _) =
+    run (fun eng ->
+        let t = Ltree.of_list eng ~cmp:compare [ 5; 1; 9; 3; 7 ] in
+        (Ltree.find eng ~cmp:compare 7 t, Ltree.find eng ~cmp:compare 4 t))
+  in
+  Alcotest.(check (option int)) "hit" (Some 7) (get "hit" hit);
+  Alcotest.(check (option int)) "miss" None (get "miss" miss)
+
+let test_ltree_insert () =
+  let ((t', ack), _) =
+    run (fun eng ->
+        let t = Ltree.of_list eng ~cmp:compare [ 2; 4; 6 ] in
+        Ltree.insert eng ~cmp:compare 5 t)
+  in
+  Alcotest.(check bool) "added" true (get "ack" ack);
+  Alcotest.(check (option ilist)) "inorder" (Some [ 2; 4; 5; 6 ])
+    (Ltree.to_list_now t')
+
+let test_ltree_duplicate_shares () =
+  let ((t, t', ack), _) =
+    run (fun eng ->
+        let t = Ltree.of_list eng ~cmp:compare [ 1; 2; 3 ] in
+        let (t', ack) = Ltree.insert eng ~cmp:compare 2 t in
+        (t, t', ack))
+  in
+  Alcotest.(check bool) "rejected" false (get "ack" ack);
+  Alcotest.(check (option ilist)) "same contents" (Ltree.to_list_now t)
+    (Ltree.to_list_now t')
+
+let test_ltree_fold () =
+  let (sum, _) =
+    run (fun eng ->
+        let t = Ltree.of_list eng ~cmp:compare [ 4; 1; 3; 2 ] in
+        Ltree.fold_inorder eng ( + ) 0 t)
+  in
+  Alcotest.(check int) "sum" 10 (get "sum" sum)
+
+let test_ltree_insert_is_logarithmic () =
+  (* Insertion into a 512-element tree costs ~2 * height tasks, far fewer
+     than the list's O(position). *)
+  let n = 512 in
+  let (_, stats) =
+    run (fun eng ->
+        let t = Ltree.of_list eng ~cmp:compare (List.init n (fun i -> 2 * i)) in
+        Ltree.insert eng ~cmp:compare 501 t)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "tasks %d <= 2*height+2" stats.Engine.tasks)
+    true
+    (stats.Engine.tasks <= 22)
+
+let test_ltree_finds_flood () =
+  (* Independent searches overlap: k finds take ~depth cycles, not k*depth. *)
+  let (_, stats) =
+    run (fun eng ->
+        let t =
+          Ltree.of_list eng ~cmp:compare (List.init 128 (fun i -> i))
+        in
+        for k = 0 to 9 do
+          ignore (Ltree.find eng ~cmp:compare (k * 12) t)
+        done)
+  in
+  Alcotest.(check bool) "flooded" true (stats.Engine.max_ply >= 5);
+  Alcotest.(check bool) "short makespan" true (stats.Engine.cycles <= 12)
+
+let prop_ltree_matches_sorted_set =
+  QCheck2.Test.make ~name:"ltree inserts == sorted set" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 30) (int_range 0 100))
+    (fun xs ->
+      let ((final, _), _) =
+        run (fun eng ->
+            List.fold_left
+              (fun (t, _) x -> Ltree.insert eng ~cmp:compare x t)
+              (Ltree.empty eng, Fdb_kernel.Engine.full eng true)
+              xs)
+      in
+      Ltree.to_list_now final = Some (List.sort_uniq compare xs))
+
+(* -- the engine-level merge (paper 2.4) ------------------------------------- *)
+
+let test_lmerge_materialized_inputs () =
+  (* All cells available at once: the arbiter advances each input one
+     element per cycle, giving a deterministic round interleaving. *)
+  let (m, _) =
+    run (fun eng ->
+        Lmerge.merge eng
+          [ Llist.of_list eng [ 1; 2 ]; Llist.of_list eng [ 10; 20 ] ])
+  in
+  match Llist.to_list_now m with
+  | Some merged ->
+      Alcotest.(check int) "all four" 4 (List.length merged);
+      let of_tag t =
+        List.filter_map (fun (g, x) -> if g = t then Some x else None) merged
+      in
+      Alcotest.(check ilist) "stream 0 order" [ 1; 2 ] (of_tag 0);
+      Alcotest.(check ilist) "stream 1 order" [ 10; 20 ] (of_tag 1)
+  | None -> Alcotest.fail "merge incomplete"
+
+let test_lmerge_arrival_order () =
+  (* A fast producer and a slow one: arrival order decides. *)
+  let (m, _) =
+    run (fun eng ->
+        let fast = Llist.produce eng [ 1; 2; 3 ] in
+        (* the slow stream's head appears only after a 6-task delay chain *)
+        let slow_head = Llist.empty eng in
+        let rec delay k =
+          Engine.spawn eng (fun () ->
+              if k = 0 then Engine.put slow_head (Llist.Cons (99, Llist.nil eng))
+              else delay (k - 1))
+        in
+        delay 6;
+        Lmerge.merge eng [ fast; slow_head ])
+  in
+  match Llist.to_list_now m with
+  | Some merged ->
+      Alcotest.(check (list (pair int int))) "fast elements first"
+        [ (0, 1); (0, 2); (0, 3); (1, 99) ]
+        merged
+  | None -> Alcotest.fail "merge incomplete"
+
+let test_lmerge_empty_and_single () =
+  let (a, _) = run (fun eng -> Lmerge.merge eng []) in
+  Alcotest.(check bool) "no inputs" true (Llist.to_list_now a = Some []);
+  let (b, _) =
+    run (fun eng -> Lmerge.merge eng [ Llist.of_list eng [ 7 ]; Llist.nil eng ])
+  in
+  Alcotest.(check bool) "one empty input" true
+    (Llist.to_list_now b = Some [ (0, 7) ])
+
+let test_lmerge_choose_inverts () =
+  let ((c0, c1), _) =
+    run (fun eng ->
+        let m =
+          Lmerge.merge eng
+            [ Llist.of_list eng [ 1; 2; 3 ]; Llist.of_list eng [ 9 ] ]
+        in
+        (Lmerge.choose eng ~tag:0 m, Lmerge.choose eng ~tag:1 m))
+  in
+  Alcotest.check ilist "choose 0" [ 1; 2; 3 ] (get_list "c0" c0);
+  Alcotest.check ilist "choose 1" [ 9 ] (get_list "c1" c1)
+
+let prop_lmerge_preserves_stream_order =
+  QCheck2.Test.make ~name:"engine merge preserves per-stream order"
+    ~count:150
+    QCheck2.Gen.(
+      list_size (int_range 1 4) (list_size (int_range 0 12) (int_range 0 50)))
+    (fun streams ->
+      let (m, _) =
+        run (fun eng ->
+            Lmerge.merge eng (List.map (Llist.of_list eng) streams))
+      in
+      match Llist.to_list_now m with
+      | None -> false
+      | Some merged ->
+          List.length merged
+            = List.fold_left (fun a s -> a + List.length s) 0 streams
+          && List.for_all
+               (fun tag ->
+                 List.filter_map
+                   (fun (g, x) -> if g = tag then Some x else None)
+                   merged
+                 = List.nth streams tag)
+               (List.init (List.length streams) (fun i -> i)))
+
+(* -- qcheck properties ---------------------------------------------------- *)
+
+let gen_ints = QCheck2.Gen.(list_size (int_range 0 30) (int_range 0 100))
+
+let prop_insert_ordered_is_sorted_insert =
+  QCheck2.Test.make ~name:"insert_ordered == List sorted insert" ~count:200
+    QCheck2.Gen.(pair gen_ints (int_range 0 100))
+    (fun (xs, x) ->
+      let xs = List.sort compare xs in
+      let ((l', _), _) =
+        run (fun eng ->
+            Llist.insert_ordered eng ~cmp:compare x (Llist.of_list eng xs))
+      in
+      Llist.to_list_now l' = Some (List.sort compare (x :: xs)))
+
+let prop_map_matches_list_map =
+  QCheck2.Test.make ~name:"map == List.map" ~count:200 gen_ints (fun xs ->
+      let (l, _) =
+        run (fun eng -> Llist.map eng (fun v -> v + 1) (Llist.of_list eng xs))
+      in
+      Llist.to_list_now l = Some (List.map (fun v -> v + 1) xs))
+
+let prop_filter_matches_list_filter =
+  QCheck2.Test.make ~name:"filter == List.filter" ~count:200 gen_ints
+    (fun xs ->
+      let p v = v mod 3 = 0 in
+      let (l, _) =
+        run (fun eng -> Llist.filter eng p (Llist.of_list eng xs))
+      in
+      Llist.to_list_now l = Some (List.filter p xs))
+
+let prop_find_matches_list_find =
+  QCheck2.Test.make ~name:"find == List.find_opt" ~count:200
+    QCheck2.Gen.(pair gen_ints (int_range 0 100))
+    (fun (xs, x) ->
+      let (r, _) =
+        run (fun eng -> Llist.find eng (fun v -> v = x) (Llist.of_list eng xs))
+      in
+      Engine.peek r = Some (List.find_opt (fun v -> v = x) xs))
+
+let prop_delete_matches_spec =
+  QCheck2.Test.make ~name:"delete_first == spec" ~count:200
+    QCheck2.Gen.(pair gen_ints (int_range 0 100))
+    (fun (xs, x) ->
+      let rec spec = function
+        | [] -> []
+        | y :: rest -> if y = x then rest else y :: spec rest
+      in
+      let ((l', ack), _) =
+        run (fun eng ->
+            Llist.delete_first eng (fun v -> v = x) (Llist.of_list eng xs))
+      in
+      Llist.to_list_now l' = Some (spec xs)
+      && Engine.peek ack = Some (List.mem x xs))
+
+let () =
+  Alcotest.run "lenient"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "of_list roundtrip" `Quick test_of_list_roundtrip;
+          Alcotest.test_case "produce" `Quick test_produce;
+          Alcotest.test_case "prefix_now" `Quick test_prefix_now;
+        ] );
+      ( "scans",
+        [
+          Alcotest.test_case "find hit/miss" `Quick test_find_hit_miss;
+          Alcotest.test_case "find early exit" `Quick test_find_early_exit;
+          Alcotest.test_case "length/fold/count/exists" `Quick
+            test_length_fold_count_exists;
+        ] );
+      ( "reconstruction",
+        [
+          Alcotest.test_case "insert middle" `Quick test_insert_ordered_middle;
+          Alcotest.test_case "insert front/back" `Quick
+            test_insert_ordered_front_and_back;
+          Alcotest.test_case "insert into empty" `Quick test_insert_into_empty;
+          Alcotest.test_case "insert shares suffix" `Quick
+            test_insert_shares_suffix;
+          Alcotest.test_case "append copies spine" `Quick
+            test_append_elem_copies_spine;
+          Alcotest.test_case "delete" `Quick test_delete_found_and_missing;
+          Alcotest.test_case "old version intact" `Quick
+            test_old_version_intact;
+        ] );
+      ( "engine merge",
+        [
+          Alcotest.test_case "materialized inputs" `Quick
+            test_lmerge_materialized_inputs;
+          Alcotest.test_case "arrival order" `Quick test_lmerge_arrival_order;
+          Alcotest.test_case "empty/single" `Quick
+            test_lmerge_empty_and_single;
+          Alcotest.test_case "choose inverts" `Quick
+            test_lmerge_choose_inverts;
+          QCheck_alcotest.to_alcotest prop_lmerge_preserves_stream_order;
+        ] );
+      ( "keyed-set ops",
+        [
+          Alcotest.test_case "insert_unique" `Quick test_insert_unique;
+          Alcotest.test_case "delete_ordered early stop" `Quick
+            test_delete_ordered_early_stop;
+          Alcotest.test_case "delete_ordered hit" `Quick
+            test_delete_ordered_hit;
+          Alcotest.test_case "update_all" `Quick test_update_all;
+          Alcotest.test_case "find_until" `Quick test_find_until;
+          QCheck_alcotest.to_alcotest prop_update_all_matches_map;
+        ] );
+      ( "transformations",
+        [
+          Alcotest.test_case "map/filter/append" `Quick test_map_filter_append;
+          Alcotest.test_case "select" `Quick test_select;
+        ] );
+      ( "pipelining",
+        [
+          Alcotest.test_case "scan chases insert" `Quick
+            test_scan_chases_insert;
+          Alcotest.test_case "flooding scans" `Quick test_flooding_scans;
+          Alcotest.test_case "pipelined writers" `Quick test_pipelined_writers;
+        ] );
+      ( "ltree",
+        [
+          Alcotest.test_case "find" `Quick test_ltree_find;
+          Alcotest.test_case "insert" `Quick test_ltree_insert;
+          Alcotest.test_case "duplicate shares" `Quick
+            test_ltree_duplicate_shares;
+          Alcotest.test_case "fold" `Quick test_ltree_fold;
+          Alcotest.test_case "logarithmic insert" `Quick
+            test_ltree_insert_is_logarithmic;
+          Alcotest.test_case "finds flood" `Quick test_ltree_finds_flood;
+          QCheck_alcotest.to_alcotest prop_ltree_matches_sorted_set;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_insert_ordered_is_sorted_insert;
+          QCheck_alcotest.to_alcotest prop_map_matches_list_map;
+          QCheck_alcotest.to_alcotest prop_filter_matches_list_filter;
+          QCheck_alcotest.to_alcotest prop_find_matches_list_find;
+          QCheck_alcotest.to_alcotest prop_delete_matches_spec;
+        ] );
+    ]

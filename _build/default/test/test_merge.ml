@@ -1,0 +1,119 @@
+(* Merge tests: every policy must preserve per-stream order (the one thing
+   serializability requires of the merge), choose must invert it, and the
+   timed merge must respect timestamps. *)
+
+module M = Fdb_merge.Merge
+
+let policies =
+  [ ("arrival", M.Arrival_order); ("bursty", M.Eager_clients [ 2; 3 ]);
+    ("seeded-1", M.Seeded 1); ("seeded-99", M.Seeded 99);
+    ("concat", M.Concatenated) ]
+
+let test_merge_round_robin () =
+  let merged = M.merge M.Arrival_order [ [ "a1"; "a2" ]; [ "b1"; "b2" ] ] in
+  Alcotest.(check (list (pair int string)))
+    "alternating"
+    [ (0, "a1"); (1, "b1"); (0, "a2"); (1, "b2") ]
+    (List.map (fun t -> (t.M.tag, t.M.item)) merged)
+
+let test_merge_concat () =
+  let merged = M.merge M.Concatenated [ [ 1; 2 ]; [ 3 ] ] in
+  Alcotest.(check (list (pair int int)))
+    "stream 0 first"
+    [ (0, 1); (0, 2); (1, 3) ]
+    (List.map (fun t -> (t.M.tag, t.M.item)) merged)
+
+let test_merge_unequal_lengths () =
+  let merged = M.merge M.Arrival_order [ [ 1 ]; [ 2; 3; 4 ]; [] ] in
+  Alcotest.(check int) "all items" 4 (List.length merged);
+  Alcotest.(check (list int)) "tags used" [ 0; 1 ] (M.tags_used merged)
+
+let test_choose () =
+  let merged = M.merge (M.Seeded 5) [ [ 1; 2; 3 ]; [ 4; 5 ] ] in
+  Alcotest.(check (list int)) "choose 0" [ 1; 2; 3 ] (M.choose ~tag:0 merged);
+  Alcotest.(check (list int)) "choose 1" [ 4; 5 ] (M.choose ~tag:1 merged);
+  Alcotest.(check (list int)) "choose absent" [] (M.choose ~tag:7 merged)
+
+let test_merge_timed () =
+  let merged =
+    M.merge_timed
+      [ [ (1.0, "a1"); (5.0, "a2") ]; [ (2.0, "b1"); (3.0, "b2") ] ]
+  in
+  Alcotest.(check (list string)) "by timestamp" [ "a1"; "b1"; "b2"; "a2" ]
+    (List.map (fun t -> t.M.item) merged);
+  (* ties break by stream index *)
+  let tied = M.merge_timed [ [ (1.0, "x") ]; [ (1.0, "y") ] ] in
+  Alcotest.(check (list string)) "tie break" [ "x"; "y" ]
+    (List.map (fun t -> t.M.item) tied)
+
+let test_empty_inputs () =
+  Alcotest.(check int) "no streams" 0 (List.length (M.merge M.Arrival_order []));
+  Alcotest.(check int) "empty streams" 0
+    (List.length (M.merge (M.Seeded 3) [ []; [] ]))
+
+let gen_streams =
+  QCheck2.Gen.(
+    list_size (int_range 1 5) (list_size (int_range 0 20) (int_range 0 1000)))
+
+(* The serializability precondition: choose inverts merge for every policy. *)
+let prop_choose_inverts_merge =
+  QCheck2.Test.make ~name:"choose tag (merge p streams) = nth streams tag"
+    ~count:300
+    QCheck2.Gen.(pair (int_range 0 4) gen_streams)
+    (fun (pi, streams) ->
+      let (_, policy) = List.nth policies pi in
+      let merged = M.merge policy streams in
+      List.for_all
+        (fun tag -> M.choose ~tag merged = List.nth streams tag)
+        (List.init (List.length streams) (fun i -> i)))
+
+let prop_merge_is_permutation =
+  QCheck2.Test.make ~name:"merge loses and invents nothing" ~count:300
+    QCheck2.Gen.(pair (int_range 0 4) gen_streams)
+    (fun (pi, streams) ->
+      let (_, policy) = List.nth policies pi in
+      let merged = M.merge policy streams in
+      List.sort compare (List.map (fun t -> t.M.item) merged)
+      = List.sort compare (List.concat streams))
+
+let prop_timed_merge_preserves_stream_order =
+  QCheck2.Test.make ~name:"merge_timed preserves per-stream order" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 1 4)
+        (list_size (int_range 0 15) (float_bound_inclusive 100.0)))
+    (fun time_streams ->
+      (* make timestamps nondecreasing within each stream *)
+      let streams =
+        List.map
+          (fun times ->
+            let sorted = List.sort Float.compare times in
+            List.mapi (fun i t -> (t, i)) sorted)
+          time_streams
+      in
+      let merged = M.merge_timed streams in
+      List.for_all
+        (fun tag ->
+          let got = M.choose ~tag merged in
+          got = List.sort compare got)
+        (List.init (List.length streams) (fun i -> i)))
+
+let () =
+  Alcotest.run "merge"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "round robin" `Quick test_merge_round_robin;
+          Alcotest.test_case "concat" `Quick test_merge_concat;
+          Alcotest.test_case "unequal lengths" `Quick
+            test_merge_unequal_lengths;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "timed" `Quick test_merge_timed;
+          Alcotest.test_case "empty" `Quick test_empty_inputs;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_choose_inverts_merge;
+          QCheck_alcotest.to_alcotest prop_merge_is_permutation;
+          QCheck_alcotest.to_alcotest prop_timed_merge_preserves_stream_order;
+        ] );
+    ]

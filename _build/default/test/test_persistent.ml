@@ -1,0 +1,316 @@
+(* Model-based tests for the persistent structures: every structure is
+   checked against a sorted-list reference model under random operation
+   sequences, plus structure-specific invariants and the sharing
+   measurements the paper's updating story depends on. *)
+
+open Fdb_persistent
+
+module IntList = Plist.Make (Ordered.Int)
+module IntAvl = Avl.Make (Ordered.Int)
+module Int23 = Two3.Make (Ordered.Int)
+module IntBt = Btree.Make (Ordered.Int)
+
+let gen_ops =
+  (* A sequence of inserts (positive) and deletes (negative). *)
+  QCheck2.Gen.(list_size (int_range 0 120) (int_range (-50) 50))
+
+(* Reference model: a sorted list with set semantics. *)
+module Model = struct
+  let insert x m = if List.mem x m then m else List.sort compare (x :: m)
+  let delete x m = (List.filter (fun y -> y <> x) m, List.mem x m)
+
+  let apply ops =
+    List.fold_left
+      (fun m op ->
+        if op >= 0 then insert op m
+        else fst (delete (-op) m))
+      [] ops
+end
+
+(* -- plist ---------------------------------------------------------------- *)
+
+let test_plist_basics () =
+  let l = IntList.of_list [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (IntList.to_list l);
+  Alcotest.(check int) "size" 3 (IntList.size l);
+  Alcotest.(check bool) "member" true (IntList.member 2 l);
+  Alcotest.(check bool) "not member" false (IntList.member 9 l);
+  let l' = IntList.insert 0 l in
+  Alcotest.(check (list int)) "insert front" [ 0; 1; 2; 3 ]
+    (IntList.to_list l');
+  let (l'', found) = IntList.delete 2 l' in
+  Alcotest.(check bool) "deleted" true found;
+  Alcotest.(check (list int)) "after delete" [ 0; 1; 3 ] (IntList.to_list l'')
+
+let test_plist_sharing () =
+  (* Insert near the front of a long list: almost everything shared. *)
+  let l = IntList.of_list (List.init 100 (fun i -> 2 * i)) in
+  let meter = Meter.create () in
+  let l' = IntList.insert ~meter 5 l in
+  Alcotest.(check int) "4 cells built (0,2,4 copied + new 5)" 4
+    (Meter.allocs meter);
+  let (shared, total) = IntList.shared_cells ~old:l l' in
+  Alcotest.(check int) "total cells" 101 total;
+  Alcotest.(check int) "shared cells" 97 shared
+
+let test_plist_find () =
+  let l = IntList.of_list [ 1; 4; 9 ] in
+  Alcotest.(check (option int)) "found" (Some 4)
+    (IntList.find (fun x -> x > 2) l);
+  Alcotest.(check (option int)) "absent" None
+    (IntList.find (fun x -> x > 100) l)
+
+let prop_plist_model =
+  QCheck2.Test.make ~name:"plist == model" ~count:300 gen_ops (fun ops ->
+      let l =
+        List.fold_left
+          (fun l op ->
+            if op >= 0 then
+              if IntList.member op l then l else IntList.insert op l
+            else fst (IntList.delete (-op) l))
+          IntList.empty ops
+      in
+      IntList.invariant l && IntList.to_list l = Model.apply ops)
+
+(* -- generic model harness for the tree structures ------------------------ *)
+
+let tree_model_test name fold_ops =
+  QCheck2.Test.make ~name ~count:300 gen_ops (fun ops ->
+      let (to_list, invariant) = fold_ops ops in
+      invariant && to_list = Model.apply ops)
+
+let prop_avl_model =
+  tree_model_test "avl == model" (fun ops ->
+      let t =
+        List.fold_left
+          (fun t op ->
+            if op >= 0 then IntAvl.insert op t
+            else fst (IntAvl.delete (-op) t))
+          IntAvl.empty ops
+      in
+      (IntAvl.to_list t, IntAvl.invariant t))
+
+let prop_two3_model =
+  tree_model_test "two3 == model" (fun ops ->
+      let t =
+        List.fold_left
+          (fun t op ->
+            if op >= 0 then Int23.insert op t
+            else fst (Int23.delete (-op) t))
+          Int23.empty ops
+      in
+      (Int23.to_list t, Int23.invariant t))
+
+let prop_btree_model branching =
+  tree_model_test
+    (Printf.sprintf "btree(b=%d) == model" branching)
+    (fun ops ->
+      let t =
+        List.fold_left
+          (fun t op ->
+            if op >= 0 then IntBt.insert op t
+            else fst (IntBt.delete (-op) t))
+          (IntBt.create ~branching ())
+          ops
+      in
+      (IntBt.to_list t, IntBt.invariant t))
+
+(* -- avl specifics --------------------------------------------------------- *)
+
+let test_avl_logarithmic_height () =
+  let t = IntAvl.of_list (List.init 1000 (fun i -> i)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d <= 1.44 log2 1000 + 2" (IntAvl.height t))
+    true
+    (IntAvl.height t <= 16);
+  Alcotest.(check int) "size" 1000 (IntAvl.size t);
+  Alcotest.(check bool) "invariant" true (IntAvl.invariant t)
+
+let test_avl_duplicate_insert_shares_everything () =
+  let t = IntAvl.of_list [ 5; 2; 8; 1 ] in
+  let meter = Meter.create () in
+  let t' = IntAvl.insert ~meter 5 t in
+  Alcotest.(check bool) "physically unchanged" true (t == t');
+  Alcotest.(check int) "no allocation" 0 (Meter.allocs meter)
+
+let test_avl_find_by_key () =
+  let module KV = Avl.Make (struct
+    type t = int * string
+
+    let compare (a, _) (b, _) = compare a b
+  end) in
+  let t = KV.of_list [ (1, "one"); (2, "two") ] in
+  Alcotest.(check (option (pair int string)))
+    "find retrieves stored value" (Some (2, "two"))
+    (KV.find (2, "") t)
+
+(* -- two3 specifics -------------------------------------------------------- *)
+
+let test_two3_insert_sharing_is_logarithmic () =
+  let n = 1024 in
+  let t = Int23.of_list (List.init n (fun i -> 2 * i)) in
+  let meter = Meter.create () in
+  let t' = Int23.insert ~meter 333 t in
+  let allocated = Meter.allocs meter in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocated %d nodes <= 2 * height + 1" allocated)
+    true
+    (allocated <= (2 * Int23.height t) + 1);
+  let (shared, total) = Int23.shared_nodes ~old:t t' in
+  let fraction = float_of_int (total - shared) /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "rebuilt fraction %.4f ~ (log n)/n" fraction)
+    true
+    (fraction < 0.05)
+
+let test_two3_uniform_depth_after_deletes () =
+  let t = Int23.of_list (List.init 200 (fun i -> i)) in
+  let t =
+    List.fold_left
+      (fun t x -> fst (Int23.delete x t))
+      t
+      (List.init 100 (fun i -> 2 * i))
+  in
+  Alcotest.(check bool) "invariant after 100 deletes" true (Int23.invariant t);
+  Alcotest.(check int) "100 left" 100 (Int23.size t)
+
+let test_two3_delete_absent_shares () =
+  let t = Int23.of_list [ 1; 2; 3 ] in
+  let (t', found) = Int23.delete 9 t in
+  Alcotest.(check bool) "not found" false found;
+  Alcotest.(check bool) "physically unchanged" true (t == t')
+
+(* -- btree specifics -------------------------------------------------------- *)
+
+let test_btree_occupancy () =
+  let t = IntBt.of_list ~branching:4 (List.init 500 (fun i -> i)) in
+  Alcotest.(check bool) "invariant" true (IntBt.invariant t);
+  Alcotest.(check int) "size" 500 (IntBt.size t);
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d is logarithmic" (IntBt.height t))
+    true
+    (IntBt.height t <= 10)
+
+let test_btree_range () =
+  let t = IntBt.of_list ~branching:5 (List.init 100 (fun i -> i)) in
+  Alcotest.(check (list int)) "range" [ 40; 41; 42; 43; 44; 45 ]
+    (IntBt.range ~lo:40 ~hi:45 t);
+  Alcotest.(check (list int)) "empty range" [] (IntBt.range ~lo:200 ~hi:300 t)
+
+let test_btree_page_sharing_figure_2_2 () =
+  (* The Figure 2-2 scenario: one insert rebuilds only the root-to-leaf
+     path ("new directory"), sharing every other page with the old
+     version. *)
+  let t = IntBt.of_list ~branching:8 (List.init 1000 (fun i -> 2 * i)) in
+  let t' = IntBt.insert 501 t in
+  let (shared, total) = IntBt.shared_pages ~old:t t' in
+  let rebuilt = total - shared in
+  Alcotest.(check bool)
+    (Printf.sprintf "rebuilt %d pages = height %d" rebuilt (IntBt.height t'))
+    true
+    (rebuilt <= IntBt.height t');
+  Alcotest.(check bool) "most pages shared" true
+    (float_of_int shared /. float_of_int total > 0.9)
+
+let test_btree_duplicate_insert_shares_everything () =
+  let t = IntBt.of_list ~branching:4 [ 1; 5; 9; 13; 20; 30 ] in
+  let t' = IntBt.insert 9 t in
+  let (shared, total) = IntBt.shared_pages ~old:t t' in
+  Alcotest.(check int) "all pages shared" total shared
+
+let test_btree_bad_branching () =
+  Alcotest.check_raises "branching < 3"
+    (Invalid_argument "Btree.create: branching < 3") (fun () ->
+      ignore (IntBt.create ~branching:2 ()))
+
+(* -- cross-structure agreement -------------------------------------------- *)
+
+let prop_structures_agree =
+  QCheck2.Test.make ~name:"all structures agree on random workloads"
+    ~count:150 gen_ops (fun ops ->
+      let model = Model.apply ops in
+      let fold_insert insert delete empty =
+        List.fold_left
+          (fun t op -> if op >= 0 then insert op t else delete (-op) t)
+          empty ops
+      in
+      let avl =
+        fold_insert IntAvl.insert (fun x t -> fst (IntAvl.delete x t))
+          IntAvl.empty
+      in
+      let t23 =
+        fold_insert Int23.insert (fun x t -> fst (Int23.delete x t))
+          Int23.empty
+      in
+      let bt =
+        fold_insert IntBt.insert
+          (fun x t -> fst (IntBt.delete x t))
+          (IntBt.create ~branching:4 ())
+      in
+      IntAvl.to_list avl = model
+      && Int23.to_list t23 = model
+      && IntBt.to_list bt = model)
+
+(* Sharing fraction shrinks as n grows — the (log n)/n claim of §3.3. *)
+let test_sharing_fraction_shrinks_with_n () =
+  let fraction n =
+    let t = Int23.of_list (List.init n (fun i -> 2 * i)) in
+    let t' = Int23.insert (n + 1) t in
+    let (shared, total) = Int23.shared_nodes ~old:t t' in
+    float_of_int (total - shared) /. float_of_int total
+  in
+  let f100 = fraction 100 and f1000 = fraction 1000 and f10000 = fraction 10000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %.4f > %.4f > %.4f" f100 f1000 f10000)
+    true
+    (f100 > f1000 && f1000 > f10000)
+
+let () =
+  Alcotest.run "persistent"
+    [
+      ( "plist",
+        [
+          Alcotest.test_case "basics" `Quick test_plist_basics;
+          Alcotest.test_case "sharing" `Quick test_plist_sharing;
+          Alcotest.test_case "find" `Quick test_plist_find;
+          QCheck_alcotest.to_alcotest prop_plist_model;
+        ] );
+      ( "avl",
+        [
+          Alcotest.test_case "logarithmic height" `Quick
+            test_avl_logarithmic_height;
+          Alcotest.test_case "duplicate insert shares" `Quick
+            test_avl_duplicate_insert_shares_everything;
+          Alcotest.test_case "find by key" `Quick test_avl_find_by_key;
+          QCheck_alcotest.to_alcotest prop_avl_model;
+        ] );
+      ( "two3",
+        [
+          Alcotest.test_case "log sharing" `Quick
+            test_two3_insert_sharing_is_logarithmic;
+          Alcotest.test_case "uniform depth after deletes" `Quick
+            test_two3_uniform_depth_after_deletes;
+          Alcotest.test_case "delete absent shares" `Quick
+            test_two3_delete_absent_shares;
+          QCheck_alcotest.to_alcotest prop_two3_model;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "occupancy" `Quick test_btree_occupancy;
+          Alcotest.test_case "range" `Quick test_btree_range;
+          Alcotest.test_case "figure 2-2 page sharing" `Quick
+            test_btree_page_sharing_figure_2_2;
+          Alcotest.test_case "duplicate insert shares" `Quick
+            test_btree_duplicate_insert_shares_everything;
+          Alcotest.test_case "bad branching" `Quick test_btree_bad_branching;
+          QCheck_alcotest.to_alcotest (prop_btree_model 3);
+          QCheck_alcotest.to_alcotest (prop_btree_model 4);
+          QCheck_alcotest.to_alcotest (prop_btree_model 7);
+        ] );
+      ( "cross-structure",
+        [
+          QCheck_alcotest.to_alcotest prop_structures_agree;
+          Alcotest.test_case "(log n)/n shrinks" `Quick
+            test_sharing_fraction_shrinks_with_n;
+        ] );
+    ]

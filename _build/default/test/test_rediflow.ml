@@ -1,0 +1,211 @@
+(* Rediflow machine-mode tests: timing, load balancing, speedup sanity. *)
+
+open Fdb_kernel
+open Fdb_net
+open Fdb_rediflow
+
+let run_on topo ?(balance = true) f =
+  let machine =
+    Machine.create { (Machine.default_config topo) with balance }
+  in
+  let eng = Engine.create ~scheduler:(Machine.scheduler machine) () in
+  f eng;
+  let stats = Engine.run eng in
+  (stats, Machine.machine_stats machine)
+
+(* The same program in ideal mode, for task-count baselines. *)
+let run_ideal f =
+  let eng = Engine.create () in
+  f eng;
+  Engine.run eng
+
+let fanout_program width eng =
+  let src = Engine.ivar eng in
+  for _ = 1 to width do
+    Engine.await src (fun _ -> ())
+  done;
+  Engine.spawn eng (fun () -> Engine.put src ())
+
+let chain_program n eng =
+  let first = Engine.ivar eng in
+  let rec chain i prev =
+    if i < n then begin
+      let next = Engine.ivar eng in
+      Engine.await prev (fun v -> Engine.put next (v + 1));
+      chain (i + 1) next
+    end
+  in
+  chain 0 first;
+  Engine.spawn eng (fun () -> Engine.put first 0)
+
+let test_single_pe_is_sequential () =
+  (* On one PE a width-w fanout serializes: makespan >= tasks. *)
+  let w = 20 in
+  let (stats, _) = run_on (Topology.single ()) (fanout_program w) in
+  Alcotest.(check int) "tasks" (w + 1) stats.Engine.tasks;
+  Alcotest.(check int) "ply 1" 1 stats.Engine.max_ply;
+  Alcotest.(check bool) "makespan >= tasks" true
+    (stats.Engine.cycles >= stats.Engine.tasks)
+
+let test_chain_gains_nothing_from_parallelism () =
+  let n = 30 in
+  let (s1, _) = run_on (Topology.single ()) (chain_program n) in
+  let (s8, _) = run_on (Topology.hypercube 3) (chain_program n) in
+  (* A pure chain cannot speed up; communication can only slow it down. *)
+  Alcotest.(check bool) "8 PEs no faster on a chain" true
+    (s8.Engine.cycles >= s1.Engine.cycles)
+
+let test_fanout_speedup_with_balancing () =
+  let w = 200 in
+  let (s1, _) = run_on (Topology.single ()) (fanout_program w) in
+  let (s8, _) = run_on (Topology.hypercube 3) (fanout_program w) in
+  let speedup =
+    float_of_int s1.Engine.cycles /. float_of_int s8.Engine.cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %.2f in (2, 8]" speedup)
+    true
+    (speedup > 2.0 && speedup <= 8.0)
+
+let test_balancing_beats_no_balancing () =
+  let w = 200 in
+  let topo = Topology.hypercube 3 in
+  let (with_b, mb) = run_on topo ~balance:true (fanout_program w) in
+  let (without_b, mn) = run_on topo ~balance:false (fanout_program w) in
+  Alcotest.(check bool) "balancing strictly helps on a fanout" true
+    (with_b.Engine.cycles < without_b.Engine.cycles);
+  Alcotest.(check bool) "migrations happened" true (mb.Machine.migrations > 0);
+  Alcotest.(check int) "no migrations when disabled" 0 mn.Machine.migrations
+
+let test_all_tasks_execute_on_machine () =
+  let w = 100 in
+  let ideal = run_ideal (fanout_program w) in
+  let (machine, ms) = run_on (Topology.mesh3d 3 3 3) (fanout_program w) in
+  Alcotest.(check int) "same task count as ideal" ideal.Engine.tasks
+    machine.Engine.tasks;
+  Alcotest.(check int) "per-PE counts sum to total" machine.Engine.tasks
+    (Array.fold_left ( + ) 0 ms.Machine.pe_tasks);
+  Alcotest.(check int) "no orphans" 0 machine.Engine.orphans
+
+let test_max_ply_bounded_by_pe_count () =
+  let (stats, _) = run_on (Topology.hypercube 2) (fanout_program 50) in
+  Alcotest.(check bool) "ply <= 4 PEs" true (stats.Engine.max_ply <= 4)
+
+let test_remote_demand_costs_distance () =
+  (* The data lives at site 0 (a full cell); a task at site 7 of
+     hypercube-3 (distance 3) demands it.  Rediflow semantics: the demand
+     travels to the data and the continuation executes at the data's
+     site. *)
+  let topo = Topology.hypercube 3 in
+  let machine = Machine.create (Machine.default_config topo) in
+  let eng = Engine.create ~scheduler:(Machine.scheduler machine) () in
+  let iv = Engine.full_at eng ~site:0 () in
+  let done_at = ref (-1) and done_site = ref (-1) in
+  Engine.spawn eng ~site:7 (fun () ->
+      Engine.await iv (fun () ->
+          done_at := Engine.now eng;
+          done_site := Engine.current_site eng));
+  let stats = Engine.run eng in
+  (* cycle 0: the demander runs at site 7; its demand enters the fabric
+     during cycle 0 and takes 3 hops; the continuation executes at the
+     data's site at cycle 3. *)
+  Alcotest.(check int) "continuation ran at cycle 3" 3 !done_at;
+  Alcotest.(check int) "continuation ran at the data's site" 0 !done_site;
+  Alcotest.(check int) "makespan 4" 4 stats.Engine.cycles
+
+let test_deferred_put_delivers_to_cell_home () =
+  (* A waiter registers on an empty cell homed at site 5; the put happens
+     at site 0.  The data travels put-site -> cell-home and the
+     continuation fires at the cell's home. *)
+  let topo = Topology.ring 8 in
+  let machine = Machine.create (Machine.default_config topo) in
+  let eng = Engine.create ~scheduler:(Machine.scheduler machine) () in
+  let iv = Engine.ivar_at eng ~site:5 in
+  let done_site = ref (-1) in
+  Engine.spawn eng ~site:2 (fun () ->
+      Engine.await iv (fun () -> done_site := Engine.current_site eng));
+  Engine.spawn eng ~site:0 (fun () -> Engine.put iv ());
+  ignore (Engine.run eng);
+  Alcotest.(check int) "continuation at the cell's home" 5 !done_site
+
+let test_utilization_and_imbalance () =
+  let (stats, ms) = run_on (Topology.hypercube 3) (fanout_program 300) in
+  let u = Machine.utilization ms ~cycles:stats.Engine.cycles in
+  Alcotest.(check bool) "utilization in (0,1]" true (u > 0.0 && u <= 1.0);
+  Alcotest.(check bool) "imbalance >= 1" true (Machine.imbalance ms >= 1.0)
+
+let test_machine_determinism () =
+  let go () =
+    let (s, m) = run_on (Topology.mesh3d 2 2 2) (fanout_program 77) in
+    (s.Engine.cycles, s.Engine.tasks, m.Machine.migrations)
+  in
+  Alcotest.(check (triple int int int)) "bit-identical rerun" (go ()) (go ())
+
+(* qcheck: arbitrary fanout/chain mixes complete with no orphans on every
+   topology, and machine-mode task counts equal ideal-mode task counts. *)
+let prop_machine_completes =
+  QCheck2.Test.make ~name:"machine mode executes the full graph" ~count:60
+    QCheck2.Gen.(triple (int_range 0 3) (int_range 1 80) (int_range 0 1000))
+    (fun (shape, n, seed) ->
+      let topo =
+        match shape with
+        | 0 -> Topology.hypercube 2
+        | 1 -> Topology.mesh3d 2 2 2
+        | 2 -> Topology.ring 5
+        | _ -> Topology.star 4
+      in
+      let program eng =
+        let rand = Random.State.make [| seed |] in
+        let root = Engine.ivar eng in
+        let prev = ref root in
+        for _ = 1 to n do
+          if Random.State.bool rand then
+            Engine.await !prev (fun _ -> ())
+          else begin
+            let next = Engine.ivar eng in
+            let p = !prev in
+            Engine.await p (fun v -> Engine.put next v);
+            prev := next
+          end
+        done;
+        Engine.spawn eng (fun () -> Engine.put root 0)
+      in
+      let ideal = run_ideal program in
+      let (machine, _) = run_on topo program in
+      machine.Engine.tasks = ideal.Engine.tasks
+      && machine.Engine.orphans = 0
+      && machine.Engine.cycles >= ideal.Engine.cycles)
+
+let () =
+  Alcotest.run "rediflow"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "single PE sequential" `Quick
+            test_single_pe_is_sequential;
+          Alcotest.test_case "chain immune to parallelism" `Quick
+            test_chain_gains_nothing_from_parallelism;
+          Alcotest.test_case "remote demand = distance" `Quick
+            test_remote_demand_costs_distance;
+          Alcotest.test_case "deferred put -> cell home" `Quick
+            test_deferred_put_delivers_to_cell_home;
+        ] );
+      ( "parallelism",
+        [
+          Alcotest.test_case "fanout speedup" `Quick
+            test_fanout_speedup_with_balancing;
+          Alcotest.test_case "balancing helps" `Quick
+            test_balancing_beats_no_balancing;
+          Alcotest.test_case "ply bounded by PEs" `Quick
+            test_max_ply_bounded_by_pe_count;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "all tasks execute" `Quick
+            test_all_tasks_execute_on_machine;
+          Alcotest.test_case "utilization/imbalance" `Quick
+            test_utilization_and_imbalance;
+          Alcotest.test_case "determinism" `Quick test_machine_determinism;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_machine_completes ]);
+    ]

@@ -1,0 +1,292 @@
+(* Tests for values, tuples, schemas, relations (all backends), relational
+   algebra, and the versioned database. *)
+
+open Fdb_relational
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+let schema =
+  Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ]
+
+let tup k s = Tuple.make [ v_int k; v_str s ]
+
+let tuple_t = Alcotest.testable Tuple.pp Tuple.equal
+
+(* -- value ---------------------------------------------------------------- *)
+
+let test_value_order () =
+  Alcotest.(check bool) "int order" true (Value.compare (v_int 1) (v_int 2) < 0);
+  Alcotest.(check bool) "str order" true
+    (Value.compare (v_str "a") (v_str "b") < 0);
+  Alcotest.(check bool) "cross-type total" true
+    (Value.compare (v_int 99) (v_str "a") < 0);
+  Alcotest.(check bool) "equal" true (Value.equal (Value.Bool true) (Value.Bool true));
+  Alcotest.(check string) "pp int" "7" (Value.to_string (v_int 7));
+  Alcotest.(check string) "pp str quoted" "\"hi\"" (Value.to_string (v_str "hi"))
+
+(* -- tuple ---------------------------------------------------------------- *)
+
+let test_tuple_basics () =
+  let t = tup 3 "x" in
+  Alcotest.(check int) "arity" 2 (Tuple.arity t);
+  Alcotest.(check bool) "key" true (Value.equal (v_int 3) (Tuple.key t));
+  Alcotest.check_raises "empty tuple" (Invalid_argument "Tuple.make: empty tuple")
+    (fun () -> ignore (Tuple.make []));
+  Alcotest.(check bool) "lexicographic" true
+    (Tuple.compare (tup 1 "z") (tup 2 "a") < 0);
+  Alcotest.(check bool) "same key, second column decides" true
+    (Tuple.compare (tup 1 "a") (tup 1 "b") < 0);
+  Alcotest.(check bool) "shorter is smaller" true
+    (Tuple.compare (Tuple.make [ v_int 1 ]) (tup 1 "a") < 0);
+  Alcotest.(check int) "compare_key ignores payload" 0
+    (Tuple.compare_key (tup 1 "a") (tup 1 "zzz"))
+
+(* -- schema --------------------------------------------------------------- *)
+
+let test_schema () =
+  Alcotest.(check int) "arity" 2 (Schema.arity schema);
+  Alcotest.(check (option int)) "column_index" (Some 1)
+    (Schema.column_index schema "val");
+  Alcotest.(check (option int)) "missing column" None
+    (Schema.column_index schema "nope");
+  Alcotest.(check bool) "matches" true (Schema.matches schema (tup 1 "a"));
+  Alcotest.(check bool) "wrong type" false
+    (Schema.matches schema (Tuple.make [ v_str "k"; v_str "v" ]));
+  Alcotest.(check bool) "wrong arity" false
+    (Schema.matches schema (Tuple.make [ v_int 1 ]));
+  Alcotest.check_raises "duplicate columns"
+    (Invalid_argument "Schema.make: duplicate column names") (fun () ->
+      ignore (Schema.make ~name:"X" ~cols:[ ("a", Schema.CInt); ("a", Schema.CInt) ]))
+
+(* -- relation, across all backends ----------------------------------------- *)
+
+let backends =
+  [ Relation.List_backend; Relation.Avl_backend; Relation.Two3_backend;
+    Relation.Btree_backend 4 ]
+
+let test_relation_roundtrip () =
+  List.iter
+    (fun backend ->
+      let name = Relation.backend_name backend in
+      let r = Relation.create ~backend schema in
+      let r =
+        List.fold_left
+          (fun r t ->
+            match Relation.insert r t with
+            | Ok (r', true) -> r'
+            | Ok (_, false) -> Alcotest.failf "%s: unexpected duplicate" name
+            | Error e -> Alcotest.fail e)
+          r
+          [ tup 3 "c"; tup 1 "a"; tup 2 "b" ]
+      in
+      Alcotest.(check int) (name ^ " size") 3 (Relation.size r);
+      Alcotest.(check (list tuple_t))
+        (name ^ " sorted by key")
+        [ tup 1 "a"; tup 2 "b"; tup 3 "c" ]
+        (Relation.to_list r);
+      Alcotest.(check (option tuple_t))
+        (name ^ " find")
+        (Some (tup 2 "b"))
+        (Relation.find_key r (v_int 2));
+      Alcotest.(check bool) (name ^ " mem") true (Relation.mem_key r (v_int 1));
+      (* duplicate key rejected, relation shared *)
+      (match Relation.insert r (tup 2 "DUP") with
+      | Ok (r', false) ->
+          Alcotest.(check bool) (name ^ " dup shares") true (r == r')
+      | _ -> Alcotest.failf "%s: duplicate accepted" name);
+      let (r2, found) = Relation.delete_key r (v_int 2) in
+      Alcotest.(check bool) (name ^ " deleted") true found;
+      Alcotest.(check int) (name ^ " size after delete") 2 (Relation.size r2);
+      let (_, missing) = Relation.delete_key r2 (v_int 99) in
+      Alcotest.(check bool) (name ^ " delete missing") false missing)
+    backends
+
+let test_relation_schema_mismatch () =
+  let r = Relation.create schema in
+  match Relation.insert r (Tuple.make [ v_str "bad"; v_str "x" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "schema mismatch accepted"
+
+let test_relation_select () =
+  let r =
+    match
+      Relation.of_tuples schema [ tup 1 "a"; tup 2 "b"; tup 3 "a" ]
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check (list tuple_t)) "select by payload"
+    [ tup 1 "a"; tup 3 "a" ]
+    (Relation.select r (fun t -> Value.equal (Tuple.get t 1) (v_str "a")))
+
+let test_relation_sharing_backend_mismatch () =
+  let a = Relation.create ~backend:Relation.List_backend schema in
+  let b = Relation.create ~backend:Relation.Avl_backend schema in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Relation.shared_units: backend mismatch") (fun () ->
+      ignore (Relation.shared_units ~old:a b))
+
+let prop_backends_agree =
+  QCheck2.Test.make ~name:"all backends agree under random keyed ops"
+    ~count:150
+    QCheck2.Gen.(list_size (int_range 0 60) (int_range (-20) 20))
+    (fun ops ->
+      let apply backend =
+        let r =
+          List.fold_left
+            (fun r op ->
+              if op >= 0 then
+                match Relation.insert r (tup op "v") with
+                | Ok (r', _) -> r'
+                | Error e -> failwith e
+              else fst (Relation.delete_key r (v_int (-op))))
+            (Relation.create ~backend schema)
+            ops
+        in
+        Relation.to_list r
+      in
+      let reference = apply Relation.List_backend in
+      List.for_all
+        (fun b -> List.equal Tuple.equal (apply b) reference)
+        [ Relation.Avl_backend; Relation.Two3_backend; Relation.Btree_backend 4 ])
+
+(* -- algebra ---------------------------------------------------------------- *)
+
+let test_algebra_project () =
+  let rows = [ tup 1 "a"; tup 2 "b" ] in
+  Alcotest.(check (list tuple_t)) "project col 1"
+    [ Tuple.make [ v_str "a" ]; Tuple.make [ v_str "b" ] ]
+    (Algebra.project [ 1 ] rows);
+  Alcotest.(check (list tuple_t)) "reorder"
+    [ Tuple.make [ v_str "a"; v_int 1 ] ]
+    (Algebra.project [ 1; 0 ] [ tup 1 "a" ]);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Algebra.project: column index out of range") (fun () ->
+      ignore (Algebra.project [ 5 ] rows))
+
+let test_algebra_join () =
+  let left = [ tup 1 "a"; tup 2 "b" ] in
+  let right = [ Tuple.make [ v_str "b"; v_int 10 ];
+                Tuple.make [ v_str "b"; v_int 20 ];
+                Tuple.make [ v_str "c"; v_int 30 ] ] in
+  let joined = Algebra.join ~left_col:1 ~right_col:0 left right in
+  Alcotest.(check (list tuple_t)) "join pairs"
+    [ Tuple.make [ v_int 2; v_str "b"; v_str "b"; v_int 10 ];
+      Tuple.make [ v_int 2; v_str "b"; v_str "b"; v_int 20 ] ]
+    joined
+
+let test_algebra_sets () =
+  let a = [ tup 1 "a"; tup 2 "b" ] and b = [ tup 2 "b"; tup 3 "c" ] in
+  Alcotest.(check (list tuple_t)) "union"
+    [ tup 1 "a"; tup 2 "b"; tup 3 "c" ]
+    (Algebra.union a b);
+  Alcotest.(check (list tuple_t)) "difference" [ tup 1 "a" ]
+    (Algebra.difference a b);
+  Alcotest.(check (list tuple_t)) "intersection" [ tup 2 "b" ]
+    (Algebra.intersection a b);
+  Alcotest.(check int) "product size" 4 (List.length (Algebra.product a b))
+
+let prop_join_matches_spec =
+  QCheck2.Test.make ~name:"join == nested-loop spec" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 15) (int_range 0 5))
+        (list_size (int_range 0 15) (int_range 0 5)))
+    (fun (ls, rs) ->
+      let left = List.map (fun k -> tup k "l") ls
+      and right = List.map (fun k -> tup k "r") rs in
+      let spec =
+        List.concat_map
+          (fun lt ->
+            List.filter_map
+              (fun rt ->
+                if Value.equal (Tuple.key lt) (Tuple.key rt) then
+                  Some (Array.append lt rt)
+                else None)
+              right)
+          left
+      in
+      List.equal Tuple.equal
+        (Algebra.join ~left_col:0 ~right_col:0 left right)
+        spec)
+
+(* -- database ---------------------------------------------------------------- *)
+
+let two_schemas =
+  [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ];
+    Schema.make ~name:"S" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ]
+
+let test_database_versioning () =
+  let db0 = Database.create two_schemas in
+  Alcotest.(check (list string)) "names" [ "R"; "S" ] (Database.names db0);
+  let (db1, added) =
+    match Database.insert db0 ~rel:"R" (tup 1 "a") with
+    | Ok x -> x
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "added" true added;
+  (* The untouched relation is physically shared across versions; the
+     touched one is not. *)
+  Alcotest.(check bool) "S shared" true (Database.shares_relation ~old:db0 db1 "S");
+  Alcotest.(check bool) "R replaced" false
+    (Database.shares_relation ~old:db0 db1 "R");
+  (* The old version is intact. *)
+  Alcotest.(check int) "old version empty" 0 (Database.total_tuples db0);
+  Alcotest.(check int) "new version has the tuple" 1 (Database.total_tuples db1)
+
+let test_database_errors () =
+  let db = Database.create two_schemas in
+  (match Database.insert db ~rel:"Zed" (tup 1 "a") with
+  | Error e -> Alcotest.(check string) "unknown rel" "unknown relation Zed" e
+  | Ok _ -> Alcotest.fail "accepted unknown relation");
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Database.create: duplicate relation names") (fun () ->
+      ignore (Database.create [ schema; schema ]))
+
+let test_database_load_and_find () =
+  let db = Database.create two_schemas in
+  let db =
+    match Database.load db ~rel:"R" [ tup 1 "a"; tup 2 "b" ] with
+    | Ok db -> db
+    | Error e -> Alcotest.fail e
+  in
+  (match Database.find db ~rel:"R" ~key:(v_int 2) with
+  | Ok (Some t) -> Alcotest.check tuple_t "found" (tup 2 "b") t
+  | _ -> Alcotest.fail "find failed");
+  match Database.find db ~rel:"S" ~key:(v_int 2) with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "phantom tuple in S"
+
+let () =
+  Alcotest.run "relational"
+    [
+      ("value", [ Alcotest.test_case "order/pp" `Quick test_value_order ]);
+      ("tuple", [ Alcotest.test_case "basics" `Quick test_tuple_basics ]);
+      ("schema", [ Alcotest.test_case "basics" `Quick test_schema ]);
+      ( "relation",
+        [
+          Alcotest.test_case "roundtrip all backends" `Quick
+            test_relation_roundtrip;
+          Alcotest.test_case "schema mismatch" `Quick
+            test_relation_schema_mismatch;
+          Alcotest.test_case "select" `Quick test_relation_select;
+          Alcotest.test_case "sharing backend mismatch" `Quick
+            test_relation_sharing_backend_mismatch;
+          QCheck_alcotest.to_alcotest prop_backends_agree;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "project" `Quick test_algebra_project;
+          Alcotest.test_case "join" `Quick test_algebra_join;
+          Alcotest.test_case "set ops" `Quick test_algebra_sets;
+          QCheck_alcotest.to_alcotest prop_join_matches_spec;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "versioning shares slots" `Quick
+            test_database_versioning;
+          Alcotest.test_case "errors" `Quick test_database_errors;
+          Alcotest.test_case "load and find" `Quick test_database_load_and_find;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Transaction-layer tests: translate semantics for every query form,
+   apply_stream versioning, and error behaviour. *)
+
+open Fdb_relational
+module Ast = Fdb_query.Ast
+module Txn = Fdb_txn.Txn
+
+let schemas =
+  [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ];
+    Schema.make ~name:"S" ~cols:[ ("key", Schema.CInt); ("tag", Schema.CStr) ] ]
+
+let tup k s = Tuple.make [ Value.Int k; Value.Str s ]
+
+let db_with_data () =
+  let db = Database.create schemas in
+  let db =
+    match Database.load db ~rel:"R" [ tup 1 "a"; tup 2 "b"; tup 3 "c" ] with
+    | Ok db -> db
+    | Error e -> Alcotest.fail e
+  in
+  match Database.load db ~rel:"S" [ tup 2 "x"; tup 9 "y" ] with
+  | Ok db -> db
+  | Error e -> Alcotest.fail e
+
+let response_t = Alcotest.testable Txn.pp_response Txn.response_equal
+
+let q = Fdb_query.Parser.parse_exn
+
+let run_one src db = Txn.translate (q src) db
+
+let test_insert_and_duplicate () =
+  let db = db_with_data () in
+  let (r1, db1) = run_one "insert (4, \"d\") into R" db in
+  Alcotest.check response_t "insert" (Txn.Inserted true) r1;
+  Alcotest.(check int) "grew" 6 (Database.total_tuples db1);
+  let (r2, db2) = run_one "insert (4, \"other\") into R" db1 in
+  Alcotest.check response_t "duplicate" (Txn.Inserted false) r2;
+  Alcotest.(check int) "unchanged" 6 (Database.total_tuples db2)
+
+let test_find () =
+  let db = db_with_data () in
+  let (r, _) = run_one "find 2 in R" db in
+  Alcotest.check response_t "hit" (Txn.Found (Some (tup 2 "b"))) r;
+  let (r, _) = run_one "find 99 in R" db in
+  Alcotest.check response_t "miss" (Txn.Found None) r
+
+let test_delete () =
+  let db = db_with_data () in
+  let (r, db') = run_one "delete 2 from R" db in
+  Alcotest.check response_t "deleted" (Txn.Deleted true) r;
+  Alcotest.(check int) "shrunk" 4 (Database.total_tuples db');
+  let (r, _) = run_one "delete 2 from R" db' in
+  Alcotest.check response_t "gone" (Txn.Deleted false) r
+
+let test_select_project () =
+  let db = db_with_data () in
+  let (r, _) = run_one "select * from R where key >= 2" db in
+  Alcotest.check response_t "select"
+    (Txn.Selected [ tup 2 "b"; tup 3 "c" ])
+    r;
+  let (r, _) = run_one "select val from R where key = 1" db in
+  Alcotest.check response_t "project"
+    (Txn.Selected [ Tuple.make [ Value.Str "a" ] ])
+    r
+
+let test_aggregate () =
+  let db = db_with_data () in
+  let (r, _) = run_one "sum key from R" db in
+  Alcotest.check response_t "sum" (Txn.Aggregated (Some (Value.Int 6))) r;
+  let (r, _) = run_one "max val from R where key <= 2" db in
+  Alcotest.check response_t "max" (Txn.Aggregated (Some (Value.Str "b"))) r;
+  let (r, _) = run_one "min key from R where key > 10" db in
+  Alcotest.check response_t "empty min" (Txn.Aggregated None) r;
+  let (r, db') = run_one "sum tag from S" db in
+  (match r with
+  | Txn.Failed _ -> ()
+  | other -> Alcotest.failf "sum over strings: %a" Txn.pp_response other);
+  Alcotest.(check bool) "db unchanged" true (db == db')
+
+let test_update () =
+  let db = db_with_data () in
+  let (r, db') = run_one "update R set val = \"z\" where key >= 2" db in
+  Alcotest.check response_t "two rewritten" (Txn.Updated 2) r;
+  let (r, _) = run_one "find 2 in R" db' in
+  Alcotest.check response_t "new value" (Txn.Found (Some (tup 2 "z"))) r;
+  (* old version unchanged *)
+  let (r, _) = run_one "find 2 in R" db in
+  Alcotest.check response_t "old value intact" (Txn.Found (Some (tup 2 "b"))) r;
+  let (r, db'') = run_one "update R set val = \"z\" where key >= 2" db' in
+  Alcotest.check response_t "idempotent" (Txn.Updated 0) r;
+  Alcotest.(check bool) "no-op shares db" true (db' == db'');
+  let (r, _) = run_one "update R set key = 9" db in
+  match r with
+  | Txn.Failed _ -> ()
+  | other -> Alcotest.failf "key update: %a" Txn.pp_response other
+
+let test_count_join () =
+  let db = db_with_data () in
+  let (r, _) = run_one "count S" db in
+  Alcotest.check response_t "count" (Txn.Counted 2) r;
+  let (r, _) = run_one "join R and S on key = key" db in
+  Alcotest.check response_t "join"
+    (Txn.Joined
+       [ Tuple.make [ Value.Int 2; Value.Str "b"; Value.Int 2; Value.Str "x" ] ])
+    r
+
+let test_failures_leave_db_unchanged () =
+  let db = db_with_data () in
+  let check_failed src =
+    let (r, db') = run_one src db in
+    (match r with
+    | Txn.Failed _ -> ()
+    | other ->
+        Alcotest.failf "%s: expected failure, got %a" src Txn.pp_response other);
+    Alcotest.(check bool) (src ^ ": db physically unchanged") true (db == db')
+  in
+  check_failed "find 1 in Nope";
+  check_failed "insert (1, \"a\") into Nope";
+  check_failed "insert (\"wrongtype\", \"a\") into R";
+  check_failed "select ghost from R";
+  check_failed "select * from R where ghost = 1";
+  check_failed "join R and S on key = ghost"
+
+let test_read_only_shares_db () =
+  let db = db_with_data () in
+  let (_, db') = run_one "find 1 in R" db in
+  Alcotest.(check bool) "find returns the same db" true (db == db');
+  let (_, db'') = run_one "select * from R" db in
+  Alcotest.(check bool) "select returns the same db" true (db == db'')
+
+let test_apply_stream_versions () =
+  let db = db_with_data () in
+  let txns =
+    List.map
+      (fun s -> Txn.translate (q s))
+      [ "insert (10, \"j\") into R"; "find 10 in R"; "delete 10 from R";
+        "find 10 in R" ]
+  in
+  let (resps, dbs) = Txn.apply_stream txns db in
+  Alcotest.(check int) "4 responses" 4 (List.length resps);
+  Alcotest.(check int) "4 versions" 4 (List.length dbs);
+  Alcotest.(check (list response_t)) "history"
+    [ Txn.Inserted true; Txn.Found (Some (tup 10 "j")); Txn.Deleted true;
+      Txn.Found None ]
+    resps;
+  (* Each version is observable independently: the insert is visible in
+     version 1 but undone in version 3. *)
+  (match dbs with
+  | [ v1; _; v3; _ ] ->
+      Alcotest.(check int) "v1 has it" 6 (Database.total_tuples v1);
+      Alcotest.(check int) "v3 does not" 5 (Database.total_tuples v3)
+  | _ -> Alcotest.fail "wrong version count");
+  Alcotest.(check int) "original untouched" 5 (Database.total_tuples db)
+
+let test_translate_string () =
+  (match Txn.translate_string "count R" with
+  | Ok txn ->
+      let (r, _) = txn (db_with_data ()) in
+      Alcotest.check response_t "count via string" (Txn.Counted 3) r
+  | Error e -> Alcotest.fail e);
+  match Txn.translate_string "not a query" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "translated garbage"
+
+let test_run_queries () =
+  let (resps, final) =
+    Txn.run_queries (db_with_data ())
+      [ q "insert (7, \"z\") into S"; q "count S" ]
+  in
+  Alcotest.(check (list response_t)) "responses"
+    [ Txn.Inserted true; Txn.Counted 3 ]
+    resps;
+  Alcotest.(check int) "final version" 6 (Database.total_tuples final)
+
+(* Read-only transactions commute: any interleaving of finds with one
+   update stream gives each find the value of the latest preceding
+   version. *)
+let prop_apply_stream_matches_fold =
+  QCheck2.Test.make ~name:"apply_stream == left fold" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range (-15) 15))
+    (fun ops ->
+      let queries =
+        List.map
+          (fun op ->
+            if op >= 0 then
+              Ast.Insert
+                { rel = "R"; values = [ Value.Int op; Value.Str "v" ] }
+            else Ast.Delete { rel = "R"; key = Value.Int (-op) })
+          ops
+      in
+      let db0 = Database.create schemas in
+      let (resps, dbs) = Txn.apply_stream (List.map Txn.translate queries) db0 in
+      let folded =
+        List.fold_left
+          (fun db query -> snd (Txn.translate query db))
+          db0 queries
+      in
+      let final = match List.rev dbs with [] -> db0 | d :: _ -> d in
+      List.length resps = List.length queries
+      && Database.total_tuples final = Database.total_tuples folded)
+
+(* -- complete archives (paper section 3.3) ------------------------------------ *)
+
+module History = Fdb_txn.History
+
+let test_history_time_travel () =
+  let (h, responses) =
+    History.of_queries (db_with_data ())
+      (List.map q
+         [ "insert (10, \"j\") into R"; "delete 1 from R"; "count R";
+           "update R set val = \"w\" where key = 2" ])
+  in
+  Alcotest.(check int) "5 versions (incl. v0)" 5 (History.length h);
+  Alcotest.(check int) "4 responses" 4 (List.length responses);
+  (* every historical version still answers as it did *)
+  Alcotest.check response_t "count at v0" (Txn.Counted 3)
+    (History.query_at h 0 (q "count R"));
+  Alcotest.check response_t "count at v1" (Txn.Counted 4)
+    (History.query_at h 1 (q "count R"));
+  Alcotest.check response_t "count at v2" (Txn.Counted 3)
+    (History.query_at h 2 (q "count R"));
+  Alcotest.check response_t "v0 still has key 1" (Txn.Found (Some (tup 1 "a")))
+    (History.query_at h 0 (q "find 1 in R"));
+  Alcotest.check response_t "latest has the update"
+    (Txn.Found (Some (tup 2 "w")))
+    (History.query_at h 4 (q "find 2 in R"))
+
+let test_history_changed_relations () =
+  let (h, _) =
+    History.of_queries (db_with_data ())
+      (List.map q [ "insert (10, \"j\") into R"; "count S"; "insert (11, \"k\") into S" ])
+  in
+  Alcotest.(check (list string)) "v1 touched R" [ "R" ]
+    (History.changed_relations h 1);
+  Alcotest.(check (list string)) "v2 read-only" []
+    (History.changed_relations h 2);
+  Alcotest.(check (list string)) "v3 touched S" [ "S" ]
+    (History.changed_relations h 3);
+  Alcotest.(check (list string)) "v0 has no predecessor" []
+    (History.changed_relations h 0)
+
+let test_history_sharing_ratio () =
+  (* Single-relation updates leave the other slot shared: with 2 relations
+     and only R-txns, half the slots share, plus fully-shared read-only
+     steps. *)
+  let (h, _) =
+    History.of_queries (db_with_data ())
+      (List.map q [ "insert (10, \"a\") into R"; "count R"; "count S" ])
+  in
+  (* slots: v1 shares S only (1/2); v2, v3 share both (4/4) -> 5/6 *)
+  Alcotest.(check (float 1e-9)) "ratio" (5.0 /. 6.0) (History.sharing_ratio h);
+  let fresh = History.create (db_with_data ()) in
+  Alcotest.(check (float 1e-9)) "trivial archive" 1.0
+    (History.sharing_ratio fresh)
+
+let test_history_bounds () =
+  let h = History.create (db_with_data ()) in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "History.version: out of range") (fun () ->
+      ignore (History.version h 1))
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "translate",
+        [
+          Alcotest.test_case "insert/duplicate" `Quick
+            test_insert_and_duplicate;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "select/project" `Quick test_select_project;
+          Alcotest.test_case "count/join" `Quick test_count_join;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "failures" `Quick
+            test_failures_leave_db_unchanged;
+          Alcotest.test_case "read-only shares" `Quick
+            test_read_only_shares_db;
+          Alcotest.test_case "translate_string" `Quick test_translate_string;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "time travel" `Quick test_history_time_travel;
+          Alcotest.test_case "changed relations" `Quick
+            test_history_changed_relations;
+          Alcotest.test_case "sharing ratio" `Quick test_history_sharing_ratio;
+          Alcotest.test_case "bounds" `Quick test_history_bounds;
+        ] );
+      ( "apply_stream",
+        [
+          Alcotest.test_case "version stream" `Quick
+            test_apply_stream_versions;
+          Alcotest.test_case "run_queries" `Quick test_run_queries;
+          QCheck_alcotest.to_alcotest prop_apply_stream_matches_fold;
+        ] );
+    ]

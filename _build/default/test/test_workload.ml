@@ -1,0 +1,144 @@
+(* Workload generator tests: determinism, operation mix, client dealing. *)
+
+module W = Fdb_workload.Workload
+module Ast = Fdb_query.Ast
+
+let test_determinism () =
+  let a = W.generate W.default_spec and b = W.generate W.default_spec in
+  Alcotest.(check bool) "same streams" true
+    (a.W.client_streams = b.W.client_streams);
+  let c = W.generate { W.default_spec with seed = 43 } in
+  Alcotest.(check bool) "different seed differs" true
+    (a.W.client_streams <> c.W.client_streams)
+
+let test_counts () =
+  let w = W.generate { W.default_spec with insert_pct = 14.0 } in
+  Alcotest.(check int) "50 transactions" 50 (List.length (W.all_queries w));
+  Alcotest.(check int) "14% of 50 = 7 inserts" 7 (W.insert_count w);
+  let total_initial =
+    List.fold_left (fun acc (_, ts) -> acc + List.length ts) 0 w.W.initial
+  in
+  Alcotest.(check int) "50 initial tuples" 50 total_initial;
+  Alcotest.(check int) "3 schemas" 3 (List.length w.W.schemas)
+
+let test_paper_grid_counts () =
+  (* The paper's odd percentages resolve to exact transaction counts. *)
+  List.iter2
+    (fun pct expected ->
+      let w =
+        W.generate { W.default_spec with insert_pct = pct; relations = 1 }
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%.0f%% inserts" pct)
+        expected (W.insert_count w))
+    W.paper_insert_percentages [ 0; 2; 4; 7; 12; 19 ]
+
+let test_initial_round_robin () =
+  let w = W.generate { W.default_spec with relations = 3 } in
+  List.iteri
+    (fun i (name, tuples) ->
+      Alcotest.(check string) "name" (W.relation_name (i + 1)) name;
+      (* 50 keys dealt over 3 relations: 17/17/16 *)
+      let expected = if i < 2 then 17 else 16 in
+      Alcotest.(check int) (name ^ " share") expected (List.length tuples))
+    w.W.initial
+
+let test_client_dealing () =
+  let w = W.generate { W.default_spec with clients = 4 } in
+  Alcotest.(check int) "4 streams" 4 (List.length w.W.client_streams);
+  Alcotest.(check int) "all queries dealt" 50
+    (List.fold_left (fun a s -> a + List.length s) 0 w.W.client_streams);
+  (* Round-robin dealing: stream sizes differ by at most one. *)
+  let sizes = List.map List.length w.W.client_streams in
+  Alcotest.(check bool) "balanced" true
+    (List.fold_left max 0 sizes - List.fold_left min 100 sizes <= 1)
+
+let test_inserts_use_fresh_keys () =
+  let w = W.generate { W.default_spec with insert_pct = 38.0 } in
+  let insert_keys =
+    List.filter_map
+      (function
+        | Ast.Insert { values = Fdb_relational.Value.Int k :: _; _ } -> Some k
+        | _ -> None)
+      (W.all_queries w)
+  in
+  Alcotest.(check int) "19 inserts" 19 (List.length insert_keys);
+  Alcotest.(check bool) "all fresh (>= 50)" true
+    (List.for_all (fun k -> k >= 50) insert_keys);
+  Alcotest.(check bool) "no duplicates" true
+    (List.length (List.sort_uniq compare insert_keys) = 19)
+
+let test_deletes_extension () =
+  let w =
+    W.generate { W.default_spec with delete_pct = 10.0; insert_pct = 10.0 }
+  in
+  let deletes =
+    List.filter (function Ast.Delete _ -> true | _ -> false) (W.all_queries w)
+  in
+  Alcotest.(check int) "10% deletes" 5 (List.length deletes)
+
+let test_updates_extension () =
+  let w =
+    W.generate
+      { W.default_spec with update_pct = 20.0; insert_pct = 10.0 }
+  in
+  let updates =
+    List.filter (function Ast.Update _ -> true | _ -> false) (W.all_queries w)
+  in
+  Alcotest.(check int) "20% updates" 10 (List.length updates);
+  (* every generated update targets the val column of a real key *)
+  List.iter
+    (function
+      | Ast.Update { col = "val"; where = Ast.Cmp ("key", Ast.Eq, _); _ } -> ()
+      | Ast.Update _ -> Alcotest.fail "malformed update"
+      | _ -> ())
+    updates
+
+let test_validation () =
+  let expect_invalid name spec =
+    match W.generate spec with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  expect_invalid "no relations" { W.default_spec with relations = 0 };
+  expect_invalid "no clients" { W.default_spec with clients = 0 };
+  expect_invalid "over 100%"
+    { W.default_spec with insert_pct = 80.0; delete_pct = 30.0 };
+  expect_invalid "bad miss ratio" { W.default_spec with miss_ratio = 1.5 }
+
+let test_queries_parse_back () =
+  (* Every generated query survives a print/parse round trip. *)
+  let w =
+    W.generate
+      { W.default_spec with insert_pct = 24.0; delete_pct = 6.0;
+        update_pct = 6.0 }
+  in
+  List.iter
+    (fun q ->
+      match Fdb_query.Parser.parse (Ast.to_string q) with
+      | Ok q' when q = q' -> ()
+      | Ok _ -> Alcotest.failf "round trip changed %s" (Ast.to_string q)
+      | Error e -> Alcotest.failf "%s: %s" (Ast.to_string q) e)
+    (W.all_queries w)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "paper grid counts" `Quick test_paper_grid_counts;
+          Alcotest.test_case "initial round robin" `Quick
+            test_initial_round_robin;
+          Alcotest.test_case "client dealing" `Quick test_client_dealing;
+          Alcotest.test_case "fresh insert keys" `Quick
+            test_inserts_use_fresh_keys;
+          Alcotest.test_case "deletes extension" `Quick test_deletes_extension;
+          Alcotest.test_case "updates extension" `Quick
+            test_updates_extension;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "queries parse back" `Quick
+            test_queries_parse_back;
+        ] );
+    ]
