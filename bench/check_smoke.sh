@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 smoke for the serializability harness: sweep seeds 1..5 through
+# every merge policy and the fault-injected network path.  Run by the
+# default test alias (see bench/dune); standalone:
+#   sh bench/check_smoke.sh _build/default/bin/fdbsim.exe
+set -e
+FDBSIM="${1:-_build/default/bin/fdbsim.exe}"
+"$FDBSIM" check --seed 1 --sweep 5
+"$FDBSIM" check --seed 6 --sweep 2 --clients 4 --txns 8 --relations 3

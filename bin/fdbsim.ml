@@ -5,7 +5,8 @@
      workload   — generate and run a synthetic workload, print concurrency
      table      — reproduce a paper table (1, 2 or 3)
      fel        — run a mini-FEL program
-     topo       — describe a topology *)
+     topo       — describe a topology
+     check      — seeded serializability sweeps (oracle + fault injection) *)
 
 open Cmdliner
 module W = Fdb_workload.Workload
@@ -273,6 +274,124 @@ let fel_cmd =
   let doc = "Evaluate a mini-FEL program on the lenient kernel." in
   Cmd.v (Cmd.info "fel" ~doc) Term.(const go $ file $ demand)
 
+(* -- check: seeded serializability sweeps ---------------------------------------- *)
+
+let check_cmd =
+  let module Gen = Fdb_check.Gen in
+  let module Oracle = Fdb_check.Oracle in
+  let module Shrink = Fdb_check.Shrink in
+  let module Sim = Fdb_check.Sim in
+  let module Merge = Fdb_merge.Merge in
+  let txns =
+    Arg.(
+      value & opt int 6
+      & info [ "txns"; "n" ] ~doc:"Queries per client stream.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Client streams.")
+  in
+  let relations =
+    Arg.(value & opt int 2 & info [ "relations" ] ~doc:"Relations.")
+  in
+  let tuples =
+    Arg.(
+      value & opt int 6
+      & info [ "tuples" ] ~doc:"Initial tuples per relation.")
+  in
+  let sweep =
+    Arg.(
+      value & opt int 1
+      & info [ "sweep" ] ~doc:"How many consecutive seeds to run.")
+  in
+  let no_faults =
+    Arg.(
+      value & flag
+      & info [ "no-faults" ]
+          ~doc:"Skip the fault-injected network path (merge policies only).")
+  in
+  let policies seed =
+    [ ("arrival", Merge.Arrival_order);
+      ("eager", Merge.Eager_clients [ 1; 2; 3 ]);
+      (Printf.sprintf "seeded-%d" seed, Merge.Seeded ((7 * seed) + 1));
+      ("concat", Merge.Concatenated) ]
+  in
+  let go seed txns clients relations tuples sweep no_faults =
+    (* Surface bad specs as a usage error, not a backtrace. *)
+    (try
+       ignore
+         (Gen.generate
+            { Gen.default_spec with
+              clients;
+              relations;
+              queries_per_client = txns;
+              initial_tuples = tuples })
+     with Invalid_argument msg ->
+       Format.eprintf "fdbsim check: %s@." msg;
+       exit 2);
+    let scenarios = ref 0 and failures = ref 0 in
+    let report_failure ~what ~seed sc verdict still_failing =
+      incr failures;
+      Format.printf "seed %d [%s]: %a@." seed what Oracle.pp_verdict verdict;
+      let witness = Shrink.minimize ~still_failing sc.Gen.streams in
+      Format.printf
+        "shrunk counterexample (%d queries over %d clients):@.%a@."
+        (List.fold_left (fun a s -> a + List.length s) 0 witness)
+        (List.length witness) Gen.pp_streams witness
+    in
+    for s = seed to seed + sweep - 1 do
+      let sc =
+        Gen.generate
+          { Gen.default_spec with
+            seed = s;
+            clients;
+            relations;
+            queries_per_client = txns;
+            initial_tuples = tuples }
+      in
+      let initial = Gen.initial_db sc in
+      List.iter
+        (fun (name, policy) ->
+          incr scenarios;
+          let run streams =
+            Oracle.check_merged ~initial ~streams (Merge.merge policy streams)
+          in
+          match run sc.Gen.streams with
+          | Oracle.Serializable _ -> ()
+          | v ->
+              report_failure ~what:("merge " ^ name) ~seed:s sc v (fun streams ->
+                  not (Oracle.accepted (run streams))))
+        (policies s);
+      if not no_faults then begin
+        incr scenarios;
+        let run streams =
+          (Sim.run ~seed:s { sc with Gen.streams }).Sim.verdict
+        in
+        match run sc.Gen.streams with
+        | Oracle.Serializable _ -> ()
+        | v ->
+            report_failure ~what:"fault-injected fabric" ~seed:s sc v
+              (fun streams -> not (Oracle.accepted (run streams)))
+      end
+    done;
+    if !failures = 0 then
+      Format.printf "check: %d scenarios over %d seeds, all serializable@."
+        !scenarios sweep
+    else begin
+      Format.printf "check: %d of %d scenarios FAILED@." !failures !scenarios;
+      exit 1
+    end
+  in
+  let doc =
+    "Sweep seeded random multi-client workloads through every merge policy \
+     and the fault-injected network, asserting each observed execution is \
+     serial-equivalent to the client streams; failures are shrunk to a \
+     minimal witness."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const go $ seed_arg $ txns $ clients $ relations $ tuples $ sweep
+      $ no_faults)
+
 (* -- topo: describe a topology -------------------------------------------------- *)
 
 let topo_cmd =
@@ -301,4 +420,5 @@ let () =
   let info = Cmd.info "fdbsim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; workload_cmd; table_cmd; fel_cmd; topo_cmd ]))
+       (Cmd.group info
+          [ run_cmd; workload_cmd; table_cmd; fel_cmd; topo_cmd; check_cmd ]))

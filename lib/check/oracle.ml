@@ -1,0 +1,152 @@
+open Fdb_relational
+module Ast = Fdb_query.Ast
+module Txn = Fdb_txn.Txn
+module Merge = Fdb_merge.Merge
+
+type observation = {
+  responses : Txn.response list list;
+  final : Database.t;
+}
+
+type verdict =
+  | Serializable of (int * Ast.query) list
+  | Not_serializable of { explored : int; deepest : int; total : int }
+  | Inconclusive of { explored : int }
+
+let accepted = function Serializable _ -> true | _ -> false
+
+let pp_verdict ppf = function
+  | Serializable witness ->
+      Format.fprintf ppf "serializable (witness: %d queries)"
+        (List.length witness)
+  | Not_serializable { explored; deepest; total } ->
+      Format.fprintf ppf
+        "NOT serializable: explored %d states, explained %d of %d queries"
+        explored deepest total
+  | Inconclusive { explored } ->
+      Format.fprintf ppf "inconclusive after %d states" explored
+
+(* Databases are compared and fingerprinted by contents only.
+   Relation.to_list is ascending key order, so contents determine the
+   string exactly; physical sharing and backend layout are ignored. *)
+let add_db_fingerprint buf db =
+  List.iter
+    (fun name ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '|';
+      (match Database.relation db name with
+      | None -> ()
+      | Some r ->
+          List.iter
+            (fun t ->
+              Buffer.add_string buf (Tuple.to_string t);
+              Buffer.add_char buf ';')
+            (Relation.to_list r));
+      Buffer.add_char buf '\n')
+    (Database.names db)
+
+let db_equal a b =
+  List.equal String.equal (Database.names a) (Database.names b)
+  && List.for_all
+       (fun name ->
+         match (Database.relation a name, Database.relation b name) with
+         | (Some ra, Some rb) ->
+             List.equal Tuple.equal (Relation.to_list ra) (Relation.to_list rb)
+         | _ -> false)
+       (Database.names a)
+
+let observe ~initial ~clients merged =
+  let per_client = Array.make clients [] in
+  let db = ref initial in
+  List.iter
+    (fun { Merge.tag; item } ->
+      if tag < 0 || tag >= clients then
+        invalid_arg "Oracle.observe: tag out of range";
+      let (resp, db') = Txn.translate item !db in
+      db := db';
+      per_client.(tag) <- resp :: per_client.(tag))
+    merged;
+  { responses = Array.to_list (Array.map List.rev per_client); final = !db }
+
+let check ?(max_states = 500_000) ~initial ~streams obs =
+  let qs = Array.of_list (List.map Array.of_list streams) in
+  let rs = Array.of_list (List.map Array.of_list obs.responses) in
+  if Array.length qs <> Array.length rs then
+    invalid_arg "Oracle.check: stream/response list counts differ";
+  Array.iteri
+    (fun i s ->
+      if Array.length s <> Array.length rs.(i) then
+        invalid_arg
+          (Printf.sprintf
+             "Oracle.check: client %d has %d queries but %d responses" i
+             (Array.length s)
+             (Array.length rs.(i))))
+    qs;
+  let n = Array.length qs in
+  let total = Array.fold_left (fun acc s -> acc + Array.length s) 0 qs in
+  let failed = Hashtbl.create 1024 in
+  let explored = ref 0 in
+  let deepest = ref 0 in
+  let overflow = ref false in
+  let state_key positions db =
+    let buf = Buffer.create 128 in
+    Array.iter
+      (fun p ->
+        Buffer.add_string buf (string_of_int p);
+        Buffer.add_char buf ',')
+      positions;
+    Buffer.add_char buf '#';
+    add_db_fingerprint buf db;
+    Buffer.contents buf
+  in
+  (* DFS over the merge lattice.  [positions] is mutated in place and
+     restored on backtrack; [trail] is the interleaving so far, reversed. *)
+  let rec dfs positions depth db trail =
+    if depth > !deepest then deepest := depth;
+    if depth = total then
+      if db_equal db obs.final then Some (List.rev trail) else None
+    else begin
+      incr explored;
+      if !explored > max_states then begin
+        overflow := true;
+        None
+      end
+      else
+        let key = state_key positions db in
+        if Hashtbl.mem failed key then None
+        else begin
+          let rec try_client c =
+            if c >= n then None
+            else
+              let p = positions.(c) in
+              if p >= Array.length qs.(c) then try_client (c + 1)
+              else
+                let q = qs.(c).(p) in
+                let (resp, db') = Txn.translate q db in
+                if Txn.response_equal resp rs.(c).(p) then begin
+                  positions.(c) <- p + 1;
+                  let result = dfs positions (depth + 1) db' ((c, q) :: trail) in
+                  positions.(c) <- p;
+                  match result with
+                  | Some _ as witness -> witness
+                  | None -> try_client (c + 1)
+                end
+                else try_client (c + 1)
+          in
+          match try_client 0 with
+          | Some witness -> Some witness
+          | None ->
+              if not !overflow then Hashtbl.add failed key ();
+              None
+        end
+    end
+  in
+  match dfs (Array.make n 0) 0 initial [] with
+  | Some witness -> Serializable witness
+  | None ->
+      if !overflow then Inconclusive { explored = !explored }
+      else Not_serializable { explored = !explored; deepest = !deepest; total }
+
+let check_merged ?max_states ~initial ~streams merged =
+  let obs = observe ~initial ~clients:(List.length streams) merged in
+  check ?max_states ~initial ~streams obs

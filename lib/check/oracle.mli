@@ -1,0 +1,76 @@
+(** The serializability oracle.
+
+    The paper's central correctness claim (§2.4) is that processing a merge
+    of per-client query streams "sequentially but leniently" is a
+    sufficient condition for serializability.  This module is the missing
+    equivalence check: given the original per-client streams and what a
+    system under test {e observed} — each client's responses, in that
+    client's own stream order, plus the final database — decide whether
+    some interleaving of the streams explains the observation.
+
+    The search walks the merge lattice: a state is a vector of per-stream
+    positions plus the database version reached, and the only edges are
+    "client [c] commits its next query" — per-stream order is exactly the
+    one thing {!Fdb_merge.Merge} guarantees, so it is the one thing the
+    oracle assumes.  Branches are pruned the moment a query's reference
+    response ({!Fdb_txn.Txn.translate}) disagrees with the observed one,
+    and failed states are memoized on (positions, database contents) so
+    confluent interleavings (the common case: most queries commute) are
+    explored once. *)
+
+open Fdb_relational
+module Txn = Fdb_txn.Txn
+
+type observation = {
+  responses : Txn.response list list;
+      (** per client, in that client's stream order *)
+  final : Database.t;
+}
+
+type verdict =
+  | Serializable of (int * Fdb_query.Ast.query) list
+      (** a witness serial order, tagged with client ids *)
+  | Not_serializable of { explored : int; deepest : int; total : int }
+      (** no interleaving matches; [deepest] of [total] queries could be
+          explained before every branch died *)
+  | Inconclusive of { explored : int }
+      (** state budget exhausted (never happens on harness-sized inputs) *)
+
+val accepted : verdict -> bool
+(** [true] only for [Serializable _]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val db_equal : Database.t -> Database.t -> bool
+(** Contents equality: same relation names, same tuples (ascending key
+    order), physical sharing ignored. *)
+
+val observe :
+  initial:Database.t ->
+  clients:int ->
+  Fdb_query.Ast.query Fdb_merge.Merge.tagged list ->
+  observation
+(** Execute a merged, tagged stream under the sequential reference
+    semantics and package what each client saw.  This is what a correct
+    implementation's observable behaviour looks like; feeding it back to
+    {!val:check} must always be accepted. *)
+
+val check :
+  ?max_states:int ->
+  initial:Database.t ->
+  streams:Fdb_query.Ast.query list list ->
+  observation ->
+  verdict
+(** Decide serializability of an observation against the client streams.
+    [max_states] (default 500,000) bounds the memoized search.
+    @raise Invalid_argument when the response lists do not line up
+    one-to-one with the streams. *)
+
+val check_merged :
+  ?max_states:int ->
+  initial:Database.t ->
+  streams:Fdb_query.Ast.query list list ->
+  Fdb_query.Ast.query Fdb_merge.Merge.tagged list ->
+  verdict
+(** [observe] then [check]: the end-to-end assertion that a given merge
+    order is serial-equivalent to the client streams. *)

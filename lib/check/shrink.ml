@@ -1,0 +1,147 @@
+open Fdb_relational
+module Ast = Fdb_query.Ast
+
+let query_count streams =
+  List.fold_left (fun acc s -> acc + List.length s) 0 streams
+
+(* -- the well-founded measure --------------------------------------------- *)
+
+let value_weight = function
+  | Value.Int n -> abs n
+  | Value.Str s -> String.length s
+  | Value.Real r -> if r = 0.0 then 0 else 1
+  | Value.Bool _ -> 0
+
+let rec pred_size = function
+  | Ast.True -> 0
+  | Ast.Cmp (_, _, v) -> 2 + value_weight v
+  | Ast.And (a, b) | Ast.Or (a, b) -> 1 + pred_size a + pred_size b
+  | Ast.Not p -> 1 + pred_size p
+
+let query_size = function
+  | Ast.Count _ -> 1
+  | Ast.Find { key; _ } | Ast.Delete { key; _ } -> 2 + value_weight key
+  | Ast.Insert { values; _ } ->
+      2 + List.fold_left (fun acc v -> acc + value_weight v) 0 values
+  | Ast.Select { cols; where; _ } ->
+      3
+      + (match cols with None -> 0 | Some cs -> List.length cs)
+      + pred_size where
+  | Ast.Aggregate { where; _ } -> 4 + pred_size where
+  | Ast.Update { value; where; _ } -> 4 + value_weight value + pred_size where
+  | Ast.Join _ -> 5
+
+(* Dropping an empty client still has to shrink the measure, hence the
+   per-client constant. *)
+let measure streams =
+  List.fold_left
+    (fun acc s ->
+      acc + 50 + List.fold_left (fun a q -> a + 1000 + query_size q) 0 s)
+    0 streams
+
+(* -- candidate generation -------------------------------------------------- *)
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let drop_one_client streams = List.mapi (fun i _ -> drop_nth i streams) streams
+
+let drop_one_query streams =
+  List.concat
+    (List.mapi
+       (fun ci stream ->
+         List.mapi
+           (fun qi _ ->
+             List.mapi
+               (fun ci' s -> if ci' = ci then drop_nth qi s else s)
+               streams)
+           stream)
+       streams)
+
+let shrink_value = function
+  | Value.Int n when n <> 0 ->
+      if n / 2 <> 0 && n / 2 <> n then [ Value.Int 0; Value.Int (n / 2) ]
+      else [ Value.Int 0 ]
+  | Value.Str s when s <> "" -> [ Value.Str "" ]
+  | Value.Real r when r <> 0.0 -> [ Value.Real 0.0 ]
+  | _ -> []
+
+let replace_nth n x l = List.mapi (fun i y -> if i = n then x else y) l
+
+(* Strictly simpler variants of one query (smaller [query_size]). *)
+let simpler_query q =
+  match q with
+  | Ast.Count _ -> []
+  | Ast.Find { rel; key } ->
+      List.map (fun k -> Ast.Find { rel; key = k }) (shrink_value key)
+  | Ast.Delete { rel; key } ->
+      List.map (fun k -> Ast.Delete { rel; key = k }) (shrink_value key)
+  | Ast.Insert { rel; values } ->
+      List.concat
+        (List.mapi
+           (fun i v ->
+             List.map
+               (fun v' -> Ast.Insert { rel; values = replace_nth i v' values })
+               (shrink_value v))
+           values)
+  | Ast.Select { rel; cols; where } ->
+      Ast.Count { rel }
+      :: (if where <> Ast.True then [ Ast.Select { rel; cols; where = Ast.True } ]
+          else [])
+      @ (match cols with
+        | Some _ -> [ Ast.Select { rel; cols = None; where } ]
+        | None -> [])
+  | Ast.Aggregate { agg; rel; col; where } ->
+      Ast.Count { rel }
+      :: (if where <> Ast.True then
+            [ Ast.Aggregate { agg; rel; col; where = Ast.True } ]
+          else [])
+  | Ast.Update { rel; col; value; where } ->
+      (if where <> Ast.True then [ Ast.Update { rel; col; value; where = Ast.True } ]
+       else [])
+      @ List.map
+          (fun v -> Ast.Update { rel; col; value = v; where })
+          (shrink_value value)
+  | Ast.Join { left; _ } -> [ Ast.Count { rel = left } ]
+
+let replace_one_query streams =
+  List.concat
+    (List.mapi
+       (fun ci stream ->
+         List.concat
+           (List.mapi
+              (fun qi q ->
+                List.map
+                  (fun q' ->
+                    List.mapi
+                      (fun ci' s ->
+                        if ci' = ci then replace_nth qi q' s else s)
+                      streams)
+                  (simpler_query q))
+              stream))
+       streams)
+
+let candidates streams =
+  drop_one_client streams @ drop_one_query streams @ replace_one_query streams
+
+(* -- greedy minimization ---------------------------------------------------- *)
+
+let minimize ~still_failing streams =
+  let current = ref streams in
+  let current_measure = ref (measure streams) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let rec try_candidates = function
+      | [] -> ()
+      | cand :: rest ->
+          let m = measure cand in
+          if m < !current_measure && still_failing cand then begin
+            current := cand;
+            current_measure := m;
+            improved := true
+          end
+          else try_candidates rest
+    in
+    try_candidates (candidates !current)
+  done;
+  !current

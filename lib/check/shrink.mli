@@ -1,0 +1,28 @@
+(** Counterexample minimization.
+
+    When a sweep seed fails the oracle, the raw scenario is dozens of
+    queries across several clients; almost all of them are noise.  The
+    shrinker greedily minimizes the client streams against a caller-supplied
+    predicate ("does this smaller input still fail?") by re-running the
+    failing pipeline: whole clients are dropped first, then single queries,
+    then each surviving query is replaced by strictly simpler variants
+    (predicates collapsed to [True], values shrunk toward zero / the empty
+    string, compound reads demoted to counts).
+
+    Every accepted step strictly decreases a well-founded measure, so
+    minimization terminates; the result is a local minimum — removing any
+    one client or query, or simplifying any one query, makes the failure
+    disappear. *)
+
+val query_count : Fdb_query.Ast.query list list -> int
+
+val measure : Fdb_query.Ast.query list list -> int
+(** The well-founded size the shrinker descends on.  Exposed for tests. *)
+
+val minimize :
+  still_failing:(Fdb_query.Ast.query list list -> bool) ->
+  Fdb_query.Ast.query list list ->
+  Fdb_query.Ast.query list list
+(** [minimize ~still_failing streams] assumes [still_failing streams];
+    returns a minimal failing input.  [still_failing] must be
+    deterministic (re-run the pipeline with the same seeds). *)

@@ -1,0 +1,148 @@
+module Ast = Fdb_query.Ast
+module Txn = Fdb_txn.Txn
+module Topology = Fdb_net.Topology
+module Reliable = Fdb_net.Reliable
+
+type faults = {
+  drop_one_in : int;
+  dup_one_in : int;
+  delay_one_in : int;
+  max_delay : int;
+}
+
+let no_faults =
+  { drop_one_in = 0; dup_one_in = 0; delay_one_in = 0; max_delay = 0 }
+
+let default_faults =
+  { drop_one_in = 5; dup_one_in = 6; delay_one_in = 4; max_delay = 3 }
+
+type outcome = {
+  verdict : Oracle.verdict;
+  applied : int;
+  dup_suppressed : int;
+  delayed : int;
+  net : Reliable.stats;
+}
+
+type msg = { client : int; seq : int; query : Ast.query }
+
+let check_faults f =
+  if f.drop_one_in = 1 then invalid_arg "Sim: drop_one_in = 1 loses everything";
+  if f.drop_one_in < 0 || f.dup_one_in < 0 || f.delay_one_in < 0 then
+    invalid_arg "Sim: negative fault rate";
+  if f.delay_one_in > 0 && f.max_delay < 1 then
+    invalid_arg "Sim: delay fault with max_delay < 1"
+
+let run ?(faults = default_faults) ~seed (sc : Gen.scenario) =
+  check_faults faults;
+  let clients = List.length sc.Gen.streams in
+  (* Client 0 is co-located with the primary at the hub (site 0, the
+     src = dst hand-off path); clients 1.. sit on the leaves. *)
+  let topo = Topology.star (max 2 clients) in
+  let site_of c = if c = 0 then 0 else c in
+  let channel = Reliable.create ~drop_one_in:faults.drop_one_in ~seed topo in
+  let rand = Random.State.make [| seed; 0xfab |] in
+  let remaining = Array.of_list (List.map ref sc.Gen.streams) in
+  let next_seq = Array.make clients 0 in
+  let delayed = ref [] in
+  let delayed_count = ref 0 in
+  let db = ref (Gen.initial_db sc) in
+  let per_client = Array.make clients [] in
+  (* Reassembly at the primary: commit strictly in per-client seq order,
+     buffering gaps — the per-stream-order guarantee the oracle assumes. *)
+  let expected = Array.make clients 0 in
+  let buffered : (int * int, Ast.query) Hashtbl.t = Hashtbl.create 32 in
+  let applied = ref 0 in
+  let dup_suppressed = ref 0 in
+  let commit c q =
+    let (resp, db') = Txn.translate q !db in
+    db := db';
+    per_client.(c) <- resp :: per_client.(c);
+    incr applied
+  in
+  let receive m =
+    if m.seq < expected.(m.client) || Hashtbl.mem buffered (m.client, m.seq)
+    then incr dup_suppressed
+    else begin
+      Hashtbl.replace buffered (m.client, m.seq) m.query;
+      let c = m.client in
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt buffered (c, expected.(c)) with
+        | None -> continue := false
+        | Some q ->
+            Hashtbl.remove buffered (c, expected.(c));
+            expected.(c) <- expected.(c) + 1;
+            commit c q
+      done
+    end
+  in
+  let roll n = n > 0 && Random.State.int rand n = 0 in
+  let send_now m =
+    let copies = if roll faults.dup_one_in then 2 else 1 in
+    for _ = 1 to copies do
+      Reliable.send channel ~src:(site_of m.client) ~dst:0 m
+    done
+  in
+  let emit c =
+    match !(remaining.(c)) with
+    | [] -> ()
+    | q :: rest ->
+        remaining.(c) := rest;
+        let m = { client = c; seq = next_seq.(c); query = q } in
+        next_seq.(c) <- next_seq.(c) + 1;
+        if roll faults.delay_one_in then begin
+          incr delayed_count;
+          delayed :=
+            (ref (1 + Random.State.int rand faults.max_delay), m) :: !delayed
+        end
+        else send_now m
+  in
+  let any_remaining () = Array.exists (fun r -> !r <> []) remaining in
+  let ticks = ref 0 in
+  while any_remaining () || !delayed <> [] || not (Reliable.idle channel) do
+    incr ticks;
+    if !ticks > 200_000 then failwith "Sim.run: no quiescence";
+    (* 0-2 fresh queries injected per tick, from random live clients. *)
+    if any_remaining () then
+      for _ = 1 to Random.State.int rand 3 do
+        let live =
+          List.filter
+            (fun c -> !(remaining.(c)) <> [])
+            (List.init clients Fun.id)
+        in
+        match live with
+        | [] -> ()
+        | l -> emit (List.nth l (Random.State.int rand (List.length l)))
+      done;
+    (* Reorder fault: held-back queries re-enter the transport late. *)
+    let (due, held) =
+      List.partition
+        (fun (countdown, _) ->
+          decr countdown;
+          !countdown <= 0)
+        !delayed
+    in
+    delayed := held;
+    List.iter (fun (_, m) -> send_now m) due;
+    List.iter (fun (_dst, m) -> receive m) (Reliable.step channel)
+  done;
+  let total = Gen.query_count sc in
+  if !applied <> total || Hashtbl.length buffered <> 0 then
+    failwith
+      (Printf.sprintf "Sim.run: %d of %d queries committed (%d buffered)"
+         !applied total (Hashtbl.length buffered));
+  let obs =
+    { Oracle.responses = Array.to_list (Array.map List.rev per_client);
+      final = !db }
+  in
+  let verdict =
+    Oracle.check ~initial:(Gen.initial_db sc) ~streams:sc.Gen.streams obs
+  in
+  {
+    verdict;
+    applied = !applied;
+    dup_suppressed = !dup_suppressed;
+    delayed = !delayed_count;
+    net = Reliable.stats channel;
+  }

@@ -1,0 +1,49 @@
+(** Fault-injecting end-to-end simulation.
+
+    The oracle's client-side contract — per-stream order in, per-stream
+    order out — has to survive a real transport.  This driver runs a
+    generated scenario through the network stack: clients sit on the leaves
+    of a star topology (client 0 shares the hub with the primary,
+    exercising the src = dst local hand-off), queries travel to the primary
+    over {!Fdb_net.Reliable} (itself over {!Fdb_net.Fabric}), and three
+    seeded fault kinds are injected:
+
+    - {b drop}: the lossy medium loses one in [drop_one_in] arrivals
+      (data and acks alike); Reliable retransmits.
+    - {b duplicate}: one in [dup_one_in] queries is sent twice with the
+      same (client, seq); the primary must deduplicate.
+    - {b reorder}: one in [delay_one_in] queries is held back up to
+      [max_delay] scheduler ticks before being handed to the transport, so
+      a client's later query can arrive first; the primary reassembles by
+      per-client sequence number before committing anything.
+
+    The primary applies queries under the sequential reference semantics
+    in reassembled arrival order — a nondeterministic (but seeded) merge of
+    the client streams — and the resulting observation must pass the
+    {!Oracle}. *)
+
+type faults = {
+  drop_one_in : int;  (** 0 disables; must not be 1 *)
+  dup_one_in : int;  (** 0 disables *)
+  delay_one_in : int;  (** 0 disables *)
+  max_delay : int;  (** max ticks a delayed query is held *)
+}
+
+val no_faults : faults
+
+val default_faults : faults
+(** drop 1/5, duplicate 1/6, delay 1/4 up to 3 ticks. *)
+
+type outcome = {
+  verdict : Oracle.verdict;
+  applied : int;  (** queries committed at the primary *)
+  dup_suppressed : int;  (** application-level duplicates discarded *)
+  delayed : int;  (** queries that took the reorder path *)
+  net : Fdb_net.Reliable.stats;
+}
+
+val run : ?faults:faults -> seed:int -> Gen.scenario -> outcome
+(** Deterministic in (faults, seed, scenario).
+    @raise Invalid_argument on a bad fault spec.
+    @raise Failure if the network fails to quiesce or loses a query (a
+    transport bug — surfaced loudly). *)

@@ -1,15 +1,25 @@
 open Fdb_relational
 
-type t = { versions : Database.t list (* newest first, never empty *) }
+type t = {
+  versions : Database.t list; (* newest first, never empty *)
+  count : int;
+  (* Oldest-first snapshot of [versions], built on the first indexed
+     access and reused until the archive is extended (extending returns a
+     new [t] with a fresh empty cache, so cached arrays are never stale).
+     Turns a length-n sweep of [version]/[changed_relations] calls from
+     O(n^2) List.nth walks into one O(n) reversal plus O(1) lookups. *)
+  indexed : Database.t array option ref;
+}
 
-let create db0 = { versions = [ db0 ] }
+let create db0 = { versions = [ db0 ]; count = 1; indexed = ref None }
 
 let newest t =
   match t.versions with [] -> assert false | db :: _ -> db
 
 let commit t txn =
   let (response, db') = txn (newest t) in
-  ({ versions = db' :: t.versions }, response)
+  ( { versions = db' :: t.versions; count = t.count + 1; indexed = ref None },
+    response )
 
 let commit_query t query = commit t (Txn.translate query)
 
@@ -24,12 +34,20 @@ let of_queries db0 queries =
   in
   (t, List.rev rev_responses)
 
-let length t = List.length t.versions
+let length t = t.count
+
+let to_array t =
+  match !(t.indexed) with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.make t.count (newest t) in
+      List.iteri (fun i db -> arr.(t.count - 1 - i) <- db) t.versions;
+      t.indexed := Some arr;
+      arr
 
 let version t i =
-  let n = length t in
-  if i < 0 || i >= n then invalid_arg "History.version: out of range";
-  List.nth t.versions (n - 1 - i)
+  if i < 0 || i >= t.count then invalid_arg "History.version: out of range";
+  (to_array t).(i)
 
 let latest = newest
 

@@ -25,7 +25,14 @@ val length : t -> int
 (** Number of versions, including version 0. *)
 
 val version : t -> int -> Database.t
-(** @raise Invalid_argument when out of range. *)
+(** O(1) after the first access on a given archive value (an oldest-first
+    array snapshot is built lazily and reused; committing yields a new
+    archive with a fresh cache).
+    @raise Invalid_argument when out of range. *)
+
+val to_array : t -> Database.t array
+(** All versions, oldest first ([to_array t].(i) = [version t i]).  The
+    returned array is the accessor cache: treat it as read-only. *)
 
 val latest : t -> Database.t
 

@@ -1,0 +1,285 @@
+(* The correctness harness checking itself: generator determinism, the
+   serializability oracle over seeded sweeps (every merge policy and the
+   fault-injected fabric), oracle self-tests by mutation (a swapped pair of
+   dependent queries must be rejected), and shrinker minimality. *)
+
+open Fdb_relational
+module Gen = Fdb_check.Gen
+module Oracle = Fdb_check.Oracle
+module Shrink = Fdb_check.Shrink
+module Sim = Fdb_check.Sim
+module Merge = Fdb_merge.Merge
+module Ast = Fdb_query.Ast
+
+let q = Fdb_query.Parser.parse_exn
+
+let streams_to_strings = List.map (List.map Ast.to_string)
+
+let policies seed =
+  [ Merge.Arrival_order;
+    Merge.Eager_clients [ 1; 2; 3 ];
+    Merge.Seeded ((7 * seed) + 1);
+    Merge.Concatenated ]
+
+(* -- generator ---------------------------------------------------------- *)
+
+let test_gen_deterministic () =
+  let spec = { Gen.default_spec with seed = 11 } in
+  let a = Gen.generate spec and b = Gen.generate spec in
+  Alcotest.(check (list (list string)))
+    "same spec, same streams"
+    (streams_to_strings a.Gen.streams)
+    (streams_to_strings b.Gen.streams);
+  Alcotest.(check int) "same initial size"
+    (Database.total_tuples (Gen.initial_db a))
+    (Database.total_tuples (Gen.initial_db b));
+  let c = Gen.generate { spec with seed = 12 } in
+  Alcotest.(check bool) "different seed, different streams" false
+    (streams_to_strings a.Gen.streams = streams_to_strings c.Gen.streams)
+
+let test_gen_shape () =
+  for seed = 0 to 9 do
+    let spec =
+      { Gen.clients = 4; relations = 3; queries_per_client = 5;
+        initial_tuples = 4; key_range = 10; seed }
+    in
+    let sc = Gen.generate spec in
+    Alcotest.(check int) "streams per client" 4 (List.length sc.Gen.streams);
+    List.iter
+      (fun s ->
+        Alcotest.(check int) "queries per stream" 5 (List.length s))
+      sc.Gen.streams;
+    Alcotest.(check int) "schemas" 3 (List.length sc.Gen.schemas);
+    Alcotest.(check int) "query_count" 20 (Gen.query_count sc);
+    (* the initial load must be accepted by the reference semantics *)
+    ignore (Gen.initial_db sc)
+  done
+
+(* -- oracle: seeded sweeps over every merge policy ----------------------- *)
+
+(* 50 seeds x 4 policies = 200 scenarios: every deterministic merge of a
+   correct sequential execution must be judged serializable, and the
+   returned witness must itself be a merge (per-stream order preserved,
+   every query present exactly once). *)
+let test_oracle_sweep () =
+  for seed = 0 to 49 do
+    let sc = Gen.generate { Gen.default_spec with seed } in
+    let initial = Gen.initial_db sc in
+    List.iter
+      (fun policy ->
+        let merged = Merge.merge policy sc.Gen.streams in
+        match Oracle.check_merged ~initial ~streams:sc.Gen.streams merged with
+        | Oracle.Serializable witness ->
+            Alcotest.(check int) "witness covers every query"
+              (Gen.query_count sc) (List.length witness);
+            List.iteri
+              (fun tag stream ->
+                let sub =
+                  List.filter_map
+                    (fun (t, query) -> if t = tag then Some query else None)
+                    witness
+                in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "seed %d: witness preserves stream %d" seed
+                     tag)
+                  (List.map Ast.to_string stream)
+                  (List.map Ast.to_string sub))
+              sc.Gen.streams
+        | v ->
+            Alcotest.failf "seed %d rejected a correct execution: %a" seed
+              Oracle.pp_verdict v)
+      (policies seed)
+  done
+
+(* -- oracle self-test by mutation ---------------------------------------- *)
+
+let tiny_db () =
+  Database.create
+    [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("v", Schema.CStr) ] ]
+
+(* Execute a client's insert/find pair in the wrong order: the observation
+   attributes the Found None to the stream position holding the insert, so
+   no interleaving can explain it.  This is exactly the bug class the
+   oracle exists to catch; if this passes, the oracle is vacuous. *)
+let test_mutation_rejected () =
+  let initial = tiny_db () in
+  let insert = q "insert (7, \"x\") into R" and find = q "find 7 in R" in
+  let streams = [ [ insert; find ] ] in
+  let good =
+    Oracle.observe ~initial ~clients:1
+      [ { Merge.tag = 0; item = insert }; { Merge.tag = 0; item = find } ]
+  in
+  Alcotest.(check bool) "faithful execution accepted" true
+    (Oracle.accepted (Oracle.check ~initial ~streams good));
+  let swapped =
+    Oracle.observe ~initial ~clients:1
+      [ { Merge.tag = 0; item = find }; { Merge.tag = 0; item = insert } ]
+  in
+  (match Oracle.check ~initial ~streams swapped with
+  | Oracle.Not_serializable { total; _ } ->
+      Alcotest.(check int) "counted both queries" 2 total
+  | v ->
+      Alcotest.failf "mutated execution not rejected: %a" Oracle.pp_verdict v)
+
+(* Cross-client flavour: client 1's delete observed before client 0's
+   insert of the same key, while the responses claim the opposite. *)
+let test_mutation_rejected_cross_client () =
+  let initial = tiny_db () in
+  let insert = q "insert (3, \"y\") into R" and delete = q "delete 3 from R" in
+  let streams = [ [ insert ]; [ delete ] ] in
+  let obs =
+    { Oracle.responses =
+        [ [ Fdb_txn.Txn.Inserted true ]; [ Fdb_txn.Txn.Deleted false ] ];
+      final =
+        (match Database.insert initial ~rel:"R"
+                 (Tuple.make [ Value.Int 3; Value.Str "y" ])
+         with
+        | Ok (db, _) -> db
+        | Error e -> Alcotest.fail e) }
+  in
+  (* Deleted false is explained by delete-before-insert, and the final
+     database (holding key 3) agrees: serializable. *)
+  Alcotest.(check bool) "delete-then-insert story accepted" true
+    (Oracle.accepted (Oracle.check ~initial ~streams obs));
+  let impossible =
+    { obs with
+      Oracle.responses =
+        [ [ Fdb_txn.Txn.Inserted true ]; [ Fdb_txn.Txn.Deleted true ] ] }
+  in
+  (* Deleted true forces insert-then-delete, but the final database still
+     holds the tuple: no interleaving explains both. *)
+  Alcotest.(check bool) "contradictory observation rejected" false
+    (Oracle.accepted (Oracle.check ~initial ~streams impossible))
+
+let test_check_validates_shape () =
+  let initial = tiny_db () in
+  Alcotest.check_raises "ragged responses rejected"
+    (Invalid_argument "Oracle.check: stream/response list counts differ")
+    (fun () ->
+      ignore
+        (Oracle.check ~initial
+           ~streams:[ [ q "count R" ]; [ q "count R" ] ]
+           { Oracle.responses = [ [ Fdb_txn.Txn.Counted 0 ] ]; final = initial }))
+
+(* -- shrinker ------------------------------------------------------------ *)
+
+let test_shrink_terminates_at_local_minimum () =
+  let streams =
+    [ List.map q [ "insert (1, \"a\") into R"; "count R"; "find 1 in R" ];
+      List.map q [ "count R"; "delete 1 from R" ] ]
+  in
+  (* Predicate: any nonempty input "fails" — the minimum is one query. *)
+  let still_failing ss = Shrink.query_count ss >= 1 in
+  let w = Shrink.minimize ~still_failing streams in
+  Alcotest.(check int) "one query survives" 1 (Shrink.query_count w);
+  Alcotest.(check bool) "measure strictly decreased" true
+    (Shrink.measure w < Shrink.measure streams)
+
+(* Plant a real violation — a pipeline that swaps client 0's first two
+   queries before merging — in a haystack of commuting reads, and require
+   the shrinker to cut it down to the dependent pair. *)
+let test_shrink_planted_violation () =
+  let initial = tiny_db () in
+  let streams =
+    [ List.map q
+        [ "insert (99, \"p\") into R"; "find 99 in R"; "count R"; "count R" ];
+      List.map q [ "count R"; "count R"; "count R" ];
+      List.map q [ "count R"; "count R" ] ]
+  in
+  let swap_first_two = function
+    | (a :: b :: rest) :: others -> (b :: a :: rest) :: others
+    | ss -> ss
+  in
+  let still_failing ss =
+    let merged = Merge.merge Merge.Arrival_order (swap_first_two ss) in
+    not (Oracle.accepted (Oracle.check_merged ~initial ~streams:ss merged))
+  in
+  Alcotest.(check bool) "planted violation fails" true (still_failing streams);
+  let w = Shrink.minimize ~still_failing streams in
+  Alcotest.(check bool)
+    (Format.asprintf "shrunk to <= 3 queries, got:@.%a" Gen.pp_streams w)
+    true
+    (Shrink.query_count w <= 3);
+  Alcotest.(check bool) "witness still fails" true (still_failing w);
+  Alcotest.(check bool) "witness strictly smaller" true
+    (Shrink.measure w < Shrink.measure streams)
+
+(* -- fault-injecting simulation ------------------------------------------ *)
+
+(* 25 seeds through drops, duplicates and reorders: the primary's
+   reassembled execution must stay serial-equivalent and lose nothing. *)
+let test_sim_sweep () =
+  for seed = 0 to 24 do
+    let sc = Gen.generate { Gen.default_spec with seed } in
+    let o = Sim.run ~seed sc in
+    (match o.Sim.verdict with
+    | Oracle.Serializable _ -> ()
+    | v ->
+        Alcotest.failf "seed %d: fault-injected run rejected: %a" seed
+          Oracle.pp_verdict v);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: every query committed" seed)
+      (Gen.query_count sc) o.Sim.applied
+  done
+
+let test_sim_faults_actually_fire () =
+  (* Across the sweep the injected faults must actually exercise their
+     code paths, else the harness is quietly testing a perfect network. *)
+  let dup = ref 0 and delayed = ref 0 and drops = ref 0 in
+  for seed = 0 to 24 do
+    let sc = Gen.generate { Gen.default_spec with seed } in
+    let o = Sim.run ~seed sc in
+    dup := !dup + o.Sim.dup_suppressed;
+    delayed := !delayed + o.Sim.delayed;
+    drops := !drops + o.Sim.net.Fdb_net.Reliable.drops
+  done;
+  Alcotest.(check bool) "duplicates were suppressed" true (!dup > 0);
+  Alcotest.(check bool) "queries took the reorder path" true (!delayed > 0);
+  Alcotest.(check bool) "the medium dropped frames" true (!drops > 0)
+
+let test_sim_deterministic () =
+  let sc = Gen.generate { Gen.default_spec with seed = 5 } in
+  let a = Sim.run ~seed:5 sc and b = Sim.run ~seed:5 sc in
+  Alcotest.(check int) "applied" a.Sim.applied b.Sim.applied;
+  Alcotest.(check int) "dup_suppressed" a.Sim.dup_suppressed b.Sim.dup_suppressed;
+  Alcotest.(check int) "delayed" a.Sim.delayed b.Sim.delayed;
+  Alcotest.(check bool) "net stats" true (a.Sim.net = b.Sim.net);
+  Alcotest.(check bool) "verdicts agree" (Oracle.accepted a.Sim.verdict)
+    (Oracle.accepted b.Sim.verdict)
+
+let test_sim_no_faults () =
+  let sc = Gen.generate { Gen.default_spec with seed = 3 } in
+  let o = Sim.run ~faults:Sim.no_faults ~seed:3 sc in
+  Alcotest.(check bool) "clean network serializable" true
+    (Oracle.accepted o.Sim.verdict);
+  Alcotest.(check int) "nothing suppressed" 0 o.Sim.dup_suppressed;
+  Alcotest.(check int) "nothing delayed" 0 o.Sim.delayed;
+  Alcotest.(check int) "nothing dropped" 0 o.Sim.net.Fdb_net.Reliable.drops
+
+let () =
+  Alcotest.run "check"
+    [ ( "gen",
+        [ Alcotest.test_case "deterministic in the spec" `Quick
+            test_gen_deterministic;
+          Alcotest.test_case "shape follows the spec" `Quick test_gen_shape ] );
+      ( "oracle",
+        [ Alcotest.test_case "200 seeded scenarios, all policies" `Slow
+            test_oracle_sweep;
+          Alcotest.test_case "mutation: swapped dependent pair" `Quick
+            test_mutation_rejected;
+          Alcotest.test_case "mutation: contradictory cross-client" `Quick
+            test_mutation_rejected_cross_client;
+          Alcotest.test_case "ragged observation rejected" `Quick
+            test_check_validates_shape ] );
+      ( "shrink",
+        [ Alcotest.test_case "terminates at a local minimum" `Quick
+            test_shrink_terminates_at_local_minimum;
+          Alcotest.test_case "planted violation -> <= 3 queries" `Quick
+            test_shrink_planted_violation ] );
+      ( "sim",
+        [ Alcotest.test_case "25 fault-injected seeds" `Slow test_sim_sweep;
+          Alcotest.test_case "faults actually fire" `Slow
+            test_sim_faults_actually_fire;
+          Alcotest.test_case "deterministic in the seed" `Quick
+            test_sim_deterministic;
+          Alcotest.test_case "clean network" `Quick test_sim_no_faults ] ) ]

@@ -193,6 +193,92 @@ let test_broadcast () =
     [ (0, "hello"); (1, "hello"); (3, "hello"); (4, "hello") ]
     (List.sort compare delivered)
 
+(* -- fabric accounting ------------------------------------------------------ *)
+
+let test_fabric_local_handoff_accounting () =
+  let f = Fabric.create (Topology.ring 5) in
+  for i = 0 to 3 do
+    Fabric.send f ~src:i ~dst:i i
+  done;
+  Alcotest.(check int) "in flight" 4 (Fabric.in_flight f);
+  let delivered = Fabric.step f in
+  Alcotest.(check int) "all hand-offs complete next cycle" 4
+    (List.length delivered);
+  let s = Fabric.stats f in
+  Alcotest.(check int) "local hand-off uses no medium hops" 0 s.Fabric.hops;
+  Alcotest.(check int) "high-water mark" 4 s.Fabric.max_in_flight;
+  Alcotest.(check int) "drained" 0 (Fabric.in_flight f)
+
+let test_bus_capacity_service_order () =
+  (* Capacity 2: the bus services its arrival-order queue in chunks of at
+     most 2 per cycle, never reordering. *)
+  let f = Fabric.create ~link_capacity:2 (Topology.bus 6) in
+  for i = 1 to 5 do
+    Fabric.send f ~src:(i mod 3) ~dst:5 i
+  done;
+  Alcotest.(check (list int)) "cycle 1" [ 1; 2 ]
+    (List.map snd (Fabric.step f));
+  Alcotest.(check (list int)) "cycle 2" [ 3; 4 ]
+    (List.map snd (Fabric.step f));
+  Alcotest.(check (list int)) "cycle 3" [ 5 ] (List.map snd (Fabric.step f));
+  let s = Fabric.stats f in
+  Alcotest.(check int) "one hop per bus delivery" 5 s.Fabric.hops;
+  Alcotest.(check int) "max in flight" 5 s.Fabric.max_in_flight
+
+(* Random send/service schedules: after every action,
+   in_flight = sent - delivered and max_in_flight is a true high-water
+   mark; after draining, hops equals the sum of shortest-path distances
+   (point-to-point) or the count of non-local deliveries (bus), with
+   src = dst hand-offs contributing zero. *)
+let prop_fabric_accounting =
+  QCheck2.Test.make ~name:"fabric accounting invariants" ~count:100
+    QCheck2.Gen.(triple (int_range 0 4) (int_range 1 10) (int_range 0 9999))
+    (fun (shape, ticks, seed) ->
+      let t =
+        match shape with
+        | 0 -> Topology.hypercube 3
+        | 1 -> Topology.mesh3d 2 3 2
+        | 2 -> Topology.ring 9
+        | 3 -> Topology.star 7
+        | _ -> Topology.bus 6
+      in
+      let n = Topology.size t in
+      let rand = Random.State.make [| seed; 0xfab |] in
+      let f = Fabric.create t in
+      let expected_hops = ref 0 in
+      let ok = ref true in
+      let check_inv () =
+        let s = Fabric.stats f in
+        if Fabric.in_flight f <> s.Fabric.sent - s.Fabric.delivered then
+          ok := false;
+        if s.Fabric.max_in_flight < Fabric.in_flight f then ok := false;
+        if s.Fabric.max_in_flight > s.Fabric.sent then ok := false
+      in
+      for _ = 1 to ticks do
+        for _ = 1 to Random.State.int rand 4 do
+          let src = Random.State.int rand n and dst = Random.State.int rand n in
+          Fabric.send f ~src ~dst ();
+          (match Topology.kind t with
+          | Topology.Point_to_point ->
+              expected_hops := !expected_hops + Topology.distance t src dst
+          | Topology.Shared_bus -> if src <> dst then incr expected_hops);
+          check_inv ()
+        done;
+        ignore (Fabric.step f);
+        check_inv ()
+      done;
+      let guard = ref 0 in
+      while Fabric.in_flight f > 0 && !guard < 10_000 do
+        ignore (Fabric.step f);
+        check_inv ();
+        incr guard
+      done;
+      let s = Fabric.stats f in
+      !ok
+      && Fabric.in_flight f = 0
+      && s.Fabric.delivered = s.Fabric.sent
+      && s.Fabric.hops = !expected_hops)
+
 (* qcheck: random messages on random topologies all arrive, each taking at
    least distance cycles. *)
 let prop_all_messages_delivered =
@@ -308,6 +394,11 @@ let () =
           Alcotest.test_case "bus serializes" `Quick test_bus_serializes;
           Alcotest.test_case "stats" `Quick test_fabric_stats;
           Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "local hand-off accounting" `Quick
+            test_fabric_local_handoff_accounting;
+          Alcotest.test_case "bus capacity service order" `Quick
+            test_bus_capacity_service_order;
+          QCheck_alcotest.to_alcotest prop_fabric_accounting;
         ] );
       ( "reliable",
         [

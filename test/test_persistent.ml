@@ -265,6 +265,98 @@ let test_sharing_fraction_shrinks_with_n () =
     true
     (f100 > f1000 && f1000 > f10000)
 
+(* -- seeded stepwise invariants (two3) ------------------------------------ *)
+
+(* 150 seeded insert/delete sequences, checking ordering and balance after
+   EVERY operation — the model property above only checks the end state,
+   which can miss a transiently broken rebalance. *)
+let test_two3_stepwise_invariants () =
+  for case = 0 to 149 do
+    let rng = Random.State.make [| case; 0x23 |] in
+    let len = 20 + Random.State.int rng 41 in
+    let t = ref Int23.empty and m = ref [] in
+    for step = 1 to len do
+      let x = Random.State.int rng 60 in
+      if Random.State.int rng 3 < 2 then begin
+        t := Int23.insert x !t;
+        m := Model.insert x !m
+      end
+      else begin
+        t := fst (Int23.delete x !t);
+        m := fst (Model.delete x !m)
+      end;
+      if not (Int23.invariant !t) then
+        Alcotest.failf "case %d step %d: balance/ordering invariant broken"
+          case step;
+      if Int23.to_list !t <> !m then
+        Alcotest.failf "case %d step %d: contents diverged from model" case
+          step
+    done
+  done
+
+(* -- seeded sharing-ratio bounds ------------------------------------------ *)
+
+(* 120 seeded single updates at random sizes: the rebuilt fraction of a
+   2-3 tree stays within a constant factor of (log2 n)/n — the §3.3 claim
+   that makes complete archives affordable. *)
+let test_two3_sharing_log_bound () =
+  for case = 0 to 119 do
+    let rng = Random.State.make [| case; 0x5a |] in
+    let n = 64 + Random.State.int rng 961 in
+    let t = Int23.of_list (List.init n (fun i -> 2 * i)) in
+    let t' =
+      if case land 1 = 0 then Int23.insert ((2 * Random.State.int rng n) + 1) t
+      else fst (Int23.delete (2 * Random.State.int rng n) t)
+    in
+    let (shared, total) = Int23.shared_nodes ~old:t t' in
+    let rebuilt = float_of_int (total - shared) /. float_of_int total in
+    let bound = 8.0 *. (log (float_of_int n) /. log 2.0) /. float_of_int n in
+    if rebuilt > bound then
+      Alcotest.failf
+        "case %d (n=%d): rebuilt fraction %.4f exceeds 8(log2 n)/n = %.4f"
+        case n rebuilt bound
+  done
+
+(* 120 seeded single updates on the list representation: prefix-copy
+   accounting is exact — an op at position p copies exactly the p-cell
+   prefix and shares the whole suffix. *)
+let test_plist_prefix_copy_accounting () =
+  for case = 0 to 119 do
+    let rng = Random.State.make [| case; 0x7115 |] in
+    let n = 10 + Random.State.int rng 191 in
+    let l = IntList.of_list (List.init n (fun i -> 2 * i)) in
+    let meter = Meter.create () in
+    if case land 1 = 0 then begin
+      (* insert 2p+1: the p+1 elements below it are copied, plus one new *)
+      let p = Random.State.int rng n in
+      let l' = IntList.insert ~meter ((2 * p) + 1) l in
+      let (shared, total) = IntList.shared_cells ~old:l l' in
+      if Meter.allocs meter <> p + 2 then
+        Alcotest.failf "case %d (n=%d p=%d): insert allocated %d, expected %d"
+          case n p (Meter.allocs meter) (p + 2);
+      if total <> n + 1 || shared <> n - (p + 1) then
+        Alcotest.failf
+          "case %d (n=%d p=%d): insert shared %d/%d, expected %d/%d" case n p
+          shared total
+          (n - (p + 1))
+          (n + 1)
+    end
+    else begin
+      (* delete the element at index j: the j-cell prefix is copied *)
+      let j = Random.State.int rng n in
+      let (l', found) = IntList.delete ~meter (2 * j) l in
+      if not found then Alcotest.failf "case %d: delete missed" case;
+      let (shared, total) = IntList.shared_cells ~old:l l' in
+      if Meter.allocs meter <> j then
+        Alcotest.failf "case %d (n=%d j=%d): delete allocated %d, expected %d"
+          case n j (Meter.allocs meter) j;
+      if total <> n - 1 || shared <> n - 1 - j then
+        Alcotest.failf
+          "case %d (n=%d j=%d): delete shared %d/%d, expected %d/%d" case n j
+          shared total (n - 1 - j) (n - 1)
+    end
+  done
+
 let () =
   Alcotest.run "persistent"
     [
@@ -273,6 +365,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_plist_basics;
           Alcotest.test_case "sharing" `Quick test_plist_sharing;
           Alcotest.test_case "find" `Quick test_plist_find;
+          Alcotest.test_case "120 seeded prefix-copy accounting" `Quick
+            test_plist_prefix_copy_accounting;
           QCheck_alcotest.to_alcotest prop_plist_model;
         ] );
       ( "avl",
@@ -292,6 +386,10 @@ let () =
             test_two3_uniform_depth_after_deletes;
           Alcotest.test_case "delete absent shares" `Quick
             test_two3_delete_absent_shares;
+          Alcotest.test_case "150 seeded stepwise invariants" `Quick
+            test_two3_stepwise_invariants;
+          Alcotest.test_case "120 seeded sharing bounds" `Quick
+            test_two3_sharing_log_bound;
           QCheck_alcotest.to_alcotest prop_two3_model;
         ] );
       ( "btree",

@@ -253,6 +253,80 @@ let test_history_sharing_ratio () =
   Alcotest.(check (float 1e-9)) "trivial archive" 1.0
     (History.sharing_ratio fresh)
 
+(* Regression for the array-backed accessor: [version], [to_array] and
+   [changed_relations] must agree exactly with the original List.nth-based
+   walk, computed here from first principles by replaying the commits. *)
+let test_history_accessor_matches_reference () =
+  let queries =
+    List.concat
+      (List.init 10 (fun i ->
+           [ Printf.sprintf "insert (%d, \"n%d\") into R" (100 + i) i;
+             "count R";
+             Printf.sprintf "insert (%d, \"s%d\") into S" (200 + i) i;
+             Printf.sprintf "delete %d from R" (100 + i) ]))
+  in
+  let db0 = db_with_data () in
+  let (h, _) = History.of_queries db0 (List.map q queries) in
+  (* Reference: the version list rebuilt by folding the same queries. *)
+  let reference_versions =
+    List.rev
+      (List.fold_left
+         (fun acc query ->
+           match acc with
+           | db :: _ -> snd (Txn.translate (Fdb_query.Parser.parse_exn query) db) :: acc
+           | [] -> assert false)
+         [ db0 ] queries)
+  in
+  let n = List.length reference_versions in
+  Alcotest.(check int) "lengths agree" n (History.length h);
+  (* version i has exactly the contents the fold produced (the replay
+     allocates its own databases, so compare contents, not identity) *)
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "version %d contents agree" i)
+        true
+        (Fdb_check.Oracle.db_equal (History.version h i) expected))
+    reference_versions;
+  let arr = History.to_array h in
+  Alcotest.(check int) "to_array length" n (Array.length arr);
+  Array.iteri
+    (fun i db ->
+      Alcotest.(check bool)
+        (Printf.sprintf "to_array.(%d) = version %d" i i)
+        true
+        (db == History.version h i))
+    arr;
+  (* changed_relations against the definitional computation *)
+  for i = 0 to n - 1 do
+    let expected =
+      if i = 0 then []
+      else
+        let before = List.nth reference_versions (i - 1) in
+        let after = List.nth reference_versions i in
+        List.filter
+          (fun name -> not (Database.shares_relation ~old:before after name))
+          (Database.names after)
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "changed_relations %d" i)
+      expected
+      (History.changed_relations h i)
+  done;
+  (* extending the archive invalidates nothing: old indices still answer
+     identically on the new value, and the new tip is reachable *)
+  let (h', _) = History.commit_query h (q "insert (999, \"tip\") into R") in
+  Alcotest.(check int) "extended length" (n + 1) (History.length h');
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "old version %d survives the commit" i)
+      true
+      (History.version h' i == History.version h i)
+  done;
+  Alcotest.check response_t "new tip has the insert"
+    (Txn.Found (Some (tup 999 "tip")))
+    (History.query_at h' n (q "find 999 in R"))
+
 let test_history_bounds () =
   let h = History.create (db_with_data ()) in
   Alcotest.check_raises "out of range"
@@ -284,6 +358,8 @@ let () =
           Alcotest.test_case "changed relations" `Quick
             test_history_changed_relations;
           Alcotest.test_case "sharing ratio" `Quick test_history_sharing_ratio;
+          Alcotest.test_case "accessor matches reference" `Quick
+            test_history_accessor_matches_reference;
           Alcotest.test_case "bounds" `Quick test_history_bounds;
         ] );
       ( "apply_stream",
