@@ -7,3 +7,6 @@ set -e
 FDBSIM="${1:-_build/default/bin/fdbsim.exe}"
 "$FDBSIM" check --seed 1 --sweep 5
 "$FDBSIM" check --seed 6 --sweep 2 --clients 4 --txns 8 --relations 3
+# Crash-failover smoke: 6 consecutive seeds cover each crash kind twice
+# (mid-stream, mid-checkpoint, mid-replay).
+"$FDBSIM" recover --seed 1 --sweep 6

@@ -274,6 +274,71 @@ let ablation_semantics () =
   Format.printf "@[<v>%a@]@." Experiment.pp_ablation_semantics
     (Experiment.ablation_semantics ())
 
+(* -- recovery: failover time vs checkpoint interval ------------------------- *)
+
+let recover () =
+  let module Gen = Fdb_check.Gen in
+  let module Replica = Fdb_replica.Replica in
+  let module Snapshot = Fdb_replica.Snapshot in
+  let module History = Fdb_txn.History in
+  section "Recovery: failover time vs checkpoint interval";
+  Printf.printf
+    "primary killed after its 12th commit (3 clients x 10 queries, drop \
+     1/5);\nmeans over 8 seeds; interval 0 = no checkpoints, replay the \
+     whole log\n\n";
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Printf.printf "%9s %10s %10s %10s %12s\n" "interval" "recovery" "replayed"
+    "suffix" "ckpt-bytes";
+  List.iter
+    (fun interval ->
+      let (n, rec_t, rep, suf, bytes) =
+        List.fold_left
+          (fun (n, rec_t, rep, suf, bytes) seed ->
+            let sc =
+              Gen.generate
+                { Gen.default_spec with Gen.seed; queries_per_client = 10 }
+            in
+            let config =
+              { Replica.default_config with
+                Replica.checkpoint_every = interval;
+                seed;
+                crash = Replica.Mid_stream 12 }
+            in
+            let r =
+              Replica.run ~config ~initial:(Gen.initial_db sc) sc.Gen.streams
+            in
+            assert (r.Replica.acked_lost = [] && r.Replica.dup_applied = 0);
+            ( n + 1,
+              rec_t + Option.value ~default:0 r.Replica.recovery_ticks,
+              rep + r.Replica.replayed,
+              suf + r.Replica.log_suffix_at_crash,
+              bytes + r.Replica.checkpoint_bytes ))
+          (0, 0, 0, 0, 0) seeds
+      in
+      let mean x = float_of_int x /. float_of_int n in
+      Printf.printf "%9d %10.1f %10.1f %10.1f %12.1f\n" interval (mean rec_t)
+        (mean rep) (mean suf) (mean bytes))
+    [ 1; 2; 5; 10; 20; 0 ];
+  Printf.printf
+    "\ncheckpoint wire cost: delta encoding vs every version in full\n";
+  Printf.printf "%9s %12s %12s %8s\n" "versions" "delta" "naive" "ratio";
+  List.iter
+    (fun qpc ->
+      let sc =
+        Gen.generate { Gen.default_spec with Gen.seed = 1; queries_per_client = qpc }
+      in
+      let h =
+        List.fold_left
+          (fun h q -> fst (History.commit_query h q))
+          (History.create (Gen.initial_db sc))
+          (List.concat sc.Gen.streams)
+      in
+      let delta = String.length (Snapshot.encode h) in
+      let naive = String.length (Snapshot.encode_naive h) in
+      Printf.printf "%9d %12d %12d %7.1fx\n" (History.length h) delta naive
+        (float_of_int naive /. float_of_int delta))
+    [ 4; 8; 16; 32 ]
+
 (* -- bechamel micro-benchmarks ---------------------------------------------- *)
 
 let micro () =
@@ -351,6 +416,7 @@ let all () =
   ablation_engine_repr ();
   ablation_eval_mode ();
   scaling ();
+  recover ();
   micro ()
 
 let () =
@@ -370,12 +436,13 @@ let () =
   | "ablation-engine-repr" -> ablation_engine_repr ()
   | "ablation-eval-mode" -> ablation_eval_mode ()
   | "scaling" -> scaling ()
+  | "recover" -> recover ()
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
         "unknown bench %S (try table1|table2|table3|fig21|fig22|fig23|fig31|\
          ablation-repr|ablation-topo|ablation-merge|ablation-semantics|\
-         ablation-engine-repr|ablation-eval-mode|scaling|micro|all)\n"
+         ablation-engine-repr|ablation-eval-mode|scaling|recover|micro|all)\n"
         other;
       exit 1

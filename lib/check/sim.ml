@@ -3,26 +3,49 @@ module Txn = Fdb_txn.Txn
 module Topology = Fdb_net.Topology
 module Reliable = Fdb_net.Reliable
 
+module Replica = Fdb_replica.Replica
+
 type faults = {
   drop_one_in : int;
   dup_one_in : int;
   delay_one_in : int;
   max_delay : int;
+  crash : bool;
 }
 
 let no_faults =
-  { drop_one_in = 0; dup_one_in = 0; delay_one_in = 0; max_delay = 0 }
+  {
+    drop_one_in = 0;
+    dup_one_in = 0;
+    delay_one_in = 0;
+    max_delay = 0;
+    crash = false;
+  }
 
 let default_faults =
-  { drop_one_in = 5; dup_one_in = 6; delay_one_in = 4; max_delay = 3 }
+  {
+    drop_one_in = 5;
+    dup_one_in = 6;
+    delay_one_in = 4;
+    max_delay = 3;
+    crash = false;
+  }
 
 type outcome = {
   verdict : Oracle.verdict;
   applied : int;
   dup_suppressed : int;
   delayed : int;
+  recovery : Replica.report option;
   net : Reliable.stats;
 }
+
+exception
+  Lost_queries of {
+    missing : (int * int) list;
+    buffered : int;
+    stats : Reliable.stats;
+  }
 
 type msg = { client : int; seq : int; query : Ast.query }
 
@@ -33,8 +56,73 @@ let check_faults f =
   if f.delay_one_in > 0 && f.max_delay < 1 then
     invalid_arg "Sim: delay fault with max_delay < 1"
 
-let run ?(faults = default_faults) ~seed (sc : Gen.scenario) =
+(* Seeded crash point: which commit (or checkpoint) the primary dies
+   after, and whether replay is throttled, both drawn from a dedicated
+   stream so they don't perturb the medium's drop sequence. *)
+let crash_point ~seed ~checkpointing total =
+  let crand = Random.State.make [| seed; 0xc4a5 |] in
+  let n = 1 + Random.State.int crand (max 1 (total - 1)) in
+  match seed mod 3 with
+  | 0 -> Replica.Mid_stream n
+  | 1 when checkpointing -> Replica.Mid_checkpoint (1 + (n mod 3))
+  | 1 -> Replica.Mid_stream n
+  | _ -> Replica.Mid_replay n
+
+let run_crash ~recover_config ~faults ~seed (sc : Gen.scenario) =
+  let base = Option.value ~default:Replica.default_config recover_config in
+  let config =
+    {
+      base with
+      Replica.drop_one_in = faults.drop_one_in;
+      seed;
+      crash =
+        crash_point ~seed
+          ~checkpointing:(base.Replica.checkpoint_every > 0)
+          (Gen.query_count sc);
+    }
+  in
+  let initial = Gen.initial_db sc in
+  let r = Replica.run ~config ~initial sc.Gen.streams in
+  (* Invariants the oracle cannot see: an acked commit must survive the
+     failover exactly once, and promotion must replay exactly the log
+     suffix past the last installed checkpoint. *)
+  if r.Replica.acked_lost <> [] then
+    failwith
+      (Printf.sprintf "Sim.run: %d acked commits lost in failover (%s)"
+         (List.length r.Replica.acked_lost)
+         (String.concat ", "
+            (List.map
+               (fun (c, s) -> Printf.sprintf "client %d seq %d" c s)
+               r.Replica.acked_lost)));
+  if r.Replica.dup_applied > 0 then
+    failwith
+      (Printf.sprintf "Sim.run: %d commits applied twice across failover"
+         r.Replica.dup_applied);
+  if r.Replica.replay_mismatches > 0 then
+    failwith
+      (Printf.sprintf "Sim.run: %d replayed responses diverged"
+         r.Replica.replay_mismatches);
+  if r.Replica.crashed && r.Replica.replayed <> r.Replica.log_suffix_at_crash
+  then
+    failwith
+      (Printf.sprintf "Sim.run: replayed %d records, log suffix was %d"
+         r.Replica.replayed r.Replica.log_suffix_at_crash);
+  let obs =
+    { Oracle.responses = r.Replica.responses; final = r.Replica.final }
+  in
+  {
+    verdict = Oracle.check ~initial ~streams:sc.Gen.streams obs;
+    applied = r.Replica.history_len - 1;
+    dup_suppressed = r.Replica.dedup_hits;
+    delayed = 0;
+    recovery = Some r;
+    net = r.Replica.net;
+  }
+
+let run ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario) =
   check_faults faults;
+  if faults.crash then run_crash ~recover_config ~faults ~seed sc
+  else begin
   let clients = List.length sc.Gen.streams in
   (* Client 0 is co-located with the primary at the hub (site 0, the
      src = dst hand-off path); clients 1.. sit on the leaves. *)
@@ -128,10 +216,25 @@ let run ?(faults = default_faults) ~seed (sc : Gen.scenario) =
     List.iter (fun (_dst, m) -> receive m) (Reliable.step channel)
   done;
   let total = Gen.query_count sc in
-  if !applied <> total || Hashtbl.length buffered <> 0 then
-    failwith
-      (Printf.sprintf "Sim.run: %d of %d queries committed (%d buffered)"
-         !applied total (Hashtbl.length buffered));
+  if !applied <> total || Hashtbl.length buffered <> 0 then begin
+    (* Which (client, seq) never committed — a transport bug, surfaced
+       with enough structure to replay the seed. *)
+    let missing = ref [] in
+    let lens = Array.of_list (List.map List.length sc.Gen.streams) in
+    for c = clients - 1 downto 0 do
+      for s = lens.(c) - 1 downto expected.(c) do
+        if not (Hashtbl.mem buffered (c, s)) then
+          missing := (c, s) :: !missing
+      done
+    done;
+    raise
+      (Lost_queries
+         {
+           missing = !missing;
+           buffered = Hashtbl.length buffered;
+           stats = Reliable.stats channel;
+         })
+  end;
   let obs =
     { Oracle.responses = Array.to_list (Array.map List.rev per_client);
       final = !db }
@@ -144,5 +247,7 @@ let run ?(faults = default_faults) ~seed (sc : Gen.scenario) =
     applied = !applied;
     dup_suppressed = !dup_suppressed;
     delayed = !delayed_count;
+    recovery = None;
     net = Reliable.stats channel;
   }
+  end

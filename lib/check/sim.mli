@@ -27,23 +27,57 @@ type faults = {
   dup_one_in : int;  (** 0 disables *)
   delay_one_in : int;  (** 0 disables *)
   max_delay : int;  (** max ticks a delayed query is held *)
+  crash : bool;
+      (** kill the primary at a seeded point and fail over — see below *)
 }
 
 val no_faults : faults
 
 val default_faults : faults
-(** drop 1/5, duplicate 1/6, delay 1/4 up to 3 ticks. *)
+(** drop 1/5, duplicate 1/6, delay 1/4 up to 3 ticks, no crash. *)
 
 type outcome = {
   verdict : Oracle.verdict;
-  applied : int;  (** queries committed at the primary *)
+  applied : int;  (** queries committed at the (surviving) primary *)
   dup_suppressed : int;  (** application-level duplicates discarded *)
   delayed : int;  (** queries that took the reorder path *)
+  recovery : Fdb_replica.Replica.report option;
+      (** full failover report when [crash] was set *)
   net : Fdb_net.Reliable.stats;
 }
 
-val run : ?faults:faults -> seed:int -> Gen.scenario -> outcome
+exception
+  Lost_queries of {
+    missing : (int * int) list;  (** (client, seq) never committed *)
+    buffered : int;  (** gap-buffered queries stuck at quiescence *)
+    stats : Fdb_net.Reliable.stats;
+  }
+(** A transport bug: the run quiesced but some query never committed.
+    Carries exactly which (client, seq) pairs are unaccounted for plus the
+    channel stats, so a failing seed can be replayed. *)
+
+val run :
+  ?faults:faults ->
+  ?recover_config:Fdb_replica.Replica.config ->
+  seed:int ->
+  Gen.scenario ->
+  outcome
 (** Deterministic in (faults, seed, scenario).
+
+    With [crash] set, the scenario instead runs through
+    {!Fdb_replica.Replica}: the primary is killed at a seeded crash point
+    (mid-stream, mid-checkpoint or mid-replay, chosen by [seed mod 3]) and
+    the backup takes over.  [recover_config] seeds the replica
+    configuration (its [drop_one_in], [seed] and [crash] fields are
+    overridden from the fault spec).  Beyond the oracle verdict, the
+    crash path asserts the failover invariants — no acked commit lost or
+    doubly applied, replay exactly the log suffix past the last installed
+    checkpoint, no replay divergence — and raises [Failure] on any
+    violation.  The other fault knobs ([dup_one_in], [delay_one_in]) are
+    client-behaviour faults that the replica's retry layer subsumes, and
+    are ignored on this path.
+
     @raise Invalid_argument on a bad fault spec.
-    @raise Failure if the network fails to quiesce or loses a query (a
-    transport bug — surfaced loudly). *)
+    @raise Lost_queries if the network quiesced but lost a query.
+    @raise Failure if the network fails to quiesce or a failover
+    invariant is violated. *)

@@ -1,6 +1,12 @@
-type stats = { sent : int; delivered : int; hops : int; max_in_flight : int }
+type stats = {
+  sent : int;
+  delivered : int;
+  hops : int;
+  max_in_flight : int;
+  faulted : int;
+}
 
-type 'a msg = { dst : int; payload : 'a }
+type 'a msg = { m_src : int; dst : int; payload : 'a }
 
 type 'a t = {
   topo : Topology.t;
@@ -12,11 +18,14 @@ type 'a t = {
   link_q : (int, 'a msg Queue.t) Hashtbl.t;  (* key: u * n + v *)
   local_q : 'a msg Queue.t array;  (* src = dst hand-offs *)
   bus_q : 'a msg Queue.t;
+  down : bool array;
+  group : int array;  (* partition ids; all equal = healed *)
   mutable sent : int;
   mutable delivered : int;
   mutable hops : int;
   mutable in_flight : int;
   mutable max_in_flight : int;
+  mutable faulted : int;
 }
 
 let create ?(link_capacity = 1) topo =
@@ -33,14 +42,71 @@ let create ?(link_capacity = 1) topo =
     link_q;
     local_q = Array.init n (fun _ -> Queue.create ());
     bus_q = Queue.create ();
+    down = Array.make n false;
+    group = Array.make n 0;
     sent = 0;
     delivered = 0;
     hops = 0;
     in_flight = 0;
     max_in_flight = 0;
+    faulted = 0;
   }
 
 let topology f = f.topo
+
+let check_node f u ~what =
+  if u < 0 || u >= Topology.size f.topo then
+    invalid_arg (Printf.sprintf "Fabric.%s: bad node" what)
+
+let fault f m =
+  ignore m;
+  f.faulted <- f.faulted + 1;
+  f.in_flight <- f.in_flight - 1
+
+(* -- crash faults ----------------------------------------------------------- *)
+
+let is_down f u =
+  check_node f u ~what:"is_down";
+  f.down.(u)
+
+let purge f q =
+  while not (Queue.is_empty q) do
+    fault f (Queue.pop q)
+  done
+
+let set_down f u =
+  check_node f u ~what:"set_down";
+  if not f.down.(u) then begin
+    f.down.(u) <- true;
+    (* A crash loses the node's buffers: its local hand-offs and anything
+       still sitting in its outgoing NIC queues.  Frames already on other
+       nodes' queues (or on the shared medium) are past the point of no
+       return and keep travelling. *)
+    purge f f.local_q.(u);
+    let n = Topology.size f.topo in
+    List.iter
+      (fun (a, b) ->
+        if a = u then purge f (Hashtbl.find f.link_q ((a * n) + b)))
+      f.links
+  end
+
+let set_up f u =
+  check_node f u ~what:"set_up";
+  f.down.(u) <- false
+
+let severed f u v = f.group.(u) <> f.group.(v)
+
+let partition f members =
+  Array.fill f.group 0 (Array.length f.group) 0;
+  List.iter
+    (fun u ->
+      check_node f u ~what:"partition";
+      f.group.(u) <- 1)
+    members
+
+let heal f = Array.fill f.group 0 (Array.length f.group) 0
+
+(* -- transport -------------------------------------------------------------- *)
 
 let enqueue_link f u v m =
   let n = Topology.size f.topo in
@@ -52,16 +118,21 @@ let send f ~src ~dst payload =
   let n = Topology.size f.topo in
   if src < 0 || dst < 0 || src >= n || dst >= n then
     invalid_arg "Fabric.send: bad endpoint";
-  let m = { dst; payload } in
+  let m = { m_src = src; dst; payload } in
   f.sent <- f.sent + 1;
-  f.in_flight <- f.in_flight + 1;
-  if f.in_flight > f.max_in_flight then f.max_in_flight <- f.in_flight;
-  if src = dst then Queue.push m f.local_q.(src)
-  else
-    match Topology.kind f.topo with
-    | Topology.Shared_bus -> Queue.push m f.bus_q
-    | Topology.Point_to_point ->
-        enqueue_link f src (Topology.next_hop f.topo ~src ~dst) m
+  if f.down.(src) then
+    (* A dead node transmits nothing: the injection is charged and lost. *)
+    f.faulted <- f.faulted + 1
+  else begin
+    f.in_flight <- f.in_flight + 1;
+    if f.in_flight > f.max_in_flight then f.max_in_flight <- f.in_flight;
+    if src = dst then Queue.push m f.local_q.(src)
+    else
+      match Topology.kind f.topo with
+      | Topology.Shared_bus -> Queue.push m f.bus_q
+      | Topology.Point_to_point ->
+          enqueue_link f src (Topology.next_hop f.topo ~src ~dst) m
+  end
 
 let broadcast f ~src payload =
   let n = Topology.size f.topo in
@@ -72,9 +143,12 @@ let broadcast f ~src payload =
 let step f =
   let deliveries = ref [] in
   let deliver m =
-    f.delivered <- f.delivered + 1;
-    f.in_flight <- f.in_flight - 1;
-    deliveries := (m.dst, m.payload) :: !deliveries
+    if f.down.(m.dst) || severed f m.m_src m.dst then fault f m
+    else begin
+      f.delivered <- f.delivered + 1;
+      f.in_flight <- f.in_flight - 1;
+      deliveries := (m.dst, m.payload) :: !deliveries
+    end
   in
   (* Local hand-offs: all of them complete (no medium involved). *)
   Array.iter
@@ -101,7 +175,12 @@ let step f =
           let q = Hashtbl.find f.link_q ((u * n) + v) in
           let budget = ref f.capacity in
           while !budget > 0 && not (Queue.is_empty q) do
-            moves := (v, Queue.pop q) :: !moves;
+            let m = Queue.pop q in
+            (* A severed link loses what tries to cross it; a dead sender's
+               queues were purged at crash time, but a frame can still be
+               mid-route at a node that dies under it. *)
+            if f.down.(u) || severed f u v then fault f m
+            else moves := (v, m) :: !moves;
             decr budget
           done)
         (Topology.links f.topo);
@@ -109,6 +188,7 @@ let step f =
         (fun (at, m) ->
           f.hops <- f.hops + 1;
           if at = m.dst then deliver m
+          else if f.down.(at) then fault f m
           else enqueue_link f at (Topology.next_hop f.topo ~src:at ~dst:m.dst) m)
         (List.rev !moves));
   List.rev !deliveries
@@ -121,4 +201,5 @@ let stats f : stats =
     delivered = f.delivered;
     hops = f.hops;
     max_in_flight = f.max_in_flight;
+    faulted = f.faulted;
   }

@@ -6,7 +6,14 @@
     cycle in arrival order (the "one large merge pseudo-function" of
     Figure 3-1).
 
-    The fabric is deterministic: links are serviced in a fixed order. *)
+    The fabric is deterministic: links are serviced in a fixed order.
+
+    {b Fault injection.}  Nodes can be marked down (crash-stop: the node's
+    buffered frames are lost, frames addressed to it or routed through it
+    are dropped) and brought back up cold; the network can be split into
+    two groups whose connecting links silently lose everything that tries
+    to cross.  Dropped frames are counted in [faulted], and the accounting
+    invariant becomes [in_flight = sent - delivered - faulted]. *)
 
 type 'a t
 
@@ -15,6 +22,8 @@ type stats = {
   delivered : int;  (** messages that reached their destination *)
   hops : int;  (** total link traversals *)
   max_in_flight : int;
+  faulted : int;
+      (** messages lost to injected faults: down nodes and severed links *)
 }
 
 val create : ?link_capacity:int -> Topology.t -> 'a t
@@ -24,7 +33,8 @@ val topology : 'a t -> Topology.t
 
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
 (** Inject a message.  [src = dst] delivers on the next {!val:step} (local
-    hand-off still takes a cycle, keeping timing uniform). *)
+    hand-off still takes a cycle, keeping timing uniform).  Sending from a
+    down node is charged to [sent] and immediately lost ([faulted]). *)
 
 val broadcast : 'a t -> src:int -> 'a -> unit
 (** Send a copy to every other node (the primary pushing tagged responses
@@ -37,3 +47,28 @@ val step : 'a t -> (int * 'a) list
 val in_flight : 'a t -> int
 
 val stats : 'a t -> stats
+
+(** {1 Fault injection} *)
+
+val set_down : 'a t -> int -> unit
+(** Crash a node.  Its local hand-offs and outgoing NIC queues are lost on
+    the spot; from now on frames addressed to it, or arriving at it as an
+    intermediate hop, are dropped (all counted in [faulted]).  Idempotent.
+    @raise Invalid_argument on a bad node id. *)
+
+val set_up : 'a t -> int -> unit
+(** Bring a node back (cold: nothing buffered is restored). *)
+
+val is_down : 'a t -> int -> bool
+
+val partition : 'a t -> int list -> unit
+(** Split the network: the listed nodes on one side, everyone else on the
+    other.  Frames crossing the cut are dropped at the moment they try
+    (bus: at delivery; point-to-point: at the severed link).  A second call
+    replaces the first. *)
+
+val heal : 'a t -> unit
+(** Remove the partition. *)
+
+val severed : 'a t -> int -> int -> bool
+(** Are the two nodes on opposite sides of the current partition? *)

@@ -2,12 +2,19 @@ type 'a frame =
   | Data of { src : int; dst : int; seq : int; payload : 'a }
   | Ack of { src : int; dst : int; seq : int }
       (* acknowledges Data seq sent src -> dst; travels dst -> src *)
+  | Raw of { dst : int; payload : 'a }
+      (* fire-and-forget datagram: no seq, no ack, no retransmission *)
+
+type backoff =
+  | Fixed of int
+  | Exponential of { initial : int; cap : int }
 
 type 'a outstanding = {
   o_dst : int;
   o_seq : int;
   o_payload : 'a;
   mutable o_age : int;
+  mutable o_timeout : int;  (* current armed timeout, grows under Exponential *)
 }
 
 type stats = {
@@ -17,11 +24,21 @@ type stats = {
   delivered : int;
 }
 
+exception
+  No_quiescence of {
+    steps : int;
+    in_flight : int;
+    pending : (int * int * int) list;
+    stats : stats;
+  }
+
 type 'a t = {
   fabric : 'a frame Fabric.t;
   rand : Random.State.t;
+  brand : Random.State.t;  (* backoff jitter only, so the drop sequence is
+                              identical across backoff policies at one seed *)
   drop_one_in : int;
-  retransmit_after : int;
+  backoff : backoff;
   next_seq : (int * int, int) Hashtbl.t;  (* (src, dst) -> next seq *)
   pending : (int, 'a outstanding list ref) Hashtbl.t;  (* per source *)
   seen : (int * int * int, unit) Hashtbl.t;  (* (src, dst, seq) delivered *)
@@ -31,22 +48,31 @@ type 'a t = {
   mutable s_delivered : int;
 }
 
-let create ?(drop_one_in = 0) ?(seed = 42) ?retransmit_after ?link_capacity
-    topo =
-  let retransmit_after =
-    match retransmit_after with
-    | Some n ->
-        if n < 1 then invalid_arg "Reliable.create: retransmit_after < 1";
-        n
-    | None -> (4 * Topology.diameter topo) + 4
+let check_backoff = function
+  | Fixed n -> if n < 1 then invalid_arg "Reliable: Fixed backoff < 1"
+  | Exponential { initial; cap } ->
+      if initial < 1 then invalid_arg "Reliable: Exponential initial < 1";
+      if cap < initial then invalid_arg "Reliable: Exponential cap < initial"
+
+let create ?(drop_one_in = 0) ?(seed = 42) ?retransmit_after ?backoff
+    ?link_capacity topo =
+  let backoff =
+    match (backoff, retransmit_after) with
+    | (Some b, _) -> b
+    | (None, Some n) -> Fixed n
+    | (None, None) ->
+        let initial = (4 * Topology.diameter topo) + 4 in
+        Exponential { initial; cap = 16 * initial }
   in
+  check_backoff backoff;
   if drop_one_in = 1 then
     invalid_arg "Reliable.create: drop_one_in = 1 loses everything";
   {
     fabric = Fabric.create ?link_capacity topo;
     rand = Random.State.make [| seed |];
+    brand = Random.State.make [| seed; 0xb0ff |];
     drop_one_in;
-    retransmit_after;
+    backoff;
     next_seq = Hashtbl.create 16;
     pending = Hashtbl.create 16;
     seen = Hashtbl.create 64;
@@ -55,6 +81,21 @@ let create ?(drop_one_in = 0) ?(seed = 42) ?retransmit_after ?link_capacity
     s_duplicates = 0;
     s_delivered = 0;
   }
+
+let fabric t = t.fabric
+
+let initial_timeout t =
+  match t.backoff with Fixed n -> n | Exponential { initial; _ } -> initial
+
+(* The next armed timeout after a retransmission: doubled up to the cap,
+   plus up to 25% seeded jitter so synchronized senders desynchronize
+   deterministically. *)
+let grow_timeout t current =
+  match t.backoff with
+  | Fixed n -> n
+  | Exponential { cap; _ } ->
+      let doubled = min cap (2 * current) in
+      doubled + Random.State.int t.brand ((doubled / 4) + 1)
 
 let pending_of t src =
   match Hashtbl.find_opt t.pending src with
@@ -65,7 +106,9 @@ let pending_of t src =
       l
 
 let transmit t ~src ~dst frame =
-  (match frame with Data _ -> t.s_transmissions <- t.s_transmissions + 1 | Ack _ -> ());
+  (match frame with
+  | Data _ | Raw _ -> t.s_transmissions <- t.s_transmissions + 1
+  | Ack _ -> ());
   Fabric.send t.fabric ~src ~dst frame
 
 let send t ~src ~dst payload =
@@ -73,8 +116,26 @@ let send t ~src ~dst payload =
   let seq = Option.value ~default:0 (Hashtbl.find_opt t.next_seq key) in
   Hashtbl.replace t.next_seq key (seq + 1);
   let slot = pending_of t src in
-  slot := !slot @ [ { o_dst = dst; o_seq = seq; o_payload = payload; o_age = 0 } ];
+  slot :=
+    !slot
+    @ [ { o_dst = dst; o_seq = seq; o_payload = payload; o_age = 0;
+          o_timeout = initial_timeout t } ];
   transmit t ~src ~dst (Data { src; dst; seq; payload })
+
+let send_raw t ~src ~dst payload =
+  transmit t ~src ~dst (Raw { dst; payload })
+
+let cancel t ~src ~dst =
+  match Hashtbl.find_opt t.pending src with
+  | None -> ()
+  | Some slot -> slot := List.filter (fun o -> o.o_dst <> dst) !slot
+
+let cancel_node t node =
+  (match Hashtbl.find_opt t.pending node with
+  | None -> ()
+  | Some slot -> slot := []);
+  Hashtbl.iter (fun _ slot -> slot := List.filter (fun o -> o.o_dst <> node) !slot)
+    t.pending
 
 let lost t =
   t.drop_one_in > 0 && Random.State.int t.rand t.drop_one_in = 0
@@ -86,8 +147,9 @@ let step t =
       List.iter
         (fun o ->
           o.o_age <- o.o_age + 1;
-          if o.o_age >= t.retransmit_after then begin
+          if o.o_age >= o.o_timeout then begin
             o.o_age <- 0;
+            o.o_timeout <- grow_timeout t o.o_timeout;
             transmit t ~src ~dst:o.o_dst
               (Data { src; dst = o.o_dst; seq = o.o_seq; payload = o.o_payload })
           end)
@@ -115,23 +177,16 @@ let step t =
             slot :=
               List.filter
                 (fun o -> not (o.o_dst = dst && o.o_seq = seq))
-                !slot)
+                !slot
+        | Raw { dst; payload } ->
+            t.s_delivered <- t.s_delivered + 1;
+            deliveries := (dst, payload) :: !deliveries)
     (Fabric.step t.fabric);
   List.rev !deliveries
 
 let idle t =
   Fabric.in_flight t.fabric = 0
   && Hashtbl.fold (fun _ slot acc -> acc && !slot = []) t.pending true
-
-let run_to_quiescence ?(max_steps = 100_000) t =
-  let out = ref [] and steps = ref 0 in
-  while not (idle t) do
-    if !steps > max_steps then
-      failwith "Reliable.run_to_quiescence: no quiescence";
-    incr steps;
-    out := !out @ step t
-  done;
-  !out
 
 let stats t =
   {
@@ -140,3 +195,25 @@ let stats t =
     duplicates = t.s_duplicates;
     delivered = t.s_delivered;
   }
+
+let unacked t =
+  Hashtbl.fold
+    (fun src slot acc ->
+      List.fold_left (fun acc o -> (src, o.o_dst, o.o_seq) :: acc) acc !slot)
+    t.pending []
+  |> List.sort compare
+
+let run_to_quiescence ?(max_steps = 100_000) t =
+  let out = ref [] and steps = ref 0 in
+  while not (idle t) do
+    if !steps > max_steps then
+      raise
+        (No_quiescence
+           { steps = !steps;
+             in_flight = Fabric.in_flight t.fabric;
+             pending = unacked t;
+             stats = stats t });
+    incr steps;
+    out := !out @ step t
+  done;
+  !out

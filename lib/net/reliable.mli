@@ -7,39 +7,93 @@
 
     Semantics per (src, dst) pair: FIFO senders, at-least-once transmission
     by timeout-driven retransmission, exactly-once {e delivery} by receiver
-    deduplication.  Acknowledgements travel the same lossy medium. *)
+    deduplication.  Acknowledgements travel the same lossy medium.
+
+    Retransmission timeouts follow a {!type:backoff} policy; the default is
+    capped exponential backoff with deterministic seeded jitter, which cuts
+    total transmissions sharply under heavy loss compared to a fixed
+    timeout (see the property tests). *)
 
 type 'a t
 
+type backoff =
+  | Fixed of int  (** retransmit every [n] steps, the pre-backoff behaviour *)
+  | Exponential of { initial : int; cap : int }
+      (** first timeout [initial]; doubled (plus up to 25% seeded jitter)
+          after every retransmission, never beyond [cap] *)
+
 type stats = {
-  transmissions : int;  (** data injections, including retransmissions *)
+  transmissions : int;
+      (** data and datagram injections, including retransmissions *)
   drops : int;  (** messages (data or ack) lost by the medium *)
   duplicates : int;  (** retransmitted data suppressed at the receiver *)
   delivered : int;  (** unique payloads handed to the application *)
 }
 
+exception
+  No_quiescence of {
+    steps : int;  (** steps taken before giving up *)
+    in_flight : int;  (** frames still inside the fabric *)
+    pending : (int * int * int) list;
+        (** unacknowledged [(src, dst, seq)] sends, sorted *)
+    stats : stats;
+  }
+(** Raised by {!val:run_to_quiescence} with everything needed to diagnose
+    why the network would not drain (e.g. a peer that is down keeps its
+    senders retransmitting forever). *)
+
 val create :
   ?drop_one_in:int ->
   ?seed:int ->
   ?retransmit_after:int ->
+  ?backoff:backoff ->
   ?link_capacity:int ->
   Topology.t ->
   'a t
-(** [drop_one_in] = n loses roughly one in n arrivals (default 0: lossless);
-    [retransmit_after] is the sender timeout in steps (default
-    [4 * diameter + 4]). *)
+(** [drop_one_in] = n loses roughly one in n arrivals (default 0: lossless).
+    [backoff] picks the retransmission policy (default
+    [Exponential { initial = 4 * diameter + 4; cap = 16 * initial }]);
+    [retransmit_after n] is the backward-compatible spelling of
+    [~backoff:(Fixed n)] and is overridden by an explicit [backoff].
+    Jitter draws come from a dedicated RNG stream, so at one [seed] the
+    medium's drop sequence is identical across backoff policies.
+    @raise Invalid_argument on a non-positive timeout or [cap < initial]. *)
+
+type 'a frame
+(** The channel's private wire envelope (data, acks, datagrams). *)
+
+val fabric : 'a t -> 'a frame Fabric.t
+(** The underlying fabric, exposed for fault injection
+    ({!Fabric.set_down}, {!Fabric.partition}) and its {!Fabric.stats};
+    the envelope type keeps callers from injecting frames directly. *)
 
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
+(** Reliable: retransmitted until acknowledged, delivered exactly once. *)
+
+val send_raw : 'a t -> src:int -> dst:int -> 'a -> unit
+(** Fire-and-forget datagram over the same medium: no sequence number, no
+    acknowledgement, no retransmission; delivered at most once.  The UDP to
+    {!val:send}'s TCP — heartbeats and idempotent notifications. *)
+
+val cancel : 'a t -> src:int -> dst:int -> unit
+(** Abandon every unacknowledged send from [src] to [dst] (connection
+    teardown: a client giving up on a dead server stops the retransmission
+    timers it owns). *)
+
+val cancel_node : 'a t -> int -> unit
+(** Abandon everything sent by {e or addressed to} the node: its own timers
+    died with it, and nobody will ever be acknowledged by it. *)
 
 val step : 'a t -> (int * 'a) list
 (** Advance one cycle; returns fresh [(dst, payload)] deliveries (never a
-    duplicate). *)
+    duplicate of a reliable send; raw datagrams are delivered as-is). *)
 
 val idle : 'a t -> bool
 (** Nothing outstanding, in flight, or awaiting acknowledgement. *)
 
 val run_to_quiescence : ?max_steps:int -> 'a t -> (int * 'a) list
-(** Step until {!val:idle} (or raise [Failure] after [max_steps], default
-    100,000); returns all deliveries in order. *)
+(** Step until {!val:idle} (default [max_steps] 100,000); returns all
+    deliveries in order.
+    @raise No_quiescence when [max_steps] is exceeded. *)
 
 val stats : 'a t -> stats

@@ -1,0 +1,614 @@
+open Fdb_relational
+module Ast = Fdb_query.Ast
+module Txn = Fdb_txn.Txn
+module History = Fdb_txn.History
+module Topology = Fdb_net.Topology
+module Fabric = Fdb_net.Fabric
+module Reliable = Fdb_net.Reliable
+
+type crash_point =
+  | No_crash
+  | Mid_stream of int
+  | Mid_checkpoint of int
+  | Mid_replay of int
+
+type config = {
+  checkpoint_every : int;
+  replay_rate : int;
+  client_timeout : int;
+  client_backoff_cap : int;
+  heartbeat_every : int;
+  detector_timeout : int;
+  drop_one_in : int;
+  seed : int;
+  crash : crash_point;
+}
+
+let default_config =
+  {
+    checkpoint_every = 4;
+    replay_rate = 4;
+    client_timeout = 16;
+    client_backoff_cap = 128;
+    heartbeat_every = 5;
+    detector_timeout = 60;
+    drop_one_in = 5;
+    seed = 0;
+    crash = No_crash;
+  }
+
+type report = {
+  responses : Txn.response list list;
+  final : Database.t;
+  history_len : int;
+  crashed : bool;
+  committed_primary : int;
+  committed_backup : int;
+  replayed : int;
+  log_suffix_at_crash : int;
+  discarded_log : int;
+  checkpoints_sent : int;
+  checkpoints_installed : int;
+  checkpoint_bytes : int;
+  stale_served : int;
+  not_ready : int;
+  client_retries : int;
+  dedup_hits : int;
+  acked_lost : (int * int) list;
+  dup_applied : int;
+  replay_mismatches : int;
+  crash_tick : int option;
+  promoted_tick : int option;
+  recovery_ticks : int option;
+  ticks : int;
+  net : Reliable.stats;
+}
+
+(* -- wire ------------------------------------------------------------------- *)
+
+type reply_body =
+  | Committed of Txn.response
+  | Stale of Txn.response
+  | Not_ready
+
+type wire =
+  | Req of { client : int; seq : int; query : Ast.query }
+  | Reply of { seq : int; body : reply_body }
+  | Rec of {
+      index : int;
+      client : int;
+      seq : int;
+      query : Ast.query;
+      resp : Txn.response;
+    }
+  | Ckpt of { upto : int; snap : string; dedup : (int * int * Txn.response) list }
+  | RAck of { upto : int }
+  | Heartbeat
+
+(* -- node state ------------------------------------------------------------- *)
+
+type role = Serving | Passive | Promoting | Dead
+
+type server = {
+  id : int;
+  mutable role : role;
+  mutable has_backup : bool;
+  mutable history : History.t;
+  mutable commits : int;  (* log index of the next commit *)
+  mutable fresh : int;  (* live commits made here (replay excluded) *)
+  last : (int, int * Txn.response) Hashtbl.t;  (* client -> newest (seq, resp) *)
+  applied : (int * int, int) Hashtbl.t;  (* (client, seq) -> apply count *)
+  mutable dup_applied : int;
+  mutable dedup_hits : int;
+  (* primary side *)
+  mutable acked_upto : int;
+  mutable pending_replies : (int * int * Txn.response * int) list;
+  mutable since_ckpt : int;
+  mutable ckpt_sent : int;
+  (* backup side *)
+  plog : (int, int * int * Ast.query * Txn.response) Hashtbl.t;
+  mutable logged : int;  (* indices below this are logged or checkpointed *)
+  mutable installed_upto : int;
+  mutable ckpt_installed : int;
+  mutable last_heard : int;
+  mutable to_replay : (int * int * Ast.query * Txn.response) list;
+  mutable replay_mismatches : int;
+}
+
+type client = {
+  c_id : int;
+  site : int;
+  mutable stream : Ast.query list;
+  mutable seq : int;
+  mutable current : Ast.query option;
+  mutable target : int;
+  mutable timer : int;
+  mutable timeout : int;
+  mutable strikes : int;
+  mutable retries : int;
+  mutable responses : Txn.response list;  (* newest first *)
+}
+
+type state = {
+  cfg : config;
+  replay_rate : int;
+  net : wire Reliable.t;
+  servers : server array;  (* [| primary; backup |] *)
+  clients : client array;
+  mutable acked : (int * int) list;  (* (client, seq) Committed received *)
+  mutable stale_served : int;
+  mutable not_ready : int;
+  mutable ckpt_bytes : int;
+  mutable replayed : int;
+  mutable log_suffix : int;
+  mutable discarded : int;
+  mutable crash_tick : int option;
+  mutable promoted_tick : int option;
+}
+
+let make_server id ~role ~has_backup initial =
+  {
+    id;
+    role;
+    has_backup;
+    history = History.create initial;
+    commits = 0;
+    fresh = 0;
+    last = Hashtbl.create 16;
+    applied = Hashtbl.create 64;
+    dup_applied = 0;
+    dedup_hits = 0;
+    acked_upto = 0;
+    pending_replies = [];
+    since_ckpt = 0;
+    ckpt_sent = 0;
+    plog = Hashtbl.create 64;
+    logged = 0;
+    installed_upto = 0;
+    ckpt_installed = 0;
+    last_heard = 0;
+    to_replay = [];
+    replay_mismatches = 0;
+  }
+
+(* -- helpers ---------------------------------------------------------------- *)
+
+let expected_seq srv c =
+  match Hashtbl.find_opt srv.last c with None -> 0 | Some (s, _) -> s + 1
+
+let dump_last srv =
+  Hashtbl.fold (fun c (s, r) acc -> (c, s, r) :: acc) srv.last []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let bump_applied srv c s =
+  let n = Option.value ~default:0 (Hashtbl.find_opt srv.applied (c, s)) in
+  Hashtbl.replace srv.applied (c, s) (n + 1);
+  if n > 0 then srv.dup_applied <- srv.dup_applied + 1
+
+let site_of_client c = 2 + c
+
+let send_reply st srv ~client ~seq body =
+  Reliable.send_raw st.net ~src:srv.id ~dst:(site_of_client client)
+    (Reply { seq; body })
+
+(* -- primary ---------------------------------------------------------------- *)
+
+let ship_checkpoint st srv =
+  let snap = Snapshot.encode srv.history in
+  Reliable.send st.net ~src:srv.id ~dst:1
+    (Ckpt { upto = srv.commits; snap; dedup = dump_last srv });
+  srv.ckpt_sent <- srv.ckpt_sent + 1;
+  st.ckpt_bytes <- st.ckpt_bytes + String.length snap;
+  srv.since_ckpt <- 0
+
+let commit_live st srv ~client ~seq query =
+  let index = srv.commits in
+  bump_applied srv client seq;
+  let (h, resp) = History.commit_query srv.history query in
+  srv.history <- h;
+  srv.commits <- index + 1;
+  srv.fresh <- srv.fresh + 1;
+  Hashtbl.replace srv.last client (seq, resp);
+  if srv.has_backup then begin
+    Reliable.send st.net ~src:srv.id ~dst:1
+      (Rec { index; client; seq; query; resp });
+    srv.pending_replies <- srv.pending_replies @ [ (client, seq, resp, index) ];
+    srv.since_ckpt <- srv.since_ckpt + 1;
+    if st.cfg.checkpoint_every > 0 && srv.since_ckpt >= st.cfg.checkpoint_every
+    then ship_checkpoint st srv
+  end
+  else send_reply st srv ~client ~seq (Committed resp)
+
+let primary_req st srv ~client ~seq query =
+  let expected = expected_seq srv client in
+  if seq = expected then commit_live st srv ~client ~seq query
+  else if seq < expected then begin
+    (* Retry of something already committed: answer from the cache unless
+       the reply is still gated on replication. *)
+    srv.dedup_hits <- srv.dedup_hits + 1;
+    if
+      seq = expected - 1
+      && not
+           (List.exists
+              (fun (c, s, _, _) -> c = client && s = seq)
+              srv.pending_replies)
+    then
+      match Hashtbl.find_opt srv.last client with
+      | Some (s, resp) when s = seq ->
+          send_reply st srv ~client ~seq (Committed resp)
+      | _ -> ()
+  end
+(* seq > expected cannot happen with closed-loop clients: ignore. *)
+
+let primary_rack st srv ~upto =
+  if upto > srv.acked_upto then srv.acked_upto <- upto;
+  let (ready, still) =
+    List.partition (fun (_, _, _, index) -> index < srv.acked_upto)
+      srv.pending_replies
+  in
+  srv.pending_replies <- still;
+  List.iter
+    (fun (client, seq, resp, _) ->
+      send_reply st srv ~client ~seq (Committed resp))
+    ready
+
+(* -- backup ----------------------------------------------------------------- *)
+
+let backup_drain_contiguous st srv =
+  let advanced = ref false in
+  let continue = ref true in
+  while !continue do
+    if Hashtbl.mem srv.plog srv.logged then begin
+      srv.logged <- srv.logged + 1;
+      advanced := true
+    end
+    else continue := false
+  done;
+  if !advanced then
+    Reliable.send_raw st.net ~src:srv.id ~dst:0 (RAck { upto = srv.logged })
+
+let backup_rec st srv ~index record =
+  if index >= srv.installed_upto && not (Hashtbl.mem srv.plog index) then begin
+    Hashtbl.replace srv.plog index record;
+    backup_drain_contiguous st srv
+  end
+
+let backup_ckpt st srv ~upto ~snap ~dedup =
+  if upto > srv.installed_upto then begin
+    srv.history <- Snapshot.decode snap;
+    srv.installed_upto <- upto;
+    srv.ckpt_installed <- srv.ckpt_installed + 1;
+    Hashtbl.reset srv.last;
+    List.iter (fun (c, s, r) -> Hashtbl.replace srv.last c (s, r)) dedup;
+    if upto > srv.logged then srv.logged <- upto;
+    let stale =
+      Hashtbl.fold (fun i _ acc -> if i < upto then i :: acc else acc)
+        srv.plog []
+    in
+    List.iter (Hashtbl.remove srv.plog) stale;
+    backup_drain_contiguous st srv;
+    Reliable.send_raw st.net ~src:srv.id ~dst:0 (RAck { upto = srv.logged })
+  end
+
+let backup_req st srv ~client ~seq query =
+  (* Graceful degradation: reads from the newest locally installed
+     version, tagged; writes must wait for promotion. *)
+  let expected = expected_seq srv client in
+  if seq < expected then begin
+    (* Already covered by checkpoint or replay: serve the cached commit. *)
+    srv.dedup_hits <- srv.dedup_hits + 1;
+    match Hashtbl.find_opt srv.last client with
+    | Some (s, resp) when s = seq ->
+        send_reply st srv ~client ~seq (Committed resp)
+    | _ -> ()
+  end
+  else if Ast.is_update query then begin
+    st.not_ready <- st.not_ready + 1;
+    send_reply st srv ~client ~seq Not_ready
+  end
+  else begin
+    let (resp, _) = Txn.translate query (History.latest srv.history) in
+    st.stale_served <- st.stale_served + 1;
+    send_reply st srv ~client ~seq (Stale resp)
+  end
+
+let promote st srv tick =
+  ignore tick;
+  srv.role <- Promoting;
+  let suffix =
+    List.init (srv.logged - srv.installed_upto) (fun i ->
+        Hashtbl.find srv.plog (srv.installed_upto + i))
+  in
+  st.log_suffix <- List.length suffix;
+  st.discarded <-
+    Hashtbl.fold (fun i _ acc -> if i >= srv.logged then acc + 1 else acc)
+      srv.plog 0;
+  srv.to_replay <- suffix;
+  srv.commits <- srv.installed_upto
+
+let replay_step st srv tick =
+  let budget = ref st.replay_rate in
+  while !budget > 0 && srv.to_replay <> [] do
+    (match srv.to_replay with
+    | [] -> ()
+    | (client, seq, query, recorded) :: rest ->
+        srv.to_replay <- rest;
+        bump_applied srv client seq;
+        let (h, resp) = History.commit_query srv.history query in
+        srv.history <- h;
+        srv.commits <- srv.commits + 1;
+        Hashtbl.replace srv.last client (seq, resp);
+        if not (Txn.response_equal resp recorded) then
+          srv.replay_mismatches <- srv.replay_mismatches + 1;
+        st.replayed <- st.replayed + 1);
+    decr budget
+  done;
+  if srv.to_replay = [] then begin
+    srv.role <- Serving;
+    srv.has_backup <- false;
+    st.promoted_tick <- Some tick
+  end
+
+(* -- clients ---------------------------------------------------------------- *)
+
+let send_req st c query =
+  Reliable.send_raw st.net ~src:c.site ~dst:c.target
+    (Req { client = c.c_id; seq = c.seq; query });
+  c.timer <- c.timeout
+
+let step_client st c =
+  match c.current with
+  | None -> (
+      match c.stream with
+      | [] -> ()
+      | q :: rest ->
+          c.stream <- rest;
+          c.current <- Some q;
+          send_req st c q)
+  | Some q ->
+      c.timer <- c.timer - 1;
+      if c.timer <= 0 then begin
+        c.retries <- c.retries + 1;
+        c.strikes <- c.strikes + 1;
+        if c.strikes >= 2 then begin
+          (* Two straight timeouts: assume the server is gone, fail over
+             with a fresh timeout. *)
+          c.target <- 1 - c.target;
+          c.strikes <- 0;
+          c.timeout <- st.cfg.client_timeout
+        end
+        else
+          c.timeout <- min st.cfg.client_backoff_cap (2 * c.timeout);
+        send_req st c q
+      end
+
+let client_reply st c ~seq body =
+  if c.current <> None && seq = c.seq then
+    match body with
+    | Committed resp ->
+        c.responses <- resp :: c.responses;
+        c.current <- None;
+        c.seq <- c.seq + 1;
+        c.timeout <- st.cfg.client_timeout;
+        c.strikes <- 0;
+        st.acked <- (c.c_id, seq) :: st.acked
+    | Stale _ | Not_ready -> ()
+
+(* -- the loop --------------------------------------------------------------- *)
+
+let check_config cfg =
+  if cfg.client_timeout < 1 then invalid_arg "Replica: client_timeout < 1";
+  if cfg.client_backoff_cap < cfg.client_timeout then
+    invalid_arg "Replica: client_backoff_cap < client_timeout";
+  if cfg.heartbeat_every < 1 then invalid_arg "Replica: heartbeat_every < 1";
+  if cfg.detector_timeout < 2 * cfg.heartbeat_every then
+    invalid_arg "Replica: detector_timeout too small for the heartbeat";
+  if cfg.replay_rate < 1 then invalid_arg "Replica: replay_rate < 1";
+  if cfg.checkpoint_every < 0 then invalid_arg "Replica: checkpoint_every < 0";
+  (match cfg.crash with
+  | No_crash -> ()
+  | Mid_stream n | Mid_replay n ->
+      if n < 1 then invalid_arg "Replica: crash after < 1 commits"
+  | Mid_checkpoint n ->
+      if n < 1 then invalid_arg "Replica: crash at checkpoint < 1";
+      if cfg.checkpoint_every = 0 then
+        invalid_arg "Replica: Mid_checkpoint with checkpoints disabled")
+
+let crash_due cfg (primary : server) =
+  primary.role <> Dead
+  &&
+  match cfg.crash with
+  | No_crash -> false
+  | Mid_stream n | Mid_replay n -> primary.fresh >= n
+  | Mid_checkpoint n -> primary.ckpt_sent >= n
+
+let apply_crash st tick =
+  let primary = st.servers.(0) in
+  Fabric.set_down (Reliable.fabric st.net) 0;
+  Reliable.cancel_node st.net 0;
+  primary.role <- Dead;
+  st.crash_tick <- Some tick
+
+let dispatch st tick (dst, msg) =
+  if dst >= 2 then
+    let c = st.clients.(dst - 2) in
+    match msg with Reply { seq; body } -> client_reply st c ~seq body | _ -> ()
+  else
+    let srv = st.servers.(dst) in
+    if srv.role <> Dead then begin
+      if dst = 1 then srv.last_heard <- tick;
+      match (msg, srv.role, dst) with
+      | (Req { client; seq; query }, Serving, _) ->
+          primary_req st srv ~client ~seq query
+      | (Req { client; seq; query }, (Passive | Promoting), _) ->
+          backup_req st srv ~client ~seq query
+      | (RAck { upto }, Serving, 0) -> primary_rack st srv ~upto
+      | (Rec { index; client; seq; query; resp }, Passive, 1) ->
+          backup_rec st srv ~index (client, seq, query, resp)
+      | (Ckpt { upto; snap; dedup }, Passive, 1) ->
+          backup_ckpt st srv ~upto ~snap ~dedup
+      | (Heartbeat, _, _) -> ()
+      | _ -> ()
+    end
+
+let run ?(config = default_config) ~initial streams =
+  check_config config;
+  if streams = [] then invalid_arg "Replica.run: no client streams";
+  let nclients = List.length streams in
+  let topo = Topology.complete (2 + nclients) in
+  let net =
+    Reliable.create ~drop_one_in:config.drop_one_in ~seed:config.seed topo
+  in
+  let st =
+    {
+      cfg = config;
+      replay_rate =
+        (match config.crash with
+        | Mid_replay _ -> 1
+        | _ -> config.replay_rate);
+      net;
+      servers =
+        [| make_server 0 ~role:Serving ~has_backup:true initial;
+           make_server 1 ~role:Passive ~has_backup:false initial |];
+      clients =
+        Array.of_list
+          (List.mapi
+             (fun i stream ->
+               {
+                 c_id = i;
+                 site = site_of_client i;
+                 stream;
+                 seq = 0;
+                 current = None;
+                 target = 0;
+                 timer = 0;
+                 timeout = config.client_timeout;
+                 strikes = 0;
+                 retries = 0;
+                 responses = [];
+               })
+             streams);
+      acked = [];
+      stale_served = 0;
+      not_ready = 0;
+      ckpt_bytes = 0;
+      replayed = 0;
+      log_suffix = 0;
+      discarded = 0;
+      crash_tick = None;
+      promoted_tick = None;
+    }
+  in
+  let primary = st.servers.(0) and backup = st.servers.(1) in
+  let clients_done () =
+    Array.for_all (fun c -> c.stream = [] && c.current = None) st.clients
+  in
+  let finished () =
+    clients_done ()
+    && (primary.role <> Dead || st.promoted_tick <> None)
+  in
+  let tick = ref 0 in
+  while not (finished ()) do
+    incr tick;
+    let now = !tick in
+    if now > 300_000 then
+      failwith
+        (Format.asprintf
+           "Replica.run: no quiescence after %d ticks (clients at %s; \
+            primary %s %d commits, backup %s logged %d; net: %d tx %d drops)"
+           now
+           (String.concat ","
+              (Array.to_list
+                 (Array.map (fun c -> string_of_int c.seq) st.clients)))
+           (match primary.role with Dead -> "dead" | _ -> "alive")
+           primary.commits
+           (match backup.role with
+           | Serving -> "promoted"
+           | Promoting -> "promoting"
+           | _ -> "passive")
+           backup.logged (Reliable.stats net).Reliable.transmissions
+           (Reliable.stats net).Reliable.drops);
+    (* 1. crash injection *)
+    if crash_due config primary then apply_crash st now;
+    (* 2. clients: timers, retries, fresh sends *)
+    Array.iter (fun c -> step_client st c) st.clients;
+    (* 3. heartbeats and the crash-stop detector *)
+    if now mod config.heartbeat_every = 0 then begin
+      if primary.role = Serving then
+        Reliable.send_raw net ~src:0 ~dst:1 Heartbeat;
+      (* The backup's heartbeat doubles as a cumulative ack: a lost RAck
+         datagram would otherwise wedge the primary's gated replies, since
+         the reliable channel suppresses the duplicate Rec that would
+         re-trigger it. *)
+      if backup.role = Passive then
+        Reliable.send_raw net ~src:1 ~dst:0 (RAck { upto = backup.logged })
+    end;
+    (match backup.role with
+    | Passive when now - backup.last_heard > config.detector_timeout ->
+        promote st backup now
+    | Promoting -> replay_step st backup now
+    | _ -> ());
+    (* 4-5. the medium, then protocol handlers *)
+    List.iter (dispatch st now) (Reliable.step net)
+  done;
+  let survivor = if primary.role = Dead then backup else primary in
+  let acked = List.sort_uniq compare st.acked in
+  let acked_lost =
+    List.filter
+      (fun (c, s) ->
+        match Hashtbl.find_opt survivor.last c with
+        | None -> true
+        | Some (newest, _) -> s > newest)
+      acked
+  in
+  {
+    responses =
+      Array.to_list (Array.map (fun c -> List.rev c.responses) st.clients);
+    final = History.latest survivor.history;
+    history_len = History.length survivor.history;
+    crashed = primary.role = Dead;
+    committed_primary = primary.fresh;
+    committed_backup = backup.fresh;
+    replayed = st.replayed;
+    log_suffix_at_crash = st.log_suffix;
+    discarded_log = st.discarded;
+    checkpoints_sent = primary.ckpt_sent;
+    checkpoints_installed = backup.ckpt_installed;
+    checkpoint_bytes = st.ckpt_bytes;
+    stale_served = st.stale_served;
+    not_ready = st.not_ready;
+    client_retries =
+      Array.fold_left (fun a c -> a + c.retries) 0 st.clients;
+    dedup_hits = primary.dedup_hits + backup.dedup_hits;
+    acked_lost;
+    dup_applied = survivor.dup_applied;
+    replay_mismatches = backup.replay_mismatches;
+    crash_tick = st.crash_tick;
+    promoted_tick = st.promoted_tick;
+    recovery_ticks =
+      (match (st.crash_tick, st.promoted_tick) with
+      | (Some c, Some p) -> Some (p - c)
+      | _ -> None);
+    ticks = !tick;
+    net = Reliable.stats net;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>committed: %d at the primary, %d post-failover; crashed: %b@,\
+     recovery: %s (replayed %d of a %d-record suffix, %d discarded)@,\
+     checkpoints: %d shipped (%d installed, %d bytes)@,\
+     degradation: %d stale reads, %d writes refused, %d client retries, \
+     %d dedup hits@,\
+     invariants: %d acked lost, %d double-applied, %d replay mismatches@,\
+     %d ticks; net: %d transmissions, %d drops@]"
+    r.committed_primary r.committed_backup r.crashed
+    (match r.recovery_ticks with
+    | Some t -> Printf.sprintf "%d ticks" t
+    | None -> "n/a")
+    r.replayed r.log_suffix_at_crash r.discarded_log r.checkpoints_sent
+    r.checkpoints_installed r.checkpoint_bytes r.stale_served r.not_ready
+    r.client_retries r.dedup_hits
+    (List.length r.acked_lost)
+    r.dup_applied r.replay_mismatches r.ticks r.net.Reliable.transmissions
+    r.net.Reliable.drops

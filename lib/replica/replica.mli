@@ -1,0 +1,117 @@
+(** Primary/backup replication of the version stream, with crash failover.
+
+    The server half of the failure-transparency opportunity (§1), built on
+    the same observation as {!Snapshot}: because versions share structure,
+    shipping checkpoints of the complete archive is cheap, and recovery is
+    checkpoint + replay of a short log suffix.
+
+    The moving parts, all driven by one deterministic discrete-time loop:
+
+    - {b Primary} (node 0): commits client queries in per-client sequence
+      order against its {!Fdb_txn.History.t}, streams every committed
+      (client, seq, query, response) record to the backup over
+      {!Fdb_net.Reliable}, and every [checkpoint_every] commits ships a
+      {!Snapshot}-encoded checkpoint plus its per-client dedup table.
+      Replies are {e gated on replication}: a client is only told
+      [Committed] once the backup has acknowledged the record's log index,
+      so an acknowledged commit can never die with the primary.
+    - {b Backup} (node 1): reassembles the replication stream by log
+      index, acknowledges its contiguous prefix, and installs checkpoints
+      (truncating the covered log).  It does {e not} eagerly execute
+      records — promotion-time replay is exactly the log suffix past the
+      last installed checkpoint, measured by the [replayed] counter.
+    - {b Failure detector} (crash-stop): both nodes exchange seeded
+      heartbeats; after [detector_timeout] silent ticks the backup promotes
+      itself by replaying its suffix at [replay_rate] records per tick,
+      then serves as the new primary.  Replayed responses are compared
+      against the recorded ones ([replay_mismatches] must stay 0 — the
+      version stream is a pure function of the merged query stream).
+    - {b Clients} (nodes 2..): closed-loop, at most one outstanding query,
+      retried over raw datagrams with capped exponential backoff; after two
+      consecutive timeouts they switch servers.  While failover is in
+      progress the backup answers read-only queries from its newest
+      installed version, explicitly tagged [Stale] (never recorded as a
+      commit); writes get [Not_ready].  Exactly-once across failover comes
+      from the replicated dedup table: a retried query that already
+      committed is answered from the response cache, not re-applied. *)
+
+open Fdb_relational
+module Ast = Fdb_query.Ast
+module Txn = Fdb_txn.Txn
+
+type crash_point =
+  | No_crash
+  | Mid_stream of int
+      (** primary dies right after its [n]-th commit, with that commit's
+          replication record still in its NIC buffers *)
+  | Mid_checkpoint of int
+      (** primary dies the tick after emitting its [n]-th checkpoint: the
+          checkpoint is lost with it and recovery falls back to the
+          previous one plus a longer suffix *)
+  | Mid_replay of int
+      (** like [Mid_stream n], but replay is throttled to one record per
+          tick so live traffic demonstrably overlaps recovery (stale reads,
+          [Not_ready] writes) *)
+
+type config = {
+  checkpoint_every : int;  (** commits per checkpoint; 0 disables *)
+  replay_rate : int;  (** log records replayed per promotion tick *)
+  client_timeout : int;  (** initial client retry timeout, ticks *)
+  client_backoff_cap : int;  (** retry timeout cap *)
+  heartbeat_every : int;
+  detector_timeout : int;  (** silent ticks before the backup promotes *)
+  drop_one_in : int;  (** lossy medium under everything; 0 disables *)
+  seed : int;
+  crash : crash_point;
+}
+
+val default_config : config
+
+type report = {
+  responses : Txn.response list list;
+      (** committed responses per client, in stream order — feed to
+          {!Fdb_check.Oracle.check} *)
+  final : Database.t;  (** surviving server's newest version *)
+  history_len : int;  (** surviving server's archive length *)
+  crashed : bool;  (** did the configured crash actually fire *)
+  committed_primary : int;  (** live commits at node 0 before the crash *)
+  committed_backup : int;  (** live commits at node 1 after promotion *)
+  replayed : int;  (** records re-executed during promotion *)
+  log_suffix_at_crash : int;
+      (** backup log length minus checkpoint cover at promotion: the
+          instrumentation check is [replayed = log_suffix_at_crash] *)
+  discarded_log : int;
+      (** non-contiguous log entries dropped at promotion (never
+          acknowledged to any client, so safe to lose) *)
+  checkpoints_sent : int;
+  checkpoints_installed : int;
+  checkpoint_bytes : int;  (** total {!Snapshot} bytes shipped *)
+  stale_served : int;  (** tagged stale reads answered during degradation *)
+  not_ready : int;  (** writes refused while not primary *)
+  client_retries : int;
+  dedup_hits : int;  (** retries answered from the response cache *)
+  acked_lost : (int * int) list;
+      (** acknowledged (client, seq) commits missing from the surviving
+          server — must be [[]] *)
+  dup_applied : int;
+      (** (client, seq) pairs applied more than once on the surviving
+          server — must be 0 *)
+  replay_mismatches : int;
+      (** replayed response disagreed with the recorded one — must be 0 *)
+  crash_tick : int option;
+  promoted_tick : int option;
+  recovery_ticks : int option;  (** promotion end minus crash tick *)
+  ticks : int;
+  net : Fdb_net.Reliable.stats;
+}
+
+val run : ?config:config -> initial:Database.t -> Ast.query list list -> report
+(** [run ~initial streams] drives every client stream to completion
+    through the replicated pair.
+    Deterministic in (config, initial, streams).
+    @raise Invalid_argument on an empty stream list or a bad config.
+    @raise Failure if the system fails to quiesce within its tick budget
+    (diagnostic message includes per-client progress and network stats). *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One-paragraph summary (commit counts, recovery, checkpoint economy). *)

@@ -1,0 +1,26 @@
+(** Serialized checkpoints of the version archive.
+
+    §3.3's "complete archives" are cheap in memory because consecutive
+    versions share almost all structure.  This codec carries that property
+    onto the wire: a {!Fdb_txn.History.t} is encoded as version 0 in full
+    followed, per later version, by {e only the relations that are not
+    physically shared} with their predecessor ({!Fdb_relational.Database.shares_relation}).
+    A read-heavy archive of hundreds of versions costs barely more than one
+    version; [encode_naive] (every version in full) is the control.
+
+    Decoding rebuilds the archive with the same cross-version slot sharing:
+    an unchanged relation is the same OCaml value in both decoded versions.
+
+    The format assumes what {!Fdb_relational.Database} enforces: the
+    relation set and schemas are fixed at version 0 and never change. *)
+
+val encode : Fdb_txn.History.t -> string
+(** Delta encoding: version 0 full, later versions changed relations only. *)
+
+val encode_naive : Fdb_txn.History.t -> string
+(** Every version in full — the no-sharing control for the ablation. *)
+
+val decode : string -> Fdb_txn.History.t
+(** Inverse of {!val:encode} up to physical representation inside a
+    relation (tuples are bulk-reloaded into the recorded backend).
+    @raise Failure on a corrupt or truncated snapshot. *)

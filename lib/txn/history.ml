@@ -23,6 +23,9 @@ let commit t txn =
 
 let commit_query t query = commit t (Txn.translate query)
 
+let append t db =
+  { versions = db :: t.versions; count = t.count + 1; indexed = ref None }
+
 let of_queries db0 queries =
   let (t, rev_responses) =
     List.fold_left

@@ -19,6 +19,12 @@ val commit : t -> Txn.t -> t * Txn.response
 
 val commit_query : t -> Fdb_query.Ast.query -> t * Txn.response
 
+val append : t -> Database.t -> t
+(** Adopt an externally built version as the new newest one — the recovery
+    path: a backup reconstructing the archive from a decoded checkpoint
+    plus replayed log records appends versions it did not compute through
+    {!val:commit}. *)
+
 val of_queries : Database.t -> Fdb_query.Ast.query list -> t * Txn.response list
 
 val length : t -> int

@@ -363,6 +363,118 @@ let prop_reliable_exactly_once =
       List.sort compare (List.map snd delivered)
       = List.sort compare !sent)
 
+(* -- fabric fault injection -------------------------------------------------- *)
+
+let fabric_accounting f =
+  let s = Fabric.stats f in
+  s.Fabric.sent - s.Fabric.delivered - s.Fabric.faulted = Fabric.in_flight f
+
+let test_fabric_down_purges_buffers () =
+  let f = Fabric.create (Topology.ring 6) in
+  Fabric.send f ~src:0 ~dst:3 "doomed";
+  Alcotest.(check int) "queued" 1 (Fabric.in_flight f);
+  Fabric.set_down f 0;
+  Alcotest.(check bool) "down" true (Fabric.is_down f 0);
+  Alcotest.(check int) "buffers purged" 0 (Fabric.in_flight f);
+  Alcotest.(check int) "purge faulted" 1 (Fabric.stats f).Fabric.faulted;
+  (* a dead node's sends never enter the medium *)
+  Fabric.send f ~src:0 ~dst:1 "from the grave";
+  Alcotest.(check int) "not injected" 0 (Fabric.in_flight f);
+  (* traffic addressed to a dead node is absorbed, not delivered *)
+  Fabric.send f ~src:2 ~dst:0 "to the grave";
+  let guard = ref 0 in
+  while Fabric.in_flight f > 0 && !guard < 100 do
+    Alcotest.(check (list (pair int string))) "no delivery" [] (Fabric.step f);
+    incr guard
+  done;
+  Alcotest.(check bool) "accounting holds" true (fabric_accounting f);
+  Fabric.set_up f 0;
+  Fabric.send f ~src:0 ~dst:1 "revived";
+  let (delivered, _) = drain_until_delivered f 1 in
+  Alcotest.(check (list (pair int string))) "back up" [ (1, "revived") ]
+    delivered
+
+let test_fabric_partition_and_heal () =
+  let f = Fabric.create (Topology.complete 4) in
+  Fabric.partition f [ 0; 1 ];
+  Alcotest.(check bool) "severed across" true (Fabric.severed f 0 2);
+  Alcotest.(check bool) "intact within" false (Fabric.severed f 0 1);
+  Fabric.send f ~src:0 ~dst:2 "cross";
+  Fabric.send f ~src:0 ~dst:1 "within";
+  let got = ref [] and guard = ref 0 in
+  while Fabric.in_flight f > 0 && !guard < 100 do
+    got := !got @ Fabric.step f;
+    incr guard
+  done;
+  Alcotest.(check (list (pair int string))) "only the intra-side message"
+    [ (1, "within") ] !got;
+  Alcotest.(check int) "cross-side frame faulted" 1
+    (Fabric.stats f).Fabric.faulted;
+  Alcotest.(check bool) "accounting holds" true (fabric_accounting f);
+  Fabric.heal f;
+  Fabric.send f ~src:0 ~dst:2 "after heal";
+  let (delivered, _) = drain_until_delivered f 1 in
+  Alcotest.(check (list (pair int string))) "healed" [ (2, "after heal") ]
+    delivered
+
+(* -- reliable: heavy loss and backoff ---------------------------------------- *)
+
+let test_reliable_half_loss_exactly_once () =
+  (* Satellite acceptance: exactly-once at a 1-in-2 drop rate on a star,
+     a ring and a bus. *)
+  List.iter
+    (fun topo ->
+      let r = Reliable.create ~drop_one_in:2 ~seed:3 topo in
+      for i = 0 to 14 do
+        Reliable.send r ~src:(i mod 4) ~dst:((i + 1) mod 4) i
+      done;
+      let delivered = Reliable.run_to_quiescence ~max_steps:200_000 r in
+      Alcotest.(check (list int))
+        (Topology.name topo ^ ": each payload exactly once")
+        (List.init 15 Fun.id)
+        (List.sort compare (List.map snd delivered)))
+    [ Topology.star 4; Topology.ring 4; Topology.bus 4 ]
+
+let transmissions_under_loss backoff =
+  let total = ref 0 in
+  for seed = 0 to 9 do
+    let r = Reliable.create ~drop_one_in:2 ~seed ~backoff (Topology.star 5) in
+    for i = 0 to 9 do
+      Reliable.send r ~src:(1 + (i mod 4)) ~dst:(1 + ((i + 1) mod 4)) i
+    done;
+    ignore (Reliable.run_to_quiescence ~max_steps:200_000 r);
+    total := !total + (Reliable.stats r).Reliable.transmissions
+  done;
+  !total
+
+let test_backoff_beats_fixed_under_loss () =
+  (* Same seeds, same medium drop sequence (jitter has its own RNG
+     stream).  The baseline is an aggressive timeout below the loaded
+     round-trip time — the regime a fixed policy cannot escape: it keeps
+     retransmitting before the ack can possibly arrive, while exponential
+     backoff grows past the RTT after a couple of rounds and stops
+     flooding the medium. *)
+  let fixed = transmissions_under_loss (Reliable.Fixed 2) in
+  let expo =
+    transmissions_under_loss (Reliable.Exponential { initial = 2; cap = 64 })
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponential (%d) strictly below fixed (%d)" expo fixed)
+    true (expo < fixed)
+
+let test_no_quiescence_carries_diagnostics () =
+  let r = Reliable.create ~seed:1 (Topology.ring 4) in
+  Fabric.partition (Reliable.fabric r) [ 2 ];
+  Reliable.send r ~src:0 ~dst:2 "never arrives";
+  match Reliable.run_to_quiescence ~max_steps:500 r with
+  | _ -> Alcotest.fail "expected No_quiescence"
+  | exception Reliable.No_quiescence { steps; pending; stats; _ } ->
+      Alcotest.(check bool) "step budget exhausted" true (steps >= 500);
+      Alcotest.(check (list (triple int int int))) "the stuck send"
+        [ (0, 2, 0) ] pending;
+      Alcotest.(check bool) "stats carried" true
+        (stats.Reliable.transmissions >= 1)
+
 let () =
   Alcotest.run "net"
     [
@@ -400,6 +512,13 @@ let () =
             test_bus_capacity_service_order;
           QCheck_alcotest.to_alcotest prop_fabric_accounting;
         ] );
+      ( "fabric faults",
+        [
+          Alcotest.test_case "down purges buffers" `Quick
+            test_fabric_down_purges_buffers;
+          Alcotest.test_case "partition and heal" `Quick
+            test_fabric_partition_and_heal;
+        ] );
       ( "reliable",
         [
           Alcotest.test_case "lossless" `Quick test_reliable_lossless;
@@ -407,6 +526,12 @@ let () =
             test_reliable_survives_loss;
           Alcotest.test_case "exactly once per pair" `Quick
             test_reliable_fifo_per_pair;
+          Alcotest.test_case "exactly once at 1/2 loss" `Quick
+            test_reliable_half_loss_exactly_once;
+          Alcotest.test_case "backoff beats fixed timeout" `Quick
+            test_backoff_beats_fixed_under_loss;
+          Alcotest.test_case "no-quiescence diagnostics" `Quick
+            test_no_quiescence_carries_diagnostics;
           QCheck_alcotest.to_alcotest prop_reliable_exactly_once;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_all_messages_delivered ]);
