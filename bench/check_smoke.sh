@@ -5,8 +5,13 @@
 #   sh bench/check_smoke.sh _build/default/bin/fdbsim.exe
 set -e
 FDBSIM="${1:-_build/default/bin/fdbsim.exe}"
+BENCH="${2:-_build/default/bench/main.exe}"
+case "$BENCH" in */*) ;; *) BENCH="./$BENCH" ;; esac
 "$FDBSIM" check --seed 1 --sweep 5
 "$FDBSIM" check --seed 6 --sweep 2 --clients 4 --txns 8 --relations 3
 # Crash-failover smoke: 6 consecutive seeds cover each crash kind twice
 # (mid-stream, mid-checkpoint, mid-replay).
 "$FDBSIM" recover --seed 1 --sweep 6
+# Planner smoke: the access-path sweep must run end to end on every backend
+# (quick sizes; the JSON artifact goes to a scratch path).
+"$BENCH" plan --quick -o "${TMPDIR:-/tmp}/BENCH_plan_smoke.json" > /dev/null

@@ -2,6 +2,7 @@
 
    Subcommands:
      run        — execute a query script through the lenient pipeline
+     explain    — show the access path the planner picks for each query
      workload   — generate and run a synthetic workload, print concurrency
      table      — reproduce a paper table (1, 2 or 3)
      fel        — run a mini-FEL program
@@ -156,6 +157,58 @@ let run_cmd =
   let doc = "Execute a query script through the lenient pipeline." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const go $ script_arg $ relations_arg $ semantics_arg $ topo_arg)
+
+(* -- explain: show chosen access paths ---------------------------------------- *)
+
+let explain_cmd =
+  let script_arg =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:"Query script file ( ;-or-newline separated; -- comments).  \
+                Reads stdin when omitted.")
+  in
+  let relations_arg =
+    Arg.(
+      value & opt (list string) [ "R"; "S" ]
+      & info [ "relations" ] ~docv:"NAMES"
+          ~doc:"Relation names to resolve (schema: key:int, val:string).")
+  in
+  let go script relations =
+    let src =
+      match script with
+      | Some path -> In_channel.with_open_text path In_channel.input_all
+      | None -> In_channel.input_all stdin
+    in
+    match Fdb_query.Parser.parse_script src with
+    | Error e ->
+        Format.eprintf "parse error: %s@." e;
+        exit 1
+    | Ok queries ->
+        let schemas =
+          List.map
+            (fun name ->
+              ( name,
+                Fdb_relational.Schema.make ~name
+                  ~cols:
+                    [ ("key", Fdb_relational.Schema.CInt);
+                      ("val", Fdb_relational.Schema.CStr) ] ))
+            relations
+        in
+        let schema_of name = List.assoc_opt name schemas in
+        List.iter
+          (fun q ->
+            Format.printf "%-50s => %s@."
+              (Fdb_query.Ast.to_string q)
+              (Fdb_query.Plan.explain ~schema_of q))
+          queries
+  in
+  let doc =
+    "Show the access path the planner chooses for each query in a script \
+     (point lookup, pruned range scan or full scan, plus the residual \
+     predicate), without executing anything."
+  in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const go $ script_arg $ relations_arg)
 
 (* -- workload: synthetic runs ------------------------------------------------- *)
 
@@ -570,5 +623,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; workload_cmd; table_cmd; fel_cmd; topo_cmd; check_cmd;
-            recover_cmd ]))
+          [ run_cmd; explain_cmd; workload_cmd; table_cmd; fel_cmd; topo_cmd;
+            check_cmd; recover_cmd ]))

@@ -146,7 +146,8 @@ let random_query rand spec schemas =
       if subset = [] then None else Some subset
     in
     Ast.Select { rel; cols; where = random_pred rand spec schema 2 }
-  else if roll < 75 then Ast.Count { rel }
+  else if roll < 75 then
+    Ast.Count { rel; where = random_pred rand spec schema 1 }
   else if roll < 85 then
     let agg =
       match Random.State.int rand 3 with 0 -> Ast.Sum | 1 -> Ast.Min | _ -> Ast.Max

@@ -19,7 +19,7 @@ let rec pred_size = function
   | Ast.Not p -> 1 + pred_size p
 
 let query_size = function
-  | Ast.Count _ -> 1
+  | Ast.Count { where; _ } -> 1 + pred_size where
   | Ast.Find { key; _ } | Ast.Delete { key; _ } -> 2 + value_weight key
   | Ast.Insert { values; _ } ->
       2 + List.fold_left (fun acc v -> acc + value_weight v) 0 values
@@ -70,7 +70,8 @@ let replace_nth n x l = List.mapi (fun i y -> if i = n then x else y) l
 (* Strictly simpler variants of one query (smaller [query_size]). *)
 let simpler_query q =
   match q with
-  | Ast.Count _ -> []
+  | Ast.Count { rel; where } ->
+      if where <> Ast.True then [ Ast.Count { rel; where = Ast.True } ] else []
   | Ast.Find { rel; key } ->
       List.map (fun k -> Ast.Find { rel; key = k }) (shrink_value key)
   | Ast.Delete { rel; key } ->
@@ -84,14 +85,14 @@ let simpler_query q =
                (shrink_value v))
            values)
   | Ast.Select { rel; cols; where } ->
-      Ast.Count { rel }
+      Ast.Count { rel; where = Ast.True }
       :: (if where <> Ast.True then [ Ast.Select { rel; cols; where = Ast.True } ]
           else [])
       @ (match cols with
         | Some _ -> [ Ast.Select { rel; cols = None; where } ]
         | None -> [])
   | Ast.Aggregate { agg; rel; col; where } ->
-      Ast.Count { rel }
+      Ast.Count { rel; where = Ast.True }
       :: (if where <> Ast.True then
             [ Ast.Aggregate { agg; rel; col; where = Ast.True } ]
           else [])
@@ -101,7 +102,7 @@ let simpler_query q =
       @ List.map
           (fun v -> Ast.Update { rel; col; value = v; where })
           (shrink_value value)
-  | Ast.Join { left; _ } -> [ Ast.Count { rel = left } ]
+  | Ast.Join { left; _ } -> [ Ast.Count { rel = left; where = Ast.True } ]
 
 let replace_one_query streams =
   List.concat

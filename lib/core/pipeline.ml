@@ -316,14 +316,24 @@ let prepare ~semantics ~mode ~trace spec =
                 in
                 answer_later strict (fun rows -> Selected (project rows)));
             read_only)
-    | Ast.Count { rel } -> (
+    | Ast.Count { rel; where } -> (
         match rel_index rel with
         | None ->
             answer (Failed (err_unknown_relation rel));
             read_only
         | Some r ->
-            let len = Llist.length eng ~label:(label "count" rel) db.(r) in
-            answer_later len (fun c -> Counted c);
+            (match where with
+            | Ast.True ->
+                let len = Llist.length eng ~label:(label "count" rel) db.(r) in
+                answer_later len (fun c -> Counted c)
+            | _ -> (
+                match Pred.compile schemas.(r) where with
+                | Error e -> answer (Failed e)
+                | Ok test ->
+                    let n =
+                      Llist.count eng ~label:(label "count" rel) test db.(r)
+                    in
+                    answer_later n (fun c -> Counted c)));
             read_only)
     | Ast.Aggregate { agg; rel; col; where } -> (
         match rel_index rel with
@@ -577,8 +587,15 @@ let reference ?(semantics = Prepend) spec tagged_queries =
             | Error e -> Failed e
             | Ok (test, project) ->
                 Selected (project (List.filter test !contents)))
-    | Ast.Count { rel } ->
-        with_rel rel (fun r -> Counted (List.length !(snd rels.(r))))
+    | Ast.Count { rel; where } ->
+        with_rel rel (fun r ->
+            let (schema, contents) = rels.(r) in
+            match where with
+            | Ast.True -> Counted (List.length !contents)
+            | _ -> (
+                match Pred.compile schema where with
+                | Error e -> Failed e
+                | Ok test -> Counted (List.length (List.filter test !contents))))
     | Ast.Aggregate { agg; rel; col; where } ->
         with_rel rel (fun r ->
             let (schema, contents) = rels.(r) in

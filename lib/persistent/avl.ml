@@ -96,6 +96,67 @@ module Make (Elt : Ordered.S) = struct
 
   let of_list xs = List.fold_left (fun t x -> insert x t) empty xs
 
+  let fold ?meter f acc t =
+    let rec go acc = function
+      | Leaf -> acc
+      | Node (l, x, r, _) ->
+          Meter.alloc meter 1;
+          go (f (go acc l) x) r
+    in
+    go acc t
+
+  let iter f t =
+    let rec go = function
+      | Leaf -> ()
+      | Node (l, x, r, _) ->
+          go l;
+          f x;
+          go r
+    in
+    go t
+
+  let range_fold ?meter ~ge_lo ~le_hi f acc t =
+    (* Subtree pruning: everything left of a node below the lower bound is
+       also below it, and symmetrically on the right, so only the O(log n)
+       boundary paths plus the in-range subtrees are visited (and metered). *)
+    let rec go acc = function
+      | Leaf -> acc
+      | Node (l, y, r, _) ->
+          Meter.alloc meter 1;
+          let acc = if ge_lo y then go acc l else acc in
+          let acc = if ge_lo y && le_hi y then f acc y else acc in
+          if le_hi y then go acc r else acc
+    in
+    go acc t
+
+  let rewrite ?meter ~ge_lo ~le_hi f t =
+    let count = ref 0 in
+    let rec go = function
+      | Leaf -> Leaf
+      | Node (l, y, r, h) as whole ->
+          let l' = if ge_lo y then go l else l in
+          let y' =
+            if ge_lo y && le_hi y then
+              match f y with
+              | None -> y
+              | Some z ->
+                  if Elt.compare z y <> 0 then
+                    invalid_arg "Avl.rewrite: replacement reorders element";
+                  incr count;
+                  z
+            else y
+          in
+          let r' = if le_hi y then go r else r in
+          if l' == l && y' == y && r' == r then whole
+          else begin
+            (* Keys are unchanged, so the shape (and every height) is too. *)
+            Meter.alloc meter 1;
+            Node (l', y', r', h)
+          end
+    in
+    let t' = go t in
+    (t', !count)
+
   let to_list t =
     let rec go acc = function
       | Leaf -> acc

@@ -25,6 +25,40 @@ module Make (Elt : Ordered.S) : sig
   (** The stored element equal to the argument, if any (useful when
       [compare] only inspects a key field). *)
 
+  val fold : ?meter:Meter.t -> ('a -> Elt.t -> 'a) -> 'a -> t -> 'a
+  (** In-order fold without materializing a list.  Meters one unit per node
+      visited. *)
+
+  val iter : (Elt.t -> unit) -> t -> unit
+
+  val range_fold :
+    ?meter:Meter.t ->
+    ge_lo:(Elt.t -> bool) ->
+    le_hi:(Elt.t -> bool) ->
+    ('a -> Elt.t -> 'a) ->
+    'a ->
+    t ->
+    'a
+  (** In-order fold over the elements satisfying both bound predicates.
+      [ge_lo] must be upward closed and [le_hi] downward closed with respect
+      to [Elt.compare]; subtrees provably outside the bounds are pruned, so
+      only the nodes actually visited are metered — O(log n + k) for a
+      k-element range. *)
+
+  val rewrite :
+    ?meter:Meter.t ->
+    ge_lo:(Elt.t -> bool) ->
+    le_hi:(Elt.t -> bool) ->
+    (Elt.t -> Elt.t option) ->
+    t ->
+    t * int
+  (** Single-traversal bulk update over the in-bounds elements: replace [x]
+      with [y] when [f x = Some y] (which must satisfy [compare y x = 0], so
+      the shape and balance are preserved and untouched subtrees stay
+      physically shared).  Returns the new tree and the replacement count;
+      meters one unit per rebuilt node.
+      @raise Invalid_argument if a replacement changes the element's order. *)
+
   val insert : ?meter:Meter.t -> Elt.t -> t -> t
 
   val delete : ?meter:Meter.t -> Elt.t -> t -> t * bool

@@ -98,6 +98,121 @@ module Make (Elt : Ordered.S) = struct
     in
     go [] t.root
 
+  let fold ?meter f acc t =
+    let rec go acc = function
+      | Leaf keys ->
+          Meter.alloc meter 1;
+          Array.fold_left f acc keys
+      | Dir (children, keys) ->
+          Meter.alloc meter 1;
+          let n = Array.length keys in
+          let acc = ref (go acc children.(0)) in
+          for i = 0 to n - 1 do
+            acc := go (f !acc keys.(i)) children.(i + 1)
+          done;
+          !acc
+    in
+    go acc t.root
+
+  let iter f t =
+    let rec go = function
+      | Leaf keys -> Array.iter f keys
+      | Dir (children, keys) ->
+          let n = Array.length keys in
+          go children.(0);
+          for i = 0 to n - 1 do
+            f keys.(i);
+            go children.(i + 1)
+          done
+    in
+    go t.root
+
+  let range_fold ?meter ~ge_lo ~le_hi f acc t =
+    (* Child [i] of a directory holds elements strictly between keys [i-1]
+       and [i]; descend only when that open interval can intersect the
+       range, so just the boundary paths and in-range pages are visited
+       (and metered). *)
+    let rec go acc = function
+      | Leaf keys ->
+          Meter.alloc meter 1;
+          Array.fold_left
+            (fun acc x -> if ge_lo x && le_hi x then f acc x else acc)
+            acc keys
+      | Dir (children, keys) ->
+          Meter.alloc meter 1;
+          let nk = Array.length keys in
+          let acc = ref acc in
+          for i = 0 to nk do
+            let descend =
+              (i = nk || ge_lo keys.(i)) && (i = 0 || le_hi keys.(i - 1))
+            in
+            if descend then acc := go !acc children.(i);
+            if i < nk && ge_lo keys.(i) && le_hi keys.(i) then
+              acc := f !acc keys.(i)
+          done;
+          !acc
+    in
+    go acc t.root
+
+  let rewrite ?meter ~ge_lo ~le_hi f t =
+    let count = ref 0 in
+    (* Copy-on-first-write over a page's key array; returns the original
+       array physically when nothing in it changed. *)
+    let rewrite_keys keys =
+      let out = ref keys in
+      Array.iteri
+        (fun i x ->
+          if ge_lo x && le_hi x then
+            match f x with
+            | None -> ()
+            | Some y ->
+                if Elt.compare y x <> 0 then
+                  invalid_arg "Btree.rewrite: replacement reorders element";
+                incr count;
+                let a = if !out == keys then Array.copy keys else !out in
+                a.(i) <- y;
+                out := a)
+        keys;
+      !out
+    in
+    let rec go = function
+      | Leaf keys as whole ->
+          let keys' = rewrite_keys keys in
+          if keys' == keys then whole
+          else begin
+            Meter.alloc meter 1;
+            Leaf keys'
+          end
+      | Dir (children, keys) as whole ->
+          let keys' = rewrite_keys keys in
+          let nk = Array.length keys in
+          let children' = ref children in
+          for i = 0 to nk do
+            let descend =
+              (i = nk || ge_lo keys.(i)) && (i = 0 || le_hi keys.(i - 1))
+            in
+            if descend then begin
+              let c = children.(i) in
+              let c' = go c in
+              if c' != c then begin
+                let a =
+                  if !children' == children then Array.copy children
+                  else !children'
+                in
+                a.(i) <- c';
+                children' := a
+              end
+            end
+          done;
+          if keys' == keys && !children' == children then whole
+          else begin
+            Meter.alloc meter 1;
+            Dir (!children', keys')
+          end
+    in
+    let root = go t.root in
+    ({ t with root }, !count)
+
   let rec size_node = function
     | Leaf keys -> Array.length keys
     | Dir (children, keys) ->

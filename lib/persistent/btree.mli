@@ -33,6 +33,38 @@ module Make (Elt : Ordered.S) : sig
   val range : lo:Elt.t -> hi:Elt.t -> t -> Elt.t list
   (** Elements [x] with [lo <= x <= hi], ascending. *)
 
+  val fold : ?meter:Meter.t -> ('a -> Elt.t -> 'a) -> 'a -> t -> 'a
+  (** In-order fold without materializing a list.  Meters one unit per page
+      visited. *)
+
+  val iter : (Elt.t -> unit) -> t -> unit
+
+  val range_fold :
+    ?meter:Meter.t ->
+    ge_lo:(Elt.t -> bool) ->
+    le_hi:(Elt.t -> bool) ->
+    ('a -> Elt.t -> 'a) ->
+    'a ->
+    t ->
+    'a
+  (** In-order fold over the elements satisfying both bound predicates
+      ([ge_lo] upward closed, [le_hi] downward closed).  Pages wholly
+      outside the range are pruned; only pages actually visited are
+      metered — O(log n + k/B) pages for a k-element range. *)
+
+  val rewrite :
+    ?meter:Meter.t ->
+    ge_lo:(Elt.t -> bool) ->
+    le_hi:(Elt.t -> bool) ->
+    (Elt.t -> Elt.t option) ->
+    t ->
+    t * int
+  (** Single-traversal bulk update of the in-bounds elements; replacements
+      must compare equal to the original so page shapes are preserved and
+      untouched pages stay shared.  Returns the replacement count; meters
+      one unit per rebuilt page.
+      @raise Invalid_argument if a replacement changes the element's order. *)
+
   val insert : ?meter:Meter.t -> Elt.t -> t -> t
   (** Set semantics; meters one allocation per rebuilt page. *)
 

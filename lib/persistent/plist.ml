@@ -32,6 +32,66 @@ module Make (Elt : Ordered.S) = struct
     | Nil -> None
     | Cons (y, r) -> if p y then Some y else find p r
 
+  let fold ?meter f acc t =
+    let rec go acc = function
+      | Nil -> acc
+      | Cons (x, r) ->
+          Meter.alloc meter 1;
+          go (f acc x) r
+    in
+    go acc t
+
+  let iter f t =
+    let rec go = function
+      | Nil -> ()
+      | Cons (x, r) ->
+          f x;
+          go r
+    in
+    go t
+
+  let range_fold ?meter ~ge_lo ~le_hi f acc t =
+    (* A list has no index: the prefix below the lower bound must still be
+       walked (and is metered), but the scan stops at the first element past
+       the upper bound, so a tight range near the front is cheap. *)
+    let rec go acc = function
+      | Nil -> acc
+      | Cons (x, r) ->
+          Meter.alloc meter 1;
+          if not (ge_lo x) then go acc r
+          else if le_hi x then go (f acc x) r
+          else acc
+    in
+    go acc t
+
+  let rewrite ?meter ~ge_lo ~le_hi f t =
+    let count = ref 0 in
+    let rec go = function
+      | Nil -> Nil
+      | Cons (x, r) as whole ->
+          if not (le_hi x) then whole
+          else
+            let x' =
+              if ge_lo x then
+                match f x with
+                | None -> x
+                | Some y ->
+                    if Elt.compare y x <> 0 then
+                      invalid_arg "Plist.rewrite: replacement reorders element";
+                    incr count;
+                    y
+              else x
+            in
+            let r' = go r in
+            if x' == x && r' == r then whole
+            else begin
+              Meter.alloc meter 1;
+              Cons (x', r')
+            end
+    in
+    let t' = go t in
+    (t', !count)
+
   let insert ?meter x t =
     let rec go = function
       | Nil ->

@@ -24,6 +24,39 @@ module Make (Elt : Ordered.S) : sig
 
   val find : (Elt.t -> bool) -> t -> Elt.t option
 
+  val fold : ?meter:Meter.t -> ('a -> Elt.t -> 'a) -> 'a -> t -> 'a
+  (** Ascending fold without materializing a list.  Meters one unit per cell
+      visited. *)
+
+  val iter : (Elt.t -> unit) -> t -> unit
+
+  val range_fold :
+    ?meter:Meter.t ->
+    ge_lo:(Elt.t -> bool) ->
+    le_hi:(Elt.t -> bool) ->
+    ('a -> Elt.t -> 'a) ->
+    'a ->
+    t ->
+    'a
+  (** Fold over the elements satisfying both bound predicates, in order.
+      [ge_lo] must be upward closed and [le_hi] downward closed with respect
+      to [Elt.compare].  The scan stops at the first element past the upper
+      bound; every cell visited (including the skipped prefix — a list has no
+      index) meters one unit. *)
+
+  val rewrite :
+    ?meter:Meter.t ->
+    ge_lo:(Elt.t -> bool) ->
+    le_hi:(Elt.t -> bool) ->
+    (Elt.t -> Elt.t option) ->
+    t ->
+    t * int
+  (** Single-traversal bulk update: replace each in-bounds element [x] with
+      [y] when [f x = Some y] (which must satisfy [compare y x = 0]), keeping
+      every untouched suffix physically shared.  Returns the new list and the
+      number of replacements; meters one unit per rebuilt cell.
+      @raise Invalid_argument if a replacement changes the element's order. *)
+
   val insert : ?meter:Meter.t -> Elt.t -> t -> t
   (** Ordered insert; duplicates are kept adjacent.  Meters one allocation
       per copied cell plus one for the new cell. *)

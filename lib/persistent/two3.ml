@@ -201,6 +201,95 @@ module Make (Elt : Ordered.S) = struct
 
   let of_list xs = List.fold_left (fun t x -> insert_unmetered x t) empty xs
 
+  let fold ?meter f acc t =
+    let rec go acc = function
+      | Leaf -> acc
+      | N2 (l, a, r) ->
+          Meter.alloc meter 1;
+          go (f (go acc l) a) r
+      | N3 (l, a, m, b, r) ->
+          Meter.alloc meter 1;
+          go (f (go (f (go acc l) a) m) b) r
+    in
+    go acc t
+
+  let iter f t =
+    let rec go = function
+      | Leaf -> ()
+      | N2 (l, a, r) ->
+          go l;
+          f a;
+          go r
+      | N3 (l, a, m, b, r) ->
+          go l;
+          f a;
+          go m;
+          f b;
+          go r
+    in
+    go t
+
+  let range_fold ?meter ~ge_lo ~le_hi f acc t =
+    (* Prune subtrees provably outside the bounds: the middle child of an N3
+       holds elements strictly between [a] and [b], so it is entered only
+       when [a] can still be below the upper bound and [b] above the lower
+       one. *)
+    let rec go acc = function
+      | Leaf -> acc
+      | N2 (l, a, r) ->
+          Meter.alloc meter 1;
+          let acc = if ge_lo a then go acc l else acc in
+          let acc = if ge_lo a && le_hi a then f acc a else acc in
+          if le_hi a then go acc r else acc
+      | N3 (l, a, m, b, r) ->
+          Meter.alloc meter 1;
+          let acc = if ge_lo a then go acc l else acc in
+          let acc = if ge_lo a && le_hi a then f acc a else acc in
+          let acc = if le_hi a && ge_lo b then go acc m else acc in
+          let acc = if ge_lo b && le_hi b then f acc b else acc in
+          if le_hi b then go acc r else acc
+    in
+    go acc t
+
+  let rewrite ?meter ~ge_lo ~le_hi f t =
+    let count = ref 0 in
+    let patch x =
+      if ge_lo x && le_hi x then
+        match f x with
+        | None -> x
+        | Some y ->
+            if Elt.compare y x <> 0 then
+              invalid_arg "Two3.rewrite: replacement reorders element";
+            incr count;
+            y
+      else x
+    in
+    let rec go = function
+      | Leaf -> Leaf
+      | N2 (l, a, r) as whole ->
+          let l' = if ge_lo a then go l else l in
+          let a' = patch a in
+          let r' = if le_hi a then go r else r in
+          if l' == l && a' == a && r' == r then whole
+          else begin
+            Meter.alloc meter 1;
+            N2 (l', a', r')
+          end
+      | N3 (l, a, m, b, r) as whole ->
+          let l' = if ge_lo a then go l else l in
+          let a' = patch a in
+          let m' = if le_hi a && ge_lo b then go m else m in
+          let b' = patch b in
+          let r' = if le_hi b then go r else r in
+          if l' == l && a' == a && m' == m && b' == b && r' == r then whole
+          else begin
+            Meter.alloc meter 1;
+            N3 (l', a', m', b', r')
+          end
+    in
+    let t' = go t in
+    (t', !count)
+
   let to_list t =
     let rec go acc = function
       | Leaf -> acc

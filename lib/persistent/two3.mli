@@ -22,6 +22,37 @@ module Make (Elt : Ordered.S) : sig
 
   val find : Elt.t -> t -> Elt.t option
 
+  val fold : ?meter:Meter.t -> ('a -> Elt.t -> 'a) -> 'a -> t -> 'a
+  (** In-order fold without materializing a list.  Meters one unit per node
+      visited. *)
+
+  val iter : (Elt.t -> unit) -> t -> unit
+
+  val range_fold :
+    ?meter:Meter.t ->
+    ge_lo:(Elt.t -> bool) ->
+    le_hi:(Elt.t -> bool) ->
+    ('a -> Elt.t -> 'a) ->
+    'a ->
+    t ->
+    'a
+  (** In-order fold over the elements satisfying both bound predicates
+      ([ge_lo] upward closed, [le_hi] downward closed).  Out-of-bounds
+      subtrees are pruned; only nodes actually visited are metered. *)
+
+  val rewrite :
+    ?meter:Meter.t ->
+    ge_lo:(Elt.t -> bool) ->
+    le_hi:(Elt.t -> bool) ->
+    (Elt.t -> Elt.t option) ->
+    t ->
+    t * int
+  (** Single-traversal bulk update of the in-bounds elements; replacements
+      must compare equal to the original so the shape is preserved and
+      untouched subtrees stay shared.  Returns the replacement count; meters
+      one unit per rebuilt node.
+      @raise Invalid_argument if a replacement changes the element's order. *)
+
   val insert : ?meter:Meter.t -> Elt.t -> t -> t
 
   val delete : ?meter:Meter.t -> Elt.t -> t -> t * bool

@@ -16,7 +16,7 @@ type query =
   | Find of { rel : string; key : Value.t }
   | Delete of { rel : string; key : Value.t }
   | Select of { rel : string; cols : string list option; where : pred }
-  | Count of { rel : string }
+  | Count of { rel : string; where : pred }
   | Aggregate of { agg : agg; rel : string; col : string; where : pred }
   | Update of { rel : string; col : string; value : Value.t; where : pred }
   | Join of { left : string; right : string; on : string * string }
@@ -27,7 +27,7 @@ let is_update = function
 
 let relations_touched = function
   | Insert { rel; _ } | Find { rel; _ } | Delete { rel; _ }
-  | Select { rel; _ } | Count { rel } | Aggregate { rel; _ }
+  | Select { rel; _ } | Count { rel; _ } | Aggregate { rel; _ }
   | Update { rel; _ } ->
       [ rel ]
   | Join { left; right; _ } -> [ left; right ]
@@ -90,7 +90,11 @@ let pp ppf = function
       (match where with
       | True -> ()
       | w -> Format.fprintf ppf " where %a" pp_pred w)
-  | Count { rel } -> Format.fprintf ppf "count %s" rel
+  | Count { rel; where } -> (
+      Format.fprintf ppf "count %s" rel;
+      match where with
+      | True -> ()
+      | w -> Format.fprintf ppf " where %a" pp_pred w)
   | Aggregate { agg; rel; col; where } ->
       let verb = match agg with Sum -> "sum" | Min -> "min" | Max -> "max" in
       Format.fprintf ppf "%s %s from %s" verb col rel;

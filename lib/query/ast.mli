@@ -6,7 +6,7 @@
     - [find 7 in R]
     - [delete 7 from R]
     - [select name, age from People where age >= 30 and not (name = "x")]
-    - [count R]
+    - [count R], [count R where age >= 30]
     - [sum age from People where age >= 30], [min age from People]
     - [update People set age = 38 where name = "ada"]
     - [join R and S on b = c] *)
@@ -30,7 +30,8 @@ type query =
   | Delete of { rel : string; key : Value.t }
   | Select of { rel : string; cols : string list option; where : pred }
       (** [cols = None] means [*]. *)
-  | Count of { rel : string }
+  | Count of { rel : string; where : pred }
+      (** [count R] / [count R where ...] *)
   | Aggregate of { agg : agg; rel : string; col : string; where : pred }
       (** [sum col from R where ...] / [min ...] / [max ...] *)
   | Update of { rel : string; col : string; value : Value.t; where : pred }

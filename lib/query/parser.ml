@@ -149,7 +149,14 @@ let query c =
       Ast.Select { rel; cols; where }
   | Lexer.KW "count" ->
       let rel = ident c in
-      Ast.Count { rel }
+      let where =
+        match peek c with
+        | Some (Lexer.KW "where") ->
+            advance c;
+            pred c
+        | _ -> Ast.True
+      in
+      Ast.Count { rel; where }
   | Lexer.KW (("sum" | "min" | "max") as verb) ->
       let agg =
         match verb with

@@ -1,0 +1,134 @@
+open Fdb_relational
+
+type bound = { value : Value.t; inclusive : bool }
+
+type path =
+  | Point_lookup of Value.t
+  | Range_scan of { lo : bound option; hi : bound option }
+  | Full_scan
+
+type t = { path : path; residual : Ast.pred }
+
+(* Flatten the top-level [And] spine into a conjunct list; [True] conjuncts
+   vanish.  Disjunctions and negations stay opaque (a single conjunct). *)
+let conjuncts pred =
+  let rec go acc = function
+    | Ast.And (a, b) -> go (go acc a) b
+    | Ast.True -> acc
+    | p -> p :: acc
+  in
+  List.rev (go [] pred)
+
+let conjoin = function
+  | [] -> Ast.True
+  | p :: rest -> List.fold_left (fun acc q -> Ast.And (acc, q)) p rest
+
+let key_column schema =
+  match Schema.columns schema with
+  | (name, _) :: _ -> name
+  | [] -> assert false (* Schema.make rejects empty column lists *)
+
+(* Tighter of two bounds of the same side.  [keep_gt] chooses the greater
+   value (lower bounds tighten upward), its negation the smaller (upper
+   bounds tighten downward); at equal values the exclusive bound wins. *)
+let tighten ~keep_gt cur cand =
+  match cur with
+  | None -> Some cand
+  | Some b ->
+      let c = Value.compare cand.value b.value in
+      if c = 0 then
+        Some (if b.inclusive then cand else b)
+      else if (c > 0) = keep_gt then Some cand
+      else Some b
+
+let analyze schema pred =
+  let key = key_column schema in
+  let atoms = conjuncts pred in
+  (* First pass: a key-equality atom makes the path a point lookup and every
+     other conjunct residual (further bounds would be redundant next to a
+     single-key probe, and a contradictory one falsifies the residual). *)
+  let rec find_eq seen = function
+    | [] -> None
+    | Ast.Cmp (col, Ast.Eq, v) :: rest when String.equal col key ->
+        Some (v, List.rev_append seen rest)
+    | atom :: rest -> find_eq (atom :: seen) rest
+  in
+  match find_eq [] atoms with
+  | Some (v, rest) -> { path = Point_lookup v; residual = conjoin rest }
+  | None ->
+      let lo = ref None and hi = ref None and residual = ref [] in
+      List.iter
+        (fun atom ->
+          match atom with
+          | Ast.Cmp (col, op, v) when String.equal col key -> (
+              match op with
+              | Ast.Gt -> lo := tighten ~keep_gt:true !lo { value = v; inclusive = false }
+              | Ast.Ge -> lo := tighten ~keep_gt:true !lo { value = v; inclusive = true }
+              | Ast.Lt -> hi := tighten ~keep_gt:false !hi { value = v; inclusive = false }
+              | Ast.Le -> hi := tighten ~keep_gt:false !hi { value = v; inclusive = true }
+              | Ast.Eq | Ast.Ne -> residual := atom :: !residual)
+          | _ -> residual := atom :: !residual)
+        atoms;
+      let residual = conjoin (List.rev !residual) in
+      (match (!lo, !hi) with
+      | (None, None) -> { path = Full_scan; residual }
+      | (lo, hi) -> { path = Range_scan { lo; hi }; residual })
+
+let pp_bound side ppf = function
+  | None -> Format.pp_print_string ppf (if side = `Lo then "-inf" else "+inf")
+  | Some { value; inclusive } ->
+      let op =
+        match (side, inclusive) with
+        | (`Lo, true) -> ">="
+        | (`Lo, false) -> ">"
+        | (`Hi, true) -> "<="
+        | (`Hi, false) -> "<"
+      in
+      Format.fprintf ppf "key %s %a" op Value.pp value
+
+let pp_path ppf = function
+  | Point_lookup v -> Format.fprintf ppf "point lookup key = %a" Value.pp v
+  | Range_scan { lo; hi } ->
+      Format.fprintf ppf "range scan [%a, %a]" (pp_bound `Lo) lo
+        (pp_bound `Hi) hi
+  | Full_scan -> Format.pp_print_string ppf "full scan"
+
+let pp ppf { path; residual } =
+  pp_path ppf path;
+  match residual with
+  | Ast.True -> ()
+  | p -> Format.fprintf ppf "; residual %a" Ast.pp_pred p
+
+let to_string plan = Format.asprintf "%a" pp plan
+
+let explain ~schema_of query =
+  let planned verb rel where extra =
+    match schema_of rel with
+    | None -> Format.asprintf "%s %s: unknown relation" verb rel
+    | Some schema ->
+        Format.asprintf "%s %s: %a%s" verb rel pp (analyze schema where) extra
+  in
+  match query with
+  | Ast.Select { rel; cols; where } ->
+      let extra =
+        match cols with
+        | None -> ""
+        | Some cs -> "; project " ^ String.concat ", " cs
+      in
+      planned "select" rel where extra
+  | Ast.Count { rel; where } -> (
+      match where with
+      | Ast.True -> Format.asprintf "count %s: size accessor" rel
+      | _ -> planned "count" rel where "")
+  | Ast.Aggregate { rel; where; _ } -> planned "aggregate" rel where ""
+  | Ast.Update { rel; where; _ } -> planned "update" rel where ""
+  | Ast.Find { rel; key } ->
+      Format.asprintf "find %s: point lookup key = %s" rel
+        (Format.asprintf "%a" Value.pp key)
+  | Ast.Insert { rel; _ } -> Format.asprintf "insert %s: ordered insert" rel
+  | Ast.Delete { rel; key } ->
+      Format.asprintf "delete %s: point delete key = %s" rel
+        (Format.asprintf "%a" Value.pp key)
+  | Ast.Join { left; right; _ } ->
+      Format.asprintf "join %s x %s: hash join (build %s, probe %s)" left
+        right right left

@@ -1,0 +1,42 @@
+(** Access-path planning: decompose a predicate's conjuncts to choose how a
+    relation is read.
+
+    The key order that makes path-copying writes cheap (paper §2.2) equally
+    supports indexed reads: a conjunct comparing the key column against a
+    literal can steer the executor to a point lookup or a pruned range scan
+    instead of a full materializing scan.  [analyze] extracts those atoms
+    and leaves everything else as a residual predicate, so that
+    (access path) ∧ (residual) is equivalent to the original [where]. *)
+
+open Fdb_relational
+
+type bound = { value : Value.t; inclusive : bool }
+
+type path =
+  | Point_lookup of Value.t  (** key-equality conjunct: single probe *)
+  | Range_scan of { lo : bound option; hi : bound option }
+      (** key-bound conjuncts, tightest of each side; [None] = unbounded *)
+  | Full_scan  (** no key atom: every tuple is visited *)
+
+type t = { path : path; residual : Ast.pred }
+
+val analyze : Schema.t -> Ast.pred -> t
+(** Total: never fails, falling back to [Full_scan] with the whole predicate
+    as residual.  Only top-level conjuncts ([And] chains) are examined —
+    atoms under [Or]/[Not] stay residual; a second key equality stays
+    residual (it either agrees or falsifies); [Ne] never helps an ordered
+    probe.  Unknown columns are left in the residual for {!Pred.compile} to
+    report. *)
+
+val conjuncts : Ast.pred -> Ast.pred list
+(** Flatten a top-level [And] spine, dropping [True]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** E.g. ["range scan [key >= 3, key < 9]; residual v = \"x\""]. *)
+
+val explain :
+  schema_of:(string -> Schema.t option) -> Ast.query -> string
+(** One-line access-path explanation for any query, using [schema_of] to
+    resolve relation names (unknown relations are reported, not errors). *)

@@ -9,15 +9,28 @@ val project : int list -> Tuple.t list -> Tuple.t list
 (** Keep the given column indices, in the given order.
     @raise Invalid_argument on an out-of-range index. *)
 
-val join : left_col:int -> right_col:int -> Tuple.t list -> Tuple.t list -> Tuple.t list
+val join :
+  ?algo:[ `Hash | `Nested ] ->
+  left_col:int ->
+  right_col:int ->
+  Tuple.t list ->
+  Tuple.t list ->
+  Tuple.t list
 (** Natural join on one column pair; result tuples are the concatenation of
-    the matching pairs. *)
+    the matching pairs, ordered by the left side (ties in the right side's
+    order).  [`Hash] (default) builds a hash table on the right input and
+    probes it with the left — O(n+m+out) — and produces exactly the same
+    output as the O(n·m) [`Nested] loop, which is kept for ablation. *)
 
 val union : Tuple.t list -> Tuple.t list -> Tuple.t list
 (** Set union (by full-tuple equality), result sorted. *)
 
 val difference : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Elements of the first list absent from the second, preserving the first
+    list's order and duplicates.  Sort-merge: O((n+m) log (n+m)). *)
 
 val intersection : Tuple.t list -> Tuple.t list -> Tuple.t list
+(** Elements of the first list present in the second, preserving the first
+    list's order and duplicates.  Sort-merge: O((n+m) log (n+m)). *)
 
 val product : Tuple.t list -> Tuple.t list -> Tuple.t list

@@ -108,30 +108,74 @@ let delete_key ?meter r key =
 
 let select r pred = List.filter pred (to_list r)
 
-let update ?meter r rewrite =
-  (* Rewrites preserve the key, so delete + insert per touched row keeps
-     the representation's ordering invariants. *)
-  let touched =
-    List.filter_map
-      (fun tup ->
-        match rewrite tup with
-        | None -> None
-        | Some tup' ->
-            if not (Value.equal (Tuple.key tup) (Tuple.key tup')) then
-              invalid_arg "Relation.update: rewrite changed the key";
-            Some tup')
-      (to_list r)
+let fold ?meter f acc r =
+  match r.repr with
+  | L l -> PL.fold ?meter f acc l
+  | A a -> AV.fold ?meter f acc a
+  | T t -> T23.fold ?meter f acc t
+  | B b -> BT.fold ?meter f acc b
+
+let iter f r =
+  match r.repr with
+  | L l -> PL.iter f l
+  | A a -> AV.iter f a
+  | T t -> T23.iter f t
+  | B b -> BT.iter f b
+
+type bound = Inclusive of Value.t | Exclusive of Value.t
+
+let bound_tests ~lo ~hi =
+  let ge_lo =
+    match lo with
+    | None -> fun _ -> true
+    | Some (Inclusive v) -> fun tup -> Value.compare (Tuple.key tup) v >= 0
+    | Some (Exclusive v) -> fun tup -> Value.compare (Tuple.key tup) v > 0
+  and le_hi =
+    match hi with
+    | None -> fun _ -> true
+    | Some (Inclusive v) -> fun tup -> Value.compare (Tuple.key tup) v <= 0
+    | Some (Exclusive v) -> fun tup -> Value.compare (Tuple.key tup) v < 0
   in
-  let r' =
-    List.fold_left
-      (fun r tup ->
-        let (r, _) = delete_key ?meter r (Tuple.key tup) in
-        match insert ?meter r tup with
-        | Ok (r, _) -> r
-        | Error e -> invalid_arg ("Relation.update: " ^ e))
-      r touched
+  (ge_lo, le_hi)
+
+let range_fold ?meter ?lo ?hi f acc r =
+  let (ge_lo, le_hi) = bound_tests ~lo ~hi in
+  match r.repr with
+  | L l -> PL.range_fold ?meter ~ge_lo ~le_hi f acc l
+  | A a -> AV.range_fold ?meter ~ge_lo ~le_hi f acc a
+  | T t -> T23.range_fold ?meter ~ge_lo ~le_hi f acc t
+  | B b -> BT.range_fold ?meter ~ge_lo ~le_hi f acc b
+
+let range ?meter ?lo ?hi r =
+  List.rev (range_fold ?meter ?lo ?hi (fun acc tup -> tup :: acc) [] r)
+
+let update ?meter ?lo ?hi r rewrite =
+  (* Rewrites preserve the key, so the tuple order — and hence each
+     backend's shape — is unchanged: a single structural traversal maps the
+     touched tuples in place, shares every untouched subtree, and skips
+     subtrees outside the optional key bounds entirely. *)
+  let (ge_lo, le_hi) = bound_tests ~lo ~hi in
+  let f tup =
+    match rewrite tup with
+    | None -> None
+    | Some tup' ->
+        if not (Value.equal (Tuple.key tup) (Tuple.key tup')) then
+          invalid_arg "Relation.update: rewrite changed the key";
+        Some tup'
   in
-  (r', List.length touched)
+  match r.repr with
+  | L l ->
+      let (l', n) = PL.rewrite ?meter ~ge_lo ~le_hi f l in
+      ((if n = 0 then r else { r with repr = L l' }), n)
+  | A a ->
+      let (a', n) = AV.rewrite ?meter ~ge_lo ~le_hi f a in
+      ((if n = 0 then r else { r with repr = A a' }), n)
+  | T t ->
+      let (t', n) = T23.rewrite ?meter ~ge_lo ~le_hi f t in
+      ((if n = 0 then r else { r with repr = T t' }), n)
+  | B b ->
+      let (b', n) = BT.rewrite ?meter ~ge_lo ~le_hi f b in
+      ((if n = 0 then r else { r with repr = B b' }), n)
 
 let of_tuples ?backend schema tuples =
   let rec go r = function

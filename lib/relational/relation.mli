@@ -38,11 +38,48 @@ val find_key : t -> Value.t -> Tuple.t option
 val mem_key : t -> Value.t -> bool
 
 val select : t -> (Tuple.t -> bool) -> Tuple.t list
+(** Materializing filter over {!to_list}; the streaming access paths below
+    are preferred on hot paths. *)
 
-val update : ?meter:Fdb_persistent.Meter.t -> t -> (Tuple.t -> Tuple.t option) -> t * int
-(** Rewrite tuples: the function returns [Some t'] for rows to replace
-    (the key must not change — enforced with [Invalid_argument]).  Returns
-    the rewrite count. *)
+val fold : ?meter:Fdb_persistent.Meter.t -> ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+(** Fold in ascending key order without materializing a list.  Meters one
+    unit per backend unit (cell, node or page) visited. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+type bound = Inclusive of Value.t | Exclusive of Value.t
+(** A key bound for range access paths. *)
+
+val range_fold :
+  ?meter:Fdb_persistent.Meter.t ->
+  ?lo:bound ->
+  ?hi:bound ->
+  ('a -> Tuple.t -> 'a) ->
+  'a ->
+  t ->
+  'a
+(** Fold over the tuples whose key lies within the given bounds (absent
+    bound = unbounded), in ascending key order.  Tree backends prune
+    subtrees outside the range, so the meter charges only the units actually
+    visited — O(log n + k) for a k-tuple range; the list backend still walks
+    the prefix but stops at the upper bound. *)
+
+val range : ?meter:Fdb_persistent.Meter.t -> ?lo:bound -> ?hi:bound -> t -> Tuple.t list
+(** [range_fold] materialized, ascending. *)
+
+val update :
+  ?meter:Fdb_persistent.Meter.t ->
+  ?lo:bound ->
+  ?hi:bound ->
+  t ->
+  (Tuple.t -> Tuple.t option) ->
+  t * int
+(** Rewrite tuples in a single structural traversal: the function returns
+    [Some t'] for rows to replace (the key must not change — enforced with
+    [Invalid_argument]).  Untouched subtrees stay physically shared, and
+    subtrees outside the optional key bounds are not visited at all.
+    Returns the rewrite count; the relation is returned physically unchanged
+    when it is zero. *)
 
 val of_tuples : ?backend:backend -> Schema.t -> Tuple.t list -> (t, string) result
 (** Bulk load; fails on the first schema mismatch.  Duplicate keys keep the

@@ -1,6 +1,7 @@
 open Fdb_relational
 module Ast = Fdb_query.Ast
 module Pred = Fdb_query.Pred
+module Plan = Fdb_query.Plan
 module Parser = Fdb_query.Parser
 
 type response =
@@ -72,6 +73,26 @@ let resolve_columns schema cols =
   in
   go cols
 
+let rel_bound = function
+  | None -> None
+  | Some { Plan.value; inclusive } ->
+      Some
+        (if inclusive then Relation.Inclusive value
+         else Relation.Exclusive value)
+
+(* Drive [step] over the tuples reachable through [plan]'s access path.
+   Checking the residual predicate is the caller's responsibility; the
+   absorbed key atoms are enforced by the path itself. *)
+let fold_path r plan step acc =
+  match plan.Plan.path with
+  | Plan.Point_lookup key -> (
+      match Relation.find_key r key with
+      | Some tup -> step acc tup
+      | None -> acc)
+  | Plan.Range_scan { lo; hi } ->
+      Relation.range_fold ?lo:(rel_bound lo) ?hi:(rel_bound hi) step acc r
+  | Plan.Full_scan -> Relation.fold step acc r
+
 let translate query : t =
   match query with
   | Ast.Insert { rel; values } ->
@@ -93,34 +114,77 @@ let translate query : t =
       fun db ->
         with_relation db rel (fun r ->
             let schema = Relation.schema r in
-            match Pred.compile schema where with
+            let plan = Plan.analyze schema where in
+            (* Compiling only the residual is sound: absorbed atoms mention
+               the key column alone, which every schema has. *)
+            match Pred.compile schema plan.Plan.residual with
             | Error e -> fail db e
-            | Ok test -> (
-                let rows = Relation.select r test in
-                match cols with
-                | None -> (Selected rows, db)
-                | Some cs -> (
-                    match resolve_columns schema cs with
-                    | Error e -> fail db e
-                    | Ok idxs -> (Selected (Algebra.project idxs rows), db))))
-  | Ast.Count { rel } ->
-      fun db -> with_relation db rel (fun r -> (Counted (Relation.size r), db))
+            | Ok residual -> (
+                let project =
+                  match cols with
+                  | None -> Ok None
+                  | Some cs ->
+                      Result.map Option.some (resolve_columns schema cs)
+                in
+                match project with
+                | Error e -> fail db e
+                | Ok idxs ->
+                    let emit =
+                      match idxs with
+                      | None -> fun acc tup -> tup :: acc
+                      | Some is ->
+                          fun acc tup ->
+                            Array.of_list (List.map (Tuple.get tup) is) :: acc
+                    in
+                    let step acc tup =
+                      if residual tup then emit acc tup else acc
+                    in
+                    (Selected (List.rev (fold_path r plan step [])), db)))
+  | Ast.Count { rel; where } -> (
+      match where with
+      | Ast.True ->
+          fun db ->
+            with_relation db rel (fun r -> (Counted (Relation.size r), db))
+      | _ ->
+          fun db ->
+            with_relation db rel (fun r ->
+                let schema = Relation.schema r in
+                let plan = Plan.analyze schema where in
+                match Pred.compile schema plan.Plan.residual with
+                | Error e -> fail db e
+                | Ok residual ->
+                    let step acc tup = if residual tup then acc + 1 else acc in
+                    (Counted (fold_path r plan step 0), db)))
   | Ast.Aggregate { agg; rel; col; where } ->
       fun db ->
         with_relation db rel (fun r ->
-            match Pred.compile_aggregate (Relation.schema r) agg col where with
+            let schema = Relation.schema r in
+            match Pred.compile_aggregate schema agg col where with
             | Error e -> fail db e
             | Ok (step, finish) ->
-                ( Aggregated
-                    (finish (List.fold_left step None (Relation.to_list r))),
-                  db ))
+                (* [step] tests the full [where] itself; the access path only
+                   narrows which tuples are offered to it. *)
+                let plan = Plan.analyze schema where in
+                (Aggregated (finish (fold_path r plan step None)), db))
   | Ast.Update { rel; col; value; where } ->
       fun db ->
         with_relation db rel (fun r ->
-            match Pred.compile_update (Relation.schema r) col value where with
+            let schema = Relation.schema r in
+            match Pred.compile_update schema col value where with
             | Error e -> fail db e
             | Ok rewrite ->
-                let (r', changed) = Relation.update r rewrite in
+                (* [rewrite] tests the full [where]; the plan's key bounds
+                   let the single-traversal update skip subtrees that cannot
+                   match. *)
+                let (lo, hi) =
+                  match (Plan.analyze schema where).Plan.path with
+                  | Plan.Point_lookup key ->
+                      let b = Some (Relation.Inclusive key) in
+                      (b, b)
+                  | Plan.Range_scan { lo; hi } -> (rel_bound lo, rel_bound hi)
+                  | Plan.Full_scan -> (None, None)
+                in
+                let (r', changed) = Relation.update ?lo ?hi r rewrite in
                 if changed = 0 then (Updated 0, db)
                 else (Updated changed, Database.replace db rel r'))
   | Ast.Join { left; right; on = (lc, rc) } ->
@@ -146,16 +210,21 @@ let translate query : t =
 let translate_string src = Result.map translate (Parser.parse src)
 
 let apply_stream txns db0 =
-  let rec go db = function
-    | [] -> ([], [])
+  (* Tail recursive: transaction streams can be arbitrarily long. *)
+  let rec go db resps dbs = function
+    | [] -> (List.rev resps, List.rev dbs)
     | txn :: rest ->
         let (resp, db') = txn db in
-        let (resps, dbs) = go db' rest in
-        (resp :: resps, db' :: dbs)
+        go db' (resp :: resps) (db' :: dbs) rest
   in
-  go db0 txns
+  go db0 [] [] txns
 
 let run_queries db queries =
-  let (resps, dbs) = apply_stream (List.map translate queries) db in
-  let final = match List.rev dbs with [] -> db | last :: _ -> last in
-  (resps, final)
+  let txns = List.rev (List.rev_map translate queries) in
+  let rec go db resps = function
+    | [] -> (List.rev resps, db)
+    | txn :: rest ->
+        let (resp, db') = txn db in
+        go db' (resp :: resps) rest
+  in
+  go db [] txns

@@ -69,9 +69,12 @@ let test_parse_find_delete_count () =
   (match parse_ok "delete \"k\" from S" with
   | Ast.Delete { rel = "S"; key = Value.Str "k" } -> ()
   | _ -> Alcotest.fail "delete");
-  match parse_ok "count R" with
-  | Ast.Count { rel = "R" } -> ()
-  | _ -> Alcotest.fail "count"
+  (match parse_ok "count R" with
+  | Ast.Count { rel = "R"; where = Ast.True } -> ()
+  | _ -> Alcotest.fail "count");
+  match parse_ok "count R where key > 2" with
+  | Ast.Count { rel = "R"; where = Ast.Cmp ("key", Ast.Gt, Value.Int 2) } -> ()
+  | _ -> Alcotest.fail "count where"
 
 let test_parse_select () =
   (match parse_ok "select * from R" with
@@ -193,7 +196,8 @@ let gen_query =
           (oneof [ return None;
                    map (fun cs -> Some cs) (list_size (int_range 1 3) gen_ident) ])
           gen_pred;
-        map (fun rel -> Ast.Count { rel }) gen_ident;
+        map2 (fun rel where -> Ast.Count { rel; where }) gen_ident
+          (oneof [ QCheck2.Gen.return Ast.True; gen_pred ]);
         map2
           (fun (agg, rel) (col, where) -> Ast.Aggregate { agg; rel; col; where })
           (pair (oneofl [ Ast.Sum; Ast.Min; Ast.Max ]) gen_ident)

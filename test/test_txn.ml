@@ -172,6 +172,23 @@ let test_run_queries () =
     resps;
   Alcotest.(check int) "final version" 6 (Database.total_tuples final)
 
+(* Regression: apply_stream and run_queries must be tail recursive — the
+   former non-tail versions overflowed the stack on long transaction
+   streams.  Read-only queries keep the stream itself the only O(n) cost. *)
+let test_long_stream () =
+  let db = db_with_data () in
+  let n = 200_000 in
+  let queries =
+    List.init n (fun i -> Ast.Find { rel = "R"; key = Value.Int (1 + (i mod 4)) })
+  in
+  let (resps, dbs) = Txn.apply_stream (List.map Txn.translate queries) db in
+  Alcotest.(check int) "responses" n (List.length resps);
+  Alcotest.(check int) "versions" n (List.length dbs);
+  let (resps', final) = Txn.run_queries db queries in
+  Alcotest.(check int) "run_queries responses" n (List.length resps');
+  Alcotest.(check int) "final version untouched" 5
+    (Database.total_tuples final)
+
 (* Read-only transactions commute: any interleaving of finds with one
    update stream gives each find the value of the latest preceding
    version. *)
@@ -367,6 +384,8 @@ let () =
           Alcotest.test_case "version stream" `Quick
             test_apply_stream_versions;
           Alcotest.test_case "run_queries" `Quick test_run_queries;
+          Alcotest.test_case "200k stream stays on the heap" `Quick
+            test_long_stream;
           QCheck_alcotest.to_alcotest prop_apply_stream_matches_fold;
         ] );
     ]
