@@ -15,3 +15,7 @@ case "$BENCH" in */*) ;; *) BENCH="./$BENCH" ;; esac
 # Planner smoke: the access-path sweep must run end to end on every backend
 # (quick sizes; the JSON artifact goes to a scratch path).
 "$BENCH" plan --quick -o "${TMPDIR:-/tmp}/BENCH_plan_smoke.json" > /dev/null
+# Observability smoke: disabled tracing must add zero allocations to the
+# hot path, and the trace exporter must produce a law-abiding Chrome trace.
+"$BENCH" trace-overhead > /dev/null
+"$FDBSIM" trace --seed 2 -o "${TMPDIR:-/tmp}/trace_smoke.json" > /dev/null

@@ -4,11 +4,15 @@
 
    Usage:  main.exe [table1|table2|table3|fig21|fig22|fig23|fig31|
                      ablation-repr|ablation-topo|ablation-merge|
-                     ablation-semantics|plan|micro|all]   (default: all)
+                     ablation-semantics|plan|trace-overhead|micro|all]
+                    (default: all)
 
-   `plan [--quick] [-o FILE]` sweeps the access-path planner (point /
-   range / full scans and hash vs nested joins) over every backend and
-   writes a BENCH_plan.json artifact. *)
+   `plan [--quick] [--seed N] [-o FILE]` sweeps the access-path planner
+   (point / range / full scans and hash vs nested joins) over every backend
+   and writes a BENCH_plan.json artifact stamped with the seed and git
+   revision.  `trace-overhead` asserts that the observability layer's
+   guarded emission adds zero allocations per operation while the trace
+   sink is disabled. *)
 
 open Fdb
 module W = Fdb_workload.Workload
@@ -16,6 +20,29 @@ module Topology = Fdb_net.Topology
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* The current git revision, read straight off the repository metadata so
+   the artifact needs no subprocess and no extra dependency. *)
+let git_rev () =
+  let read_line path =
+    try
+      let ic = open_in path in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      Some (String.trim line)
+    with Sys_error _ -> None
+  in
+  let rec resolve dir depth =
+    if depth > 6 then None
+    else
+      match read_line (Filename.concat dir ".git/HEAD") with
+      | Some s when String.length s > 5 && String.sub s 0 5 = "ref: " ->
+          let ref_path = String.sub s 5 (String.length s - 5) in
+          read_line (Filename.concat dir (Filename.concat ".git" ref_path))
+      | Some s -> Some s
+      | None -> resolve (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  Option.value ~default:"unknown" (resolve Filename.current_dir_name 0)
 
 (* Published values, transcribed from the paper (a dash marks a cell that is
    illegible in the scanned copy).  Row order: 0, 4, 7, 14, 24, 38 percent;
@@ -345,7 +372,7 @@ let recover () =
 
 (* -- plan: access-path planner speedups -------------------------------------- *)
 
-let plan_bench ~quick ~out =
+let plan_bench ~quick ~seed ~out =
   let module R = Fdb_relational.Relation in
   let module Schema = Fdb_relational.Schema in
   let module Tuple = Fdb_relational.Tuple in
@@ -473,8 +500,11 @@ let plan_bench ~quick ~out =
     \ visited: backend units touched by the planned path vs a full fold)\n";
   (* hand-rolled JSON: no dependency for the artifact *)
   let oc = open_out out in
-  Printf.fprintf oc "{\n  \"mode\": %S,\n  \"results\": [\n"
-    (if quick then "quick" else "full");
+  Printf.fprintf oc
+    "{\n  \"mode\": %S,\n  \"seed\": %d,\n  \"git_rev\": %S,\n  \
+     \"results\": [\n"
+    (if quick then "quick" else "full")
+    seed (git_rev ());
   let rows = List.rev !results in
   List.iteri
     (fun i (scenario, backend, size, planned, naive, visited, full) ->
@@ -492,6 +522,63 @@ let plan_bench ~quick ~out =
     jn hash nested (nested /. hash);
   close_out oc;
   Printf.printf "\nwrote %s\n" out
+
+(* -- trace-overhead: zero allocations when the sink is disabled -------------- *)
+
+let trace_overhead () =
+  let module Trace = Fdb_obs.Trace in
+  let module Event = Fdb_obs.Event in
+  section "Trace overhead: guarded emission with the sink disabled";
+  Trace.set_sink None;
+  assert (not (Trace.enabled ()));
+  (* The exact pattern every instrumented hot path uses: the event record
+     is only constructed inside the [enabled] branch, so with the sink
+     disabled each iteration must allocate nothing. *)
+  let sink = ref 0 in
+  let probe n =
+    let w0 = Gc.minor_words () in
+    for i = 1 to n do
+      if Trace.enabled () then
+        Trace.emit_at ~ts:i ~site:0 (Event.Cell_write { cell = i });
+      sink := !sink + i
+    done;
+    Gc.minor_words () -. w0
+  in
+  ignore (probe 1_000);
+  (* [Gc.minor_words] itself boxes its float result; comparing two probe
+     sizes cancels that constant, leaving only the per-iteration cost. *)
+  let small = probe 1_000 in
+  let large = probe 1_000_000 in
+  let per_iter = (large -. small) /. 999_000.0 in
+  Printf.printf
+    "1k iterations: %.0f minor words; 1M iterations: %.0f minor words\n\
+     per-iteration allocation: %.6f words\n"
+    small large per_iter;
+  (* A pipeline-level spot check: the same end-to-end run allocates the
+     same with instrumentation compiled in but disabled, run to run. *)
+  let w = W.generate W.default_spec in
+  let tagged = Experiment.merged_workload w in
+  let spec = Pipeline.db_spec_of_workload w in
+  ignore (Pipeline.run spec tagged);
+  let pipeline_words () =
+    let w0 = Gc.minor_words () in
+    ignore (Pipeline.run spec tagged);
+    Gc.minor_words () -. w0
+  in
+  let a = pipeline_words () and b = pipeline_words () in
+  Printf.printf
+    "pipeline.run(50txn) minor words, disabled sink, two runs: %.0f / %.0f\n"
+    a b;
+  if per_iter > 0.001 then begin
+    Printf.printf
+      "FAIL: disabled tracing allocates %.6f words per operation\n" per_iter;
+    exit 1
+  end;
+  if a <> b then begin
+    Printf.printf "FAIL: disabled tracing made pipeline.run nondeterministic\n";
+    exit 1
+  end;
+  Printf.printf "OK: disabled tracing allocates nothing on the hot path\n"
 
 (* -- bechamel micro-benchmarks ---------------------------------------------- *)
 
@@ -593,10 +680,14 @@ let () =
   | "recover" -> recover ()
   | "plan" ->
       let quick = ref false and out = ref "BENCH_plan.json" in
+      let seed = ref 1 in
       let i = ref 2 in
       while !i < Array.length Sys.argv do
         (match Sys.argv.(!i) with
         | "--quick" -> quick := true
+        | "--seed" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            seed := int_of_string Sys.argv.(!i)
         | "-o" | "--output" when !i + 1 < Array.length Sys.argv ->
             incr i;
             out := Sys.argv.(!i)
@@ -605,7 +696,8 @@ let () =
             exit 1);
         incr i
       done;
-      plan_bench ~quick:!quick ~out:!out
+      plan_bench ~quick:!quick ~seed:!seed ~out:!out
+  | "trace-overhead" -> trace_overhead ()
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->
@@ -613,6 +705,6 @@ let () =
         "unknown bench %S (try table1|table2|table3|fig21|fig22|fig23|fig31|\
          ablation-repr|ablation-topo|ablation-merge|ablation-semantics|\
          ablation-engine-repr|ablation-eval-mode|scaling|recover|\
-         plan [--quick] [-o FILE]|micro|all)\n"
+         plan [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
         other;
       exit 1

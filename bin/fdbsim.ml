@@ -8,7 +8,9 @@
      fel        — run a mini-FEL program
      topo       — describe a topology
      check      — seeded serializability sweeps (oracle + fault injection)
-     recover    — crash-failover sweeps through the replicated pair *)
+     recover    — crash-failover sweeps through the replicated pair
+     trace      — capture a run as Chrome trace_event JSON + invariants
+     stats      — metrics registry snapshot after a seeded sweep *)
 
 open Cmdliner
 module W = Fdb_workload.Workload
@@ -594,6 +596,150 @@ let recover_cmd =
       const go $ seed_arg $ txns $ clients $ relations $ tuples $ sweep
       $ ckpt $ drop $ verbose)
 
+(* -- trace: capture a failover run as Chrome trace_event JSON ------------------- *)
+
+let trace_cmd =
+  let module Gen = Fdb_check.Gen in
+  let module Oracle = Fdb_check.Oracle in
+  let module Sim = Fdb_check.Sim in
+  let module Replica = Fdb_replica.Replica in
+  let module Event = Fdb_obs.Event in
+  let txns =
+    Arg.(
+      value & opt int 6
+      & info [ "txns"; "n" ] ~doc:"Queries per client stream.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Client streams.")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Where to write the Chrome trace_event JSON.")
+  in
+  let drop =
+    Arg.(
+      value & opt int 5
+      & info [ "drop-one-in" ] ~doc:"Medium loss rate (0 disables).")
+  in
+  let no_crash =
+    Arg.(
+      value & flag
+      & info [ "no-crash" ]
+          ~doc:
+            "Trace a crash-free fault-injected run instead of the default \
+             replica-failover scenario.")
+  in
+  let go seed txns clients out drop no_crash =
+    let sc =
+      Gen.generate
+        { Gen.default_spec with seed; clients; queries_per_client = txns }
+    in
+    let faults =
+      { Sim.default_faults with Sim.drop_one_in = drop; crash = not no_crash }
+    in
+    let o = Sim.run ~faults ~seed sc in
+    let json = Fdb_obs.Chrome.to_json o.Sim.trace in
+    let oc = open_out out in
+    output_string oc json;
+    close_out oc;
+    let count pred = List.length (List.filter pred o.Sim.trace) in
+    Format.printf
+      "traced %d events (%d datagram, %d replica protocol) to %s@."
+      (List.length o.Sim.trace)
+      (count (fun (e : Event.t) ->
+           match e.Event.kind with
+           | Event.Dg_send _ | Event.Dg_deliver _ | Event.Dg_drop _
+           | Event.Dg_retransmit _ ->
+               true
+           | _ -> false))
+      (count (fun (e : Event.t) ->
+           match e.Event.kind with
+           | Event.Replica_commit _ | Event.Replica_ack _
+           | Event.Replica_reply _ | Event.Replica_checkpoint _
+           | Event.Replica_install _ | Event.Replica_promote _
+           | Event.Replica_replay _ | Event.Replica_crash _ ->
+               true
+           | _ -> false))
+      out;
+    (match o.Sim.recovery with
+    | Some r when r.Replica.crashed ->
+        Format.printf
+          "failover: crash at tick %s, promoted at tick %s, %d records \
+           replayed@."
+          (match r.Replica.crash_tick with
+          | Some t -> string_of_int t
+          | None -> "?")
+          (match r.Replica.promoted_tick with
+          | Some t -> string_of_int t
+          | None -> "?")
+          r.Replica.replayed
+    | _ -> ());
+    Format.printf "trace invariants checked: %s@."
+      (String.concat ", " Fdb_check.Trace_oracle.invariant_names);
+    Format.printf "oracle: %a@." Oracle.pp_verdict o.Sim.verdict;
+    if not (Oracle.accepted o.Sim.verdict) then exit 1
+  in
+  let doc =
+    "Run a seeded fault-injected scenario (by default with a primary crash \
+     and backup failover), capture every event the stack emits, check the \
+     trace invariants, and export Chrome trace_event JSON loadable in \
+     chrome://tracing or Perfetto."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const go $ seed_arg $ txns $ clients $ out $ drop $ no_crash)
+
+(* -- stats: the metrics registry after a sweep ---------------------------------- *)
+
+let stats_cmd =
+  let module Gen = Fdb_check.Gen in
+  let module Sim = Fdb_check.Sim in
+  let txns =
+    Arg.(
+      value & opt int 6
+      & info [ "txns"; "n" ] ~doc:"Queries per client stream.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Client streams.")
+  in
+  let sweep =
+    Arg.(
+      value & opt int 8
+      & info [ "sweep" ] ~doc:"How many consecutive seeds to run.")
+  in
+  let go seed txns clients sweep =
+    Fdb_obs.Metrics.reset ();
+    for s = seed to seed + sweep - 1 do
+      let sc =
+        Gen.generate
+          { Gen.default_spec with seed = s; clients; queries_per_client = txns }
+      in
+      (* One crash-free transport run and one failover run per seed, plus a
+         lenient pipeline run so the cell-copy counters move too. *)
+      ignore (Sim.run ~seed:s sc);
+      ignore
+        (Sim.run ~faults:{ Sim.default_faults with Sim.crash = true } ~seed:s
+           sc);
+      let spec =
+        { Pipeline.schemas = sc.Gen.schemas; initial = sc.Gen.initial }
+      in
+      ignore
+        (Pipeline.run_streams ~semantics:Pipeline.Ordered_unique spec
+           sc.Gen.streams)
+    done;
+    Format.printf "metrics after %d seeds (x3 runs each):@.%a" sweep
+      Fdb_obs.Metrics.pp_snapshot
+      (Fdb_obs.Metrics.snapshot ())
+  in
+  let doc =
+    "Run a seeded sweep (transport, failover and lenient-pipeline runs) and \
+     print the metrics registry: cells copied vs shared, plan-path hit \
+     rates, retransmissions, failover latency."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const go $ seed_arg $ txns $ clients $ sweep)
+
 (* -- topo: describe a topology -------------------------------------------------- *)
 
 let topo_cmd =
@@ -624,4 +770,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; explain_cmd; workload_cmd; table_cmd; fel_cmd; topo_cmd;
-            check_cmd; recover_cmd ]))
+            check_cmd; recover_cmd; trace_cmd; stats_cmd ]))

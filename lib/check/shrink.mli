@@ -19,6 +19,13 @@ val query_count : Fdb_query.Ast.query list list -> int
 val measure : Fdb_query.Ast.query list list -> int
 (** The well-founded size the shrinker descends on.  Exposed for tests. *)
 
+val candidates :
+  Fdb_query.Ast.query list list -> Fdb_query.Ast.query list list list
+(** One shrink step's worth of candidate inputs, in the order the greedy
+    loop tries them (dropped clients, then dropped queries, then simplified
+    queries).  Exposed for the soundness tests: every candidate must be
+    strictly smaller under {!val:measure} and still well formed. *)
+
 val minimize :
   still_failing:(Fdb_query.Ast.query list list -> bool) ->
   Fdb_query.Ast.query list list ->

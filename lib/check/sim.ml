@@ -38,6 +38,7 @@ type outcome = {
   delayed : int;
   recovery : Replica.report option;
   net : Reliable.stats;
+  trace : Fdb_obs.Event.t list;
 }
 
 exception
@@ -45,7 +46,22 @@ exception
     missing : (int * int) list;
     buffered : int;
     stats : Reliable.stats;
+    trace_tail : string list;
   }
+
+(* Every sweep doubles as a trace-invariant check: the run executes under a
+   recording sink and the captured trace must satisfy every law in
+   {!Trace_oracle}. *)
+let assert_lawful trace =
+  match Trace_oracle.check trace with
+  | [] -> ()
+  | vs ->
+      failwith
+        (Format.asprintf "Sim.run: %d trace oracle violation(s):@,%a"
+           (List.length vs)
+           (Format.pp_print_list ~pp_sep:Format.pp_print_newline
+              Trace_oracle.pp_violation)
+           vs)
 
 type msg = { client : int; seq : int; query : Ast.query }
 
@@ -82,7 +98,10 @@ let run_crash ~recover_config ~faults ~seed (sc : Gen.scenario) =
     }
   in
   let initial = Gen.initial_db sc in
-  let r = Replica.run ~config ~initial sc.Gen.streams in
+  let (r, trace) =
+    Fdb_obs.Trace.record (fun () -> Replica.run ~config ~initial sc.Gen.streams)
+  in
+  assert_lawful trace;
   (* Invariants the oracle cannot see: an acked commit must survive the
      failover exactly once, and promotion must replay exactly the log
      suffix past the last installed checkpoint. *)
@@ -117,6 +136,7 @@ let run_crash ~recover_config ~faults ~seed (sc : Gen.scenario) =
     delayed = 0;
     recovery = Some r;
     net = r.Replica.net;
+    trace;
   }
 
 let run ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario) =
@@ -188,6 +208,8 @@ let run ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario) =
   in
   let any_remaining () = Array.exists (fun r -> !r <> []) remaining in
   let ticks = ref 0 in
+  let ((), trace) =
+    Fdb_obs.Trace.record @@ fun () ->
   while any_remaining () || !delayed <> [] || not (Reliable.idle channel) do
     incr ticks;
     if !ticks > 200_000 then failwith "Sim.run: no quiescence";
@@ -214,7 +236,9 @@ let run ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario) =
     delayed := held;
     List.iter (fun (_, m) -> send_now m) due;
     List.iter (fun (_dst, m) -> receive m) (Reliable.step channel)
-  done;
+  done
+  in
+  assert_lawful trace;
   let total = Gen.query_count sc in
   if !applied <> total || Hashtbl.length buffered <> 0 then begin
     (* Which (client, seq) never committed — a transport bug, surfaced
@@ -233,6 +257,7 @@ let run ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario) =
            missing = !missing;
            buffered = Hashtbl.length buffered;
            stats = Reliable.stats channel;
+           trace_tail = Fdb_obs.Trace.tail ();
          })
   end;
   let obs =
@@ -249,5 +274,6 @@ let run ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario) =
     delayed = !delayed_count;
     recovery = None;
     net = Reliable.stats channel;
+    trace;
   }
   end

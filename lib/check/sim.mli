@@ -44,6 +44,10 @@ type outcome = {
   recovery : Fdb_replica.Replica.report option;
       (** full failover report when [crash] was set *)
   net : Fdb_net.Reliable.stats;
+  trace : Fdb_obs.Event.t list;
+      (** everything the stack emitted while executing (the oracle-search
+          phase is not recorded); already checked against
+          {!Trace_oracle.check} — [run] raises [Failure] on violations *)
 }
 
 exception
@@ -51,6 +55,7 @@ exception
     missing : (int * int) list;  (** (client, seq) never committed *)
     buffered : int;  (** gap-buffered queries stuck at quiescence *)
     stats : Fdb_net.Reliable.stats;
+    trace_tail : string list;  (** last captured events, oldest first *)
   }
 (** A transport bug: the run quiesced but some query never committed.
     Carries exactly which (client, seq) pairs are unaccounted for plus the

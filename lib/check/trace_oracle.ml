@@ -1,0 +1,179 @@
+module Event = Fdb_obs.Event
+
+type violation = { invariant : string; index : int; detail : string }
+
+let v invariant index fmt = Format.kasprintf (fun detail -> { invariant; index; detail }) fmt
+
+(* Every reply the primary (site 0) releases for a replicated commit must
+   be covered by a backup ack: at reply time, some [Replica_ack] with
+   [upto > index of the commit] must already have been seen.  Dedup-cache
+   resends obey the same law — their commit was released once before. *)
+let ack_before_reply events =
+  let violations = ref [] in
+  let acked = ref 0 in
+  let commits : (int * int, int * bool) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i (ev : Event.t) ->
+      if ev.site = 0 then
+        match ev.kind with
+        | Event.Replica_commit { index; client; seq; backed } ->
+            Hashtbl.replace commits (client, seq) (index, backed)
+        | Event.Replica_ack { upto } -> if upto > !acked then acked := upto
+        | Event.Replica_reply { client; seq; status = "committed" } -> (
+            match Hashtbl.find_opt commits (client, seq) with
+            | None ->
+                violations :=
+                  v "ack_before_reply" i
+                    "reply to client %d seq %d with no prior commit" client seq
+                  :: !violations
+            | Some (index, backed) ->
+                if backed && index >= !acked then
+                  violations :=
+                    v "ack_before_reply" i
+                      "reply to client %d seq %d released at log index %d \
+                       with acks only up to %d"
+                      client seq index !acked
+                    :: !violations)
+        | _ -> ())
+    events;
+  List.rev !violations
+
+(* Promotion declares a suffix length; exactly that many replay events must
+   follow, and none may precede the promotion. *)
+let exact_suffix_replay events =
+  let violations = ref [] in
+  let suffix = ref None in
+  let replayed = ref 0 in
+  List.iteri
+    (fun i (ev : Event.t) ->
+      match ev.kind with
+      | Event.Replica_promote { suffix = n } -> suffix := Some n
+      | Event.Replica_replay _ -> (
+          match !suffix with
+          | None ->
+              violations :=
+                v "exact_suffix_replay" i "replay before any promotion"
+                :: !violations
+          | Some _ -> incr replayed)
+      | _ -> ())
+    events;
+  (match !suffix with
+  | Some n when n <> !replayed ->
+      violations :=
+        v "exact_suffix_replay" (List.length events)
+          "promotion declared a %d-record suffix, %d records replayed" n
+          !replayed
+        :: !violations
+  | _ -> ());
+  List.rev !violations
+
+let single_assignment events =
+  let violations = ref [] in
+  let written : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iteri
+    (fun i (ev : Event.t) ->
+      match ev.kind with
+      | Event.Cell_write { cell } -> (
+          match Hashtbl.find_opt written cell with
+          | Some first ->
+              violations :=
+                v "single_assignment" i
+                  "cell #%d written twice (first at event %d)" cell first
+                :: !violations
+          | None -> Hashtbl.replace written cell i)
+      | _ -> ())
+    events;
+  List.rev !violations
+
+let fabric_conservation events =
+  let violations = ref [] in
+  let check_net i (n : Event.net) =
+    if n.in_flight <> n.sent - n.delivered - n.faulted then
+      violations :=
+        v "fabric_conservation" i
+          "fab %d: in_flight %d <> sent %d - delivered %d - faulted %d" n.fab
+          n.in_flight n.sent n.delivered n.faulted
+        :: !violations;
+    if n.in_flight < 0 then
+      violations :=
+        v "fabric_conservation" i "fab %d: in_flight %d negative" n.fab
+          n.in_flight
+        :: !violations
+  in
+  List.iteri
+    (fun i (ev : Event.t) ->
+      match ev.kind with
+      | Event.Dg_send n | Event.Dg_deliver n | Event.Dg_drop n -> check_net i n
+      | _ -> ())
+    events;
+  List.rev !violations
+
+(* Dispatch spans never interleave on one site — the chain hands version
+   i+1 over before dispatching i+1 — and transactions start in id order. *)
+let dispatch_spans events =
+  let violations = ref [] in
+  let open_span : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let last_started : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i (ev : Event.t) ->
+      match ev.kind with
+      | Event.Dispatch_start { txn; _ } ->
+          (match Hashtbl.find_opt open_span ev.site with
+          | Some inner ->
+              violations :=
+                v "dispatch_spans" i
+                  "dispatch %d starts inside still-open dispatch %d on site %d"
+                  txn inner ev.site
+                :: !violations
+          | None -> Hashtbl.replace open_span ev.site txn);
+          (match Hashtbl.find_opt last_started ev.site with
+          | Some prev when txn <= prev ->
+              violations :=
+                v "dispatch_spans" i
+                  "dispatch %d starts after dispatch %d on site %d" txn prev
+                  ev.site
+                :: !violations
+          | _ -> ());
+          Hashtbl.replace last_started ev.site txn
+      | Event.Dispatch_end { txn; _ } -> (
+          match Hashtbl.find_opt open_span ev.site with
+          | Some open_txn when open_txn = txn -> Hashtbl.remove open_span ev.site
+          | Some open_txn ->
+              violations :=
+                v "dispatch_spans" i
+                  "dispatch %d ends while dispatch %d is open on site %d" txn
+                  open_txn ev.site
+                :: !violations
+          | None ->
+              violations :=
+                v "dispatch_spans" i "dispatch %d ends without a start" txn
+                :: !violations)
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun site txn ->
+      violations :=
+        v "dispatch_spans" (List.length events)
+          "dispatch %d on site %d never ended" txn site
+        :: !violations)
+    open_span;
+  List.rev !violations
+
+let invariant_names =
+  [
+    "ack_before_reply";
+    "exact_suffix_replay";
+    "single_assignment";
+    "fabric_conservation";
+    "dispatch_spans";
+  ]
+
+let check events =
+  ack_before_reply events
+  @ exact_suffix_replay events
+  @ single_assignment events
+  @ fabric_conservation events
+  @ dispatch_spans events
+
+let pp_violation ppf { invariant; index; detail } =
+  Format.fprintf ppf "%s at event %d: %s" invariant index detail

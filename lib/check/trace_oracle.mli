@@ -1,0 +1,42 @@
+(** Invariants over captured event traces.
+
+    The serializability {!Oracle} judges a run by its observable responses;
+    this oracle judges the {e mechanism} — the ordering and conservation
+    laws the trace of any correct run must satisfy, whatever the responses:
+
+    - {b ack-before-reply}: the primary never releases a [Committed] reply
+      for a backed commit until a backup ack covering that log index has
+      arrived (the durability gate of the replication protocol);
+    - {b exact-suffix-replay}: a promotion replays exactly the log suffix
+      past the last installed checkpoint — no replay before promotion, no
+      missing or extra records;
+    - {b single-assignment}: no lenient cell is ever written twice;
+    - {b fabric-conservation}: [in_flight = sent - delivered - faulted]
+      holds in the counter snapshot carried by {e every} datagram event,
+      not just at quiescence, and [in_flight] never goes negative;
+    - {b dispatch-spans}: dispatch start/end events are well nested per
+      site and transaction ids start in increasing order (the pipeline
+      dispatches versions in stream order).
+
+    Invariants rely on emission {e order}, never on the layer-local [ts]
+    values, so a trace interleaving several clocks is still checkable. *)
+
+type violation = {
+  invariant : string;  (** which law, e.g. ["ack_before_reply"] *)
+  index : int;  (** position in the trace of the offending event, or
+                    [List.length trace] for end-of-trace violations *)
+  detail : string;
+}
+
+val ack_before_reply : Fdb_obs.Event.t list -> violation list
+val exact_suffix_replay : Fdb_obs.Event.t list -> violation list
+val single_assignment : Fdb_obs.Event.t list -> violation list
+val fabric_conservation : Fdb_obs.Event.t list -> violation list
+val dispatch_spans : Fdb_obs.Event.t list -> violation list
+
+val invariant_names : string list
+
+val check : Fdb_obs.Event.t list -> violation list
+(** All invariants, concatenated.  Empty = the trace is law-abiding. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -427,8 +427,19 @@ let run ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false) ?(primary = 0)
             ~label:(Printf.sprintf "dispatch#%d" i)
             db_iv
             (fun db ->
-              Engine.put next_iv
-                (exec ~id:i ~answer:(Engine.put resp.(i)) q db));
+              if Fdb_obs.Trace.enabled () then
+                Fdb_obs.Trace.emit_at ~ts:(Engine.now eng) ~site:primary
+                  (Fdb_obs.Event.Dispatch_start
+                     { txn = i; label = Printf.sprintf "dispatch#%d" i });
+              let db' = exec ~id:i ~answer:(Engine.put resp.(i)) q db in
+              if Fdb_obs.Trace.enabled () then
+                Fdb_obs.Trace.emit_at ~ts:(Engine.now eng) ~site:primary
+                  (Fdb_obs.Event.Dispatch_end
+                     { txn = i; label = Printf.sprintf "dispatch#%d" i });
+              (* The span covers only the dispatch step — the handoff of
+                 version i+1 — not the flooded cell work, which overlaps
+                 later dispatches by design. *)
+              Engine.put next_iv db');
           chain (i + 1) next_iv
         end
         else
@@ -481,8 +492,16 @@ let run_streams ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false)
               collected := (tag, q, resp) :: !collected;
               let next_iv = Engine.ivar eng in
               Engine.await ~label:(Printf.sprintf "txn#%d" i) db_iv (fun db ->
-                  Engine.put next_iv
-                    (exec ~id:i ~answer:(Engine.put resp) q db));
+                  if Fdb_obs.Trace.enabled () then
+                    Fdb_obs.Trace.emit_at ~ts:(Engine.now eng) ~site:primary
+                      (Fdb_obs.Event.Dispatch_start
+                         { txn = i; label = Printf.sprintf "txn#%d" i });
+                  let db' = exec ~id:i ~answer:(Engine.put resp) q db in
+                  if Fdb_obs.Trace.enabled () then
+                    Fdb_obs.Trace.emit_at ~ts:(Engine.now eng) ~site:primary
+                      (Fdb_obs.Event.Dispatch_end
+                         { txn = i; label = Printf.sprintf "txn#%d" i });
+                  Engine.put next_iv db');
               chase (i + 1) rest next_iv
         )
       in

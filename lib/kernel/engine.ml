@@ -100,17 +100,32 @@ type 'a ivar = {
      (eventually) put this cell, launched by the first await.  [None] for
      ordinary data-driven cells. *)
   mutable producer : (string * (unit -> unit)) option;
+  (* Trace identity, assigned lazily on first traced access so untraced
+     runs never pay for it.  Process-global, so one trace can span several
+     engines without id collisions. *)
+  mutable cid : int;
 }
 
-let ivar eng =
-  { eng; home = max eng.current 0; state = Empty []; producer = None }
+let cid_counter = ref 0
 
-let ivar_at eng ~site = { eng; home = site; state = Empty []; producer = None }
+let cell_id iv =
+  if iv.cid = 0 then begin
+    incr cid_counter;
+    iv.cid <- !cid_counter
+  end;
+  iv.cid
+
+let ivar eng =
+  { eng; home = max eng.current 0; state = Empty []; producer = None; cid = 0 }
+
+let ivar_at eng ~site =
+  { eng; home = site; state = Empty []; producer = None; cid = 0 }
 
 let full eng v =
-  { eng; home = max eng.current 0; state = Full v; producer = None }
+  { eng; home = max eng.current 0; state = Full v; producer = None; cid = 0 }
 
-let full_at eng ~site v = { eng; home = site; state = Full v; producer = None }
+let full_at eng ~site v =
+  { eng; home = site; state = Full v; producer = None; cid = 0 }
 
 let suspend eng ?(label = "demand") work =
   let iv = ivar eng in
@@ -145,6 +160,10 @@ let put iv v =
   | Full _ -> raise (Double_put "Engine.put: cell already full")
   | Empty waiters ->
       iv.state <- Full v;
+      (* Guarded so the disabled path allocates nothing (bench-asserted). *)
+      if Fdb_obs.Trace.enabled () then
+        Fdb_obs.Trace.emit_at ~ts:iv.eng.cycle ~site:iv.home
+          (Fdb_obs.Event.Cell_write { cell = cell_id iv });
       (* The data travels from the putting site to the cell's home, then
          each waiting continuation fires there.  Waiters were pushed in
          front; wake in registration order. *)
@@ -153,6 +172,9 @@ let put iv v =
 
 let await ?(label = "") iv k =
   let eng = iv.eng in
+  if Fdb_obs.Trace.enabled () then
+    Fdb_obs.Trace.emit_at ~ts:eng.cycle ~site:eng.current
+      (Fdb_obs.Event.Cell_read { cell = cell_id iv; label });
   eng.waiting <- eng.waiting + 1;
   match iv.state with
   | Full v ->

@@ -3,6 +3,16 @@ open Fdb_kernel
 type 'a cell = Nil | Cons of 'a * 'a t
 and 'a t = 'a cell Engine.ivar
 
+(* Structure-sharing economics of the version-producing operations
+   (paper §2.2): each copy-loop step duplicates one cell of the old
+   version, each splice shares the entire untouched suffix in O(1).
+   [cells_copied] counts duplicated cells; [cells_shared] counts suffix
+   splices (one event per shared tail, whatever its length). *)
+let m_copied = Fdb_obs.Metrics.counter "lenient.cells_copied"
+let m_shared = Fdb_obs.Metrics.counter "lenient.cells_shared"
+let copied () = Fdb_obs.Metrics.incr m_copied
+let shared () = Fdb_obs.Metrics.incr m_shared
+
 let nil eng = Engine.full eng Nil
 let cons eng x tail = Engine.full eng (Cons (x, tail))
 let empty eng = Engine.ivar eng
@@ -105,10 +115,12 @@ let insert_ordered eng ?(label = "insert") ~cmp x l =
       | Cons (y, rest) as old_cell ->
           if cmp x y <= 0 then begin
             (* splice and share the untouched suffix *)
+            shared ();
             Engine.put out (Cons (x, Engine.full eng old_cell));
             Engine.put ack ()
           end
           else begin
+            copied ();
             let out' = Engine.ivar eng in
             Engine.put out (Cons (y, out'));
             step rest out'
@@ -143,14 +155,17 @@ let insert_unique eng ?(label = "insert_unique") ~cmp x l =
           let c = cmp x y in
           if c = 0 then begin
             (* already present: share from here on, discard the copies *)
+            shared ();
             Engine.put out old_cell;
             Engine.put ack false
           end
           else if c < 0 then begin
+            shared ();
             Engine.put out (Cons (x, Engine.full eng old_cell));
             Engine.put ack true
           end
           else begin
+            copied ();
             let out' = Engine.ivar eng in
             Engine.put out (Cons (y, out'));
             step rest out'
@@ -169,15 +184,18 @@ let delete_ordered eng ?(label = "delete_ordered") ~cmp x l =
       | Cons (y, rest) as old_cell ->
           let c = cmp x y in
           if c = 0 then begin
+            shared ();
             Engine.await ~label rest (fun suffix -> Engine.put out suffix);
             Engine.put ack true
           end
           else if c < 0 then begin
             (* passed the ordered position: absent *)
+            shared ();
             Engine.put out old_cell;
             Engine.put ack false
           end
           else begin
+            copied ();
             let out' = Engine.ivar eng in
             Engine.put out (Cons (y, out'));
             step rest out'
@@ -195,6 +213,7 @@ let update_all eng ?(label = "update_all") rewrite l =
           Engine.put ack changed
       | Cons (y, rest) ->
           let out' = Engine.ivar eng in
+          copied ();
           (match rewrite y with
           | Some y' ->
               Engine.put out (Cons (y', out'));
@@ -216,6 +235,7 @@ let delete_all eng ?(label = "delete_all") pred l =
       | Cons (y, rest) ->
           if pred y then step (removed + 1) rest out
           else begin
+            copied ();
             let out' = Engine.ivar eng in
             Engine.put out (Cons (y, out'));
             step removed rest out'
@@ -234,10 +254,12 @@ let delete_first eng ?(label = "delete") pred l =
       | Cons (y, rest) ->
           if pred y then begin
             (* drop y, share the suffix *)
+            shared ();
             Engine.await ~label rest (fun suffix -> Engine.put out suffix);
             Engine.put ack true
           end
           else begin
+            copied ();
             let out' = Engine.ivar eng in
             Engine.put out (Cons (y, out'));
             step rest out'

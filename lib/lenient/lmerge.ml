@@ -13,7 +13,13 @@ let merge eng ?(label = "merge") inputs =
          faithful model of the paper's single merge point. *)
       let tail = ref head in
       let live = ref (List.length inputs) in
-      let emit v =
+      let pos = ref 0 in
+      let emit tag v =
+        if Fdb_obs.Trace.enabled () then
+          Fdb_obs.Trace.emit_at ~ts:(Engine.now eng)
+            ~site:(Engine.current_site eng)
+            (Fdb_obs.Event.Merge_take { tag; pos = !pos });
+        incr pos;
         let next = Engine.ivar eng in
         Engine.put !tail (Llist.Cons (v, next));
         tail := next
@@ -28,7 +34,7 @@ let merge eng ?(label = "merge") inputs =
             Engine.await ~label l (function
               | Llist.Nil -> finish ()
               | Llist.Cons (x, rest) ->
-                  emit (tag, x);
+                  emit tag (tag, x);
                   chase rest)
           in
           chase l)

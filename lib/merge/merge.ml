@@ -12,6 +12,9 @@ let drain_step queues tag acc =
   | [] -> (acc, false)
   | item :: rest ->
       queues.(tag) <- rest;
+      if Fdb_obs.Trace.enabled () then
+        Fdb_obs.Trace.emit
+          (Fdb_obs.Event.Merge_take { tag; pos = List.length acc });
       ({ tag; item } :: acc, true)
 
 let total_left queues = Array.exists (fun q -> q <> []) queues

@@ -26,7 +26,28 @@ type 'a t = {
   mutable in_flight : int;
   mutable max_in_flight : int;
   mutable faulted : int;
+  fab_id : int;  (* distinguishes interleaved fabrics in one trace *)
+  mutable clock : int;  (* step count, the fabric's local timebase *)
 }
+
+let next_fab_id = ref 0
+
+let m_sent = Fdb_obs.Metrics.counter "fabric.sent"
+let m_delivered = Fdb_obs.Metrics.counter "fabric.delivered"
+let m_faulted = Fdb_obs.Metrics.counter "fabric.faulted"
+
+(* Post-operation counter snapshot carried on every datagram event; the
+   trace oracle checks [in_flight = sent - delivered - faulted] on each. *)
+let snap f ~src ~dst : Fdb_obs.Event.net =
+  {
+    fab = f.fab_id;
+    src;
+    dst;
+    sent = f.sent;
+    delivered = f.delivered;
+    faulted = f.faulted;
+    in_flight = f.in_flight;
+  }
 
 let create ?(link_capacity = 1) topo =
   if link_capacity < 1 then invalid_arg "Fabric.create: capacity < 1";
@@ -50,6 +71,8 @@ let create ?(link_capacity = 1) topo =
     in_flight = 0;
     max_in_flight = 0;
     faulted = 0;
+    fab_id = (incr next_fab_id; !next_fab_id);
+    clock = 0;
   }
 
 let topology f = f.topo
@@ -59,9 +82,12 @@ let check_node f u ~what =
     invalid_arg (Printf.sprintf "Fabric.%s: bad node" what)
 
 let fault f m =
-  ignore m;
   f.faulted <- f.faulted + 1;
-  f.in_flight <- f.in_flight - 1
+  f.in_flight <- f.in_flight - 1;
+  Fdb_obs.Metrics.incr m_faulted;
+  if Fdb_obs.Trace.enabled () then
+    Fdb_obs.Trace.emit_at ~ts:f.clock ~site:m.dst
+      (Fdb_obs.Event.Dg_drop (snap f ~src:m.m_src ~dst:m.dst))
 
 (* -- crash faults ----------------------------------------------------------- *)
 
@@ -120,12 +146,21 @@ let send f ~src ~dst payload =
     invalid_arg "Fabric.send: bad endpoint";
   let m = { m_src = src; dst; payload } in
   f.sent <- f.sent + 1;
-  if f.down.(src) then
+  Fdb_obs.Metrics.incr m_sent;
+  if f.down.(src) then begin
     (* A dead node transmits nothing: the injection is charged and lost. *)
-    f.faulted <- f.faulted + 1
+    f.faulted <- f.faulted + 1;
+    Fdb_obs.Metrics.incr m_faulted;
+    if Fdb_obs.Trace.enabled () then
+      Fdb_obs.Trace.emit_at ~ts:f.clock ~site:src
+        (Fdb_obs.Event.Dg_drop (snap f ~src ~dst))
+  end
   else begin
     f.in_flight <- f.in_flight + 1;
     if f.in_flight > f.max_in_flight then f.max_in_flight <- f.in_flight;
+    if Fdb_obs.Trace.enabled () then
+      Fdb_obs.Trace.emit_at ~ts:f.clock ~site:src
+        (Fdb_obs.Event.Dg_send (snap f ~src ~dst));
     if src = dst then Queue.push m f.local_q.(src)
     else
       match Topology.kind f.topo with
@@ -141,12 +176,17 @@ let broadcast f ~src payload =
   done
 
 let step f =
+  f.clock <- f.clock + 1;
   let deliveries = ref [] in
   let deliver m =
     if f.down.(m.dst) || severed f m.m_src m.dst then fault f m
     else begin
       f.delivered <- f.delivered + 1;
       f.in_flight <- f.in_flight - 1;
+      Fdb_obs.Metrics.incr m_delivered;
+      if Fdb_obs.Trace.enabled () then
+        Fdb_obs.Trace.emit_at ~ts:f.clock ~site:m.dst
+          (Fdb_obs.Event.Dg_deliver (snap f ~src:m.m_src ~dst:m.dst));
       deliveries := (m.dst, m.payload) :: !deliveries
     end
   in

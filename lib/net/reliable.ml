@@ -30,7 +30,13 @@ exception
     in_flight : int;
     pending : (int * int * int) list;
     stats : stats;
+    trace_tail : string list;
+        (* last events seen while tracing was on; [] if it never was *)
   }
+
+let m_retransmissions = Fdb_obs.Metrics.counter "reliable.retransmissions"
+let m_drops = Fdb_obs.Metrics.counter "reliable.medium_drops"
+let m_duplicates = Fdb_obs.Metrics.counter "reliable.duplicates"
 
 type 'a t = {
   fabric : 'a frame Fabric.t;
@@ -150,6 +156,11 @@ let step t =
           if o.o_age >= o.o_timeout then begin
             o.o_age <- 0;
             o.o_timeout <- grow_timeout t o.o_timeout;
+            Fdb_obs.Metrics.incr m_retransmissions;
+            if Fdb_obs.Trace.enabled () then
+              Fdb_obs.Trace.emit
+                (Fdb_obs.Event.Dg_retransmit
+                   { src; dst = o.o_dst; seq = o.o_seq });
             transmit t ~src ~dst:o.o_dst
               (Data { src; dst = o.o_dst; seq = o.o_seq; payload = o.o_payload })
           end)
@@ -159,12 +170,17 @@ let step t =
   let deliveries = ref [] in
   List.iter
     (fun (_, frame) ->
-      if lost t then t.s_drops <- t.s_drops + 1
+      if lost t then begin
+        t.s_drops <- t.s_drops + 1;
+        Fdb_obs.Metrics.incr m_drops
+      end
       else
         match frame with
         | Data { src; dst; seq; payload } ->
-            if Hashtbl.mem t.seen (src, dst, seq) then
-              t.s_duplicates <- t.s_duplicates + 1
+            if Hashtbl.mem t.seen (src, dst, seq) then begin
+              t.s_duplicates <- t.s_duplicates + 1;
+              Fdb_obs.Metrics.incr m_duplicates
+            end
             else begin
               Hashtbl.replace t.seen (src, dst, seq) ();
               t.s_delivered <- t.s_delivered + 1;
@@ -212,7 +228,8 @@ let run_to_quiescence ?(max_steps = 100_000) t =
            { steps = !steps;
              in_flight = Fabric.in_flight t.fabric;
              pending = unacked t;
-             stats = stats t });
+             stats = stats t;
+             trace_tail = Fdb_obs.Trace.tail () });
     incr steps;
     out := !out @ step t
   done;

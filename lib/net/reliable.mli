@@ -37,6 +37,9 @@ exception
     pending : (int * int * int) list;
         (** unacknowledged [(src, dst, seq)] sends, sorted *)
     stats : stats;
+    trace_tail : string list;
+        (** the last captured trace events (rendered), oldest first; empty
+            when tracing was never enabled *)
   }
 (** Raised by {!val:run_to_quiescence} with everything needed to diagnose
     why the network would not drain (e.g. a peer that is down keeps its

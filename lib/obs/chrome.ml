@@ -1,0 +1,94 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* (key, json-value) pairs for the args object of each event. *)
+let args_of (kind : Event.kind) =
+  let i k v = (k, string_of_int v) in
+  let s k v = (k, Printf.sprintf "\"%s\"" (escape v)) in
+  let b k v = (k, if v then "true" else "false") in
+  let net (n : Event.net) =
+    [
+      i "fab" n.fab; i "src" n.src; i "dst" n.dst; i "sent" n.sent;
+      i "delivered" n.delivered; i "faulted" n.faulted;
+      i "in_flight" n.in_flight;
+    ]
+  in
+  match kind with
+  | Dispatch_start { txn; label } | Dispatch_end { txn; label } ->
+      [ i "txn" txn; s "label" label ]
+  | Cell_write { cell } -> [ i "cell" cell ]
+  | Cell_read { cell; label } -> [ i "cell" cell; s "label" label ]
+  | Plan_chosen { rel; path } -> [ s "rel" rel; s "path" path ]
+  | Merge_take { tag; pos } -> [ i "tag" tag; i "pos" pos ]
+  | Dg_send n | Dg_deliver n | Dg_drop n -> net n
+  | Dg_retransmit { src; dst; seq } -> [ i "src" src; i "dst" dst; i "seq" seq ]
+  | Replica_commit { index; client; seq; backed } ->
+      [ i "index" index; i "client" client; i "seq" seq; b "backed" backed ]
+  | Replica_ack { upto } -> [ i "upto" upto ]
+  | Replica_reply { client; seq; status } ->
+      [ i "client" client; i "seq" seq; s "status" status ]
+  | Replica_checkpoint { upto; bytes } -> [ i "upto" upto; i "bytes" bytes ]
+  | Replica_install { upto } -> [ i "upto" upto ]
+  | Replica_promote { suffix } -> [ i "suffix" suffix ]
+  | Replica_replay { index } -> [ i "index" index ]
+  | Replica_crash { site } -> [ i "site" site ]
+
+let record buf ~name ~ph ~ts ~tid ?(extra = []) args =
+  if Buffer.length buf > 0 then Buffer.add_string buf ",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%d,\"pid\":0,\"tid\":%d"
+       (escape name) ph ts tid);
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" k v)) extra;
+  Buffer.add_string buf ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%s" k v))
+    args;
+  Buffer.add_string buf "}}"
+
+let to_json events =
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun idx (ev : Event.t) ->
+      let tid = ev.site + 1 in
+      let args = args_of ev.kind in
+      let base_name = Event.name ev.kind in
+      (match ev.kind with
+      | Dispatch_start { txn; label } ->
+          let name =
+            if label = "" then Printf.sprintf "txn-%d" txn else label
+          in
+          record buf ~name ~ph:"B" ~ts:idx ~tid args
+      | Dispatch_end { txn; label } ->
+          let name =
+            if label = "" then Printf.sprintf "txn-%d" txn else label
+          in
+          record buf ~name ~ph:"E" ~ts:idx ~tid args
+      | _ ->
+          record buf ~name:base_name ~ph:"i" ~ts:idx ~tid
+            ~extra:[ ("s", "\"t\"") ]
+            args);
+      match ev.kind with
+      | Dg_send n | Dg_deliver n | Dg_drop n ->
+          record buf
+            ~name:(Printf.sprintf "in_flight(fab%d)" n.fab)
+            ~ph:"C" ~ts:idx ~tid:0
+            [ ("in_flight", string_of_int n.in_flight) ]
+      | _ -> ())
+    events;
+  Printf.sprintf
+    "{\"traceEvents\":[\n%s\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"fdbsim trace\"}}\n"
+    (Buffer.contents buf)

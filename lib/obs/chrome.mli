@@ -1,0 +1,14 @@
+(** Chrome [trace_event] export.
+
+    Renders a captured event list as the JSON object format understood by
+    [chrome://tracing] / Perfetto: dispatch start/end become duration
+    ("B"/"E") spans, everything else becomes an instant ("i") event, and
+    datagram events additionally emit an [in_flight] counter ("C") track.
+
+    Timestamps are the event's {e index} in the trace (in microseconds):
+    the layers run on incomparable local clocks, so emission order is the
+    only globally meaningful timeline.  Sites map to Chrome thread ids
+    ([tid = site + 1] so site [-1] renders as tid 0). *)
+
+val to_json : Event.t list -> string
+(** The full [{"traceEvents": [...], ...}] document, ready to load. *)

@@ -1,0 +1,85 @@
+type net = {
+  fab : int;
+  src : int;
+  dst : int;
+  sent : int;
+  delivered : int;
+  faulted : int;
+  in_flight : int;
+}
+
+type kind =
+  | Dispatch_start of { txn : int; label : string }
+  | Dispatch_end of { txn : int; label : string }
+  | Cell_write of { cell : int }
+  | Cell_read of { cell : int; label : string }
+  | Plan_chosen of { rel : string; path : string }
+  | Merge_take of { tag : int; pos : int }
+  | Dg_send of net
+  | Dg_deliver of net
+  | Dg_drop of net
+  | Dg_retransmit of { src : int; dst : int; seq : int }
+  | Replica_commit of { index : int; client : int; seq : int; backed : bool }
+  | Replica_ack of { upto : int }
+  | Replica_reply of { client : int; seq : int; status : string }
+  | Replica_checkpoint of { upto : int; bytes : int }
+  | Replica_install of { upto : int }
+  | Replica_promote of { suffix : int }
+  | Replica_replay of { index : int }
+  | Replica_crash of { site : int }
+
+type t = { ts : int; site : int; kind : kind }
+
+let name = function
+  | Dispatch_start _ -> "dispatch_start"
+  | Dispatch_end _ -> "dispatch_end"
+  | Cell_write _ -> "cell_write"
+  | Cell_read _ -> "cell_read"
+  | Plan_chosen _ -> "plan_chosen"
+  | Merge_take _ -> "merge_take"
+  | Dg_send _ -> "dg_send"
+  | Dg_deliver _ -> "dg_deliver"
+  | Dg_drop _ -> "dg_drop"
+  | Dg_retransmit _ -> "dg_retransmit"
+  | Replica_commit _ -> "replica_commit"
+  | Replica_ack _ -> "replica_ack"
+  | Replica_reply _ -> "replica_reply"
+  | Replica_checkpoint _ -> "replica_checkpoint"
+  | Replica_install _ -> "replica_install"
+  | Replica_promote _ -> "replica_promote"
+  | Replica_replay _ -> "replica_replay"
+  | Replica_crash _ -> "replica_crash"
+
+let pp_kind ppf = function
+  | Dispatch_start { txn; label } -> Fmt.pf ppf "dispatch_start txn=%d %s" txn label
+  | Dispatch_end { txn; label } -> Fmt.pf ppf "dispatch_end txn=%d %s" txn label
+  | Cell_write { cell } -> Fmt.pf ppf "cell_write #%d" cell
+  | Cell_read { cell; label } -> Fmt.pf ppf "cell_read #%d (%s)" cell label
+  | Plan_chosen { rel; path } -> Fmt.pf ppf "plan_chosen %s: %s" rel path
+  | Merge_take { tag; pos } -> Fmt.pf ppf "merge_take tag=%d pos=%d" tag pos
+  | Dg_send n ->
+      Fmt.pf ppf "dg_send fab=%d %d->%d (s=%d d=%d f=%d if=%d)" n.fab n.src
+        n.dst n.sent n.delivered n.faulted n.in_flight
+  | Dg_deliver n ->
+      Fmt.pf ppf "dg_deliver fab=%d %d->%d (s=%d d=%d f=%d if=%d)" n.fab n.src
+        n.dst n.sent n.delivered n.faulted n.in_flight
+  | Dg_drop n ->
+      Fmt.pf ppf "dg_drop fab=%d %d->%d (s=%d d=%d f=%d if=%d)" n.fab n.src
+        n.dst n.sent n.delivered n.faulted n.in_flight
+  | Dg_retransmit { src; dst; seq } ->
+      Fmt.pf ppf "dg_retransmit %d->%d seq=%d" src dst seq
+  | Replica_commit { index; client; seq; backed } ->
+      Fmt.pf ppf "replica_commit idx=%d c%d#%d backed=%b" index client seq
+        backed
+  | Replica_ack { upto } -> Fmt.pf ppf "replica_ack upto=%d" upto
+  | Replica_reply { client; seq; status } ->
+      Fmt.pf ppf "replica_reply c%d#%d %s" client seq status
+  | Replica_checkpoint { upto; bytes } ->
+      Fmt.pf ppf "replica_checkpoint upto=%d bytes=%d" upto bytes
+  | Replica_install { upto } -> Fmt.pf ppf "replica_install upto=%d" upto
+  | Replica_promote { suffix } -> Fmt.pf ppf "replica_promote suffix=%d" suffix
+  | Replica_replay { index } -> Fmt.pf ppf "replica_replay idx=%d" index
+  | Replica_crash { site } -> Fmt.pf ppf "replica_crash site=%d" site
+
+let pp ppf { ts; site; kind } = Fmt.pf ppf "[t=%d s=%d] %a" ts site pp_kind kind
+let to_string ev = Fmt.str "%a" pp ev

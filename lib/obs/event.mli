@@ -1,0 +1,52 @@
+(** Typed trace events.
+
+    One constructor per observable action in the stack; every layer emits
+    through {!Fdb_obs.Trace} so a single captured trace interleaves kernel
+    cell traffic, dispatch spans, planner decisions, datagram motion and
+    replication protocol steps in emission order.  Emission order is the
+    ground truth the {i trace oracles} reason about — the [ts] field is
+    layer-local (engine cycles, fabric clock ticks, replica ticks) and is
+    only used for display. *)
+
+type net = {
+  fab : int;  (** fabric instance id — traces can interleave several *)
+  src : int;
+  dst : int;
+  sent : int;
+  delivered : int;
+  faulted : int;
+  in_flight : int;
+      (** [sent]..[in_flight] are the fabric's accounting counters {e after}
+          this event was applied; conservation must hold at every event. *)
+}
+
+type kind =
+  | Dispatch_start of { txn : int; label : string }
+  | Dispatch_end of { txn : int; label : string }
+  | Cell_write of { cell : int }
+  | Cell_read of { cell : int; label : string }
+  | Plan_chosen of { rel : string; path : string }
+  | Merge_take of { tag : int; pos : int }
+      (** merge arbitration: element [pos] of the output came from input
+          stream [tag] *)
+  | Dg_send of net
+  | Dg_deliver of net
+  | Dg_drop of net
+  | Dg_retransmit of { src : int; dst : int; seq : int }
+  | Replica_commit of { index : int; client : int; seq : int; backed : bool }
+  | Replica_ack of { upto : int }
+  | Replica_reply of { client : int; seq : int; status : string }
+  | Replica_checkpoint of { upto : int; bytes : int }
+  | Replica_install of { upto : int }
+  | Replica_promote of { suffix : int }
+  | Replica_replay of { index : int }
+  | Replica_crash of { site : int }
+
+type t = { ts : int; site : int; kind : kind }
+
+val name : kind -> string
+(** Constructor name, e.g. ["dg_send"] — stable, used as the Chrome event
+    name and in oracle diagnostics. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

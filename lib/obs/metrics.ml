@@ -1,0 +1,138 @@
+type counter = { c_name : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;  (* power-of-two buckets *)
+}
+
+let n_buckets = 32
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let counter_value c = c.count
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_count = 0;
+          h_sum = 0;
+          h_min = 0;
+          h_max = 0;
+          h_buckets = Array.make n_buckets 0;
+        }
+      in
+      Hashtbl.add histograms name h;
+      h
+
+(* bucket 0: v <= 0; bucket i: 2^(i-1) <= v < 2^i, clamped to the last. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 0 do
+      Stdlib.incr b;
+      x := !x lsr 1
+    done;
+    min !b (n_buckets - 1)
+  end
+
+let observe h v =
+  if h.h_count = 0 then begin
+    h.h_min <- v;
+    h.h_max <- v
+  end
+  else begin
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+type histo_stats = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histo_stats) list;
+}
+
+let histo_stats h =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      let upper = if i = 0 then 0 else (1 lsl i) - 1 in
+      buckets := (upper, h.h_buckets.(i)) :: !buckets
+  done;
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    buckets = !buckets;
+  }
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold
+      (fun name (c : counter) acc -> (name, c.count) :: acc)
+      counters []
+  in
+  let hs =
+    Hashtbl.fold (fun name h acc -> (name, histo_stats h) :: acc) histograms []
+  in
+  let by_name (a, _) (b, _) = String.compare a b in
+  { counters = List.sort by_name cs; histograms = List.sort by_name hs }
+
+let reset () =
+  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_min <- 0;
+      h.h_max <- 0;
+      Array.fill h.h_buckets 0 n_buckets 0)
+    histograms
+
+let pp_snapshot ppf snap =
+  Fmt.pf ppf "counters:@.";
+  List.iter
+    (fun (name, v) -> Fmt.pf ppf "  %-34s %d@." name v)
+    snap.counters;
+  if snap.histograms <> [] then begin
+    Fmt.pf ppf "histograms:@.";
+    List.iter
+      (fun (name, h) ->
+        let mean = if h.count = 0 then 0.0 else float h.sum /. float h.count in
+        Fmt.pf ppf "  %-34s n=%d min=%d max=%d mean=%.1f@." name h.count h.min
+          h.max mean;
+        List.iter
+          (fun (upper, c) -> Fmt.pf ppf "    <=%-8d %d@." upper c)
+          h.buckets)
+      snap.histograms
+  end

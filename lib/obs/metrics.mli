@@ -1,0 +1,41 @@
+(** Named counters and histograms.
+
+    A process-global registry replacing the per-module ad-hoc counters.
+    Instruments register once at module initialisation (the only point that
+    pays a hashtable lookup); the hot path is a single unboxed [int]
+    mutation, cheap enough to leave permanently on.
+
+    Histograms use power-of-two buckets: bucket [i] holds observations [v]
+    with [2^(i-1) <= v < 2^i] (bucket 0 holds [v <= 0]). *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Find-or-create; the same name always yields the same counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+
+type histo_stats = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when [count = 0] *)
+  max : int;
+  buckets : (int * int) list;  (** (inclusive upper bound, count), non-empty buckets only *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * histo_stats) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+(** Zero every registered instrument (registration survives). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

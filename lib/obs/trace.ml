@@ -1,0 +1,60 @@
+let on = ref false
+let sink : (Event.t -> unit) ref = ref (fun _ -> ())
+let counter = ref 0
+
+(* Bounded ring of recent events, kept independently of the sink so that
+   exception diagnostics can always show a tail. *)
+let ring_cap = 64
+let ring : Event.t option array = Array.make ring_cap None
+let ring_next = ref 0
+
+let enabled () = !on
+
+let set_sink = function
+  | None ->
+      on := false;
+      sink := fun _ -> ()
+  | Some f ->
+      sink := f;
+      on := true
+
+let emit_at ~ts ~site kind =
+  if !on then begin
+    let ev = { Event.ts; site; kind } in
+    ring.(!ring_next mod ring_cap) <- Some ev;
+    incr ring_next;
+    !sink ev
+  end
+
+let emit kind =
+  incr counter;
+  emit_at ~ts:!counter ~site:(-1) kind
+
+let record f =
+  let saved_on = !on and saved_sink = !sink in
+  let acc = ref [] in
+  set_sink (Some (fun ev -> acc := ev :: !acc));
+  let restore () =
+    on := saved_on;
+    sink := saved_sink
+  in
+  match f () with
+  | x ->
+      restore ();
+      (x, List.rev !acc)
+  | exception e ->
+      restore ();
+      raise e
+
+let tail ?(n = 12) () =
+  let events = ref [] in
+  for i = !ring_next - 1 downto max 0 (!ring_next - min n ring_cap) do
+    match ring.(i mod ring_cap) with
+    | Some ev -> events := Event.to_string ev :: !events
+    | None -> ()
+  done;
+  !events
+
+let clear_tail () =
+  Array.fill ring 0 ring_cap None;
+  ring_next := 0

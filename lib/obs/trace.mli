@@ -1,0 +1,45 @@
+(** The global event sink.
+
+    Tracing is off by default and the disabled path is a guaranteed no-op:
+    instrumented code must guard event {e construction} behind
+    {!val:enabled}, as in
+
+    {[
+      if Trace.enabled () then
+        Trace.emit_at ~ts ~site (Event.Cell_write { cell })
+    ]}
+
+    so that with the sink disabled no event record is ever allocated (the
+    bench [trace-overhead] check asserts this on the pipeline hot path).
+
+    While enabled, every event also lands in a small ring buffer so failure
+    diagnostics ({!Fdb_net.Reliable.No_quiescence}, [Sim.Lost_queries]) can
+    attach the last-N-events tail without any cooperation from the sink. *)
+
+val enabled : unit -> bool
+(** Branch guard; a plain [bool ref] dereference. *)
+
+val set_sink : (Event.t -> unit) option -> unit
+(** Install (or remove, with [None]) the sink.  Tracing is enabled exactly
+    when a sink is installed. *)
+
+val emit_at : ts:int -> site:int -> Event.kind -> unit
+(** Deliver an event to the sink and the ring.  Callers must have checked
+    {!val:enabled} first — when disabled this silently drops, but by then
+    the event was already allocated. *)
+
+val emit : Event.kind -> unit
+(** [emit_at] with [ts] taken from a global emission counter and
+    [site = -1]; for layers with no meaningful clock or placement. *)
+
+val record : (unit -> 'a) -> 'a * Event.t list
+(** [record f] runs [f] with a collecting sink installed and returns its
+    result together with every event emitted during the call, in emission
+    order.  Restores the previous sink (even on exception — the exception
+    is re-raised). *)
+
+val tail : ?n:int -> unit -> string list
+(** Rendered copies of the last [n] (default 12) events seen while tracing
+    was enabled; oldest first.  Empty if tracing never ran. *)
+
+val clear_tail : unit -> unit

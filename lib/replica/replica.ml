@@ -5,6 +5,10 @@ module History = Fdb_txn.History
 module Topology = Fdb_net.Topology
 module Fabric = Fdb_net.Fabric
 module Reliable = Fdb_net.Reliable
+module Trace = Fdb_obs.Trace
+module Event = Fdb_obs.Event
+
+let m_failover = Fdb_obs.Metrics.histogram "replica.failover_ticks"
 
 type crash_point =
   | No_crash
@@ -144,6 +148,7 @@ type state = {
   mutable discarded : int;
   mutable crash_tick : int option;
   mutable promoted_tick : int option;
+  mutable now : int;  (* current tick, the replica layer's timebase *)
 }
 
 let make_server id ~role ~has_backup initial =
@@ -188,6 +193,16 @@ let bump_applied srv c s =
 let site_of_client c = 2 + c
 
 let send_reply st srv ~client ~seq body =
+  if Trace.enabled () then begin
+    let status =
+      match body with
+      | Committed _ -> "committed"
+      | Stale _ -> "stale"
+      | Not_ready -> "not_ready"
+    in
+    Trace.emit_at ~ts:st.now ~site:srv.id
+      (Event.Replica_reply { client; seq; status })
+  end;
   Reliable.send_raw st.net ~src:srv.id ~dst:(site_of_client client)
     (Reply { seq; body })
 
@@ -195,6 +210,10 @@ let send_reply st srv ~client ~seq body =
 
 let ship_checkpoint st srv =
   let snap = Snapshot.encode srv.history in
+  if Trace.enabled () then
+    Trace.emit_at ~ts:st.now ~site:srv.id
+      (Event.Replica_checkpoint
+         { upto = srv.commits; bytes = String.length snap });
   Reliable.send st.net ~src:srv.id ~dst:1
     (Ckpt { upto = srv.commits; snap; dedup = dump_last srv });
   srv.ckpt_sent <- srv.ckpt_sent + 1;
@@ -209,6 +228,9 @@ let commit_live st srv ~client ~seq query =
   srv.commits <- index + 1;
   srv.fresh <- srv.fresh + 1;
   Hashtbl.replace srv.last client (seq, resp);
+  if Trace.enabled () then
+    Trace.emit_at ~ts:st.now ~site:srv.id
+      (Event.Replica_commit { index; client; seq; backed = srv.has_backup });
   if srv.has_backup then begin
     Reliable.send st.net ~src:srv.id ~dst:1
       (Rec { index; client; seq; query; resp });
@@ -242,6 +264,9 @@ let primary_req st srv ~client ~seq query =
 
 let primary_rack st srv ~upto =
   if upto > srv.acked_upto then srv.acked_upto <- upto;
+  if Trace.enabled () then
+    Trace.emit_at ~ts:st.now ~site:srv.id
+      (Event.Replica_ack { upto = srv.acked_upto });
   let (ready, still) =
     List.partition (fun (_, _, _, index) -> index < srv.acked_upto)
       srv.pending_replies
@@ -275,6 +300,8 @@ let backup_rec st srv ~index record =
 
 let backup_ckpt st srv ~upto ~snap ~dedup =
   if upto > srv.installed_upto then begin
+    if Trace.enabled () then
+      Trace.emit_at ~ts:st.now ~site:srv.id (Event.Replica_install { upto });
     srv.history <- Snapshot.decode snap;
     srv.installed_upto <- upto;
     srv.ckpt_installed <- srv.ckpt_installed + 1;
@@ -313,12 +340,14 @@ let backup_req st srv ~client ~seq query =
   end
 
 let promote st srv tick =
-  ignore tick;
   srv.role <- Promoting;
   let suffix =
     List.init (srv.logged - srv.installed_upto) (fun i ->
         Hashtbl.find srv.plog (srv.installed_upto + i))
   in
+  if Trace.enabled () then
+    Trace.emit_at ~ts:tick ~site:srv.id
+      (Event.Replica_promote { suffix = List.length suffix });
   st.log_suffix <- List.length suffix;
   st.discarded <-
     Hashtbl.fold (fun i _ acc -> if i >= srv.logged then acc + 1 else acc)
@@ -333,6 +362,9 @@ let replay_step st srv tick =
     | [] -> ()
     | (client, seq, query, recorded) :: rest ->
         srv.to_replay <- rest;
+        if Trace.enabled () then
+          Trace.emit_at ~ts:tick ~site:srv.id
+            (Event.Replica_replay { index = srv.commits });
         bump_applied srv client seq;
         let (h, resp) = History.commit_query srv.history query in
         srv.history <- h;
@@ -424,6 +456,8 @@ let crash_due cfg (primary : server) =
 
 let apply_crash st tick =
   let primary = st.servers.(0) in
+  if Trace.enabled () then
+    Trace.emit_at ~ts:tick ~site:0 (Event.Replica_crash { site = 0 });
   Fabric.set_down (Reliable.fabric st.net) 0;
   Reliable.cancel_node st.net 0;
   primary.role <- Dead;
@@ -497,6 +531,7 @@ let run ?(config = default_config) ~initial streams =
       discarded = 0;
       crash_tick = None;
       promoted_tick = None;
+      now = 0;
     }
   in
   let primary = st.servers.(0) and backup = st.servers.(1) in
@@ -511,6 +546,7 @@ let run ?(config = default_config) ~initial streams =
   while not (finished ()) do
     incr tick;
     let now = !tick in
+    st.now <- now;
     if now > 300_000 then
       failwith
         (Format.asprintf
@@ -587,7 +623,9 @@ let run ?(config = default_config) ~initial streams =
     promoted_tick = st.promoted_tick;
     recovery_ticks =
       (match (st.crash_tick, st.promoted_tick) with
-      | (Some c, Some p) -> Some (p - c)
+      | (Some c, Some p) ->
+          Fdb_obs.Metrics.observe m_failover (p - c);
+          Some (p - c)
       | _ -> None);
     ticks = !tick;
     net = Reliable.stats net;

@@ -2,6 +2,23 @@ open Fdb_relational
 module Ast = Fdb_query.Ast
 module Pred = Fdb_query.Pred
 module Plan = Fdb_query.Plan
+
+(* Plan-path hit rates: which access path the planner chose, per analyzed
+   query.  Counters are always on; the event is traced only when a sink is
+   installed. *)
+let m_point = Fdb_obs.Metrics.counter "plan.path.point"
+let m_range = Fdb_obs.Metrics.counter "plan.path.range"
+let m_full = Fdb_obs.Metrics.counter "plan.path.full"
+
+let note_plan rel (plan : Plan.t) =
+  (match plan.Plan.path with
+  | Plan.Point_lookup _ -> Fdb_obs.Metrics.incr m_point
+  | Plan.Range_scan _ -> Fdb_obs.Metrics.incr m_range
+  | Plan.Full_scan -> Fdb_obs.Metrics.incr m_full);
+  if Fdb_obs.Trace.enabled () then
+    Fdb_obs.Trace.emit
+      (Fdb_obs.Event.Plan_chosen { rel; path = Plan.to_string plan });
+  plan
 module Parser = Fdb_query.Parser
 
 type response =
@@ -114,7 +131,7 @@ let translate query : t =
       fun db ->
         with_relation db rel (fun r ->
             let schema = Relation.schema r in
-            let plan = Plan.analyze schema where in
+            let plan = note_plan rel (Plan.analyze schema where) in
             (* Compiling only the residual is sound: absorbed atoms mention
                the key column alone, which every schema has. *)
             match Pred.compile schema plan.Plan.residual with
@@ -149,7 +166,7 @@ let translate query : t =
           fun db ->
             with_relation db rel (fun r ->
                 let schema = Relation.schema r in
-                let plan = Plan.analyze schema where in
+                let plan = note_plan rel (Plan.analyze schema where) in
                 match Pred.compile schema plan.Plan.residual with
                 | Error e -> fail db e
                 | Ok residual ->
@@ -164,7 +181,7 @@ let translate query : t =
             | Ok (step, finish) ->
                 (* [step] tests the full [where] itself; the access path only
                    narrows which tuples are offered to it. *)
-                let plan = Plan.analyze schema where in
+                let plan = note_plan rel (Plan.analyze schema where) in
                 (Aggregated (finish (fold_path r plan step None)), db))
   | Ast.Update { rel; col; value; where } ->
       fun db ->
@@ -177,7 +194,7 @@ let translate query : t =
                    let the single-traversal update skip subtrees that cannot
                    match. *)
                 let (lo, hi) =
-                  match (Plan.analyze schema where).Plan.path with
+                  match (note_plan rel (Plan.analyze schema where)).Plan.path with
                   | Plan.Point_lookup key ->
                       let b = Some (Relation.Inclusive key) in
                       (b, b)

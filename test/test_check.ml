@@ -204,6 +204,145 @@ let test_shrink_planted_violation () =
   Alcotest.(check bool) "witness strictly smaller" true
     (Shrink.measure w < Shrink.measure streams)
 
+(* -- differential fuzz: lenient pipeline vs the oracle -------------------- *)
+
+module Pipeline = Fdb.Pipeline
+module Machine = Fdb_rediflow.Machine
+module Topology = Fdb_net.Topology
+module Txn = Fdb_txn.Txn
+
+(* Joins are substituted before the differential run: the pipeline
+   enumerates join pairs in physical scan order while the reference
+   hash-joins, so [Joined]'s tuple order is representation-dependent.
+   Every other query kind has a canonical answer. *)
+let dejoin = function
+  | Ast.Join { left; _ } -> Ast.Count { rel = left; where = Ast.True }
+  | q -> q
+
+let to_txn_response = function
+  | Pipeline.Inserted b -> Txn.Inserted b
+  | Pipeline.Found [] -> Txn.Found None
+  | Pipeline.Found (t :: _) -> Txn.Found (Some t)
+  | Pipeline.Deleted n -> Txn.Deleted (n > 0)
+  | Pipeline.Selected ts -> Txn.Selected ts
+  | Pipeline.Counted n -> Txn.Counted n
+  | Pipeline.Aggregated v -> Txn.Aggregated v
+  | Pipeline.Updated n -> Txn.Updated n
+  | Pipeline.Joined ts -> Txn.Joined ts
+  | Pipeline.Failed s -> Txn.Failed s
+
+let db_of_contents schemas contents =
+  List.fold_left
+    (fun db (rel, tuples) ->
+      match Database.load db ~rel tuples with
+      | Ok db -> db
+      | Error e -> Alcotest.fail e)
+    (Database.create schemas) contents
+
+let fuzz_modes =
+  [ ("ideal", Pipeline.Ideal);
+    ( "machine",
+      Pipeline.On_machine (Machine.default_config (Topology.hypercube 2)) ) ]
+
+(* 50 seeds x 2 machine modes x 2 semantics = 200 scenarios pitting the
+   lenient pipeline against an independent implementation.  Prepend (the
+   1985 multiset semantics) has no [Txn] reference, so it is checked
+   against the pipeline's own sequential meaning; Ordered_unique runs the
+   full differential: convert the pipeline's responses and final database
+   into an {!Oracle.observation} and demand a serial witness. *)
+let test_differential_fuzz () =
+  let scenarios = ref 0 in
+  for seed = 0 to 49 do
+    let sc = Gen.generate { Gen.default_spec with seed } in
+    let streams = List.map (List.map dejoin) sc.Gen.streams in
+    let spec =
+      { Pipeline.schemas = sc.Gen.schemas; initial = sc.Gen.initial }
+    in
+    let tagged =
+      List.map
+        (fun { Merge.tag; item } -> (tag, item))
+        (Merge.merge (Merge.Seeded (seed + 1)) streams)
+    in
+    List.iter
+      (fun (mname, mode) ->
+        (match
+           Pipeline.check_serializable ~semantics:Pipeline.Prepend ~mode spec
+             tagged
+         with
+        | Ok true -> incr scenarios
+        | Ok false ->
+            Alcotest.failf "seed %d (%s, prepend): responses diverge" seed mname
+        | Error e ->
+            Alcotest.failf "seed %d (%s, prepend): %s" seed mname e);
+        let report =
+          Pipeline.run ~semantics:Pipeline.Ordered_unique ~mode spec tagged
+        in
+        let obs =
+          { Oracle.responses =
+              List.init (List.length streams) (fun tag ->
+                  List.map to_txn_response (Pipeline.responses_for ~tag report));
+            final = db_of_contents sc.Gen.schemas report.Pipeline.final_db }
+        in
+        match Oracle.check ~initial:(Gen.initial_db sc) ~streams obs with
+        | Oracle.Serializable _ -> incr scenarios
+        | v ->
+            Alcotest.failf "seed %d (%s, ordered): %a" seed mname
+              Oracle.pp_verdict v)
+      fuzz_modes
+  done;
+  Alcotest.(check int) "200 scenarios exercised" 200 !scenarios
+
+(* -- shrinker soundness --------------------------------------------------- *)
+
+(* Every candidate one shrink step proposes must be strictly smaller under
+   the measure (termination) and still well formed: each query must print
+   to concrete syntax the parser maps back to the same query (so any
+   candidate can be re-run and reported). *)
+let test_shrink_candidates_sound () =
+  for seed = 0 to 9 do
+    let sc = Gen.generate { Gen.default_spec with seed } in
+    let streams = sc.Gen.streams in
+    let m = Shrink.measure streams in
+    let cands = Shrink.candidates streams in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: shrink step proposes candidates" seed)
+      true (cands <> []);
+    List.iter
+      (fun cand ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: candidate strictly smaller" seed)
+          true
+          (Shrink.measure cand < m);
+        List.iter
+          (List.iter (fun query ->
+               let s = Ast.to_string query in
+               Alcotest.(check string)
+                 (Printf.sprintf "seed %d: candidate query roundtrips" seed)
+                 s
+                 (Ast.to_string (q s))))
+          cand)
+      cands
+  done
+
+(* A fixed failing predicate over a generated scenario: minimization must
+   be deterministic (same minimum twice), end at a local minimum (no
+   candidate of the result still fails), and the result must still fail. *)
+let test_shrink_known_seed_minimal () =
+  let sc = Gen.generate { Gen.default_spec with seed = 17 } in
+  let still_failing ss = List.exists (List.exists Ast.is_update) ss in
+  Alcotest.(check bool) "seed 17 contains an update query" true
+    (still_failing sc.Gen.streams);
+  let w1 = Shrink.minimize ~still_failing sc.Gen.streams in
+  let w2 = Shrink.minimize ~still_failing sc.Gen.streams in
+  Alcotest.(check (list (list string))) "deterministic minimum"
+    (streams_to_strings w1) (streams_to_strings w2);
+  Alcotest.(check bool) "minimum still fails" true (still_failing w1);
+  Alcotest.(check int) "minimum is one query" 1 (Shrink.query_count w1);
+  Alcotest.(check bool) "local minimum: no candidate still fails" true
+    (List.for_all
+       (fun cand -> not (still_failing cand))
+       (Shrink.candidates w1))
+
 (* -- fault-injecting simulation ------------------------------------------ *)
 
 (* 25 seeds through drops, duplicates and reorders: the primary's
@@ -271,11 +410,18 @@ let () =
             test_mutation_rejected_cross_client;
           Alcotest.test_case "ragged observation rejected" `Quick
             test_check_validates_shape ] );
+      ( "differential",
+        [ Alcotest.test_case "200 scenarios: pipeline vs oracle" `Slow
+            test_differential_fuzz ] );
       ( "shrink",
         [ Alcotest.test_case "terminates at a local minimum" `Quick
             test_shrink_terminates_at_local_minimum;
           Alcotest.test_case "planted violation -> <= 3 queries" `Quick
-            test_shrink_planted_violation ] );
+            test_shrink_planted_violation;
+          Alcotest.test_case "candidates smaller and well-formed" `Quick
+            test_shrink_candidates_sound;
+          Alcotest.test_case "known seed shrinks deterministically" `Quick
+            test_shrink_known_seed_minimal ] );
       ( "sim",
         [ Alcotest.test_case "25 fault-injected seeds" `Slow test_sim_sweep;
           Alcotest.test_case "faults actually fire" `Slow

@@ -1,0 +1,281 @@
+(* The observability layer checking itself: the metrics registry, the
+   trace sink and ring buffer, the Chrome exporter, and the trace-invariant
+   oracles — green on real traces (pipeline runs, crash-failover sims) and
+   red on doctored ones, so the invariants are known to be non-vacuous. *)
+
+open Fdb
+module Event = Fdb_obs.Event
+module Trace = Fdb_obs.Trace
+module Metrics = Fdb_obs.Metrics
+module Chrome = Fdb_obs.Chrome
+module Trace_oracle = Fdb_check.Trace_oracle
+module Gen = Fdb_check.Gen
+module Sim = Fdb_check.Sim
+module Oracle = Fdb_check.Oracle
+
+let ev ?(ts = 0) ?(site = 0) kind = { Event.ts; site; kind }
+
+let count_occurrences needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let contains needle hay = count_occurrences needle hay > 0
+
+(* -- metrics -------------------------------------------------------------- *)
+
+let test_metrics_counters () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.counter" in
+  Alcotest.(check int) "fresh" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "1 + 4" 5 (Metrics.counter_value c);
+  let c' = Metrics.counter "test.obs.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "same name, same counter" 6 (Metrics.counter_value c);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes, registration survives" 0
+    (Metrics.counter_value c)
+
+let test_metrics_histogram () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.obs.histo" in
+  List.iter (Metrics.observe h) [ 1; 2; 3; 100; 0 ];
+  let stats =
+    match List.assoc_opt "test.obs.histo" (Metrics.snapshot ()).Metrics.histograms with
+    | Some s -> s
+    | None -> Alcotest.fail "histogram missing from snapshot"
+  in
+  Alcotest.(check int) "count" 5 stats.Metrics.count;
+  Alcotest.(check int) "sum" 106 stats.Metrics.sum;
+  Alcotest.(check int) "min" 0 stats.Metrics.min;
+  Alcotest.(check int) "max" 100 stats.Metrics.max;
+  (* pow2 buckets by inclusive upper bound: 0; 1; 2-3 (two hits); 64-127 *)
+  Alcotest.(check (list (pair int int)))
+    "buckets" [ (0, 1); (1, 1); (3, 2); (127, 1) ]
+    stats.Metrics.buckets
+
+let test_metrics_snapshot_sorted () =
+  Metrics.reset ();
+  ignore (Metrics.counter "test.obs.zz");
+  ignore (Metrics.counter "test.obs.aa");
+  let names = List.map fst (Metrics.snapshot ()).Metrics.counters in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+
+(* -- trace sink and ring --------------------------------------------------- *)
+
+let test_trace_disabled_is_silent () =
+  Trace.set_sink None;
+  Trace.clear_tail ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  (* emit_at without the guard: documented to drop silently when disabled *)
+  Trace.emit_at ~ts:1 ~site:0 (Event.Cell_write { cell = 1 });
+  Alcotest.(check (list string)) "nothing in the ring" [] (Trace.tail ())
+
+let test_trace_record_collects_in_order () =
+  let (x, events) =
+    Trace.record (fun () ->
+        Trace.emit (Event.Cell_write { cell = 1 });
+        Trace.emit (Event.Cell_read { cell = 1; label = "t" });
+        42)
+  in
+  Alcotest.(check int) "result passed through" 42 x;
+  Alcotest.(check (list string)) "both events, emission order"
+    [ "cell_write"; "cell_read" ]
+    (List.map (fun (e : Event.t) -> Event.name e.Event.kind) events);
+  Alcotest.(check bool) "sink restored (disabled) after record" false
+    (Trace.enabled ())
+
+let test_trace_record_restores_on_exception () =
+  (try
+     ignore
+       (Trace.record (fun () ->
+            Trace.emit (Event.Cell_write { cell = 2 });
+            failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check bool) "sink restored after exception" false
+    (Trace.enabled ())
+
+let test_trace_tail_keeps_last () =
+  Trace.clear_tail ();
+  let ((), _) =
+    Trace.record (fun () ->
+        for i = 1 to 100 do
+          Trace.emit (Event.Cell_write { cell = i })
+        done)
+  in
+  let tail = Trace.tail ~n:5 () in
+  Alcotest.(check int) "asked for 5" 5 (List.length tail);
+  (* oldest first: the last element renders the most recent event *)
+  let last = List.nth tail 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "most recent event mentions cell 100: %s" last)
+    true (contains "100" last)
+
+(* -- Chrome exporter ------------------------------------------------------- *)
+
+(* No JSON parser in the test universe; check the structural frame and that
+   span begin/end pairs survive export.  (fdbsim's own CI smoke validates a
+   full trace with an external parser.) *)
+let test_chrome_export () =
+  let events =
+    [ ev (Event.Dispatch_start { txn = 0; label = "count R" });
+      ev (Event.Cell_write { cell = 1 });
+      ev (Event.Dispatch_end { txn = 0; label = "count R" });
+      ev
+        (Event.Dg_send
+           { fab = 1; src = 0; dst = 1; sent = 1; delivered = 0; faulted = 0;
+             in_flight = 1 }) ]
+  in
+  let json = Chrome.to_json events in
+  Alcotest.(check bool) "opens a traceEvents array" true
+    (count_occurrences "\"traceEvents\"" json = 1);
+  Alcotest.(check int) "one span begin" 1 (count_occurrences "\"ph\":\"B\"" json);
+  Alcotest.(check int) "one span end" 1 (count_occurrences "\"ph\":\"E\"" json);
+  Alcotest.(check bool) "datagram gets a counter sample" true
+    (count_occurrences "\"ph\":\"C\"" json >= 1);
+  Alcotest.(check int) "balanced braces" (count_occurrences "{" json)
+    (count_occurrences "}" json);
+  Alcotest.(check int) "balanced brackets" (count_occurrences "[" json)
+    (count_occurrences "]" json)
+
+(* -- trace oracles: red on doctored traces --------------------------------- *)
+
+let names vs = List.map (fun v -> v.Trace_oracle.invariant) vs
+
+let test_oracle_reply_without_ack () =
+  let trace =
+    [ ev (Event.Replica_commit { index = 1; client = 1; seq = 0; backed = true });
+      ev (Event.Replica_reply { client = 1; seq = 0; status = "committed" }) ]
+  in
+  Alcotest.(check (list string)) "unacked reply caught"
+    [ "ack_before_reply" ]
+    (names (Trace_oracle.check trace));
+  let acked =
+    [ ev (Event.Replica_commit { index = 1; client = 1; seq = 0; backed = true });
+      ev (Event.Replica_ack { upto = 2 });
+      ev (Event.Replica_reply { client = 1; seq = 0; status = "committed" }) ]
+  in
+  Alcotest.(check (list string)) "acked reply passes" []
+    (names (Trace_oracle.check acked))
+
+let test_oracle_double_write () =
+  let trace =
+    [ ev (Event.Cell_write { cell = 7 }); ev (Event.Cell_write { cell = 7 }) ]
+  in
+  Alcotest.(check (list string)) "double write caught"
+    [ "single_assignment" ]
+    (names (Trace_oracle.check trace))
+
+let test_oracle_conservation () =
+  let bad =
+    ev
+      (Event.Dg_send
+         { fab = 1; src = 0; dst = 1; sent = 3; delivered = 1; faulted = 0;
+           in_flight = 1 })
+  in
+  Alcotest.(check (list string)) "broken ledger caught"
+    [ "fabric_conservation" ]
+    (names (Trace_oracle.check [ bad ]))
+
+let test_oracle_replay_count () =
+  let trace =
+    [ ev (Event.Replica_promote { suffix = 2 });
+      ev (Event.Replica_replay { index = 4 }) ]
+  in
+  Alcotest.(check (list string)) "short replay caught"
+    [ "exact_suffix_replay" ]
+    (names (Trace_oracle.check trace));
+  let early =
+    [ ev (Event.Replica_replay { index = 4 });
+      ev (Event.Replica_promote { suffix = 0 }) ]
+  in
+  Alcotest.(check (list string)) "replay before promotion caught"
+    [ "exact_suffix_replay" ]
+    (names (Trace_oracle.check early))
+
+let test_oracle_dispatch_nesting () =
+  let trace =
+    [ ev (Event.Dispatch_start { txn = 0; label = "a" });
+      ev (Event.Dispatch_start { txn = 1; label = "b" });
+      ev (Event.Dispatch_end { txn = 1; label = "b" });
+      ev (Event.Dispatch_end { txn = 0; label = "a" }) ]
+  in
+  (* nested start + mismatched end *)
+  Alcotest.(check bool) "interleaved spans caught" true
+    (List.mem "dispatch_spans" (names (Trace_oracle.check trace)));
+  let unclosed = [ ev (Event.Dispatch_start { txn = 0; label = "a" }) ] in
+  Alcotest.(check bool) "unclosed span caught" true
+    (List.mem "dispatch_spans" (names (Trace_oracle.check unclosed)))
+
+(* -- trace oracles: green (and non-vacuous) on real traces ------------------ *)
+
+let test_pipeline_trace_lawful () =
+  let sc = Gen.generate { Gen.default_spec with Gen.seed = 8 } in
+  let spec = { Pipeline.schemas = sc.Gen.schemas; initial = sc.Gen.initial } in
+  let tagged = List.concat (List.mapi (fun tag s -> List.map (fun q -> (tag, q)) s) sc.Gen.streams) in
+  let (_, events) =
+    Trace.record (fun () ->
+        Pipeline.run ~semantics:Pipeline.Ordered_unique spec tagged)
+  in
+  let kinds = List.map (fun (e : Event.t) -> Event.name e.Event.kind) events in
+  Alcotest.(check bool) "spans present" true (List.mem "dispatch_start" kinds);
+  Alcotest.(check bool) "cell writes present" true (List.mem "cell_write" kinds);
+  Alcotest.(check (list string)) "pipeline trace lawful" []
+    (names (Trace_oracle.check events))
+
+let test_failover_trace_lawful () =
+  let sc = Gen.generate { Gen.default_spec with Gen.seed = 2 } in
+  let o = Sim.run ~faults:{ Sim.default_faults with Sim.crash = true } ~seed:2 sc in
+  Alcotest.(check bool) "sim accepted" true (Oracle.accepted o.Sim.verdict);
+  let kinds = List.map (fun (e : Event.t) -> Event.name e.Event.kind) o.Sim.trace in
+  (* every invariant must have had something to bite on *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " events present") true (List.mem k kinds))
+    [ "dg_send"; "dg_deliver"; "replica_commit"; "replica_ack";
+      "replica_reply"; "replica_promote"; "replica_crash" ];
+  Alcotest.(check (list string)) "failover trace lawful" []
+    (names (Trace_oracle.check o.Sim.trace))
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counters find-or-create and reset" `Quick
+            test_metrics_counters;
+          Alcotest.test_case "histogram pow2 buckets" `Quick
+            test_metrics_histogram;
+          Alcotest.test_case "snapshot sorted by name" `Quick
+            test_metrics_snapshot_sorted ] );
+      ( "trace",
+        [ Alcotest.test_case "disabled sink is silent" `Quick
+            test_trace_disabled_is_silent;
+          Alcotest.test_case "record collects in order" `Quick
+            test_trace_record_collects_in_order;
+          Alcotest.test_case "record restores sink on exception" `Quick
+            test_trace_record_restores_on_exception;
+          Alcotest.test_case "ring keeps the last events" `Quick
+            test_trace_tail_keeps_last ] );
+      ( "chrome",
+        [ Alcotest.test_case "export frame and span pairing" `Quick
+            test_chrome_export ] );
+      ( "trace-oracle",
+        [ Alcotest.test_case "reply without ack" `Quick
+            test_oracle_reply_without_ack;
+          Alcotest.test_case "cell written twice" `Quick
+            test_oracle_double_write;
+          Alcotest.test_case "fabric ledger broken" `Quick
+            test_oracle_conservation;
+          Alcotest.test_case "replay count wrong" `Quick
+            test_oracle_replay_count;
+          Alcotest.test_case "dispatch spans interleaved" `Quick
+            test_oracle_dispatch_nesting;
+          Alcotest.test_case "pipeline trace lawful" `Quick
+            test_pipeline_trace_lawful;
+          Alcotest.test_case "failover trace lawful and non-vacuous" `Slow
+            test_failover_trace_lawful ] ) ]

@@ -107,6 +107,86 @@ let test_explain () =
   Alcotest.(check string) "unknown" "select Zz: unknown relation"
     (ex "select * from Zz")
 
+(* -- golden explain: the fdbsim rendering, pinned, then executed ---------- *)
+
+let golden_schema =
+  Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ]
+
+(* One case per access path the planner can choose (the `fdbsim explain`
+   schema: key:int, val:string).  The expected strings are the exact lines
+   the CLI prints; a rewording is a user-visible change and must show up
+   here. *)
+let golden_cases =
+  [ ("find 7 in R", "find R: point lookup key = 7");
+    ( "select * from R where key = 7 and val = \"c\"",
+      "select R: point lookup key = 7; residual val = \"c\"" );
+    ( "select * from R where key >= 3 and key < 9",
+      "select R: range scan [key >= 3, key < 9]" );
+    ( "select val from R where val = \"c\"",
+      "select R: full scan; residual val = \"c\"; project val" );
+    ("count R", "count R: size accessor");
+    ( "sum key from R where key <= 4",
+      "aggregate R: range scan [-inf, key <= 4]" );
+    ("delete 7 from R", "delete R: point delete key = 7");
+    ( "update R set val = \"z\" where key > 10",
+      "update R: range scan [key > 10, +inf]" ) ]
+
+let test_explain_golden () =
+  let schema_of n = if n = "R" then Some golden_schema else None in
+  List.iter
+    (fun (src, expected) ->
+      Alcotest.(check string) src expected
+        (Plan.explain ~schema_of (Fdb_query.Parser.parse_exn src)))
+    golden_cases
+
+(* The explained plans must execute on every persistent backend: each
+   golden query runs against a fresh relation per backend, every backend
+   must answer exactly as the linked list does, and the planner's path
+   metrics must record the advertised mix (1 point, 3 range, 1 full among
+   the planner-routed queries). *)
+let test_explain_paths_on_backends () =
+  let gtup k =
+    Tuple.make
+      [ Value.Int k; Value.Str (String.make 1 (Char.chr (97 + (k mod 5)))) ]
+  in
+  let mk backend =
+    match
+      Database.load
+        (Database.create ~backend [ golden_schema ])
+        ~rel:"R" (List.init 32 gtup)
+    with
+    | Ok db -> db
+    | Error e -> Alcotest.fail e
+  in
+  let run db src = fst (Txn.translate (Fdb_query.Parser.parse_exn src) db) in
+  let reference =
+    let db = mk Relation.List_backend in
+    List.map (fun (src, _) -> run db src) golden_cases
+  in
+  let m_point = Fdb_obs.Metrics.counter "plan.path.point"
+  and m_range = Fdb_obs.Metrics.counter "plan.path.range"
+  and m_full = Fdb_obs.Metrics.counter "plan.path.full" in
+  List.iter
+    (fun backend ->
+      let name = Relation.backend_name backend in
+      let db = mk backend in
+      let p0 = Fdb_obs.Metrics.counter_value m_point
+      and r0 = Fdb_obs.Metrics.counter_value m_range
+      and f0 = Fdb_obs.Metrics.counter_value m_full in
+      List.iteri
+        (fun i (src, _) ->
+          Alcotest.check response_t
+            (Printf.sprintf "%s: %s" name src)
+            (List.nth reference i) (run db src))
+        golden_cases;
+      Alcotest.(check (list int))
+        (name ^ ": planner path mix")
+        [ 1; 3; 1 ]
+        [ Fdb_obs.Metrics.counter_value m_point - p0;
+          Fdb_obs.Metrics.counter_value m_range - r0;
+          Fdb_obs.Metrics.counter_value m_full - f0 ])
+    backends
+
 (* -- range folds on every backend ---------------------------------------- *)
 
 let keys_of tuples = List.map (fun t -> Tuple.key t) tuples
@@ -443,6 +523,9 @@ let () =
           Alcotest.test_case "residual-only forms" `Quick
             test_analyze_residual_only;
           Alcotest.test_case "explain strings" `Quick test_explain;
+          Alcotest.test_case "golden explain lines" `Quick test_explain_golden;
+          Alcotest.test_case "golden plans on 4 backends" `Quick
+            test_explain_paths_on_backends;
         ] );
       ( "access-paths",
         [
