@@ -523,6 +523,109 @@ let plan_bench ~quick ~seed ~out =
   close_out oc;
   Printf.printf "\nwrote %s\n" out
 
+(* -- par: scan-flood speedup on real domains --------------------------------- *)
+
+let par_bench ~quick ~seed ~out =
+  let module Schema = Fdb_relational.Schema in
+  let module Tuple = Fdb_relational.Tuple in
+  let module Value = Fdb_relational.Value in
+  let module Pool = Fdb_par.Pool in
+  section
+    (Printf.sprintf "Parallel executor: scan-flood wall-clock by domains (%s)"
+       (if quick then "quick" else "full"));
+  let n = if quick then 20_000 else 60_000 in
+  let rand = Random.State.make [| seed; 0xbe7c |] in
+  let tuples =
+    List.init n (fun i ->
+        Tuple.make
+          [ Value.Int (Random.State.int rand (n / 2));
+            Value.Str (Printf.sprintf "v%d" (i mod 997)) ])
+  in
+  let spec =
+    {
+      Pipeline.schemas =
+        [ Schema.make ~name:"R"
+            ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ];
+      initial = [ ("R", tuples) ];
+    }
+  in
+  (* A read-only flood: every query scans the whole relation, so the work
+     is embarrassingly chunkable and the pool is the only variable. *)
+  let nq = if quick then 12 else 24 in
+  let tagged =
+    List.init nq (fun i ->
+        let k = Random.State.int rand (n / 2) in
+        let src =
+          match i mod 4 with
+          | 0 -> Printf.sprintf "select * from R where key >= %d" k
+          | 1 -> Printf.sprintf "count R where key < %d" k
+          | 2 -> Printf.sprintf "sum key from R where key >= %d" k
+          | _ -> "count R"
+        in
+        (i mod 4, Fdb_query.Parser.parse_exn src))
+  in
+  let expected = Pipeline.reference spec tagged in
+  let check_responses what rs =
+    if
+      not
+        (List.equal
+           (fun (t1, r1) (t2, r2) -> t1 = t2 && Pipeline.response_equal r1 r2)
+           expected rs)
+    then begin
+      Printf.printf "FAIL: %s diverges from the sequential reference\n" what;
+      exit 1
+    end
+  in
+  let repeats = if quick then 2 else 3 in
+  let time_at domains =
+    (* best-of-k wall clock (Sys.time is CPU time summed over domains, so
+       it cannot see parallel speedup); pool spawn/teardown is included,
+       which is honest for a run-sized unit of work *)
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      let r = Pipeline.run_parallel ~domains ~chunk:1024 spec tagged in
+      let dt = Unix.gettimeofday () -. t0 in
+      check_responses (Printf.sprintf "%d-domain run" domains)
+        r.Pipeline.par_responses;
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  ignore (time_at 1) (* warm-up: page in the data, settle the GC *);
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let times = List.map (fun d -> (d, time_at d)) domain_counts in
+  let t1 = List.assoc 1 times in
+  Printf.printf "%8s %12s %9s   (%d tuples, %d scan queries)\n" "domains"
+    "wall-ms" "speedup" n nq;
+  List.iter
+    (fun (d, t) ->
+      Printf.printf "%8d %12.2f %8.2fx\n" d (t *. 1000.0) (t1 /. t))
+    times;
+  Printf.printf
+    "\nrecommended_domain_count: %d  (speedup beyond it is not expected;\n\
+    \ on a single-core host every row measures the same core plus pool \
+     overhead)\n"
+    (Domain.recommended_domain_count ());
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"mode\": %S,\n  \"seed\": %d,\n  \"git_rev\": %S,\n  \
+     \"tuples\": %d,\n  \"queries\": %d,\n  \
+     \"recommended_domain_count\": %d,\n  \"results\": [\n"
+    (if quick then "quick" else "full")
+    seed (git_rev ()) n nq
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i (d, t) ->
+      Printf.fprintf oc
+        "    {\"domains\": %d, \"wall_ms\": %.3f, \"speedup_vs_1\": %.3f}%s\n"
+        d (t *. 1000.0) (t1 /. t)
+        (if i = List.length times - 1 then "" else ","))
+    times;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 (* -- trace-overhead: zero allocations when the sink is disabled -------------- *)
 
 let trace_overhead () =
@@ -697,6 +800,25 @@ let () =
         incr i
       done;
       plan_bench ~quick:!quick ~seed:!seed ~out:!out
+  | "par" ->
+      let quick = ref false and out = ref "BENCH_par.json" in
+      let seed = ref 1 in
+      let i = ref 2 in
+      while !i < Array.length Sys.argv do
+        (match Sys.argv.(!i) with
+        | "--quick" -> quick := true
+        | "--seed" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            seed := int_of_string Sys.argv.(!i)
+        | "-o" | "--output" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            out := Sys.argv.(!i)
+        | a ->
+            Printf.eprintf "par: unknown argument %S\n" a;
+            exit 1);
+        incr i
+      done;
+      par_bench ~quick:!quick ~seed:!seed ~out:!out
   | "trace-overhead" -> trace_overhead ()
   | "micro" -> micro ()
   | "all" -> all ()
@@ -705,6 +827,7 @@ let () =
         "unknown bench %S (try table1|table2|table3|fig21|fig22|fig23|fig31|\
          ablation-repr|ablation-topo|ablation-merge|ablation-semantics|\
          ablation-engine-repr|ablation-eval-mode|scaling|recover|\
-         plan [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
+         plan [--quick] [--seed N] [-o FILE]|\
+         par [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
         other;
       exit 1

@@ -740,6 +740,166 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const go $ seed_arg $ txns $ clients $ sweep)
 
+(* -- par: differential check of the real-domain parallel executor --------------- *)
+
+let par_cmd =
+  let module Gen = Fdb_check.Gen in
+  let module Merge = Fdb_merge.Merge in
+  let txns =
+    Arg.(
+      value & opt int 8
+      & info [ "txns"; "n" ] ~doc:"Queries per client stream.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Client streams.")
+  in
+  let relations =
+    Arg.(value & opt int 2 & info [ "relations" ] ~doc:"Relations.")
+  in
+  let tuples =
+    Arg.(
+      value & opt int 12
+      & info [ "tuples" ] ~doc:"Initial tuples per relation.")
+  in
+  let sweep =
+    Arg.(
+      value & opt int 25
+      & info [ "sweep" ] ~doc:"How many consecutive seeds to run.")
+  in
+  let domains =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ]
+          ~doc:"Worker domains (default: recommended_domain_count - 1).")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 16
+      & info [ "chunk" ] ~doc:"Scan flood granularity in tuples.")
+  in
+  let semantics =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("prepend", Pipeline.Prepend);
+               ("ordered", Pipeline.Ordered_unique) ])
+          Pipeline.Prepend
+      & info [ "semantics" ] ~doc:"Insert semantics: $(b,prepend) or $(b,ordered).")
+  in
+  let topo =
+    Arg.(
+      value & opt (some topology_conv) None
+      & info [ "topo" ]
+          ~doc:
+            "Also run the engine on this simulated machine topology and \
+             include it in the comparison.")
+  in
+  let go seed txns clients relations tuples sweep domains chunk semantics topo =
+    (try
+       ignore
+         (Gen.generate
+            { Gen.default_spec with
+              clients;
+              relations;
+              queries_per_client = txns;
+              initial_tuples = tuples })
+     with Invalid_argument msg ->
+       Format.eprintf "fdbsim par: %s@." msg;
+       exit 2);
+    (match domains with
+    | Some d when d < 1 || d > 128 ->
+        Format.eprintf "fdbsim par: domains must be in 1..128@.";
+        exit 2
+    | _ -> ());
+    if chunk < 1 then begin
+      Format.eprintf "fdbsim par: chunk must be >= 1@.";
+      exit 2
+    end;
+    Fdb_obs.Metrics.reset ();
+    let divergences = ref 0 in
+    let tasks = ref 0 and steals = ref 0 and ndomains = ref 0 in
+    let compare_streams ~seed ~what expected actual =
+      if
+        not
+          (List.equal
+             (fun (t1, r1) (t2, r2) ->
+               t1 = t2 && Pipeline.response_equal r1 r2)
+             expected actual)
+      then begin
+        incr divergences;
+        Format.printf "seed %d: parallel executor diverges from %s@." seed what
+      end
+    in
+    Fdb_par.Pool.with_pool ?domains (fun pool ->
+        for s = seed to seed + sweep - 1 do
+          let sc =
+            Gen.generate
+              { Gen.default_spec with
+                seed = s;
+                clients;
+                relations;
+                queries_per_client = txns;
+                initial_tuples = tuples }
+          in
+          let spec =
+            { Pipeline.schemas = sc.Gen.schemas; initial = sc.Gen.initial }
+          in
+          let tagged =
+            List.map
+              (fun { Merge.tag; item } -> (tag, item))
+              (Merge.merge (Merge.Seeded ((7 * s) + 1)) sc.Gen.streams)
+          in
+          let ideal = Pipeline.run ~semantics spec tagged in
+          let par = Pipeline.run_parallel ~semantics ~chunk ~pool spec tagged in
+          tasks := par.Pipeline.par_tasks;
+          steals := par.Pipeline.par_steals;
+          ndomains := par.Pipeline.par_domains;
+          compare_streams ~seed:s ~what:"deterministic engine (ideal)"
+            ideal.Pipeline.responses par.Pipeline.par_responses;
+          compare_streams ~seed:s ~what:"sequential reference"
+            (Pipeline.reference ~semantics spec tagged)
+            par.Pipeline.par_responses;
+          if not (ideal.Pipeline.final_db = par.Pipeline.par_final_db) then begin
+            incr divergences;
+            Format.printf "seed %d: final database diverges@." s
+          end;
+          Option.iter
+            (fun topo ->
+              let machine =
+                Pipeline.run ~semantics
+                  ~mode:(Pipeline.On_machine (Machine.default_config topo))
+                  spec tagged
+              in
+              compare_streams ~seed:s ~what:"simulated machine"
+                machine.Pipeline.responses par.Pipeline.par_responses)
+            topo
+        done);
+    if !divergences = 0 then begin
+      Format.printf
+        "par: %d seeds, every response stream identical across executors@."
+        sweep;
+      Format.printf
+        "pool: %d domains, %d tasks executed cumulatively, %d stolen@."
+        !ndomains !tasks !steals;
+      Format.printf "%a" Fdb_obs.Metrics.pp_snapshot (Fdb_obs.Metrics.snapshot ())
+    end
+    else begin
+      Format.printf "par: %d divergence(s) over %d seeds@." !divergences sweep;
+      exit 1
+    end
+  in
+  let doc =
+    "Differentially test the real-domain parallel executor: the same seeded \
+     workloads run under the deterministic engine, the sequential reference \
+     (and optionally a simulated machine), and the OCaml 5 domain pool; \
+     every response stream and final database must be identical."
+  in
+  Cmd.v (Cmd.info "par" ~doc)
+    Term.(
+      const go $ seed_arg $ txns $ clients $ relations $ tuples $ sweep
+      $ domains $ chunk $ semantics $ topo)
+
 (* -- topo: describe a topology -------------------------------------------------- *)
 
 let topo_cmd =
@@ -770,4 +930,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; explain_cmd; workload_cmd; table_cmd; fel_cmd; topo_cmd;
-            check_cmd; recover_cmd; trace_cmd; stats_cmd ]))
+            check_cmd; recover_cmd; trace_cmd; stats_cmd; par_cmd ]))

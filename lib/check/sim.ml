@@ -39,7 +39,10 @@ type outcome = {
   recovery : Replica.report option;
   net : Reliable.stats;
   trace : Fdb_obs.Event.t list;
+  metrics : Fdb_obs.Metrics.snapshot;
 }
+
+let no_metrics = { Fdb_obs.Metrics.counters = []; histograms = [] }
 
 exception
   Lost_queries of {
@@ -137,9 +140,10 @@ let run_crash ~recover_config ~faults ~seed (sc : Gen.scenario) =
     recovery = Some r;
     net = r.Replica.net;
     trace;
+    metrics = no_metrics;
   }
 
-let run ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario) =
+let run_raw ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario) =
   check_faults faults;
   if faults.crash then run_crash ~recover_config ~faults ~seed sc
   else begin
@@ -275,5 +279,16 @@ let run ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario) =
     recovery = None;
     net = Reliable.stats channel;
     trace;
+    metrics = no_metrics;
   }
   end
+
+(* Each run executes against a zeroed metrics registry and reports only
+   its own delta, with the surrounding totals restored afterwards — so
+   sweeps and test suites can never bleed counter state into each other
+   through the process-global registry. *)
+let run ?faults ?recover_config ~seed sc =
+  let (o, metrics) =
+    Fdb_obs.Metrics.scoped (fun () -> run_raw ?faults ?recover_config ~seed sc)
+  in
+  { o with metrics }

@@ -48,6 +48,12 @@ type outcome = {
       (** everything the stack emitted while executing (the oracle-search
           phase is not recorded); already checked against
           {!Trace_oracle.check} — [run] raises [Failure] on violations *)
+  metrics : Fdb_obs.Metrics.snapshot;
+      (** the metrics this run alone recorded: the run executes under
+          {!Fdb_obs.Metrics.scoped}, so identical (faults, seed, scenario)
+          yield identical snapshots no matter what ran before — no
+          registry bleed across sweeps or test suites — and the caller's
+          accumulated totals are restored afterwards *)
 }
 
 exception

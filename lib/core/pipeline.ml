@@ -529,7 +529,10 @@ let run_streams ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false)
 
 (* -- the sequential reference --------------------------------------------- *)
 
-let reference ?(semantics = Prepend) spec tagged_queries =
+(* Mutable relation state for the non-lenient executors: the sequential
+   reference and the write half of the parallel executor share it, so
+   their write semantics cannot drift apart. *)
+let seq_state semantics spec =
   let state = initial_state semantics spec in
   let rels = Array.of_list (List.map (fun (s, ts) -> (s, ref ts)) state) in
   let nrels = Array.length rels in
@@ -541,12 +544,14 @@ let reference ?(semantics = Prepend) spec tagged_queries =
     in
     go 0
   in
+  (rels, rel_index)
+
+let seq_eval ~semantics rels rel_index q =
   let with_rel rel k =
     match rel_index rel with
     | None -> Failed (err_unknown_relation rel)
     | Some r -> k r
   in
-  let eval q =
     match q with
     | Ast.Insert { rel; values } ->
         let tuple = Tuple.make values in
@@ -649,8 +654,12 @@ let reference ?(semantics = Prepend) spec tagged_queries =
                       (Algebra.join ~left_col:li ~right_col:ri
                          !(snd rels.(lr))
                          !(snd rels.(rr)))))
-  in
-  List.map (fun (tag, q) -> (tag, eval q)) tagged_queries
+
+let reference ?(semantics = Prepend) spec tagged_queries =
+  let (rels, rel_index) = seq_state semantics spec in
+  List.map
+    (fun (tag, q) -> (tag, seq_eval ~semantics rels rel_index q))
+    tagged_queries
 
 let check_serializable ?semantics ?mode spec tagged_queries =
   let lenient = (run ?semantics ?mode spec tagged_queries).responses in
@@ -669,3 +678,208 @@ let check_serializable ?semantics ?mode spec tagged_queries =
     | _ -> Error "response count mismatch"
   in
   compare_all 0 (lenient, sequential)
+
+(* -- the parallel executor ------------------------------------------------- *)
+
+module Pool = Fdb_par.Pool
+
+let m_floods = Fdb_obs.Metrics.counter "par.scans_flooded"
+let m_chunks = Fdb_obs.Metrics.counter "par.chunk_tasks"
+
+type par_report = {
+  par_responses : (int * response) list;
+  par_final_db : (string * Tuple.t list) list;
+  par_tasks : int;  (* pool tasks executed, summed over worker domains *)
+  par_steals : int;
+  par_domains : int;
+}
+
+(* A dispatched query's answer: writes resolve inline on the dispatch
+   thread; flooded reads resolve when the pool drains. *)
+type pending = Now of response | Later of response Lcell.t
+
+let chunks_of ~chunk xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if n + 1 >= chunk then go (List.rev (x :: cur) :: acc) [] 0 rest
+        else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+(* Chunked map-reduce over one relation scan.  Each chunk is an
+   independent pool task writing its slot; the last one to finish reduces
+   and fills the cell.  Plain slot writes are published to the reducing
+   domain by the atomic countdown (release/acquire), so no chunk result
+   is ever read torn. *)
+let flood pool ~chunk ~site0 xs ~map ~reduce =
+  Fdb_obs.Metrics.incr m_floods;
+  let cell = Lcell.create () in
+  let cks = Array.of_list (chunks_of ~chunk xs) in
+  let n = Array.length cks in
+  if n = 0 then Lcell.put cell (reduce [||])
+  else begin
+    let slots = Array.make n None in
+    let remaining = Atomic.make n in
+    Array.iteri
+      (fun i ck ->
+        Fdb_obs.Metrics.incr m_chunks;
+        Pool.submit pool ~site:(site0 + i) (fun () ->
+            slots.(i) <- Some (map ck);
+            if Atomic.fetch_and_add remaining (-1) = 1 then
+              Lcell.put cell
+                (reduce
+                   (Array.map
+                      (function Some v -> v | None -> assert false)
+                      slots))))
+      cks
+  end;
+  cell
+
+let run_parallel ?(semantics = Prepend) ?domains ?(chunk = 512) ?pool spec
+    tagged_queries =
+  if chunk < 1 then invalid_arg "Pipeline.run_parallel: chunk must be >= 1";
+  let go pool =
+    let (rels, rel_index) = seq_state semantics spec in
+    let floods = ref 0 in
+    let next_site () =
+      let s = !floods in
+      incr floods;
+      s
+    in
+    let concat parts = List.concat (Array.to_list parts) in
+    let sum = Array.fold_left ( + ) 0 in
+    (* Reads capture the relation's current (immutable) tuple list at
+       dispatch time — a version snapshot, so later inline writes never
+       race the flooded scans.  This is exactly the paper's pipelining:
+       transaction i+1 proceeds against its version while transaction i's
+       reads are still being computed. *)
+    let dispatch q =
+      match q with
+      | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
+          Now (seq_eval ~semantics rels rel_index q)
+      | Ast.Find { rel; key } -> (
+          match rel_index rel with
+          | None -> Now (Failed (err_unknown_relation rel))
+          | Some r -> (
+              let contents = !(snd rels.(r)) in
+              match semantics with
+              | Prepend ->
+                  Later
+                    (flood pool ~chunk ~site0:(next_site ()) contents
+                       ~map:(List.filter (key_eq key))
+                       ~reduce:(fun parts -> Found (concat parts)))
+              | Ordered_unique ->
+                  Later
+                    (flood pool ~chunk ~site0:(next_site ()) contents
+                       ~map:(List.find_opt (key_eq key))
+                       ~reduce:(fun parts ->
+                         let rec first i =
+                           if i >= Array.length parts then None
+                           else
+                             match parts.(i) with
+                             | Some _ as s -> s
+                             | None -> first (i + 1)
+                         in
+                         Found (Option.to_list (first 0))))))
+      | Ast.Select { rel; cols; where } -> (
+          match rel_index rel with
+          | None -> Now (Failed (err_unknown_relation rel))
+          | Some r -> (
+              let (schema, contents) = rels.(r) in
+              let contents = !contents in
+              match select_plan schema cols where with
+              | Error e -> Now (Failed e)
+              | Ok (test, project) ->
+                  Later
+                    (flood pool ~chunk ~site0:(next_site ()) contents
+                       ~map:(fun ck -> project (List.filter test ck))
+                       ~reduce:(fun parts -> Selected (concat parts)))))
+      | Ast.Count { rel; where } -> (
+          match rel_index rel with
+          | None -> Now (Failed (err_unknown_relation rel))
+          | Some r -> (
+              let (schema, contents) = rels.(r) in
+              let contents = !contents in
+              match where with
+              | Ast.True ->
+                  Later
+                    (flood pool ~chunk ~site0:(next_site ()) contents
+                       ~map:List.length
+                       ~reduce:(fun parts -> Counted (sum parts)))
+              | _ -> (
+                  match Pred.compile schema where with
+                  | Error e -> Now (Failed e)
+                  | Ok test ->
+                      Later
+                        (flood pool ~chunk ~site0:(next_site ()) contents
+                           ~map:(fun ck -> List.length (List.filter test ck))
+                           ~reduce:(fun parts -> Counted (sum parts))))))
+      | Ast.Aggregate { agg; rel; col; where } -> (
+          match rel_index rel with
+          | None -> Now (Failed (err_unknown_relation rel))
+          | Some r -> (
+              let (schema, contents) = rels.(r) in
+              let contents = !contents in
+              match Pred.compile_aggregate schema agg col where with
+              | Error e -> Now (Failed e)
+              | Ok (step, finish) ->
+                  (* The fold is opaque (not exposed as an associative
+                     op), so it runs as one asynchronous task rather than
+                     a chunked flood. *)
+                  let cell = Lcell.create () in
+                  Pool.submit pool ~site:(next_site ()) (fun () ->
+                      Lcell.put cell
+                        (Aggregated (finish (List.fold_left step None contents))));
+                  Later cell))
+      | Ast.Join { left; right; on } -> (
+          match (rel_index left, rel_index right) with
+          | (None, _) -> Now (Failed (err_unknown_relation left))
+          | (_, None) -> Now (Failed (err_unknown_relation right))
+          | (Some lr, Some rr) -> (
+              match join_plan (fst rels.(lr)) (fst rels.(rr)) on with
+              | Error e -> Now (Failed e)
+              | Ok (li, ri) ->
+                  let lts = !(snd rels.(lr)) and rts = !(snd rels.(rr)) in
+                  (* [Algebra.join] is left-major, so joining left chunks
+                     against the whole right relation and concatenating
+                     in chunk order reproduces the unchunked output
+                     tuple for tuple. *)
+                  Later
+                    (flood pool ~chunk ~site0:(next_site ()) lts
+                       ~map:(fun ck ->
+                         Algebra.join ~left_col:li ~right_col:ri ck rts)
+                       ~reduce:(fun parts -> Joined (concat parts)))))
+    in
+    let pending = List.map (fun (tag, q) -> (tag, dispatch q)) tagged_queries in
+    Pool.wait pool;
+    let (stats : Pool.stats) = Pool.stats pool in
+    let responses =
+      List.mapi
+        (fun i (tag, p) ->
+          match p with
+          | Now r -> (tag, r)
+          | Later cell -> (
+              match Lcell.peek cell with
+              | Some r -> (tag, r)
+              | None ->
+                  failwith
+                    (Printf.sprintf
+                       "Pipeline.run_parallel: response %d unresolved" i)))
+        pending
+    in
+    let final_db =
+      Array.to_list
+        (Array.map (fun (s, ts) -> (Schema.name s, !ts)) rels)
+    in
+    {
+      par_responses = responses;
+      par_final_db = final_db;
+      par_tasks = sum stats.executed;
+      par_steals = stats.steals;
+      par_domains = stats.domains;
+    }
+  in
+  match pool with
+  | Some p -> go p
+  | None -> Pool.with_pool ?domains go

@@ -114,3 +114,45 @@ val check_serializable :
   (bool, string) result
 (** Run both and compare responses position by position; [Error] carries
     the first mismatch, pretty-printed. *)
+
+(** {1 The parallel executor}
+
+    Real multicore execution on OCaml 5 domains ({!Fdb_par.Pool}), as
+    opposed to the {e simulated} parallelism the engine measures.  Writes
+    run inline on the dispatching thread (they are cheap version
+    constructions); every read floods its relation scan across the pool
+    as chunked map-reduce tasks whose results meet in domain-safe
+    single-assignment cells ({!Fdb_lenient.Lcell}).
+
+    Reads snapshot the relation's immutable tuple list at dispatch time,
+    so transaction [i+1] proceeds while transaction [i]'s scans are still
+    in flight — the paper's pipelining, now across real cores.  Task
+    completion order is nondeterministic, but each response is assembled
+    from single-assignment chunk slots in chunk order, so the response
+    stream is deterministic and must equal {!val:run} and
+    {!val:reference} on the same inputs (the differential tests assert
+    exactly this). *)
+
+type par_report = {
+  par_responses : (int * response) list;  (** (tag, response), stream order *)
+  par_final_db : (string * Tuple.t list) list;
+  par_tasks : int;  (** pool tasks executed (chunks + aggregates) *)
+  par_steals : int;  (** tasks run by a domain other than their home *)
+  par_domains : int;
+}
+
+val run_parallel :
+  ?semantics:semantics ->
+  ?domains:int ->
+  ?chunk:int ->
+  ?pool:Fdb_par.Pool.t ->
+  db_spec ->
+  (int * Fdb_query.Ast.query) list ->
+  par_report
+(** Execute the merged stream on a domain pool.  [domains] defaults to
+    the pool default ({!Fdb_par.Pool.create}); [chunk] (default 512) is
+    the scan flood granularity in tuples.  Passing [pool] reuses an
+    existing pool (and leaves it running); otherwise a fresh pool is
+    created and shut down around the run — in that case [par_tasks] and
+    [par_steals] count this run alone.
+    @raise Invalid_argument when [chunk < 1]. *)

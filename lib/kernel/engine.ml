@@ -106,13 +106,12 @@ type 'a ivar = {
   mutable cid : int;
 }
 
-let cid_counter = ref 0
+(* Atomic so engines running in different domains (e.g. differential runs
+   under the parallel executor's tests) never mint colliding cell ids. *)
+let cid_counter = Atomic.make 0
 
 let cell_id iv =
-  if iv.cid = 0 then begin
-    incr cid_counter;
-    iv.cid <- !cid_counter
-  end;
+  if iv.cid = 0 then iv.cid <- Atomic.fetch_and_add cid_counter 1 + 1;
   iv.cid
 
 let ivar eng =

@@ -1,0 +1,70 @@
+(* Domain-safe single-assignment cells: the lenient constructor's
+   multicore twin.  [Engine.ivar] is deliberately single-domain (the
+   deterministic simulator owns every cell); an [Lcell.t] carries the same
+   write-once discipline across OCaml 5 domains.  The whole state lives in
+   one [Atomic.t] word, so a reader either sees [Empty] or the fully
+   published [Full v] — never a torn write: the CAS that installs [Full]
+   is a release, and any read that observes it is an acquire, so every
+   plain write the producer made before [put] happens-before the
+   consumer's use of [v]. *)
+
+type 'a state =
+  | Empty of ('a -> unit) list  (* waiters, most recent first *)
+  | Full of 'a
+
+type 'a t = 'a state Atomic.t
+
+exception Double_put
+
+let create () = Atomic.make (Empty [])
+
+let make v = Atomic.make (Full v)
+
+let peek cell =
+  match Atomic.get cell with Full v -> Some v | Empty _ -> None
+
+let is_full cell =
+  match Atomic.get cell with Full _ -> true | Empty _ -> false
+
+let rec put cell v =
+  match Atomic.get cell with
+  | Full _ -> raise Double_put
+  | Empty waiters as seen ->
+      if Atomic.compare_and_set cell seen (Full v) then
+        (* Registration order, like [Engine.put] waking its waiters. *)
+        List.iter (fun k -> k v) (List.rev waiters)
+      else put cell v
+
+let rec on_full cell k =
+  match Atomic.get cell with
+  | Full v -> k v
+  | Empty waiters as seen ->
+      if not (Atomic.compare_and_set cell seen (Empty (k :: waiters))) then
+        on_full cell k
+
+(* Blocked-reader parking: a reader on another domain sleeps on a private
+   mutex/condvar pair and is woken by the waiter the producer runs.  The
+   [slot] hand-off is inside the mutex, so the wake-up cannot be missed
+   even if [put] lands between the [on_full] and the [wait]. *)
+let get cell =
+  match Atomic.get cell with
+  | Full v -> v
+  | Empty _ ->
+      let m = Mutex.create () and c = Condition.create () in
+      let slot = ref None in
+      on_full cell (fun v ->
+          Mutex.lock m;
+          slot := Some v;
+          Condition.signal c;
+          Mutex.unlock m);
+      Mutex.lock m;
+      let rec park () =
+        match !slot with
+        | Some v -> v
+        | None ->
+            Condition.wait c m;
+            park ()
+      in
+      let v = park () in
+      Mutex.unlock m;
+      v

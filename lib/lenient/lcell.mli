@@ -1,0 +1,42 @@
+(** Domain-safe single-assignment cells.
+
+    The lenient constructors' multicore twin: an {!type:t} obeys exactly
+    the write-once contract of {!Fdb_kernel.Engine.ivar} — {!val:put}
+    fills it once, consumers see the value when (and as soon as) it is
+    present — but is safe to share between OCaml 5 domains.  The state is
+    a single [Atomic.t], so a pipelined consumer on another core never
+    observes a torn write: the producer's plain writes happen-before any
+    read that observes [Full].
+
+    Unlike engine ivars, continuations registered with {!val:on_full} run
+    {e immediately in the putting domain's context} (there is no
+    scheduler to charge a task to); {!val:get} parks the calling domain
+    until the value arrives. *)
+
+type 'a t
+
+exception Double_put
+(** Raised on the second {!val:put}; cells are single-assignment. *)
+
+val create : unit -> 'a t
+(** Fresh empty cell. *)
+
+val make : 'a -> 'a t
+(** Cell created already full. *)
+
+val put : 'a t -> 'a -> unit
+(** Publish the value and run every registered waiter, in registration
+    order, in the calling domain.  @raise Double_put on refill. *)
+
+val on_full : 'a t -> ('a -> unit) -> unit
+(** Run [k v] once the value is present: immediately when already full,
+    otherwise in the context of the eventual {!val:put}. *)
+
+val get : 'a t -> 'a
+(** The value, parking the calling domain on a condition variable until a
+    {!val:put} on another domain wakes it (blocked-reader parking). *)
+
+val peek : 'a t -> 'a option
+(** Non-blocking read. *)
+
+val is_full : 'a t -> bool

@@ -93,15 +93,16 @@ let fabric t = t.fabric
 let initial_timeout t =
   match t.backoff with Fixed n -> n | Exponential { initial; _ } -> initial
 
-(* The next armed timeout after a retransmission: doubled up to the cap,
-   plus up to 25% seeded jitter so synchronized senders desynchronize
-   deterministically. *)
+(* The next armed timeout after a retransmission: doubled, plus up to 25%
+   seeded jitter so synchronized senders desynchronize deterministically,
+   clamped to the cap last — jitter must never push an armed timeout past
+   the documented ceiling. *)
 let grow_timeout t current =
   match t.backoff with
   | Fixed n -> n
   | Exponential { cap; _ } ->
       let doubled = min cap (2 * current) in
-      doubled + Random.State.int t.brand ((doubled / 4) + 1)
+      min cap (doubled + Random.State.int t.brand ((doubled / 4) + 1))
 
 let pending_of t src =
   match Hashtbl.find_opt t.pending src with

@@ -100,3 +100,11 @@ val run_to_quiescence : ?max_steps:int -> 'a t -> (int * 'a) list
     @raise No_quiescence when [max_steps] is exceeded. *)
 
 val stats : 'a t -> stats
+
+val initial_timeout : 'a t -> int
+(** The first armed timeout under the channel's backoff policy. *)
+
+val grow_timeout : 'a t -> int -> int
+(** The timeout armed after a retransmission whose timeout was [current]:
+    policy-dependent growth plus jitter, never exceeding an
+    [Exponential] policy's [cap].  Exposed for property tests. *)

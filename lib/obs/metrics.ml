@@ -1,46 +1,75 @@
-type counter = { c_name : string; mutable count : int }
+(* Domain-safe named counters and histograms.
+
+   Counters are single [Atomic.t] ints.  Histograms shard per domain: each
+   domain lazily creates its own plain-mutable shard through [Domain.DLS]
+   (registered in the histogram's shard list under the registry lock), so
+   the observe hot path never synchronizes; [snapshot] merges the shards.
+   Registration (find-or-create by name) takes the registry lock — the
+   cold path, paid once per instrument per module. *)
+
+type counter = { c_name : string; count : int Atomic.t }
+
+type shard = {
+  mutable s_count : int;
+  mutable s_sum : int;
+  mutable s_min : int;
+  mutable s_max : int;
+  s_buckets : int array;  (* power-of-two buckets *)
+}
 
 type histogram = {
   h_name : string;
-  mutable h_count : int;
-  mutable h_sum : int;
-  mutable h_min : int;
-  mutable h_max : int;
-  h_buckets : int array;  (* power-of-two buckets *)
+  h_shards : shard list ref;  (* every domain's shard; under [registry] *)
+  h_key : shard Domain.DLS.key;
 }
 
 let n_buckets = 32
+let registry = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; count = 0 } in
-      Hashtbl.add counters name c;
-      c
+let locked f =
+  Mutex.lock registry;
+  match f () with
+  | v ->
+      Mutex.unlock registry;
+      v
+  | exception e ->
+      Mutex.unlock registry;
+      raise e
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
-let counter_value c = c.count
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; count = Atomic.make 0 } in
+          Hashtbl.add counters name c;
+          c)
+
+let incr c = Atomic.incr c.count
+let add c n = ignore (Atomic.fetch_and_add c.count n)
+let counter_value c = Atomic.get c.count
+
+let new_shard () =
+  { s_count = 0; s_sum = 0; s_min = 0; s_max = 0;
+    s_buckets = Array.make n_buckets 0 }
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          h_name = name;
-          h_count = 0;
-          h_sum = 0;
-          h_min = 0;
-          h_max = 0;
-          h_buckets = Array.make n_buckets 0;
-        }
-      in
-      Hashtbl.add histograms name h;
-      h
+  locked (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let shards = ref [] in
+          let key =
+            Domain.DLS.new_key (fun () ->
+                let s = new_shard () in
+                locked (fun () -> shards := s :: !shards);
+                s)
+          in
+          let h = { h_name = name; h_shards = shards; h_key = key } in
+          Hashtbl.add histograms name h;
+          h)
 
 (* bucket 0: v <= 0; bucket i: 2^(i-1) <= v < 2^i, clamped to the last. *)
 let bucket_of v =
@@ -55,18 +84,19 @@ let bucket_of v =
   end
 
 let observe h v =
-  if h.h_count = 0 then begin
-    h.h_min <- v;
-    h.h_max <- v
+  let s = Domain.DLS.get h.h_key in
+  if s.s_count = 0 then begin
+    s.s_min <- v;
+    s.s_max <- v
   end
   else begin
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
+    if v < s.s_min then s.s_min <- v;
+    if v > s.s_max then s.s_max <- v
   end;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum + v;
+  s.s_count <- s.s_count + 1;
+  s.s_sum <- s.s_sum + v;
   let b = bucket_of v in
-  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  s.s_buckets.(b) <- s.s_buckets.(b) + 1
 
 type histo_stats = {
   count : int;
@@ -81,43 +111,137 @@ type snapshot = {
   histograms : (string * histo_stats) list;
 }
 
-let histo_stats h =
+(* Merge a histogram's shards; caller holds the registry lock (a snapshot
+   taken while other domains are observing is approximate — quiesce, or
+   use {!scoped}, for exact figures). *)
+let merged_stats h =
+  let acc = new_shard () in
+  List.iter
+    (fun s ->
+      if s.s_count > 0 then begin
+        if acc.s_count = 0 then begin
+          acc.s_min <- s.s_min;
+          acc.s_max <- s.s_max
+        end
+        else begin
+          if s.s_min < acc.s_min then acc.s_min <- s.s_min;
+          if s.s_max > acc.s_max then acc.s_max <- s.s_max
+        end;
+        acc.s_count <- acc.s_count + s.s_count;
+        acc.s_sum <- acc.s_sum + s.s_sum;
+        for i = 0 to n_buckets - 1 do
+          acc.s_buckets.(i) <- acc.s_buckets.(i) + s.s_buckets.(i)
+        done
+      end)
+    !(h.h_shards);
   let buckets = ref [] in
   for i = n_buckets - 1 downto 0 do
-    if h.h_buckets.(i) > 0 then
+    if acc.s_buckets.(i) > 0 then
       let upper = if i = 0 then 0 else (1 lsl i) - 1 in
-      buckets := (upper, h.h_buckets.(i)) :: !buckets
+      buckets := (upper, acc.s_buckets.(i)) :: !buckets
   done;
   {
-    count = h.h_count;
-    sum = h.h_sum;
-    min = h.h_min;
-    max = h.h_max;
+    count = acc.s_count;
+    sum = acc.s_sum;
+    min = acc.s_min;
+    max = acc.s_max;
     buckets = !buckets;
   }
 
+(* Only instruments with activity appear: a merely-registered counter is
+   indistinguishable from an unloaded module's, so including zeros would
+   make snapshots depend on initialisation order. *)
 let snapshot () =
-  let cs =
-    Hashtbl.fold
-      (fun name (c : counter) acc -> (name, c.count) :: acc)
-      counters []
-  in
-  let hs =
-    Hashtbl.fold (fun name h acc -> (name, histo_stats h) :: acc) histograms []
-  in
-  let by_name (a, _) (b, _) = String.compare a b in
-  { counters = List.sort by_name cs; histograms = List.sort by_name hs }
+  locked (fun () ->
+      let cs =
+        Hashtbl.fold
+          (fun name (c : counter) acc ->
+            let v = Atomic.get c.count in
+            if v = 0 then acc else (name, v) :: acc)
+          counters []
+      in
+      let hs =
+        Hashtbl.fold
+          (fun name h acc ->
+            let m = merged_stats h in
+            if m.count = 0 then acc else (name, m) :: acc)
+          histograms []
+      in
+      let by_name (a, _) (b, _) = String.compare a b in
+      { counters = List.sort by_name cs; histograms = List.sort by_name hs })
+
+let zero_shard s =
+  s.s_count <- 0;
+  s.s_sum <- 0;
+  s.s_min <- 0;
+  s.s_max <- 0;
+  Array.fill s.s_buckets 0 n_buckets 0
 
 let reset () =
-  Hashtbl.iter (fun _ (c : counter) -> c.count <- 0) counters;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_count <- 0;
-      h.h_sum <- 0;
-      h.h_min <- 0;
-      h.h_max <- 0;
-      Array.fill h.h_buckets 0 n_buckets 0)
-    histograms
+  locked (fun () ->
+      Hashtbl.iter (fun _ (c : counter) -> Atomic.set c.count 0) counters;
+      Hashtbl.iter
+        (fun _ h -> List.iter zero_shard !(h.h_shards))
+        histograms)
+
+(* Scoped delta: save the registry, zero it in place (the instrument
+   records modules captured at init keep working), run [f], snapshot what
+   [f] alone did, then add the saved values back — so callers above this
+   scope still see their own accumulation.  The saved histogram totals are
+   restored into the calling domain's shard. *)
+let scoped f =
+  let saved_counters =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun _ (c : counter) acc -> (c, Atomic.exchange c.count 0) :: acc)
+          counters [])
+  in
+  let saved_histos =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun _ h acc ->
+            let m = merged_stats h in
+            List.iter zero_shard !(h.h_shards);
+            (h, m) :: acc)
+          histograms [])
+  in
+  let restore () =
+    List.iter
+      (fun ((c : counter), v) -> ignore (Atomic.fetch_and_add c.count v))
+      saved_counters;
+    List.iter
+      (fun (h, (m : histo_stats)) ->
+        if m.count > 0 then begin
+          let s = Domain.DLS.get h.h_key in
+          if s.s_count = 0 then begin
+            s.s_min <- m.min;
+            s.s_max <- m.max
+          end
+          else begin
+            if m.min < s.s_min then s.s_min <- m.min;
+            if m.max > s.s_max then s.s_max <- m.max
+          end;
+          s.s_count <- s.s_count + m.count;
+          s.s_sum <- s.s_sum + m.sum;
+          List.iter
+            (fun (upper, n) ->
+              let b = if upper <= 0 then 0 else bucket_of upper in
+              s.s_buckets.(b) <- s.s_buckets.(b) + n)
+            m.buckets
+        end)
+      saved_histos
+  in
+  match f () with
+  | v ->
+      let snap = snapshot () in
+      restore ();
+      (v, snap)
+  | exception e ->
+      (* As if the failed scope never ran: drop its partial recordings,
+         then put the surrounding totals back. *)
+      reset ();
+      restore ();
+      raise e
 
 let pp_snapshot ppf snap =
   Fmt.pf ppf "counters:@.";

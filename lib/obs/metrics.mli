@@ -1,12 +1,17 @@
-(** Named counters and histograms.
+(** Named counters and histograms, safe to use from any domain.
 
     A process-global registry replacing the per-module ad-hoc counters.
     Instruments register once at module initialisation (the only point that
-    pays a hashtable lookup); the hot path is a single unboxed [int]
-    mutation, cheap enough to leave permanently on.
+    pays a hashtable lookup, under the registry lock); the hot path is an
+    atomic increment (counters) or a plain mutation of the calling domain's
+    private histogram shard — cheap enough to leave permanently on, and
+    race-free under parallel execution.  {!val:snapshot} merges the
+    per-domain shards; for exact figures take it while no other domain is
+    observing (e.g. after {!Fdb_par.Pool.wait}), or use {!val:scoped}.
 
     Histograms use power-of-two buckets: bucket [i] holds observations [v]
-    with [2^(i-1) <= v < 2^i] (bucket 0 holds [v <= 0]). *)
+    with [2^(i-1) <= v < 2^i] (bucket 0 holds [v <= 0]); values past the
+    last bucket clamp into it. *)
 
 type counter
 type histogram
@@ -20,6 +25,13 @@ val counter_value : counter -> int
 
 val histogram : string -> histogram
 val observe : histogram -> int -> unit
+
+val n_buckets : int
+(** Number of histogram buckets (32). *)
+
+val bucket_of : int -> int
+(** The bucket index an observation lands in: [0] for [v <= 0], else the
+    [i] with [2^(i-1) <= v < 2^i], clamped to [n_buckets - 1]. *)
 
 type histo_stats = {
   count : int;
@@ -35,7 +47,22 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
+(** Every instrument with activity (non-zero counters, non-empty
+    histograms).  Merely-registered instruments are omitted, so a
+    snapshot depends only on what was recorded, never on module
+    initialisation order. *)
+
 val reset : unit -> unit
 (** Zero every registered instrument (registration survives). *)
+
+val scoped : (unit -> 'a) -> 'a * snapshot
+(** [scoped f] runs [f] against a zeroed registry and returns its result
+    together with a snapshot of only what [f] recorded, then restores the
+    surrounding totals (by adding the saved values back), so enclosing
+    accumulation — e.g. [fdbsim stats] over a whole run — is unaffected.
+    A scope that raises is erased — its partial recordings are discarded
+    before the surrounding totals are restored and the exception
+    re-raised.  Not reentrant, and assumes no {e other} domain records
+    metrics concurrently with the save/restore edges. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,48 @@
+(** A fixed pool of OCaml 5 domains executing site-addressed tasks.
+
+    The multicore execution layer under the parallel pipeline executor:
+    each worker domain owns a deque, {!val:submit}[ ~site] routes a task
+    to deque [site mod domains] (the same site-to-processor mapping the
+    Rediflow scheduler uses), idle workers steal from the back of their
+    neighbours' deques, and {!val:wait} is a barrier over everything
+    submitted so far.
+
+    The pool promises nothing about execution {e order} — determinism of
+    results comes from the data (single-assignment cells, immutable
+    versions), which makes the task graph confluent.  The deterministic
+    single-threaded engine remains the oracle; this pool is how the same
+    answers are produced as fast as the hardware allows. *)
+
+type t
+
+type stats = {
+  domains : int;
+  executed : int array;  (** tasks run per worker domain *)
+  steals : int;  (** tasks taken from another domain's deque *)
+}
+
+val create : ?domains:int -> unit -> t
+(** Spawn the worker domains.  [domains] defaults to
+    [Domain.recommended_domain_count () - 1] (at least 1); it must be in
+    1..128.  Every pool must be {!val:shutdown} (or use
+    {!val:with_pool}). *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> site:int -> (unit -> unit) -> unit
+(** Enqueue a task on the deque of domain [site mod size].  Tasks may
+    submit further tasks.  A task that raises records its exception (the
+    first one wins) for the next {!val:wait} to re-raise. *)
+
+val wait : t -> unit
+(** Park until every task submitted so far has completed, then re-raise
+    the first exception any of them recorded, if any. *)
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** {!val:wait}, then stop and join the worker domains. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

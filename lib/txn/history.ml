@@ -11,10 +11,18 @@ type t = {
   indexed : Database.t array option ref;
 }
 
+exception Empty_history
+
 let create db0 = { versions = [ db0 ]; count = 1; indexed = ref None }
 
+let of_versions versions =
+  match versions with
+  | [] -> raise Empty_history
+  | _ ->
+      { versions; count = List.length versions; indexed = ref None }
+
 let newest t =
-  match t.versions with [] -> assert false | db :: _ -> db
+  match t.versions with [] -> raise Empty_history | db :: _ -> db
 
 let commit t txn =
   let (response, db') = txn (newest t) in

@@ -11,8 +11,18 @@ open Fdb_relational
 
 type t
 
+exception Empty_history
+(** An archive with no versions is unrepresentable through {!val:create}
+    and {!val:commit}; raised instead of an anonymous assertion failure if
+    one is ever constructed (e.g. {!val:of_versions}[ []]), so the
+    invariant violation is diagnosable at the API boundary. *)
+
 val create : Database.t -> t
 (** An archive whose version 0 is the initial database. *)
+
+val of_versions : Database.t list -> t
+(** An archive from an explicit newest-first version list.
+    @raise Empty_history on the empty list. *)
 
 val commit : t -> Txn.t -> t * Txn.response
 (** Apply a transaction to the newest version and archive the result. *)

@@ -462,6 +462,35 @@ let test_backoff_beats_fixed_under_loss () =
     (Printf.sprintf "exponential (%d) strictly below fixed (%d)" expo fixed)
     true (expo < fixed)
 
+(* Regression for the jitter-past-cap bug: jitter used to be added after
+   the clamp, so a current timeout at (or near) the cap armed the next one
+   up to 25% beyond the documented ceiling.  Walk the growth sequence from
+   [initial] under many seeds, and also probe from arbitrary in-range
+   timeouts: no armed timeout may ever exceed [cap]. *)
+let prop_backoff_never_exceeds_cap =
+  QCheck.Test.make ~count:200 ~name:"armed backoff timeout never exceeds cap"
+    QCheck.(triple small_int small_int small_int)
+    (fun (seed, initial0, cap0) ->
+      let initial = 1 + (initial0 mod 50) in
+      let cap = initial + (cap0 mod 200) in
+      let r =
+        Reliable.create ~seed
+          ~backoff:(Reliable.Exponential { initial; cap })
+          (Topology.star 3)
+      in
+      let ok = ref true in
+      (* the sequence a real sender follows *)
+      let t = ref (Reliable.initial_timeout r) in
+      for _ = 1 to 40 do
+        t := Reliable.grow_timeout r !t;
+        if !t > cap then ok := false
+      done;
+      (* and arbitrary restart points, including current = cap itself *)
+      for current = 1 to cap do
+        if Reliable.grow_timeout r current > cap then ok := false
+      done;
+      !ok)
+
 let test_no_quiescence_carries_diagnostics () =
   let r = Reliable.create ~seed:1 (Topology.ring 4) in
   Fabric.partition (Reliable.fabric r) [ 2 ];
@@ -530,6 +559,7 @@ let () =
             test_reliable_half_loss_exactly_once;
           Alcotest.test_case "backoff beats fixed timeout" `Quick
             test_backoff_beats_fixed_under_loss;
+          QCheck_alcotest.to_alcotest prop_backoff_never_exceeds_cap;
           Alcotest.test_case "no-quiescence diagnostics" `Quick
             test_no_quiescence_carries_diagnostics;
           QCheck_alcotest.to_alcotest prop_reliable_exactly_once;

@@ -62,10 +62,92 @@ let test_metrics_histogram () =
 
 let test_metrics_snapshot_sorted () =
   Metrics.reset ();
-  ignore (Metrics.counter "test.obs.zz");
-  ignore (Metrics.counter "test.obs.aa");
+  Metrics.incr (Metrics.counter "test.obs.zz");
+  Metrics.incr (Metrics.counter "test.obs.aa");
   let names = List.map fst (Metrics.snapshot ()).Metrics.counters in
-  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+  Alcotest.(check bool) "both present" true
+    (List.mem "test.obs.aa" names && List.mem "test.obs.zz" names);
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names;
+  (* idle instruments stay out of the snapshot entirely *)
+  ignore (Metrics.counter "test.obs.idle");
+  Alcotest.(check bool) "zero counter omitted" false
+    (List.mem_assoc "test.obs.idle" (Metrics.snapshot ()).Metrics.counters)
+
+(* Bucket boundaries: bucket 0 holds v <= 0; bucket i holds
+   2^(i-1) <= v < 2^i; everything past the last bucket clamps into it. *)
+let test_metrics_bucket_boundaries () =
+  Alcotest.(check int) "v = 0" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "v = -7" 0 (Metrics.bucket_of (-7));
+  Alcotest.(check int) "v = min_int" 0 (Metrics.bucket_of min_int);
+  Alcotest.(check int) "v = 1" 1 (Metrics.bucket_of 1);
+  Alcotest.(check int) "v = 2" 2 (Metrics.bucket_of 2);
+  Alcotest.(check int) "v = 3" 2 (Metrics.bucket_of 3);
+  Alcotest.(check int) "v = 4" 3 (Metrics.bucket_of 4);
+  (* the power-of-two edges across the whole in-range span *)
+  for k = 1 to Metrics.n_buckets - 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "v = 2^%d" k)
+      (k + 1)
+      (Metrics.bucket_of (1 lsl k));
+    Alcotest.(check int)
+      (Printf.sprintf "v = 2^%d - 1" k)
+      k
+      (Metrics.bucket_of ((1 lsl k) - 1))
+  done;
+  (* past the last bucket: clamp, never an out-of-bounds index *)
+  let last = Metrics.n_buckets - 1 in
+  Alcotest.(check int) "v = 2^31" last (Metrics.bucket_of (1 lsl 31));
+  Alcotest.(check int) "v = max_int" last (Metrics.bucket_of max_int)
+
+let test_metrics_bucket_uppers () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.obs.bounds" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; max_int ];
+  let stats =
+    match
+      List.assoc_opt "test.obs.bounds" (Metrics.snapshot ()).Metrics.histograms
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "histogram missing from snapshot"
+  in
+  (* uppers are inclusive: 0 | 1 | 2-3 | 4-7 | ... | clamp bucket, whose
+     upper bound is 2^31 - 1 regardless of the actual observed max *)
+  Alcotest.(check (list (pair int int)))
+    "boundary buckets"
+    [ (0, 1); (1, 1); (3, 2); (7, 1); ((1 lsl 31) - 1, 1) ]
+    stats.Metrics.buckets;
+  Alcotest.(check int) "max survives the clamp" max_int stats.Metrics.max
+
+let test_metrics_scoped () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.scoped.c" in
+  let h = Metrics.histogram "test.obs.scoped.h" in
+  Metrics.add c 10;
+  Metrics.observe h 5;
+  let (result, inner) =
+    Metrics.scoped (fun () ->
+        Alcotest.(check int) "scope starts clean" 0 (Metrics.counter_value c);
+        Metrics.add c 3;
+        Metrics.observe h 100;
+        "done")
+  in
+  Alcotest.(check string) "result passed through" "done" result;
+  Alcotest.(check int) "inner sees only the scope" 3
+    (List.assoc "test.obs.scoped.c" inner.Metrics.counters);
+  let inner_h = List.assoc "test.obs.scoped.h" inner.Metrics.histograms in
+  Alcotest.(check int) "inner histogram count" 1 inner_h.Metrics.count;
+  Alcotest.(check int) "inner histogram max" 100 inner_h.Metrics.max;
+  (* the surrounding accumulation is restored plus the scope's own *)
+  Alcotest.(check int) "outer total restored" 13 (Metrics.counter_value c);
+  let outer_h =
+    List.assoc "test.obs.scoped.h" (Metrics.snapshot ()).Metrics.histograms
+  in
+  Alcotest.(check int) "outer histogram count" 2 outer_h.Metrics.count;
+  (* exception-safe: the saved totals come back even when f raises *)
+  (try
+     ignore (Metrics.scoped (fun () -> Metrics.add c 999; failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check int) "restored after exception" 13 (Metrics.counter_value c)
 
 (* -- trace sink and ring --------------------------------------------------- *)
 
@@ -251,7 +333,13 @@ let () =
           Alcotest.test_case "histogram pow2 buckets" `Quick
             test_metrics_histogram;
           Alcotest.test_case "snapshot sorted by name" `Quick
-            test_metrics_snapshot_sorted ] );
+            test_metrics_snapshot_sorted;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_metrics_bucket_boundaries;
+          Alcotest.test_case "bucket upper bounds in stats" `Quick
+            test_metrics_bucket_uppers;
+          Alcotest.test_case "scoped isolates and restores" `Quick
+            test_metrics_scoped ] );
       ( "trace",
         [ Alcotest.test_case "disabled sink is silent" `Quick
             test_trace_disabled_is_silent;

@@ -1,0 +1,373 @@
+(* The multicore execution layer: domain-safe single-assignment cells
+   (Lcell), the work-stealing domain pool (Fdb_par.Pool), domain-safe
+   metrics, and the flagship differential property — the parallel
+   executor's response stream is identical to the deterministic engine's
+   and the sequential reference's on the same seeded workloads. *)
+
+open Fdb
+open Fdb_relational
+module Lcell = Fdb_lenient.Lcell
+module Pool = Fdb_par.Pool
+module Metrics = Fdb_obs.Metrics
+module Machine = Fdb_rediflow.Machine
+module Topology = Fdb_net.Topology
+
+(* -- Lcell ----------------------------------------------------------------- *)
+
+let test_lcell_basics () =
+  let c = Lcell.create () in
+  Alcotest.(check bool) "fresh is empty" false (Lcell.is_full c);
+  Alcotest.(check (option int)) "peek empty" None (Lcell.peek c);
+  Lcell.put c 42;
+  Alcotest.(check bool) "full after put" true (Lcell.is_full c);
+  Alcotest.(check (option int)) "peek full" (Some 42) (Lcell.peek c);
+  Alcotest.(check int) "get" 42 (Lcell.get c);
+  Alcotest.check_raises "second put" Lcell.Double_put (fun () ->
+      Lcell.put c 0);
+  Alcotest.(check int) "make starts full" 7 (Lcell.get (Lcell.make 7))
+
+let test_lcell_on_full () =
+  let c = Lcell.create () in
+  let seen = ref [] in
+  Lcell.on_full c (fun v -> seen := ("early", v) :: !seen);
+  Lcell.on_full c (fun v -> seen := ("later", v) :: !seen);
+  Alcotest.(check (list (pair string int))) "nothing before put" [] !seen;
+  Lcell.put c 5;
+  Alcotest.(check (list (pair string int)))
+    "waiters run in registration order"
+    [ ("later", 5); ("early", 5) ]
+    !seen;
+  Lcell.on_full c (fun v -> seen := ("after", v) :: !seen);
+  Alcotest.(check (list (pair string int)))
+    "registered-when-full runs immediately"
+    [ ("after", 5); ("later", 5); ("early", 5) ]
+    !seen
+
+let test_lcell_cross_domain () =
+  (* A parked reader on this domain is woken by a put on another. *)
+  let c = Lcell.create () in
+  let writer =
+    Domain.spawn (fun () ->
+        (* give the reader a chance to actually park *)
+        for _ = 1 to 1000 do Domain.cpu_relax () done;
+        Lcell.put c "hello")
+  in
+  Alcotest.(check string) "parked get sees the other domain's put" "hello"
+    (Lcell.get c);
+  Domain.join writer
+
+let test_lcell_single_winner () =
+  (* Racing puts: exactly one wins, every loser raises Double_put, and
+     every reader agrees on the winner. *)
+  for _ = 1 to 50 do
+    let c = Lcell.create () in
+    let racers =
+      Array.init 4 (fun i ->
+          Domain.spawn (fun () ->
+              match Lcell.put c i with
+              | () -> Some i
+              | exception Lcell.Double_put -> None))
+    in
+    let winners = Array.to_list (Array.map Domain.join racers) in
+    let won = List.filter_map Fun.id winners in
+    Alcotest.(check int) "exactly one winner" 1 (List.length won);
+    Alcotest.(check (option int)) "value is the winner's"
+      (Some (Lcell.get c))
+      (Some (List.hd won))
+  done
+
+(* -- Pool ------------------------------------------------------------------ *)
+
+let test_pool_runs_everything () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let hits = Atomic.make 0 in
+      for i = 1 to 1000 do
+        Pool.submit pool ~site:i (fun () ->
+            ignore (Atomic.fetch_and_add hits i))
+      done;
+      Pool.wait pool;
+      Alcotest.(check int) "every task ran exactly once" 500500
+        (Atomic.get hits);
+      let (s : Pool.stats) = Pool.stats pool in
+      Alcotest.(check int) "stats.domains" 4 s.Pool.domains;
+      Alcotest.(check int) "executed sums to the submissions" 1000
+        (Array.fold_left ( + ) 0 s.Pool.executed))
+
+let test_pool_wait_is_reusable () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let r = ref 0 in
+      Pool.submit pool ~site:0 (fun () -> r := 1);
+      Pool.wait pool;
+      Alcotest.(check int) "first batch" 1 !r;
+      Pool.submit pool ~site:1 (fun () -> r := 2);
+      Pool.wait pool;
+      Alcotest.(check int) "second batch after an idle wait" 2 !r)
+
+let test_pool_tasks_spawn_tasks () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let hits = Atomic.make 0 in
+      for i = 0 to 9 do
+        Pool.submit pool ~site:i (fun () ->
+            for j = 0 to 9 do
+              Pool.submit pool ~site:j (fun () -> Atomic.incr hits)
+            done)
+      done;
+      Pool.wait pool;
+      Alcotest.(check int) "wait covers transitively submitted work" 100
+        (Atomic.get hits))
+
+exception Boom
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Pool.submit pool ~site:0 (fun () -> raise Boom);
+      Pool.submit pool ~site:1 (fun () -> ());
+      Alcotest.check_raises "wait re-raises the task's exception" Boom
+        (fun () -> Pool.wait pool);
+      (* the error is consumed: the pool keeps working afterwards *)
+      let r = ref 0 in
+      Pool.submit pool ~site:0 (fun () -> r := 1);
+      Pool.wait pool;
+      Alcotest.(check int) "pool survives" 1 !r)
+
+let test_pool_steals_imbalanced_load () =
+  (* Everything lands on site 0's deque; with more than one domain the
+     others can only make progress by stealing.  On a single-core box the
+     spawning domain may still drain its own deque first, so only assert
+     completion plus stats consistency — and that any steal is counted. *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      let hits = Atomic.make 0 in
+      for _ = 1 to 200 do
+        Pool.submit pool ~site:0 (fun () ->
+            for _ = 1 to 100 do Domain.cpu_relax () done;
+            Atomic.incr hits)
+      done;
+      Pool.wait pool;
+      Alcotest.(check int) "all ran" 200 (Atomic.get hits);
+      let (s : Pool.stats) = Pool.stats pool in
+      let off_home =
+        Array.fold_left ( + ) 0 (Array.sub s.Pool.executed 1 3)
+      in
+      Alcotest.(check bool) "steals counted when others executed" true
+        (s.Pool.steals >= off_home && off_home >= 0))
+
+let test_pool_rejects_bad_sizes () =
+  Alcotest.check_raises "0 domains"
+    (Invalid_argument "Pool.create: domains must be in 1..128") (fun () ->
+      ignore (Pool.create ~domains:0 ()));
+  Alcotest.check_raises "negative chunk"
+    (Invalid_argument "Pipeline.run_parallel: chunk must be >= 1") (fun () ->
+      ignore
+        (Pipeline.run_parallel ~chunk:0
+           { Pipeline.schemas = []; initial = [] }
+           []))
+
+(* -- domain-safe metrics --------------------------------------------------- *)
+
+let test_metrics_parallel_counters_exact () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.par.counter" in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do Metrics.incr c done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no lost increments" 40_000 (Metrics.counter_value c)
+
+let test_metrics_parallel_histogram_exact () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.par.histo" in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 1000 do
+              Metrics.observe h ((d * 1000) + i)
+            done))
+  in
+  Array.iter Domain.join domains;
+  let stats =
+    match
+      List.assoc_opt "test.par.histo" (Metrics.snapshot ()).Metrics.histograms
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "histogram missing"
+  in
+  Alcotest.(check int) "count merges all shards" 4000 stats.Metrics.count;
+  Alcotest.(check int) "sum exact" (4000 * 4001 / 2) stats.Metrics.sum;
+  Alcotest.(check int) "min from shard 0" 1 stats.Metrics.min;
+  Alcotest.(check int) "max from shard 3" 4000 stats.Metrics.max;
+  Alcotest.(check int) "bucket totals merge" 4000
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Metrics.buckets)
+
+(* -- metrics bleed regression (satellite 2) -------------------------------- *)
+
+let test_sim_metrics_scoped_no_bleed () =
+  let sc = Fdb_check.Gen.generate { Fdb_check.Gen.default_spec with seed = 11 } in
+  let run () = Fdb_check.Sim.run ~seed:11 sc in
+  let a = run () in
+  (* pollute the global registry between runs: a bleed would show up in
+     the second outcome's snapshot *)
+  let noise = Metrics.counter "test.par.noise" in
+  Metrics.add noise 12345;
+  ignore (Fdb_check.Sim.run ~seed:99 sc);
+  let b = run () in
+  Alcotest.(check bool) "identical runs report identical metrics" true
+    (a.Fdb_check.Sim.metrics = b.Fdb_check.Sim.metrics);
+  Alcotest.(check int) "surrounding accumulation untouched" 12345
+    (Metrics.counter_value noise);
+  Alcotest.(check bool) "run actually recorded something" true
+    (List.exists (fun (_, v) -> v > 0) a.Fdb_check.Sim.metrics.Metrics.counters)
+
+(* -- the flagship differential property ------------------------------------ *)
+
+let tup k s = Tuple.make [ Value.Int k; Value.Str s ]
+
+let schemas =
+  [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ];
+    Schema.make ~name:"S" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ]
+
+let spec_for ~seed =
+  let rand = Random.State.make [| seed; 0x9a7 |] in
+  let rel name n =
+    (name, List.init n (fun i -> tup (Random.State.int rand 16) (Printf.sprintf "%s%d" name i)))
+  in
+  {
+    Pipeline.schemas;
+    initial = [ rel "R" (5 + Random.State.int rand 40); rel "S" (Random.State.int rand 25) ];
+  }
+
+let q = Fdb_query.Parser.parse_exn
+
+(* Seeded random queries over R, S and an unknown Z — same shapes as the
+   serializability property in test_core, including ill-formed ones, so
+   the parallel executor's error responses are differentially checked
+   too. *)
+let gen_queries ~seed n =
+  let rand = Random.State.make [| seed; 0x9a8 |] in
+  let rel () = [| "R"; "S"; "Z" |].(Random.State.int rand 3) in
+  let key () = Random.State.int rand 16 in
+  List.init n (fun i ->
+      let src =
+        match Random.State.int rand 10 with
+        | 0 -> Printf.sprintf "insert (%d, \"v%d\") into %s" (key ()) i (rel ())
+        | 1 -> Printf.sprintf "find %d in %s" (key ()) (rel ())
+        | 2 -> Printf.sprintf "delete %d from %s" (key ()) (rel ())
+        | 3 -> Printf.sprintf "select * from %s where key >= %d" (rel ()) (key ())
+        | 4 -> Printf.sprintf "count %s" (rel ())
+        | 5 -> Printf.sprintf "sum key from %s where key <= %d" (rel ()) (key ())
+        | 6 -> Printf.sprintf "min key from %s" (rel ())
+        | 7 ->
+            Printf.sprintf "update %s set val = \"u%d\" where key = %d" (rel ())
+              i (key ())
+        | 8 -> Printf.sprintf "max val from %s" (rel ())
+        | _ -> "join R and S on key = key"
+      in
+      (i mod 4, q src))
+
+let check_streams name expected actual =
+  Alcotest.(check int)
+    (name ^ ": response count")
+    (List.length expected) (List.length actual);
+  List.iteri
+    (fun i ((t1, r1), (t2, r2)) ->
+      if t1 <> t2 || not (Pipeline.response_equal r1 r2) then
+        Alcotest.failf "%s: response %d diverges: (%d) %a vs (%d) %a" name i t1
+          Pipeline.pp_response r1 t2 Pipeline.pp_response r2)
+    (List.combine expected actual)
+
+let check_final name expected actual =
+  List.iter2
+    (fun (rel1, ts1) (rel2, ts2) ->
+      Alcotest.(check string) (name ^ ": relation order") rel1 rel2;
+      if not (List.equal Tuple.equal ts1 ts2) then
+        Alcotest.failf "%s: final contents of %s diverge" name rel1)
+    expected actual
+
+(* One scenario: the same seeded workload under the deterministic engine
+   (Ideal), the engine on a simulated 4-PE hypercube, the sequential
+   reference, and the real-domain parallel executor must produce the
+   same response stream and final database.  60 seeds x 2 semantics =
+   120 scenarios; a shared pool keeps domain spawns amortized. *)
+let differential_scenario pool ~semantics ~seed =
+  let spec = spec_for ~seed in
+  let tagged = gen_queries ~seed (10 + (seed mod 30)) in
+  let name = Printf.sprintf "seed %d" seed in
+  let ideal = Pipeline.run ~semantics spec tagged in
+  let machine =
+    Pipeline.run ~semantics
+      ~mode:(Pipeline.On_machine (Machine.default_config (Topology.hypercube 2)))
+      spec tagged
+  in
+  let reference = Pipeline.reference ~semantics spec tagged in
+  (* a small chunk so multi-chunk floods actually happen at these sizes *)
+  let par = Pipeline.run_parallel ~semantics ~chunk:8 ~pool spec tagged in
+  check_streams (name ^ " par vs ideal") ideal.Pipeline.responses
+    par.Pipeline.par_responses;
+  check_streams (name ^ " par vs machine") machine.Pipeline.responses
+    par.Pipeline.par_responses;
+  check_streams (name ^ " par vs reference") reference
+    par.Pipeline.par_responses;
+  check_final (name ^ " final db") ideal.Pipeline.final_db
+    par.Pipeline.par_final_db
+
+let test_differential semantics () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      for seed = 0 to 59 do
+        differential_scenario pool ~semantics ~seed
+      done)
+
+let test_parallel_report_counts () =
+  let spec = spec_for ~seed:1 in
+  let tagged = gen_queries ~seed:1 40 in
+  let par = Pipeline.run_parallel ~domains:2 ~chunk:4 spec tagged in
+  Alcotest.(check int) "domains as configured" 2 par.Pipeline.par_domains;
+  Alcotest.(check bool) "read floods actually produced pool tasks" true
+    (par.Pipeline.par_tasks > 0)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "lcell",
+        [
+          Alcotest.test_case "single-assignment basics" `Quick
+            test_lcell_basics;
+          Alcotest.test_case "on_full ordering" `Quick test_lcell_on_full;
+          Alcotest.test_case "cross-domain get" `Quick test_lcell_cross_domain;
+          Alcotest.test_case "racing puts, one winner" `Quick
+            test_lcell_single_winner;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "1000 tasks, exact sum" `Quick
+            test_pool_runs_everything;
+          Alcotest.test_case "wait barrier is reusable" `Quick
+            test_pool_wait_is_reusable;
+          Alcotest.test_case "tasks submit tasks" `Quick
+            test_pool_tasks_spawn_tasks;
+          Alcotest.test_case "exception propagates to wait" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "imbalanced load drains" `Quick
+            test_pool_steals_imbalanced_load;
+          Alcotest.test_case "argument validation" `Quick
+            test_pool_rejects_bad_sizes;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "parallel counters exact" `Quick
+            test_metrics_parallel_counters_exact;
+          Alcotest.test_case "parallel histogram merges exact" `Quick
+            test_metrics_parallel_histogram_exact;
+          Alcotest.test_case "sim runs cannot bleed metrics" `Quick
+            test_sim_metrics_scoped_no_bleed;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "120 scenarios: prepend" `Slow
+            (test_differential Pipeline.Prepend);
+          Alcotest.test_case "120 scenarios: ordered" `Slow
+            (test_differential Pipeline.Ordered_unique);
+          Alcotest.test_case "report counts" `Quick
+            test_parallel_report_counts;
+        ] );
+    ]

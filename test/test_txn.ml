@@ -350,6 +350,22 @@ let test_history_bounds () =
     (Invalid_argument "History.version: out of range") (fun () ->
       ignore (History.version h 1))
 
+let test_history_empty () =
+  (* The empty archive is unrepresentable through create/commit; building
+     one explicitly raises the named exception rather than an anonymous
+     assertion failure. *)
+  Alcotest.check_raises "of_versions []" History.Empty_history (fun () ->
+      ignore (History.of_versions []));
+  (* and a non-empty explicit construction round-trips, newest first in,
+     oldest first out *)
+  let a = db_with_data () in
+  let (_, b) = Txn.translate (q "insert (9, \"ninety\") into R") a in
+  let h = History.of_versions [ b; a ] in
+  Alcotest.(check int) "length" 2 (History.length h);
+  Alcotest.(check bool) "version 0 is the oldest" true
+    (History.version h 0 == a);
+  Alcotest.(check bool) "latest is the newest" true (History.latest h == b)
+
 let () =
   Alcotest.run "txn"
     [
@@ -378,6 +394,7 @@ let () =
           Alcotest.test_case "accessor matches reference" `Quick
             test_history_accessor_matches_reference;
           Alcotest.test_case "bounds" `Quick test_history_bounds;
+          Alcotest.test_case "empty history raises" `Quick test_history_empty;
         ] );
       ( "apply_stream",
         [
