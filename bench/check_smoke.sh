@@ -19,3 +19,6 @@ case "$BENCH" in */*) ;; *) BENCH="./$BENCH" ;; esac
 # hot path, and the trace exporter must produce a law-abiding Chrome trace.
 "$BENCH" trace-overhead > /dev/null
 "$FDBSIM" trace --seed 2 -o "${TMPDIR:-/tmp}/trace_smoke.json" > /dev/null
+# Repair smoke: a short speculative sweep — parallel batches, traced inline
+# run and sequential engine must agree, traces must satisfy every law.
+"$FDBSIM" repair --seed 1 --sweep 3 --domains 2 > /dev/null

@@ -7,6 +7,9 @@
                      ablation-semantics|plan|trace-overhead|micro|all]
                     (default: all)
 
+   Usage also covers `par` (scan-flood executor scaling -> BENCH_par.json)
+   and `repair` (speculative repair executor scaling -> BENCH_repair.json).
+
    `plan [--quick] [--seed N] [-o FILE]` sweeps the access-path planner
    (point / range / full scans and hash vs nested joins) over every backend
    and writes a BENCH_plan.json artifact stamped with the seed and git
@@ -626,6 +629,130 @@ let par_bench ~quick ~seed ~out =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* -- repair: speculative batch executor wall-clock by domains ---------------- *)
+
+let repair_bench ~quick ~seed ~out =
+  let module Schema = Fdb_relational.Schema in
+  let module Tuple = Fdb_relational.Tuple in
+  let module Value = Fdb_relational.Value in
+  let module Exec = Fdb_repair.Exec in
+  section
+    (Printf.sprintf
+       "Repair executor: speculative batch wall-clock by domains (%s)"
+       (if quick then "quick" else "full"))
+  ;
+  let n = if quick then 3_000 else 8_000 in
+  let nq = if quick then 160 else 400 in
+  let rand = Random.State.make [| seed; 0x4e9a |] in
+  let key_space = n * 4 in
+  let tuples =
+    List.init n (fun i ->
+        Tuple.make
+          [ Value.Int (Random.State.int rand key_space);
+            Value.Str (Printf.sprintf "v%d" (i mod 997)) ])
+  in
+  let spec =
+    {
+      Pipeline.schemas =
+        [ Schema.make ~name:"R"
+            ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ];
+      initial = [ ("R", tuples) ];
+    }
+  in
+  (* Mostly key-disjoint point writes — the speculative sweet spot — with a
+     sprinkling of scans and hot-key updates so the conflict scan, the
+     commutativity bypass and the repair loop all see real work. *)
+  let tagged =
+    List.init nq (fun i ->
+        let src =
+          match i mod 10 with
+          | 0 | 1 | 2 | 3 ->
+              Printf.sprintf "insert (%d, \"w%d\") into R"
+                (Random.State.int rand key_space) i
+          | 4 | 5 ->
+              Printf.sprintf "delete %d from R" (Random.State.int rand key_space)
+          | 6 ->
+              Printf.sprintf "update R set val = \"u%d\" where key <= %d" i
+                (Random.State.int rand 48)
+          | 7 -> Printf.sprintf "find %d in R" (Random.State.int rand key_space)
+          | 8 ->
+              Printf.sprintf "count R where key >= %d"
+                (key_space - Random.State.int rand 512)
+          | _ ->
+              Printf.sprintf "sum key from R where key <= %d"
+                (Random.State.int rand 512)
+        in
+        (i mod 4, Fdb_query.Parser.parse_exn src))
+  in
+  let expected = Pipeline.reference ~semantics:Pipeline.Ordered_unique spec tagged in
+  let check_responses what rs =
+    if
+      not
+        (List.equal
+           (fun (t1, r1) (t2, r2) -> t1 = t2 && Pipeline.response_equal r1 r2)
+           expected rs)
+    then begin
+      Printf.printf "FAIL: %s diverges from the sequential reference\n" what;
+      exit 1
+    end
+  in
+  let repeats = if quick then 2 else 3 in
+  let batch = 32 in
+  let time_at domains =
+    (* best-of-k wall clock, pool spawn/teardown included (honest for a
+       run-sized unit of work); every run is differentially checked *)
+    let best = ref infinity and stats = ref Exec.zero_stats in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      let r = Pipeline.run_repair ~domains ~batch spec tagged in
+      let dt = Unix.gettimeofday () -. t0 in
+      check_responses
+        (Printf.sprintf "%d-domain repair run" domains)
+        r.Pipeline.rep_responses;
+      stats := r.Pipeline.rep_stats;
+      if dt < !best then best := dt
+    done;
+    (!best, !stats)
+  in
+  ignore (time_at 1) (* warm-up: page in the data, settle the GC *);
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let rows = List.map (fun d -> (d, time_at d)) domain_counts in
+  let t1 = fst (List.assoc 1 rows) in
+  Printf.printf "%8s %10s %8s %9s %7s %8s   (%d tuples, %d txns, batch %d)\n"
+    "domains" "wall-ms" "speedup" "spec-hit" "rounds" "bypass" n nq batch;
+  List.iter
+    (fun (d, (t, st)) ->
+      Printf.printf "%8d %10.2f %7.2fx %8.1f%% %7d %8d\n" d (t *. 1000.0)
+        (t1 /. t)
+        (100.0 *. float_of_int st.Exec.spec_hits /. float_of_int st.Exec.txns)
+        st.Exec.rounds
+        (st.Exec.bypass_disjoint + st.Exec.bypass_commute))
+    rows;
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"mode\": %S,\n  \"seed\": %d,\n  \"git_rev\": %S,\n  \
+     \"tuples\": %d,\n  \"queries\": %d,\n  \"batch\": %d,\n  \
+     \"recommended_domain_count\": %d,\n  \"results\": [\n"
+    (if quick then "quick" else "full")
+    seed (git_rev ()) n nq batch
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i (d, (t, st)) ->
+      Printf.fprintf oc
+        "    {\"domains\": %d, \"wall_ms\": %.3f, \"speedup_vs_1\": %.3f, \
+         \"spec_hit_rate\": %.4f, \"rounds\": %d, \"reexecs\": %d, \
+         \"bypass_disjoint\": %d, \"bypass_commute\": %d, \
+         \"adopted_slots\": %d}%s\n"
+        d (t *. 1000.0) (t1 /. t)
+        (float_of_int st.Exec.spec_hits /. float_of_int st.Exec.txns)
+        st.Exec.rounds st.Exec.reexecs st.Exec.bypass_disjoint
+        st.Exec.bypass_commute st.Exec.adopted_slots
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 (* -- trace-overhead: zero allocations when the sink is disabled -------------- *)
 
 let trace_overhead () =
@@ -819,6 +946,25 @@ let () =
         incr i
       done;
       par_bench ~quick:!quick ~seed:!seed ~out:!out
+  | "repair" ->
+      let quick = ref false and out = ref "BENCH_repair.json" in
+      let seed = ref 1 in
+      let i = ref 2 in
+      while !i < Array.length Sys.argv do
+        (match Sys.argv.(!i) with
+        | "--quick" -> quick := true
+        | "--seed" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            seed := int_of_string Sys.argv.(!i)
+        | "-o" | "--output" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            out := Sys.argv.(!i)
+        | a ->
+            Printf.eprintf "repair: unknown argument %S\n" a;
+            exit 1);
+        incr i
+      done;
+      repair_bench ~quick:!quick ~seed:!seed ~out:!out
   | "trace-overhead" -> trace_overhead ()
   | "micro" -> micro ()
   | "all" -> all ()
@@ -828,6 +974,7 @@ let () =
          ablation-repr|ablation-topo|ablation-merge|ablation-semantics|\
          ablation-engine-repr|ablation-eval-mode|scaling|recover|\
          plan [--quick] [--seed N] [-o FILE]|\
-         par [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
+         par [--quick] [--seed N] [-o FILE]|\
+         repair [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
         other;
       exit 1

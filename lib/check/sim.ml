@@ -292,3 +292,122 @@ let run ?faults ?recover_config ~seed sc =
     Fdb_obs.Metrics.scoped (fun () -> run_raw ?faults ?recover_config ~seed sc)
   in
   { o with metrics }
+
+(* -- the repair-executor sweep --------------------------------------------- *)
+
+module Merge = Fdb_merge.Merge
+module Exec = Fdb_repair.Exec
+
+type repair_outcome = {
+  repair_verdict : Oracle.verdict;
+  repair_stats : Exec.stats;
+  repair_trace : Fdb_obs.Event.t list;
+  repair_metrics : Fdb_obs.Metrics.snapshot;
+}
+
+let chunk_list k xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if n + 1 >= k then go (List.rev (x :: cur) :: acc) [] 0 rest
+        else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+let run_repair_raw ?pool ?domains ?(batch = 8) ?max_states ~seed
+    (sc : Gen.scenario) =
+  if batch < 1 then invalid_arg "Sim.run_repair: batch must be >= 1";
+  let initial = Gen.initial_db sc in
+  let merged = Merge.merge (Merge.Seeded ((7 * seed) + 1)) sc.Gen.streams in
+  let queries = List.map (fun (m : _ Merge.tagged) -> m.Merge.item) merged in
+  let exec pool =
+    let rec go db acc stats bid = function
+      | [] -> (List.rev acc, db, stats)
+      | qs :: rest ->
+          let r = Exec.run_batch ~pool ~batch_id:bid db qs in
+          go r.Exec.final
+            (List.rev_append r.Exec.responses acc)
+            (Exec.add_stats stats r.Exec.stats)
+            (bid + 1) rest
+    in
+    go initial [] Exec.zero_stats 0 (chunk_list batch queries)
+  in
+  (* All failure paths below raise inside [go] — i.e. inside the
+     [Pool.with_pool] bracket when no pool was passed — so worker domains
+     are joined even when a scenario fails. *)
+  let go pool =
+    (* Pooled run: real parallel speculation. *)
+    let (responses, final, stats) = exec pool in
+    (* Traced run: the executor falls back to inline execution under a
+       recording sink (the sink is not domain-safe), which doubles as a
+       determinism check — pooled and inline runs must agree exactly. *)
+    let ((responses_t, final_t, _), trace) =
+      Fdb_obs.Trace.record (fun () -> exec pool)
+    in
+    assert_lawful trace;
+    if
+      not
+        (List.equal Txn.response_equal responses responses_t
+        && Oracle.db_equal final final_t)
+    then
+      failwith
+        (Printf.sprintf
+           "Sim.run_repair (seed %d): traced inline run diverged from the \
+            pooled run"
+           seed);
+    (* Differential check 1: the ideal sequential engine over the same
+       merged order. *)
+    let (seq_resps, seq_final) = Txn.run_queries initial queries in
+    List.iteri
+      (fun i (r, s) ->
+        if not (Txn.response_equal r s) then
+          failwith
+            (Format.asprintf
+               "Sim.run_repair (seed %d): response %d diverged from the \
+                sequential engine: repair %a, sequential %a"
+               seed i Txn.pp_response r Txn.pp_response s))
+      (List.combine responses seq_resps);
+    if not (Oracle.db_equal final seq_final) then
+      failwith
+        (Printf.sprintf
+           "Sim.run_repair (seed %d): final database diverged from the \
+            sequential engine"
+           seed);
+    (* Differential check 2: the serializability oracle over the
+       per-client observation. *)
+    let clients = List.length sc.Gen.streams in
+    let per_client = Array.make clients [] in
+    List.iter2
+      (fun (m : _ Merge.tagged) resp ->
+        per_client.(m.Merge.tag) <- resp :: per_client.(m.Merge.tag))
+      merged responses;
+    let obs =
+      {
+        Oracle.responses = Array.to_list (Array.map List.rev per_client);
+        final;
+      }
+    in
+    let verdict =
+      Oracle.check ?max_states ~initial ~streams:sc.Gen.streams obs
+    in
+    if not (Oracle.accepted verdict) then
+      failwith
+        (Format.asprintf "Sim.run_repair (seed %d): oracle verdict: %a" seed
+           Oracle.pp_verdict verdict);
+    {
+      repair_verdict = verdict;
+      repair_stats = stats;
+      repair_trace = trace;
+      repair_metrics = no_metrics;
+    }
+  in
+  match pool with
+  | Some p -> go p
+  | None -> Fdb_par.Pool.with_pool ?domains go
+
+let run_repair ?pool ?domains ?batch ?max_states ~seed sc =
+  let (o, metrics) =
+    Fdb_obs.Metrics.scoped (fun () ->
+        run_repair_raw ?pool ?domains ?batch ?max_states ~seed sc)
+  in
+  { o with repair_metrics = metrics }

@@ -92,3 +92,39 @@ val run :
     @raise Lost_queries if the network quiesced but lost a query.
     @raise Failure if the network fails to quiesce or a failover
     invariant is violated. *)
+
+type repair_outcome = {
+  repair_verdict : Oracle.verdict;
+  repair_stats : Fdb_repair.Exec.stats;  (** summed over batches *)
+  repair_trace : Fdb_obs.Event.t list;
+      (** from the traced (inline) run; checked against
+          {!Trace_oracle.check} including [repair_convergence] *)
+  repair_metrics : Fdb_obs.Metrics.snapshot;
+}
+
+val run_repair :
+  ?pool:Fdb_par.Pool.t ->
+  ?domains:int ->
+  ?batch:int ->
+  ?max_states:int ->
+  seed:int ->
+  Gen.scenario ->
+  repair_outcome
+(** Differential sweep of the speculative repair executor
+    ({!Fdb_repair.Exec}).  The scenario's client streams are merged by a
+    seeded arbiter, cut into batches of [batch] (default 8), and run
+    three ways: on the domain pool (parallel speculation), inline under a
+    recording trace sink, and through the ideal sequential engine
+    ({!Fdb_txn.Txn.run_queries}).  All three must agree on every response
+    and on the final database, the trace must satisfy every
+    {!Trace_oracle} law, and the per-client observation must be accepted
+    by the serializability {!Oracle} ([max_states] bounds its search).
+
+    Runs under {!Fdb_obs.Metrics.scoped} like {!val:run}.  When [pool] is
+    absent a pool of [domains] is created via {!Fdb_par.Pool.with_pool},
+    whose bracket joins the worker domains even when the scenario raises
+    — every failure path raises {e inside} the bracket.
+
+    @raise Failure on any divergence, trace violation, or non-accepted
+    oracle verdict (the message carries [seed] for replay).
+    @raise Invalid_argument when [batch < 1]. *)

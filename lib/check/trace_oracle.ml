@@ -159,6 +159,70 @@ let dispatch_spans events =
     open_span;
   List.rev !violations
 
+(* Speculation must converge: within a batch, every transaction that was
+   speculated or re-executed is eventually committed exactly once, nothing
+   re-executes after its commit, commits are released in batch order, and
+   the number of repair rounds never exceeds the batch size (the repair
+   fixpoint's termination bound: the first damaged index strictly
+   increases every round). *)
+let repair_convergence events =
+  let violations = ref [] in
+  let note idx fmt = Format.kasprintf (fun detail -> violations := { invariant = "repair_convergence"; index = idx; detail } :: !violations) fmt in
+  let sizes : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let execs : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let commits : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let last_commit : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i (ev : Event.t) ->
+      match ev.kind with
+      | Event.Repair_batch { batch; size } -> Hashtbl.replace sizes batch size
+      | Event.Repair_spec { batch; txn } | Event.Repair_redo { batch; txn; _ }
+        ->
+          (match Hashtbl.find_opt commits (batch, txn) with
+          | Some at ->
+              note i
+                "batch %d: txn %d re-executed after its commit (event %d)"
+                batch txn at
+          | None -> ());
+          Hashtbl.replace execs (batch, txn) i
+      | Event.Repair_round { batch; round; _ } -> (
+          match Hashtbl.find_opt sizes batch with
+          | Some n when round > n ->
+              note i "batch %d: repair round %d exceeds batch size %d" batch
+                round n
+          | Some _ -> ()
+          | None -> note i "batch %d: repair round without a batch start" batch)
+      | Event.Repair_commit { batch; txn; _ } ->
+          if not (Hashtbl.mem execs (batch, txn)) then
+            note i "batch %d: txn %d committed without executing" batch txn;
+          (match Hashtbl.find_opt commits (batch, txn) with
+          | Some first ->
+              note i "batch %d: txn %d committed twice (first at event %d)"
+                batch txn first
+          | None -> Hashtbl.replace commits (batch, txn) i);
+          (match Hashtbl.find_opt last_commit batch with
+          | Some prev when txn <= prev ->
+              note i
+                "batch %d: txn %d commits after txn %d — out of batch order"
+                batch txn prev
+          | _ -> ());
+          Hashtbl.replace last_commit batch txn
+      | _ -> ())
+    events;
+  let missing = ref [] in
+  Hashtbl.iter
+    (fun (batch, txn) at ->
+      if not (Hashtbl.mem commits (batch, txn)) then
+        missing := (at, batch, txn) :: !missing)
+    execs;
+  List.iter
+    (fun (at, batch, txn) ->
+      note at "batch %d: txn %d speculated but never committed" batch txn)
+    (List.sort compare !missing);
+  List.sort
+    (fun a b -> compare (a.index, a.detail) (b.index, b.detail))
+    !violations
+
 let invariant_names =
   [
     "ack_before_reply";
@@ -166,6 +230,7 @@ let invariant_names =
     "single_assignment";
     "fabric_conservation";
     "dispatch_spans";
+    "repair_convergence";
   ]
 
 let check events =
@@ -174,6 +239,7 @@ let check events =
   @ single_assignment events
   @ fabric_conservation events
   @ dispatch_spans events
+  @ repair_convergence events
 
 let pp_violation ppf { invariant; index; detail } =
   Format.fprintf ppf "%s at event %d: %s" invariant index detail

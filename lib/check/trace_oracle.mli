@@ -16,7 +16,12 @@
       not just at quiescence, and [in_flight] never goes negative;
     - {b dispatch-spans}: dispatch start/end events are well nested per
       site and transaction ids start in increasing order (the pipeline
-      dispatches versions in stream order).
+      dispatches versions in stream order);
+    - {b repair-convergence}: within a speculative batch, every
+      transaction that was speculated or re-executed commits exactly
+      once, never re-executes after its commit, commits are released in
+      batch order, and repair rounds never exceed the batch size (the
+      fixpoint termination bound of the repair executor).
 
     Invariants rely on emission {e order}, never on the layer-local [ts]
     values, so a trace interleaving several clocks is still checkable. *)
@@ -33,6 +38,7 @@ val exact_suffix_replay : Fdb_obs.Event.t list -> violation list
 val single_assignment : Fdb_obs.Event.t list -> violation list
 val fabric_conservation : Fdb_obs.Event.t list -> violation list
 val dispatch_spans : Fdb_obs.Event.t list -> violation list
+val repair_convergence : Fdb_obs.Event.t list -> violation list
 
 val invariant_names : string list
 

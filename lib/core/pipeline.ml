@@ -883,3 +883,87 @@ let run_parallel ?(semantics = Prepend) ?domains ?(chunk = 512) ?pool spec
   match pool with
   | Some p -> go p
   | None -> Pool.with_pool ?domains go
+
+(* -- the speculative repair executor -------------------------------------- *)
+
+type repair_report = {
+  rep_responses : (int * response) list;
+  rep_final_db : (string * Tuple.t list) list;
+  rep_batches : int;
+  rep_versions : int;  (* archived versions across all batches, incl. v0 *)
+  rep_stats : Fdb_repair.Exec.stats;
+}
+
+(* The repair executor runs the Txn reference semantics, whose responses
+   are shaped slightly differently (option/bool where the pipeline uses
+   list/int).  Error strings are identical by construction: Txn and the
+   pipeline share Pred and format unknown-relation / schema / column
+   errors the same way. *)
+let response_of_txn : Fdb_txn.Txn.response -> response = function
+  | Fdb_txn.Txn.Inserted b -> Inserted b
+  | Fdb_txn.Txn.Found t -> Found (Option.to_list t)
+  | Fdb_txn.Txn.Deleted b -> Deleted (if b then 1 else 0)
+  | Fdb_txn.Txn.Selected ts -> Selected ts
+  | Fdb_txn.Txn.Counted n -> Counted n
+  | Fdb_txn.Txn.Aggregated v -> Aggregated v
+  | Fdb_txn.Txn.Updated n -> Updated n
+  | Fdb_txn.Txn.Joined ts -> Joined ts
+  | Fdb_txn.Txn.Failed e -> Failed e
+
+let run_repair ?domains ?(batch = 16) ?pool spec tagged_queries =
+  if batch < 1 then invalid_arg "Pipeline.run_repair: batch must be >= 1";
+  (* Relations are keyed sets, so this mode is inherently Ordered_unique:
+     load keeps the first tuple per duplicate key, exactly like
+     [initial_state Ordered_unique]. *)
+  let db0 =
+    List.fold_left
+      (fun db schema ->
+        match List.assoc_opt (Schema.name schema) spec.initial with
+        | None -> db
+        | Some tuples -> (
+            match Database.load db ~rel:(Schema.name schema) tuples with
+            | Ok db -> db
+            | Error e -> invalid_arg ("Pipeline.run_repair: " ^ e)))
+      (Database.create spec.schemas)
+      spec.schemas
+  in
+  let go pool =
+    let (tagged_rev, final, stats, versions, batches) =
+      List.fold_left
+        (fun (acc, db, stats, versions, bid) chunk ->
+          let r =
+            Fdb_repair.Exec.run_batch ~pool ~batch_id:bid db
+              (List.map snd chunk)
+          in
+          let tagged =
+            List.map2
+              (fun (tag, _) resp -> (tag, response_of_txn resp))
+              chunk r.Fdb_repair.Exec.responses
+          in
+          ( List.rev_append tagged acc,
+            r.Fdb_repair.Exec.final,
+            Fdb_repair.Exec.add_stats stats r.Fdb_repair.Exec.stats,
+            versions + (Fdb_txn.History.length r.Fdb_repair.Exec.history - 1),
+            bid + 1 ))
+        ([], db0, Fdb_repair.Exec.zero_stats, 1, 0)
+        (chunks_of ~chunk:batch tagged_queries)
+    in
+    let final_db =
+      List.map
+        (fun schema ->
+          let name = Schema.name schema in
+          ( name,
+            match Database.relation final name with
+            | Some r -> Relation.to_list r
+            | None -> [] ))
+        spec.schemas
+    in
+    {
+      rep_responses = List.rev tagged_rev;
+      rep_final_db = final_db;
+      rep_batches = batches;
+      rep_versions = versions;
+      rep_stats = stats;
+    }
+  in
+  match pool with Some p -> go p | None -> Pool.with_pool ?domains go

@@ -156,3 +156,29 @@ val run_parallel :
     created and shut down around the run — in that case [par_tasks] and
     [par_steals] count this run alone.
     @raise Invalid_argument when [chunk < 1]. *)
+
+type repair_report = {
+  rep_responses : (int * response) list;  (** (tag, response), stream order *)
+  rep_final_db : (string * Tuple.t list) list;
+  rep_batches : int;
+  rep_versions : int;
+      (** versions archived across all batch histories, including v0 *)
+  rep_stats : Fdb_repair.Exec.stats;  (** summed over batches *)
+}
+
+val run_repair :
+  ?domains:int ->
+  ?batch:int ->
+  ?pool:Fdb_par.Pool.t ->
+  db_spec ->
+  (int * Fdb_query.Ast.query) list ->
+  repair_report
+(** The third execution mode: speculative parallel batches with
+    incremental repair ({!Fdb_repair.Exec}).  The stream is cut into
+    batches of [batch] (default 16) queries; each batch runs all its
+    transactions in parallel against the batch-entry version and repairs
+    footprint conflicts to the serial fixpoint, so responses and final
+    state equal {!val:reference}[ ~semantics:Ordered_unique] (this mode
+    is inherently ordered-unique: relations are keyed sets).  Pool reuse
+    follows {!val:run_parallel}.
+    @raise Invalid_argument when [batch < 1]. *)

@@ -44,6 +44,14 @@ let args_of (kind : Event.kind) =
   | Replica_promote { suffix } -> [ i "suffix" suffix ]
   | Replica_replay { index } -> [ i "index" index ]
   | Replica_crash { site } -> [ i "site" site ]
+  | Repair_batch { batch; size } -> [ i "batch" batch; i "size" size ]
+  | Repair_spec { batch; txn } -> [ i "batch" batch; i "txn" txn ]
+  | Repair_redo { batch; txn; round } ->
+      [ i "batch" batch; i "txn" txn; i "round" round ]
+  | Repair_round { batch; round; damaged } ->
+      [ i "batch" batch; i "round" round; i "damaged" damaged ]
+  | Repair_commit { batch; txn; round } ->
+      [ i "batch" batch; i "txn" txn; i "round" round ]
 
 let record buf ~name ~ph ~ts ~tid ?(extra = []) args =
   if Buffer.length buf > 0 then Buffer.add_string buf ",\n";

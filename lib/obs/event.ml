@@ -27,6 +27,11 @@ type kind =
   | Replica_promote of { suffix : int }
   | Replica_replay of { index : int }
   | Replica_crash of { site : int }
+  | Repair_batch of { batch : int; size : int }
+  | Repair_spec of { batch : int; txn : int }
+  | Repair_redo of { batch : int; txn : int; round : int }
+  | Repair_round of { batch : int; round : int; damaged : int }
+  | Repair_commit of { batch : int; txn : int; round : int }
 
 type t = { ts : int; site : int; kind : kind }
 
@@ -49,6 +54,11 @@ let name = function
   | Replica_promote _ -> "replica_promote"
   | Replica_replay _ -> "replica_replay"
   | Replica_crash _ -> "replica_crash"
+  | Repair_batch _ -> "repair_batch"
+  | Repair_spec _ -> "repair_spec"
+  | Repair_redo _ -> "repair_redo"
+  | Repair_round _ -> "repair_round"
+  | Repair_commit _ -> "repair_commit"
 
 let pp_kind ppf = function
   | Dispatch_start { txn; label } -> Fmt.pf ppf "dispatch_start txn=%d %s" txn label
@@ -80,6 +90,15 @@ let pp_kind ppf = function
   | Replica_promote { suffix } -> Fmt.pf ppf "replica_promote suffix=%d" suffix
   | Replica_replay { index } -> Fmt.pf ppf "replica_replay idx=%d" index
   | Replica_crash { site } -> Fmt.pf ppf "replica_crash site=%d" site
+  | Repair_batch { batch; size } ->
+      Fmt.pf ppf "repair_batch b%d size=%d" batch size
+  | Repair_spec { batch; txn } -> Fmt.pf ppf "repair_spec b%d txn=%d" batch txn
+  | Repair_redo { batch; txn; round } ->
+      Fmt.pf ppf "repair_redo b%d txn=%d round=%d" batch txn round
+  | Repair_round { batch; round; damaged } ->
+      Fmt.pf ppf "repair_round b%d round=%d damaged=%d" batch round damaged
+  | Repair_commit { batch; txn; round } ->
+      Fmt.pf ppf "repair_commit b%d txn=%d round=%d" batch txn round
 
 let pp ppf { ts; site; kind } = Fmt.pf ppf "[t=%d s=%d] %a" ts site pp_kind kind
 let to_string ev = Fmt.str "%a" pp ev

@@ -41,6 +41,18 @@ type kind =
   | Replica_promote of { suffix : int }
   | Replica_replay of { index : int }
   | Replica_crash of { site : int }
+  | Repair_batch of { batch : int; size : int }
+      (** a speculative batch of [size] transactions entered the executor *)
+  | Repair_spec of { batch : int; txn : int }
+      (** round-0 speculative execution of [txn] against the batch-entry
+          version *)
+  | Repair_redo of { batch : int; txn : int; round : int }
+      (** [txn]'s reads were invalidated; re-executed in repair [round] *)
+  | Repair_round of { batch : int; round : int; damaged : int }
+      (** a repair round began with [damaged] transactions to re-execute *)
+  | Repair_commit of { batch : int; txn : int; round : int }
+      (** [txn]'s result (from [round]) was merged into the running
+          version; commits are released in batch order *)
 
 type t = { ts : int; site : int; kind : kind }
 

@@ -1,0 +1,65 @@
+(** Read/write footprints of transactions-as-functions.
+
+    Because a transaction is a pure function over a database version
+    (paper §2.1), the data it depends on is exactly what it {e read} while
+    executing, and the data it publishes is exactly what it {e wrote}.  A
+    {!type:collector} turns those accesses — reported through a
+    {!Fdb_txn.Txn.tracker} — into a value that conflict analysis can
+    compare: per-relation read {e spans} (keys, key ranges, or the whole
+    relation) and per-relation write effects (removed and added tuples).
+
+    Transaction Repair (PAPERS.md) needs only one direction of conflict:
+    an {e earlier} transaction's writes invalidating a {e later}
+    transaction's reads.  Write-write ordering is restored by replaying
+    effects in batch order, and read-read never conflicts. *)
+
+open Fdb_relational
+
+type span =
+  | Keys of Value.t list  (** point reads: key existence / point lookups *)
+  | Range of Relation.bound option * Relation.bound option
+      (** a planner range scan; [None] bounds are open ends *)
+  | All  (** full scan — any write to the relation invalidates it *)
+
+type t = {
+  reads : (string * span list) list;  (** per relation, latest span first *)
+  writes : (string * Value.t list) list;  (** keys written, per relation *)
+  effects : (string * (Tuple.t list * Tuple.t list)) list;
+      (** per relation, (removed, added) tuples in execution order — the
+          replayable publication of the transaction *)
+}
+
+val empty : t
+
+type collector
+(** Mutable accumulator; single-writer (the executing transaction). *)
+
+val collector : unit -> collector
+val tracker : collector -> Fdb_txn.Txn.tracker
+val captured : collector -> t
+
+val key_in_span : Value.t -> span -> bool
+
+type verdict =
+  | No_overlap  (** no relation is both written (earlier) and read (later) *)
+  | Key_disjoint
+      (** same relation touched, but every written key misses every read
+          span — the disjoint-key commutativity bypass *)
+  | Overlapping  (** some written key lands inside a read span *)
+
+val overlap : writer:t -> reader:t -> verdict
+(** Does [writer] (the earlier transaction) potentially damage [reader]
+    (the later one)?  [Overlapping] is a conservative answer; callers may
+    still discharge it semantically via {!val:commutes}. *)
+
+val commutes :
+  schema_of:(string -> Schema.t option) -> t -> Fdb_query.Ast.query -> bool
+(** [commutes ~schema_of writer reader_q]: semantic commutativity bypass
+    ("Limits of Commutativity", PAPERS.md).  True when [reader_q] is a
+    predicate query (select / count / aggregate / update) over a single
+    relation and {e every} tuple the writer removed or added in that
+    relation fails the reader's full [where] predicate — then the reader's
+    matching set, hence its response and its own effects, are unchanged by
+    the writer, so the pair commutes even though their key spans overlap.
+    Conservatively false for any other query shape or when the predicate
+    does not compile. *)

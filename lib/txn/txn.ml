@@ -110,22 +110,68 @@ let fold_path r plan step acc =
       Relation.range_fold ?lo:(rel_bound lo) ?hi:(rel_bound hi) step acc r
   | Plan.Full_scan -> Relation.fold step acc r
 
-let translate query : t =
+type tracker = {
+  read_key : rel:string -> Value.t -> unit;
+  read_range :
+    rel:string -> lo:Relation.bound option -> hi:Relation.bound option -> unit;
+  read_all : rel:string -> unit;
+  write : rel:string -> removed:Tuple.t list -> added:Tuple.t list -> unit;
+}
+
+(* Footprint recording is strictly observational: every call below sits on a
+   path [translate] already takes, so the tracked and untracked transactions
+   compute identical (response, database) pairs.  [Failed] outcomes record
+   nothing — a failed transaction's response is database-independent, so no
+   concurrent write can damage it. *)
+let translate_with tk query : t =
+  let read_key rel key =
+    match tk with Some t -> t.read_key ~rel key | None -> ()
+  in
+  let read_all rel = match tk with Some t -> t.read_all ~rel | None -> () in
+  let read_path rel (plan : Plan.t) =
+    match tk with
+    | None -> ()
+    | Some t -> (
+        match plan.Plan.path with
+        | Plan.Point_lookup key -> t.read_key ~rel key
+        | Plan.Range_scan { lo; hi } ->
+            t.read_range ~rel ~lo:(rel_bound lo) ~hi:(rel_bound hi)
+        | Plan.Full_scan -> t.read_all ~rel)
+  in
+  let wrote rel ~removed ~added =
+    match tk with Some t -> t.write ~rel ~removed ~added | None -> ()
+  in
   match query with
   | Ast.Insert { rel; values } ->
+      let tuple = Tuple.make values in
       fun db -> (
-        match Database.insert db ~rel (Tuple.make values) with
-        | Ok (db', added) -> (Inserted added, db')
+        match Database.insert db ~rel tuple with
+        | Ok (db', added) ->
+            (* An insert reads exactly one key: its own (to detect the
+               duplicate); it writes the tuple only when actually added. *)
+            read_key rel (Tuple.key tuple);
+            if added then wrote rel ~removed:[] ~added:[ tuple ];
+            (Inserted added, db')
         | Error e -> fail db e)
   | Ast.Find { rel; key } ->
       fun db -> (
         match Database.find db ~rel ~key with
-        | Ok t -> (Found t, db)
+        | Ok t ->
+            read_key rel key;
+            (Found t, db)
         | Error e -> fail db e)
   | Ast.Delete { rel; key } ->
       fun db -> (
         match Database.delete db ~rel ~key with
-        | Ok (db', found) -> (Deleted found, db')
+        | Ok (db', found) ->
+            read_key rel key;
+            (if found && Option.is_some tk then
+               (* [Database.delete] does not return the removed tuple; fetch
+                  it from the pre-delete version for the effect record. *)
+               match Database.find db ~rel ~key with
+               | Ok (Some t) -> wrote rel ~removed:[ t ] ~added:[]
+               | Ok None | Error _ -> ());
+            (Deleted found, db')
         | Error e -> fail db e)
   | Ast.Select { rel; cols; where } ->
       fun db ->
@@ -146,6 +192,7 @@ let translate query : t =
                 match project with
                 | Error e -> fail db e
                 | Ok idxs ->
+                    read_path rel plan;
                     let emit =
                       match idxs with
                       | None -> fun acc tup -> tup :: acc
@@ -161,7 +208,9 @@ let translate query : t =
       match where with
       | Ast.True ->
           fun db ->
-            with_relation db rel (fun r -> (Counted (Relation.size r), db))
+            with_relation db rel (fun r ->
+                read_all rel;
+                (Counted (Relation.size r), db))
       | _ ->
           fun db ->
             with_relation db rel (fun r ->
@@ -170,6 +219,7 @@ let translate query : t =
                 match Pred.compile schema plan.Plan.residual with
                 | Error e -> fail db e
                 | Ok residual ->
+                    read_path rel plan;
                     let step acc tup = if residual tup then acc + 1 else acc in
                     (Counted (fold_path r plan step 0), db)))
   | Ast.Aggregate { agg; rel; col; where } ->
@@ -182,6 +232,7 @@ let translate query : t =
                 (* [step] tests the full [where] itself; the access path only
                    narrows which tuples are offered to it. *)
                 let plan = note_plan rel (Plan.analyze schema where) in
+                read_path rel plan;
                 (Aggregated (finish (fold_path r plan step None)), db))
   | Ast.Update { rel; col; value; where } ->
       fun db ->
@@ -193,14 +244,33 @@ let translate query : t =
                 (* [rewrite] tests the full [where]; the plan's key bounds
                    let the single-traversal update skip subtrees that cannot
                    match. *)
+                let plan = note_plan rel (Plan.analyze schema where) in
                 let (lo, hi) =
-                  match (note_plan rel (Plan.analyze schema where)).Plan.path with
+                  match plan.Plan.path with
                   | Plan.Point_lookup key ->
                       let b = Some (Relation.Inclusive key) in
                       (b, b)
                   | Plan.Range_scan { lo; hi } -> (rel_bound lo, rel_bound hi)
                   | Plan.Full_scan -> (None, None)
                 in
+                read_path rel plan;
+                (if Option.is_some tk then
+                   (* Pre-collect the rewrite pairs over the same access path
+                      so the effect record lists exact removed/added tuples.
+                      The key column cannot change, so removed and added keys
+                      coincide. *)
+                   let pairs =
+                     fold_path r plan
+                       (fun acc tup ->
+                         match rewrite tup with
+                         | Some tup' -> (tup, tup') :: acc
+                         | None -> acc)
+                       []
+                   in
+                   if pairs <> [] then
+                     wrote rel
+                       ~removed:(List.rev_map fst pairs)
+                       ~added:(List.rev_map snd pairs));
                 let (r', changed) = Relation.update ?lo ?hi r rewrite in
                 if changed = 0 then (Updated 0, db)
                 else (Updated changed, Database.replace db rel r'))
@@ -219,11 +289,15 @@ let translate query : t =
                     fail db
                       (Printf.sprintf "relation %s has no column %s" right rc)
                 | (Some li, Some ri) ->
+                    read_all left;
+                    read_all right;
                     ( Joined
                         (Algebra.join ~left_col:li ~right_col:ri
                            (Relation.to_list lr) (Relation.to_list rr)),
                       db )))
 
+let translate query = translate_with None query
+let translate_tracked tk query = translate_with (Some tk) query
 let translate_string src = Result.map translate (Parser.parse src)
 
 let apply_stream txns db0 =

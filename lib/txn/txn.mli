@@ -38,6 +38,29 @@ val translate : Fdb_query.Ast.query -> t
 (** Compile a query.  Never raises: semantic errors become [Failed]
     responses (and leave the database unchanged). *)
 
+type tracker = {
+  read_key : rel:string -> Value.t -> unit;
+      (** a point access: key-existence check, point lookup, or delete *)
+  read_range :
+    rel:string -> lo:Relation.bound option -> hi:Relation.bound option -> unit;
+      (** a planner range scan over the key order; [None] = open end *)
+  read_all : rel:string -> unit;  (** a full scan of the relation *)
+  write : rel:string -> removed:Tuple.t list -> added:Tuple.t list -> unit;
+      (** tuples physically removed/added by the transaction — its
+          replayable publication *)
+}
+(** Footprint observation callbacks.  Because a transaction is a pure
+    function of its input version, the calls received during one
+    application are exactly its data dependencies (reads) and its
+    publication (writes) — the raw material for speculative conflict
+    analysis in [lib/repair]. *)
+
+val translate_tracked : tracker -> Fdb_query.Ast.query -> t
+(** Like {!val:translate}, but reporting every read span and write effect
+    to [tracker] during application.  Observationally identical to the
+    untracked transaction: same response, same output database.  [Failed]
+    outcomes report nothing (they are database-independent). *)
+
 val translate_string : string -> (t, string) result
 (** Parse then translate. *)
 
