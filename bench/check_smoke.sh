@@ -22,3 +22,7 @@ case "$BENCH" in */*) ;; *) BENCH="./$BENCH" ;; esac
 # Repair smoke: a short speculative sweep — parallel batches, traced inline
 # run and sequential engine must agree, traces must satisfy every law.
 "$FDBSIM" repair --seed 1 --sweep 3 --domains 2 > /dev/null
+# Durability smoke: crash-restart recovery under every disk fault kind and
+# checkpoint interval (2 seeds per cell), and the restart-recovery bench.
+"$FDBSIM" recover-disk --seed 1 --sweep 2 > /dev/null
+"$BENCH" wal --quick -o "${TMPDIR:-/tmp}/BENCH_wal_smoke.json" > /dev/null

@@ -753,6 +753,156 @@ let repair_bench ~quick ~seed ~out =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* -- wal: restart-recovery wall-clock vs log length -------------------------- *)
+
+let wal_bench ~quick ~seed ~out =
+  let module Schema = Fdb_relational.Schema in
+  let module Wal = Fdb_wal.Wal in
+  section
+    (Printf.sprintf "Durable log: restart-recovery wall-clock vs log length (%s)"
+       (if quick then "quick" else "full"));
+  let sizes = if quick then [ 100; 400; 1600 ] else [ 250; 1000; 4000 ] in
+  let repeats = if quick then 7 else 15 in
+  let spec =
+    {
+      Pipeline.schemas =
+        [ Schema.make ~name:"R"
+            ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ];
+      initial = [];
+    }
+  in
+  let db0 = Pipeline.initial_database spec in
+  (* A version chain of the requested length: every query touches the
+     relation, so version i+1 differs from version i and the log gets one
+     delta frame per query. *)
+  let versions n =
+    let rand = Random.State.make [| seed; 0x3a1d; n |] in
+    (* a bounded key space keeps the relation — and so every delta frame —
+       at a steady size, so log bytes grow linearly with the version count
+       and the sweep isolates recovery cost vs log length *)
+    let key_space = 512 in
+    let rec go db i acc =
+      if i >= n then List.rev acc
+      else
+        let src =
+          match i mod 5 with
+          | 0 | 1 | 2 ->
+              Printf.sprintf "insert (%d, \"w%d\") into R"
+                (Random.State.int rand key_space) i
+          | 3 ->
+              Printf.sprintf "update R set val = \"u%d\" where key = %d" i
+                (Random.State.int rand key_space)
+          | _ ->
+              Printf.sprintf "delete %d from R" (Random.State.int rand key_space)
+        in
+        let _, db' = Fdb_txn.Txn.translate (Fdb_query.Parser.parse_exn src) db in
+        if db' == db then go db (i + 1) acc else go db' (i + 1) (db' :: acc)
+    in
+    go db0 0 []
+  in
+  let fresh_dir tag n =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fdb-bench-wal-%d-%s-%d" (Unix.getpid ()) tag n)
+    in
+    if Sys.file_exists dir then
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+    else Sys.mkdir dir 0o700;
+    dir
+  in
+  let rm_dir dir =
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  in
+  (* Write a log of [vs] under [dir], then time [Wal.recover] from a cold
+     store [repeats] times.  Returns (log_bytes, segments, times sorted). *)
+  let measure ~checkpoint_every dir vs =
+    let store = Wal.Fs.store ~dir in
+    let w = Wal.create ~sync_every:8 ~checkpoint_every ~store db0 in
+    List.iter (Wal.append w) vs;
+    Wal.sync w;
+    let appended = Wal.appended w in
+    let log_bytes =
+      List.fold_left
+        (fun acc f ->
+          acc
+          + match store.Wal.Store.read f with
+            | Some s -> String.length s
+            | None -> 0)
+        0
+        (store.Wal.Store.list_files ())
+    in
+    let segments = List.length (store.Wal.Store.list_files ()) in
+    store.Wal.Store.close ();
+    let times =
+      List.init repeats (fun _ ->
+          let cold = Wal.Fs.store ~dir in
+          let t0 = Unix.gettimeofday () in
+          let r = Wal.recover cold in
+          let dt = Unix.gettimeofday () -. t0 in
+          cold.Wal.Store.close ();
+          if r.Wal.upto <> appended then begin
+            Printf.printf "FAIL: recovery stopped at %d of %d appended\n"
+              r.Wal.upto appended;
+            exit 1
+          end;
+          dt)
+    in
+    (log_bytes, segments, List.sort compare times)
+  in
+  let pctl sorted p =
+    let n = List.length sorted in
+    let i = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
+    List.nth sorted (max 0 i) *. 1000.0
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let vs = versions n in
+        let dir = fresh_dir "full" n in
+        (* full replay: no compaction, recovery cost grows with the log *)
+        let bytes, segs, ts = measure ~checkpoint_every:0 dir vs in
+        rm_dir dir;
+        let dir = fresh_dir "ckpt" n in
+        (* compacted: checkpoints bound the replay suffix *)
+        let cbytes, csegs, cts = measure ~checkpoint_every:64 dir vs in
+        rm_dir dir;
+        (List.length vs, bytes, segs, ts, cbytes, csegs, cts))
+      sizes
+  in
+  Printf.printf "%9s %10s %10s %10s | %10s %10s %10s   (ckpt every 64)\n"
+    "versions" "log-KiB" "p50-ms" "p99-ms" "ckpt-KiB" "p50-ms" "p99-ms";
+  List.iter
+    (fun (n, bytes, _segs, ts, cbytes, _csegs, cts) ->
+      Printf.printf "%9d %10.1f %10.2f %10.2f | %10.1f %10.2f %10.2f\n" n
+        (float_of_int bytes /. 1024.0)
+        (pctl ts 0.50) (pctl ts 0.99)
+        (float_of_int cbytes /. 1024.0)
+        (pctl cts 0.50) (pctl cts 0.99))
+    rows;
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"mode\": %S,\n  \"seed\": %d,\n  \"git_rev\": %S,\n  \
+     \"repeats\": %d,\n  \"sync_every\": 8,\n  \"checkpoint_every\": 64,\n  \
+     \"results\": [\n"
+    (if quick then "quick" else "full")
+    seed (git_rev ()) repeats;
+  List.iteri
+    (fun i (n, bytes, segs, ts, cbytes, csegs, cts) ->
+      Printf.fprintf oc
+        "    {\"versions\": %d, \"log_bytes\": %d, \"segments\": %d, \
+         \"recover_p50_ms\": %.3f, \"recover_p99_ms\": %.3f, \
+         \"compact_log_bytes\": %d, \"compact_segments\": %d, \
+         \"compact_recover_p50_ms\": %.3f, \"compact_recover_p99_ms\": %.3f}%s\n"
+        n bytes segs (pctl ts 0.50) (pctl ts 0.99) cbytes csegs (pctl cts 0.50)
+        (pctl cts 0.99)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 (* -- trace-overhead: zero allocations when the sink is disabled -------------- *)
 
 let trace_overhead () =
@@ -965,6 +1115,25 @@ let () =
         incr i
       done;
       repair_bench ~quick:!quick ~seed:!seed ~out:!out
+  | "wal" ->
+      let quick = ref false and out = ref "BENCH_wal.json" in
+      let seed = ref 1 in
+      let i = ref 2 in
+      while !i < Array.length Sys.argv do
+        (match Sys.argv.(!i) with
+        | "--quick" -> quick := true
+        | "--seed" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            seed := int_of_string Sys.argv.(!i)
+        | "-o" | "--output" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            out := Sys.argv.(!i)
+        | a ->
+            Printf.eprintf "wal: unknown argument %S\n" a;
+            exit 1);
+        incr i
+      done;
+      wal_bench ~quick:!quick ~seed:!seed ~out:!out
   | "trace-overhead" -> trace_overhead ()
   | "micro" -> micro ()
   | "all" -> all ()
@@ -975,6 +1144,7 @@ let () =
          ablation-engine-repr|ablation-eval-mode|scaling|recover|\
          plan [--quick] [--seed N] [-o FILE]|\
          par [--quick] [--seed N] [-o FILE]|\
-         repair [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
+         repair [--quick] [--seed N] [-o FILE]|\
+         wal [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
         other;
       exit 1

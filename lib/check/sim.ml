@@ -411,3 +411,203 @@ let run_repair ?pool ?domains ?batch ?max_states ~seed sc =
         run_repair_raw ?pool ?domains ?batch ?max_states ~seed sc)
   in
   { o with repair_metrics = metrics }
+
+(* -- the crash-restart disk sweep ------------------------------------------- *)
+
+module Wal = Fdb_wal.Wal
+module Wire = Fdb_wire.Wire
+
+type disk_fault = Clean_kill | Truncate_mid_frame | Bit_flip | Duplicate_tail
+
+let all_disk_faults = [ Clean_kill; Truncate_mid_frame; Bit_flip; Duplicate_tail ]
+
+let disk_fault_name = function
+  | Clean_kill -> "clean-kill"
+  | Truncate_mid_frame -> "truncate-mid-frame"
+  | Bit_flip -> "bit-flip"
+  | Duplicate_tail -> "duplicate-tail"
+
+let disk_fault_of_name = function
+  | "clean-kill" -> Some Clean_kill
+  | "truncate-mid-frame" -> Some Truncate_mid_frame
+  | "bit-flip" -> Some Bit_flip
+  | "duplicate-tail" -> Some Duplicate_tail
+  | _ -> None
+
+type disk_outcome = {
+  disk_appended : int;  (** versions logged before the kill *)
+  disk_durable : int;  (** newest version the fsync discipline promised *)
+  disk_recovered : int;  (** newest version the first recovery rebuilt *)
+  disk_base : int;  (** checkpoint version the first recovery started from *)
+  disk_stop : string;  (** why replay stopped (["clean"] if it didn't) *)
+  disk_segments : int;  (** segment files present at the first recovery *)
+  disk_resumed : int;  (** versions appended after restart *)
+  disk_trace : Fdb_obs.Event.t list;
+  disk_metrics : Fdb_obs.Metrics.snapshot;
+}
+
+let disk_fail ~seed fmt =
+  Format.kasprintf (fun m -> failwith (Printf.sprintf "Sim.run_disk (seed %d): %s" seed m)) fmt
+
+(* Doctor the newest surviving segment after the torn-write crash.  Every
+   doctoring stays at or past the synced mark: fsynced bytes are stable by
+   the fault model — the whole point is that recovery must survive
+   anything that happens {e past} the promise. *)
+let doctor_tail ~fault ~rand mem store =
+  let top =
+    List.fold_left
+      (fun acc name ->
+        match Wal.segment_number name with Some n -> max acc n | None -> acc)
+      (-1)
+      (store.Wal.Store.list_files ())
+  in
+  if top >= 0 then begin
+    let name = Wal.segment_name top in
+    let content = Wal.Mem.get mem name in
+    let synced = Wal.Mem.synced mem name in
+    let len = String.length content in
+    match fault with
+    | Clean_kill -> ()
+    | Truncate_mid_frame ->
+        if len > synced then
+          Wal.Mem.set mem name
+            (String.sub content 0 (synced + Random.State.int rand (len - synced)))
+    | Bit_flip ->
+        if len > synced then begin
+          let off = synced + Random.State.int rand (len - synced) in
+          let b = Bytes.of_string content in
+          Bytes.set b off
+            (Char.chr
+               (Char.code (Bytes.get b off)
+               lxor (1 lsl Random.State.int rand 8)));
+          Wal.Mem.set mem name (Bytes.to_string b)
+        end
+    | Duplicate_tail ->
+        (* Re-append the last whole frame: a checksum-valid duplicate the
+           reader must reject as out-of-order, keeping the prefix. *)
+        let rec last pos best =
+          match Wire.read_frame content ~pos with
+          | Wire.Frame { next; _ } -> last next (Some (pos, next))
+          | Wire.End_of_input | Wire.Torn _ -> best
+        in
+        (match last 0 None with
+        | Some (s, e) ->
+            Wal.Mem.set mem name (content ^ String.sub content s (e - s))
+        | None -> ())
+  end
+
+let run_disk_raw ?(sync_every = 3) ?(checkpoint_every = 0) ~fault ~seed
+    (sc : Gen.scenario) =
+  let initial = Gen.initial_db sc in
+  let merged = Merge.merge (Merge.Seeded ((11 * seed) + 5)) sc.Gen.streams in
+  let queries = List.map (fun (m : _ Merge.tagged) -> m.Merge.item) merged in
+  let rand = Random.State.make [| seed; 0xd15c |] in
+  let total = List.length queries in
+  let kill = if total = 0 then 0 else 1 + Random.State.int rand total in
+  let mem = Wal.Mem.create () in
+  let store = Wal.Mem.store mem in
+  let (outcome, trace) =
+    Fdb_obs.Trace.record @@ fun () ->
+    (* -- before the kill: commit through the reference engine, logging
+       every new version; group fsync + checkpoint policy as configured. *)
+    let w = Wal.create ~sync_every ~checkpoint_every ~store initial in
+    let expected = ref [ initial ] in
+    let db = ref initial in
+    let rec apply_prefix n = function
+      | q :: rest when n < kill ->
+          let (_resp, db') = Txn.translate q !db in
+          if not (db' == !db) then begin
+            db := db';
+            expected := db' :: !expected;
+            Wal.append w db'
+          end;
+          apply_prefix (n + 1) rest
+      | rest -> rest
+    in
+    let remaining = apply_prefix 0 queries in
+    if fault = Clean_kill then Wal.sync w;
+    let durable = Wal.durable w in
+    let appended = Wal.appended w in
+    (* -- the kill: tear the unsynced tail, then doctor what survived. *)
+    Wal.Mem.crash ~rand mem;
+    doctor_tail ~fault ~rand mem store;
+    (* -- restart: checkpoint + suffix replay. *)
+    let r = Wal.recover store in
+    (* The durability contract, checked differentially against the
+       pre-crash run: everything promised by the fsync discipline is
+       back, nothing past the last append was invented... *)
+    if r.Wal.upto < durable then
+      disk_fail ~seed
+        "recovered only to version %d, fsync promised %d (%s fault)"
+        r.Wal.upto durable (disk_fault_name fault);
+    if r.Wal.upto > appended then
+      disk_fail ~seed "recovered version %d past the last append %d"
+        r.Wal.upto appended;
+    (* ...and every recovered version equals the version the pre-crash
+       engine committed — byte-for-byte the same relations, never a wrong
+       or reordered history. *)
+    let expected = Array.of_list (List.rev !expected) in
+    for i = r.Wal.base to r.Wal.upto do
+      if
+        not
+          (Oracle.db_equal
+             (Fdb_txn.History.version r.Wal.rhistory (i - r.Wal.base))
+             expected.(i))
+      then
+        disk_fail ~seed "recovered version %d diverges from the pre-crash run"
+          i
+    done;
+    (* -- continue after restart: the recovered state is the new tail. *)
+    let w2 = Wal.resume ~sync_every ~checkpoint_every ~store r in
+    let db2 = ref (Wal.latest w2) in
+    let expected2 = ref [ !db2 ] in
+    List.iter
+      (fun q ->
+        let (_resp, db') = Txn.translate q !db2 in
+        if not (db' == !db2) then begin
+          db2 := db';
+          expected2 := db' :: !expected2;
+          Wal.append w2 db'
+        end)
+      remaining;
+    Wal.sync w2;
+    let r2 = Wal.recover store in
+    if r2.Wal.upto <> Wal.appended w2 then
+      disk_fail ~seed
+        "post-restart recovery reached version %d, writer appended %d"
+        r2.Wal.upto (Wal.appended w2);
+    let expected2 = Array.of_list (List.rev !expected2) in
+    for i = r2.Wal.base to r2.Wal.upto do
+      if
+        not
+          (Oracle.db_equal
+             (Fdb_txn.History.version r2.Wal.rhistory (i - r2.Wal.base))
+             expected2.(i - r.Wal.upto))
+      then
+        disk_fail ~seed
+          "post-restart version %d diverges from the continued run" i
+    done;
+    {
+      disk_appended = appended;
+      disk_durable = durable;
+      disk_recovered = r.Wal.upto;
+      disk_base = r.Wal.base;
+      disk_stop =
+        (match r.Wal.stop with
+        | Wal.Clean -> "clean"
+        | Wal.Stopped { reason; _ } -> reason);
+      disk_segments = r.Wal.segments;
+      disk_resumed = Wal.appended w2 - r.Wal.upto;
+      disk_trace = [];
+      disk_metrics = no_metrics;
+    }
+  in
+  assert_lawful trace;
+  { outcome with disk_trace = trace }
+
+let run_disk ?sync_every ?checkpoint_every ~fault ~seed sc =
+  let (o, metrics) =
+    Fdb_obs.Metrics.scoped (fun () ->
+        run_disk_raw ?sync_every ?checkpoint_every ~fault ~seed sc)
+  in
+  { o with disk_metrics = metrics }

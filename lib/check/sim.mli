@@ -128,3 +128,61 @@ val run_repair :
     @raise Failure on any divergence, trace violation, or non-accepted
     oracle verdict (the message carries [seed] for replay).
     @raise Invalid_argument when [batch < 1]. *)
+
+(** {1 Crash-restart disk recovery} *)
+
+type disk_fault =
+  | Clean_kill  (** sync, then kill — nothing may be lost *)
+  | Truncate_mid_frame  (** cut the tail segment inside a frame *)
+  | Bit_flip  (** flip one bit somewhere past the synced mark *)
+  | Duplicate_tail  (** re-append the last whole frame verbatim *)
+
+val all_disk_faults : disk_fault list
+val disk_fault_name : disk_fault -> string
+val disk_fault_of_name : string -> disk_fault option
+
+type disk_outcome = {
+  disk_appended : int;  (** versions logged before the kill *)
+  disk_durable : int;  (** newest version the fsync discipline promised *)
+  disk_recovered : int;  (** newest version the first recovery rebuilt *)
+  disk_base : int;  (** checkpoint version the first recovery started from *)
+  disk_stop : string;  (** why replay stopped (["clean"] if it didn't) *)
+  disk_segments : int;  (** segment files present at the first recovery *)
+  disk_resumed : int;  (** versions appended after restart *)
+  disk_trace : Fdb_obs.Event.t list;
+      (** already checked against {!Trace_oracle.check}, including the
+          [durability] law *)
+  disk_metrics : Fdb_obs.Metrics.snapshot;
+}
+
+val run_disk :
+  ?sync_every:int ->
+  ?checkpoint_every:int ->
+  fault:disk_fault ->
+  seed:int ->
+  Gen.scenario ->
+  disk_outcome
+(** Crash-restart differential sweep of the durable version log
+    ({!Fdb_wal.Wal}).  The scenario's streams are merged by a seeded
+    arbiter and committed through the sequential reference engine with a
+    WAL sink over the in-memory torn-write store; at a seeded kill point
+    the store crashes (keeping the synced prefix plus a random prefix of
+    the unsynced suffix), the surviving tail is doctored according to
+    [fault], and {!Fdb_wal.Wal.recover} rebuilds the state.
+
+    The recovered history is compared differentially against the
+    pre-crash run: every version the fsync discipline promised must be
+    back, nothing past the last append may appear, and each recovered
+    version must equal — by {!Oracle.db_equal} — the version the
+    pre-crash engine committed.  The run then {e resumes} on the
+    recovered state, commits the remaining queries, recovers once more
+    and re-verifies.  The whole run executes under a recording trace
+    sink and {!Fdb_obs.Metrics.scoped}; the trace must satisfy every
+    {!Trace_oracle} law including [durability].
+
+    Deterministic in ([sync_every], [checkpoint_every], [fault], [seed],
+    scenario).  [sync_every] defaults to 3 (so a torn unsynced tail
+    actually exists); [checkpoint_every] defaults to 0 (never compact).
+
+    @raise Failure on any recovery divergence or trace violation (the
+    message carries [seed] for replay). *)

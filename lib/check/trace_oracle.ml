@@ -223,6 +223,89 @@ let repair_convergence events =
     (fun a b -> compare (a.index, a.detail) (b.index, b.detail))
     !violations
 
+(* No committed-but-lost versions at any fsync boundary: whatever a sync
+   or checkpoint promised durable must come back from recovery, recovery
+   can never invent versions past the last append, appends advance one
+   version at a time (resetting after a recovery, which may legitimately
+   roll the tail back to the durable mark), and a segment is deleted only
+   after a checkpoint heading a strictly newer segment was synced. *)
+let durability events =
+  let violations = ref [] in
+  let note idx fmt =
+    Format.kasprintf
+      (fun detail ->
+        violations := { invariant = "durability"; index = idx; detail } :: !violations)
+      fmt
+  in
+  let durable = ref None in
+  (* newest promised-durable version index *)
+  let appended = ref None in
+  (* newest appended version index *)
+  let ckpt_seg = ref None in
+  (* newest synced checkpoint's segment *)
+  List.iteri
+    (fun i (ev : Event.t) ->
+      match ev.kind with
+      | Event.Wal_append { index; _ } ->
+          (match !appended with
+          | Some a when index <> a + 1 ->
+              note i "append of version %d after version %d (expected %d)"
+                index a (a + 1)
+          | _ -> ());
+          appended := Some index
+      | Event.Wal_sync { upto } -> (
+          (match !appended with
+          | Some a when upto > a ->
+              note i "sync promises version %d durable, only %d appended" upto a
+          | None when upto > 0 ->
+              note i "sync promises version %d durable before any append" upto
+          | _ -> ());
+          match !durable with
+          | Some d when upto < d ->
+              note i "sync rolls the durable mark back from %d to %d" d upto
+          | _ -> durable := Some upto)
+      | Event.Wal_checkpoint { upto; segment; _ } ->
+          (match !durable with
+          | Some d when upto < d ->
+              note i "checkpoint covers %d, behind the durable mark %d" upto d
+          | _ -> durable := Some upto);
+          (match !ckpt_seg with
+          | Some s when segment <= s ->
+              note i "checkpoint segment %d not newer than segment %d" segment s
+          | _ -> ());
+          ckpt_seg := Some segment
+      | Event.Wal_segment_delete { segment } -> (
+          match !ckpt_seg with
+          | None ->
+              note i "segment %d deleted before any synced checkpoint" segment
+          | Some s when segment >= s ->
+              note i
+                "segment %d deleted but the newest synced checkpoint heads \
+                 segment %d"
+                segment s
+          | Some _ -> ())
+      | Event.Wal_recovered { upto; base; _ } ->
+          (match !durable with
+          | Some d when upto < d ->
+              note i
+                "recovery reached version %d but versions up to %d were \
+                 promised durable — committed versions lost"
+                upto d
+          | _ -> ());
+          (match !appended with
+          | Some a when upto > a ->
+              note i "recovery invented version %d, only %d ever appended"
+                upto a
+          | _ -> ());
+          if upto < base then
+            note i "recovered range [%d..%d] is empty" base upto;
+          (* A restarted writer continues from the recovered tail. *)
+          appended := Some upto;
+          durable := Some upto
+      | _ -> ())
+    events;
+  List.rev !violations
+
 let invariant_names =
   [
     "ack_before_reply";
@@ -231,6 +314,7 @@ let invariant_names =
     "fabric_conservation";
     "dispatch_spans";
     "repair_convergence";
+    "durability";
   ]
 
 let check events =
@@ -240,6 +324,7 @@ let check events =
   @ fabric_conservation events
   @ dispatch_spans events
   @ repair_convergence events
+  @ durability events
 
 let pp_violation ppf { invariant; index; detail } =
   Format.fprintf ppf "%s at event %d: %s" invariant index detail

@@ -21,7 +21,13 @@
       transaction that was speculated or re-executed commits exactly
       once, never re-executes after its commit, commits are released in
       batch order, and repair rounds never exceed the batch size (the
-      fixpoint termination bound of the repair executor).
+      fixpoint termination bound of the repair executor);
+    - {b durability}: every version a [Wal_sync] or [Wal_checkpoint]
+      promised durable is reached by the following [Wal_recovered] — no
+      committed-but-lost versions at any fsync boundary; recovery never
+      passes the last append; appends advance one version at a time; and
+      a segment is deleted only after a checkpoint heading a strictly
+      newer segment was synced.
 
     Invariants rely on emission {e order}, never on the layer-local [ts]
     values, so a trace interleaving several clocks is still checkable. *)
@@ -39,6 +45,7 @@ val single_assignment : Fdb_obs.Event.t list -> violation list
 val fabric_conservation : Fdb_obs.Event.t list -> violation list
 val dispatch_spans : Fdb_obs.Event.t list -> violation list
 val repair_convergence : Fdb_obs.Event.t list -> violation list
+val durability : Fdb_obs.Event.t list -> violation list
 
 val invariant_names : string list
 

@@ -4,6 +4,7 @@ open Fdb_relational
 open Fdb_rediflow
 module Ast = Fdb_query.Ast
 module Pred = Fdb_query.Pred
+module Wal = Fdb_wal.Wal
 
 type semantics = Prepend | Ordered_unique
 
@@ -104,6 +105,43 @@ let initial_state semantics spec =
       in
       (schema, prepare tuples))
     spec.schemas
+
+(* The durable image of [initial_state Ordered_unique]: [Database.load]
+   keeps the first tuple per duplicate key, so a WAL genesis checkpoint
+   written from this database matches what every ordered-unique executor
+   starts from. *)
+let initial_database spec =
+  List.fold_left
+    (fun db schema ->
+      match List.assoc_opt (Schema.name schema) spec.initial with
+      | None -> db
+      | Some tuples -> (
+          match Database.load db ~rel:(Schema.name schema) tuples with
+          | Ok db -> db
+          | Error e -> invalid_arg ("Pipeline.initial_database: " ^ e)))
+    (Database.create spec.schemas)
+    spec.schemas
+
+(* The durable log stores relations as keyed sets ({!Fdb_relational}), so a
+   Prepend run — a multiset that keeps duplicate keys — has no faithful
+   image in it.  Refuse loudly rather than silently dropping tuples. *)
+let require_ordered_unique ~who ~semantics wal =
+  match (wal, semantics) with
+  | (Some _, Prepend) ->
+      invalid_arg
+        (who
+       ^ ": the wal sink requires Ordered_unique semantics (the durable \
+          log stores relations as keyed sets)")
+  | _ -> ()
+
+(* Archive one changed relation into the next durable version, keeping the
+   backend of the version before it. *)
+let archive_replace db schema tuples =
+  let name = Schema.name schema in
+  let backend = Option.map Relation.backend (Database.relation db name) in
+  match Relation.of_tuples ?backend schema tuples with
+  | Ok rel -> Database.replace db name rel
+  | Error e -> invalid_arg ("Pipeline: wal sink could not archive: " ^ e)
 
 let resolve_columns schema cols =
   let rec go = function
@@ -407,8 +445,46 @@ let finish ~mode ~machine ~schemas ~stats ~responses ~last_version =
   in
   { responses; stats; machine = machine_stats; speedup; final_db }
 
+(* Replay a lenient run's version chain into the durable log.  Each entry
+   is the slot array a dispatch produced, oldest first; a slot that kept
+   its physical identity kept its contents (single assignment), so only
+   changed slots are materialized.  Runs after quiescence, when every cell
+   is resolved, and skips versions whose materialized contents turn out
+   unchanged (e.g. a rejected duplicate insert). *)
+let log_lenient_versions w ~schemas ~db0 versions =
+  let prev_slots = ref db0 in
+  let prev_db = ref (Wal.latest w) in
+  List.iter
+    (fun slots ->
+      let changed = ref [] in
+      Array.iteri
+        (fun r slot ->
+          if not (slot == !prev_slots.(r)) then begin
+            let tuples = Llist.prefix_now slot in
+            let same =
+              match Database.relation !prev_db (Schema.name schemas.(r)) with
+              | Some rel -> List.equal Tuple.equal (Relation.to_list rel) tuples
+              | None -> false
+            in
+            if not same then changed := (r, tuples) :: !changed
+          end)
+        slots;
+      (match !changed with
+      | [] -> ()
+      | cs ->
+          let db' =
+            List.fold_left
+              (fun db (r, tuples) -> archive_replace db schemas.(r) tuples)
+              !prev_db cs
+          in
+          prev_db := db';
+          Wal.append w db');
+      prev_slots := slots)
+    versions
+
 let run ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false) ?(primary = 0)
-    spec tagged_queries =
+    ?wal spec tagged_queries =
+  require_ordered_unique ~who:"Pipeline.run" ~semantics wal;
   let (machine, eng, schemas, db0, exec) = prepare ~semantics ~mode ~trace spec in
   let queries = Array.of_list tagged_queries in
   let n = Array.length queries in
@@ -417,6 +493,7 @@ let run ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false) ?(primary = 0)
      transaction, homed at the primary site; version i+1 is produced the
      cycle after version i regardless of relation sizes. *)
   let last_version = ref db0 in
+  let versions = ref [] in
   Engine.spawn eng ~site:primary (fun () ->
       let first = Engine.ivar eng in
       let rec chain i db_iv =
@@ -432,6 +509,7 @@ let run ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false) ?(primary = 0)
                   (Fdb_obs.Event.Dispatch_start
                      { txn = i; label = Printf.sprintf "dispatch#%d" i });
               let db' = exec ~id:i ~answer:(Engine.put resp.(i)) q db in
+              if not (db' == db) then versions := db' :: !versions;
               if Fdb_obs.Trace.enabled () then
                 Fdb_obs.Trace.emit_at ~ts:(Engine.now eng) ~site:primary
                   (Fdb_obs.Event.Dispatch_end
@@ -449,6 +527,11 @@ let run ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false) ?(primary = 0)
       chain 0 first;
       Engine.put first db0);
   let stats = Engine.run eng in
+  (match wal with
+  | Some w ->
+      log_lenient_versions w ~schemas ~db0 (List.rev !versions);
+      Wal.sync w
+  | None -> ());
   let responses =
     Array.to_list
       (Array.mapi
@@ -468,7 +551,8 @@ let run ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false) ?(primary = 0)
    dispatch chain chasing the merged stream — the whole Figure 2-1/2-3
    architecture as one task graph. *)
 let run_streams ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false)
-    ?(primary = 0) spec (streams : Ast.query list list) =
+    ?(primary = 0) ?wal spec (streams : Ast.query list list) =
+  require_ordered_unique ~who:"Pipeline.run_streams" ~semantics wal;
   let (machine, eng, schemas, db0, exec) =
     prepare ~semantics ~mode ~trace spec
   in
@@ -481,6 +565,7 @@ let run_streams ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false)
   let merged = Lmerge.merge eng inputs in
   let collected = ref [] (* (tag, query, response ivar), reverse order *) in
   let last_version = ref db0 in
+  let versions = ref [] in
   Engine.spawn eng ~site:primary (fun () ->
       let rec chase i cell db_iv =
         Engine.await ~label:(Printf.sprintf "dispatch#%d" i) cell (function
@@ -497,6 +582,7 @@ let run_streams ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false)
                       (Fdb_obs.Event.Dispatch_start
                          { txn = i; label = Printf.sprintf "txn#%d" i });
                   let db' = exec ~id:i ~answer:(Engine.put resp) q db in
+                  if not (db' == db) then versions := db' :: !versions;
                   if Fdb_obs.Trace.enabled () then
                     Fdb_obs.Trace.emit_at ~ts:(Engine.now eng) ~site:primary
                       (Fdb_obs.Event.Dispatch_end
@@ -509,6 +595,11 @@ let run_streams ?(semantics = Prepend) ?(mode = Ideal) ?(trace = false)
       chase 0 merged first;
       Engine.put first db0);
   let stats = Engine.run eng in
+  (match wal with
+  | Some w ->
+      log_lenient_versions w ~schemas ~db0 (List.rev !versions);
+      Wal.sync w
+  | None -> ());
   let items = List.rev !collected in
   let responses =
     List.mapi
@@ -736,11 +827,35 @@ let flood pool ~chunk ~site0 xs ~map ~reduce =
   end;
   cell
 
-let run_parallel ?(semantics = Prepend) ?domains ?(chunk = 512) ?pool spec
-    tagged_queries =
+let run_parallel ?(semantics = Prepend) ?domains ?(chunk = 512) ?pool ?wal
+    spec tagged_queries =
   if chunk < 1 then invalid_arg "Pipeline.run_parallel: chunk must be >= 1";
+  require_ordered_unique ~who:"Pipeline.run_parallel" ~semantics wal;
   let go pool =
     let (rels, rel_index) = seq_state semantics spec in
+    (* Writes mutate [rels] inline on the dispatch thread, so the durable
+       version chain is rebuilt there too: snapshot the relation lists
+       before a write, archive whichever relations actually changed.
+       [Update] always reallocates the list spine, so change detection is
+       element-wise physical equality — an update that rewrote nothing
+       keeps every tuple physically and is not logged. *)
+    let log_write =
+      match wal with
+      | None -> fun _before -> ()
+      | Some w ->
+          fun before ->
+            let db = ref (Wal.latest w) in
+            let changed = ref false in
+            Array.iteri
+              (fun i (schema, contents) ->
+                let now = !contents in
+                if not (List.equal ( == ) before.(i) now) then begin
+                  db := archive_replace !db schema now;
+                  changed := true
+                end)
+              rels;
+            if !changed then Wal.append w !db
+    in
     let floods = ref 0 in
     let next_site () =
       let s = !floods in
@@ -756,8 +871,14 @@ let run_parallel ?(semantics = Prepend) ?domains ?(chunk = 512) ?pool spec
        reads are still being computed. *)
     let dispatch q =
       match q with
-      | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
+      | (Ast.Insert _ | Ast.Delete _ | Ast.Update _)
+        when Option.is_none wal ->
           Now (seq_eval ~semantics rels rel_index q)
+      | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
+          let before = Array.map (fun (_, c) -> !c) rels in
+          let r = seq_eval ~semantics rels rel_index q in
+          log_write before;
+          Now r
       | Ast.Find { rel; key } -> (
           match rel_index rel with
           | None -> Now (Failed (err_unknown_relation rel))
@@ -852,6 +973,7 @@ let run_parallel ?(semantics = Prepend) ?domains ?(chunk = 512) ?pool spec
                        ~reduce:(fun parts -> Joined (concat parts)))))
     in
     let pending = List.map (fun (tag, q) -> (tag, dispatch q)) tagged_queries in
+    (match wal with Some w -> Wal.sync w | None -> ());
     Pool.wait pool;
     let (stats : Pool.stats) = Pool.stats pool in
     let responses =
@@ -910,23 +1032,11 @@ let response_of_txn : Fdb_txn.Txn.response -> response = function
   | Fdb_txn.Txn.Joined ts -> Joined ts
   | Fdb_txn.Txn.Failed e -> Failed e
 
-let run_repair ?domains ?(batch = 16) ?pool spec tagged_queries =
+let run_repair ?domains ?(batch = 16) ?pool ?wal spec tagged_queries =
   if batch < 1 then invalid_arg "Pipeline.run_repair: batch must be >= 1";
-  (* Relations are keyed sets, so this mode is inherently Ordered_unique:
-     load keeps the first tuple per duplicate key, exactly like
-     [initial_state Ordered_unique]. *)
-  let db0 =
-    List.fold_left
-      (fun db schema ->
-        match List.assoc_opt (Schema.name schema) spec.initial with
-        | None -> db
-        | Some tuples -> (
-            match Database.load db ~rel:(Schema.name schema) tuples with
-            | Ok db -> db
-            | Error e -> invalid_arg ("Pipeline.run_repair: " ^ e)))
-      (Database.create spec.schemas)
-      spec.schemas
-  in
+  (* Relations are keyed sets, so this mode is inherently Ordered_unique
+     (see [initial_database]) — no wal guard needed. *)
+  let db0 = initial_database spec in
   let go pool =
     let (tagged_rev, final, stats, versions, batches) =
       List.fold_left
@@ -935,6 +1045,13 @@ let run_repair ?domains ?(batch = 16) ?pool spec tagged_queries =
             Fdb_repair.Exec.run_batch ~pool ~batch_id:bid db
               (List.map snd chunk)
           in
+          (match wal with
+          | Some w ->
+              let h = r.Fdb_repair.Exec.history in
+              for i = 1 to Fdb_txn.History.length h - 1 do
+                Wal.append w (Fdb_txn.History.version h i)
+              done
+          | None -> ());
           let tagged =
             List.map2
               (fun (tag, _) resp -> (tag, response_of_txn resp))
@@ -948,6 +1065,7 @@ let run_repair ?domains ?(batch = 16) ?pool spec tagged_queries =
         ([], db0, Fdb_repair.Exec.zero_stats, 1, 0)
         (chunks_of ~chunk:batch tagged_queries)
     in
+    (match wal with Some w -> Wal.sync w | None -> ());
     let final_db =
       List.map
         (fun schema ->

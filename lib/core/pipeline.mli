@@ -56,6 +56,15 @@ type db_spec = {
 
 val db_spec_of_workload : Fdb_workload.Workload.t -> db_spec
 
+val initial_database : db_spec -> Database.t
+(** The durable image of the initial state: relations as keyed sets, the
+    first tuple kept per duplicate key — exactly the state every
+    ordered-unique executor starts from.  Pass this to
+    {!Fdb_wal.Wal.create} to open a durability sink ([?wal] below) whose
+    genesis checkpoint matches the run.
+    @raise Invalid_argument when the spec's initial tuples do not match
+    their schema. *)
+
 type report = {
   responses : (int * response) list;  (** (tag, response), merged order *)
   stats : Engine.run_stats;
@@ -74,20 +83,31 @@ val run :
   ?mode:mode ->
   ?trace:bool ->
   ?primary:int ->
+  ?wal:Fdb_wal.Wal.writer ->
   db_spec ->
   (int * Fdb_query.Ast.query) list ->
   report
 (** Execute the merged stream.  Defaults: [Prepend], [Ideal], no trace,
     primary site 0.  In machine mode the initial relation cells are dealt
     round-robin across the PEs and dispatch runs on the primary site.
+
+    [wal] attaches a durability sink: after the engine quiesces, every
+    version the dispatch chain produced (in dispatch order, skipping
+    versions whose contents did not actually change) is appended to the
+    durable log and the log is synced, so a crash after [run] returns
+    loses nothing.  The writer should be opened on
+    {!val:initial_database}[ spec] so the genesis checkpoint matches.
     @raise Failure if the run leaves a response unresolved (an engine bug —
-    surfaced loudly rather than silently). *)
+    surfaced loudly rather than silently).
+    @raise Invalid_argument if [wal] is combined with [Prepend] semantics
+    (the durable log stores relations as keyed sets). *)
 
 val run_streams :
   ?semantics:semantics ->
   ?mode:mode ->
   ?trace:bool ->
   ?primary:int ->
+  ?wal:Fdb_wal.Wal.writer ->
   db_spec ->
   Fdb_query.Ast.query list list ->
   report * (int * Fdb_query.Ast.query) list
@@ -96,7 +116,7 @@ val run_streams :
     ({!Fdb_lenient.Lmerge}) interleaves them by arrival, and the dispatch
     chain chases the merged stream as it materializes.  Returns the report
     and the merged order the arbiter actually produced (for checking
-    against {!val:reference}). *)
+    against {!val:reference}).  [wal] behaves as in {!val:run}. *)
 
 val reference :
   ?semantics:semantics ->
@@ -146,6 +166,7 @@ val run_parallel :
   ?domains:int ->
   ?chunk:int ->
   ?pool:Fdb_par.Pool.t ->
+  ?wal:Fdb_wal.Wal.writer ->
   db_spec ->
   (int * Fdb_query.Ast.query) list ->
   par_report
@@ -154,8 +175,11 @@ val run_parallel :
     the scan flood granularity in tuples.  Passing [pool] reuses an
     existing pool (and leaves it running); otherwise a fresh pool is
     created and shut down around the run — in that case [par_tasks] and
-    [par_steals] count this run alone.
-    @raise Invalid_argument when [chunk < 1]. *)
+    [par_steals] count this run alone.  [wal] attaches a durability sink
+    as in {!val:run}: writes are logged inline on the dispatch thread (so
+    the log order is the stream order) and synced before the pool drains.
+    @raise Invalid_argument when [chunk < 1], or if [wal] is combined
+    with [Prepend] semantics. *)
 
 type repair_report = {
   rep_responses : (int * response) list;  (** (tag, response), stream order *)
@@ -170,6 +194,7 @@ val run_repair :
   ?domains:int ->
   ?batch:int ->
   ?pool:Fdb_par.Pool.t ->
+  ?wal:Fdb_wal.Wal.writer ->
   db_spec ->
   (int * Fdb_query.Ast.query) list ->
   repair_report
@@ -180,5 +205,7 @@ val run_repair :
     footprint conflicts to the serial fixpoint, so responses and final
     state equal {!val:reference}[ ~semantics:Ordered_unique] (this mode
     is inherently ordered-unique: relations are keyed sets).  Pool reuse
-    follows {!val:run_parallel}.
+    follows {!val:run_parallel}.  [wal] attaches a durability sink: each
+    batch's repaired version chain is appended after the batch reaches
+    its fixpoint, and the log is synced at the end of the run.
     @raise Invalid_argument when [batch < 1]. *)

@@ -52,6 +52,14 @@ let args_of (kind : Event.kind) =
       [ i "batch" batch; i "round" round; i "damaged" damaged ]
   | Repair_commit { batch; txn; round } ->
       [ i "batch" batch; i "txn" txn; i "round" round ]
+  | Wal_append { index; bytes } -> [ i "index" index; i "bytes" bytes ]
+  | Wal_sync { upto } -> [ i "upto" upto ]
+  | Wal_checkpoint { upto; bytes; segment } ->
+      [ i "upto" upto; i "bytes" bytes; i "segment" segment ]
+  | Wal_segment_delete { segment } -> [ i "segment" segment ]
+  | Wal_replay { index } -> [ i "index" index ]
+  | Wal_recovered { upto; base; reason } ->
+      [ i "upto" upto; i "base" base; s "reason" reason ]
 
 let record buf ~name ~ph ~ts ~tid ?(extra = []) args =
   if Buffer.length buf > 0 then Buffer.add_string buf ",\n";

@@ -32,6 +32,12 @@ type kind =
   | Repair_redo of { batch : int; txn : int; round : int }
   | Repair_round of { batch : int; round : int; damaged : int }
   | Repair_commit of { batch : int; txn : int; round : int }
+  | Wal_append of { index : int; bytes : int }
+  | Wal_sync of { upto : int }
+  | Wal_checkpoint of { upto : int; bytes : int; segment : int }
+  | Wal_segment_delete of { segment : int }
+  | Wal_replay of { index : int }
+  | Wal_recovered of { upto : int; base : int; reason : string }
 
 type t = { ts : int; site : int; kind : kind }
 
@@ -59,6 +65,12 @@ let name = function
   | Repair_redo _ -> "repair_redo"
   | Repair_round _ -> "repair_round"
   | Repair_commit _ -> "repair_commit"
+  | Wal_append _ -> "wal_append"
+  | Wal_sync _ -> "wal_sync"
+  | Wal_checkpoint _ -> "wal_checkpoint"
+  | Wal_segment_delete _ -> "wal_segment_delete"
+  | Wal_replay _ -> "wal_replay"
+  | Wal_recovered _ -> "wal_recovered"
 
 let pp_kind ppf = function
   | Dispatch_start { txn; label } -> Fmt.pf ppf "dispatch_start txn=%d %s" txn label
@@ -99,6 +111,16 @@ let pp_kind ppf = function
       Fmt.pf ppf "repair_round b%d round=%d damaged=%d" batch round damaged
   | Repair_commit { batch; txn; round } ->
       Fmt.pf ppf "repair_commit b%d txn=%d round=%d" batch txn round
+  | Wal_append { index; bytes } ->
+      Fmt.pf ppf "wal_append v%d (%d bytes)" index bytes
+  | Wal_sync { upto } -> Fmt.pf ppf "wal_sync upto=%d" upto
+  | Wal_checkpoint { upto; bytes; segment } ->
+      Fmt.pf ppf "wal_checkpoint upto=%d bytes=%d seg=%d" upto bytes segment
+  | Wal_segment_delete { segment } ->
+      Fmt.pf ppf "wal_segment_delete seg=%d" segment
+  | Wal_replay { index } -> Fmt.pf ppf "wal_replay v%d" index
+  | Wal_recovered { upto; base; reason } ->
+      Fmt.pf ppf "wal_recovered upto=%d base=%d (%s)" upto base reason
 
 let pp ppf { ts; site; kind } = Fmt.pf ppf "[t=%d s=%d] %a" ts site pp_kind kind
 let to_string ev = Fmt.str "%a" pp ev

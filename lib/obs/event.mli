@@ -53,6 +53,23 @@ type kind =
   | Repair_commit of { batch : int; txn : int; round : int }
       (** [txn]'s result (from [round]) was merged into the running
           version; commits are released in batch order *)
+  | Wal_append of { index : int; bytes : int }
+      (** version [index]'s delta frame was buffered into the current log
+          segment ([bytes] framed bytes) — not yet durable *)
+  | Wal_sync of { upto : int }
+      (** an fsync point: every version up to [upto] is now durable *)
+  | Wal_checkpoint of { upto : int; bytes : int; segment : int }
+      (** a compact checkpoint covering versions up to [upto] was written
+          {e and synced} as the head of [segment]; emitted only after the
+          sync, so its position in the trace is a durability witness *)
+  | Wal_segment_delete of { segment : int }
+      (** an obsolete segment was removed — lawful only after a checkpoint
+        of a strictly newer segment was synced *)
+  | Wal_replay of { index : int }
+      (** recovery replayed version [index]'s delta from the log suffix *)
+  | Wal_recovered of { upto : int; base : int; reason : string }
+      (** recovery rebuilt versions [base..upto]; [reason] is ["clean"] or
+          why replay stopped (torn / checksum / out-of-order frame) *)
 
 type t = { ts : int; site : int; kind : kind }
 

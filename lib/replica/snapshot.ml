@@ -1,233 +1,26 @@
-open Fdb_relational
-module History = Fdb_txn.History
+module Wire = Fdb_wire.Wire
 
-let magic = "FDBSNAP1"
+(* The codec itself lives in {!Fdb_wire.Wire} — one format for network and
+   disk.  A snapshot is exactly one Checkpoint frame: the frame header
+   carries the length, format version and CRC32c, the payload is the
+   delta-encoded archive. *)
 
-(* -- writer ----------------------------------------------------------------- *)
+let encode history = Wire.frame ~kind:Wire.Checkpoint (Wire.encode_archive history)
 
-let w_int b n =
-  Buffer.add_string b (string_of_int n);
-  Buffer.add_char b ';'
+let encode_naive history =
+  Wire.frame ~kind:Wire.Checkpoint (Wire.encode_archive ~changed_only:false history)
 
-let w_str b s =
-  w_int b (String.length s);
-  Buffer.add_string b s
-
-let w_value b = function
-  | Value.Int n ->
-      Buffer.add_char b 'I';
-      w_int b n
-  | Value.Str s ->
-      Buffer.add_char b 'S';
-      w_str b s
-  | Value.Bool v ->
-      Buffer.add_char b 'B';
-      w_int b (if v then 1 else 0)
-  | Value.Real r ->
-      Buffer.add_char b 'R';
-      (* %h round-trips every finite float exactly *)
-      w_str b (Printf.sprintf "%h" r)
-
-let w_tuple b tup =
-  w_int b (Tuple.arity tup);
-  Array.iter (w_value b) tup
-
-let w_backend b = function
-  | Relation.List_backend -> Buffer.add_char b 'L'
-  | Relation.Avl_backend -> Buffer.add_char b 'A'
-  | Relation.Two3_backend -> Buffer.add_char b 'T'
-  | Relation.Btree_backend k ->
-      Buffer.add_char b 'B';
-      w_int b k
-
-let w_schema b schema =
-  w_str b (Schema.name schema);
-  let cols = Schema.columns schema in
-  w_int b (List.length cols);
-  List.iter
-    (fun (name, ctype) ->
-      w_str b name;
-      Buffer.add_char b
-        (match ctype with
-        | Schema.CInt -> 'i'
-        | Schema.CStr -> 's'
-        | Schema.CBool -> 'b'
-        | Schema.CReal -> 'r'))
-    cols
-
-let w_relation_body b rel =
-  let tuples = Relation.to_list rel in
-  w_int b (List.length tuples);
-  List.iter (w_tuple b) tuples
-
-let relation_exn db name =
-  match Database.relation db name with
-  | Some r -> r
-  | None -> invalid_arg "Snapshot: relation vanished mid-archive"
-
-let encode_with ~changed_only history =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b magic;
-  let n = History.length history in
-  let v0 = History.version history 0 in
-  let names = Database.names v0 in
-  w_int b n;
-  w_int b (List.length names);
-  List.iter
-    (fun name ->
-      let rel = relation_exn v0 name in
-      w_schema b (Relation.schema rel);
-      w_backend b (Relation.backend rel))
-    names;
-  (* version 0: everything *)
-  List.iter (fun name -> w_relation_body b (relation_exn v0 name)) names;
-  (* later versions: indices of replaced slots, then their bodies *)
-  for i = 1 to n - 1 do
-    let before = History.version history (i - 1) in
-    let after = History.version history i in
-    let changed =
-      List.filteri
-        (fun _ name ->
-          (not changed_only)
-          || not (Database.shares_relation ~old:before after name))
-        names
-    in
-    w_int b (List.length changed);
-    List.iter
-      (fun name ->
-        (match List.find_index (String.equal name) names with
-        | Some idx -> w_int b idx
-        | None -> invalid_arg "Snapshot: relation vanished mid-archive");
-        w_relation_body b (relation_exn after name))
-      changed
-  done;
-  Buffer.contents b
-
-let encode history = encode_with ~changed_only:true history
-
-let encode_naive history = encode_with ~changed_only:false history
-
-(* -- reader ----------------------------------------------------------------- *)
-
-type reader = { src : string; mutable pos : int }
-
-let corrupt what = failwith ("Snapshot.decode: corrupt snapshot (" ^ what ^ ")")
-
-let r_char r =
-  if r.pos >= String.length r.src then corrupt "truncated";
-  let c = r.src.[r.pos] in
-  r.pos <- r.pos + 1;
-  c
-
-let r_int r =
-  let start = r.pos in
-  while r.pos < String.length r.src && r.src.[r.pos] <> ';' do
-    r.pos <- r.pos + 1
-  done;
-  if r.pos >= String.length r.src then corrupt "unterminated int";
-  let s = String.sub r.src start (r.pos - start) in
-  r.pos <- r.pos + 1;
-  match int_of_string_opt s with Some n -> n | None -> corrupt "bad int"
-
-let r_str r =
-  let len = r_int r in
-  if len < 0 || r.pos + len > String.length r.src then corrupt "bad string";
-  let s = String.sub r.src r.pos len in
-  r.pos <- r.pos + len;
-  s
-
-let r_value r =
-  match r_char r with
-  | 'I' -> Value.Int (r_int r)
-  | 'S' -> Value.Str (r_str r)
-  | 'B' -> Value.Bool (r_int r <> 0)
-  | 'R' -> (
-      match float_of_string_opt (r_str r) with
-      | Some f -> Value.Real f
-      | None -> corrupt "bad float")
-  | _ -> corrupt "bad value tag"
-
-let r_tuple r =
-  let arity = r_int r in
-  if arity < 0 then corrupt "bad arity";
-  Tuple.make (List.init arity (fun _ -> r_value r))
-
-let r_backend r =
-  match r_char r with
-  | 'L' -> Relation.List_backend
-  | 'A' -> Relation.Avl_backend
-  | 'T' -> Relation.Two3_backend
-  | 'B' -> Relation.Btree_backend (r_int r)
-  | _ -> corrupt "bad backend tag"
-
-let r_schema r =
-  let name = r_str r in
-  let ncols = r_int r in
-  if ncols < 0 then corrupt "bad column count";
-  let cols =
-    List.init ncols (fun _ ->
-        let cname = r_str r in
-        let ctype =
-          match r_char r with
-          | 'i' -> Schema.CInt
-          | 's' -> Schema.CStr
-          | 'b' -> Schema.CBool
-          | 'r' -> Schema.CReal
-          | _ -> corrupt "bad column type"
-        in
-        (cname, ctype))
-  in
-  try Schema.make ~name ~cols with Invalid_argument m -> corrupt m
-
-let r_relation_body r ~backend schema =
-  let count = r_int r in
-  if count < 0 then corrupt "bad tuple count";
-  let tuples = List.init count (fun _ -> r_tuple r) in
-  match Relation.of_tuples ~backend schema tuples with
-  | Ok rel -> rel
-  | Error m -> corrupt m
+let corrupt offset reason = raise (Wire.Corrupt { offset; reason })
 
 let decode src =
-  let r = { src; pos = 0 } in
-  if
-    String.length src < String.length magic
-    || String.sub src 0 (String.length magic) <> magic
-  then corrupt "bad magic";
-  r.pos <- String.length magic;
-  let nversions = r_int r in
-  if nversions < 1 then corrupt "empty archive";
-  let nrelations = r_int r in
-  if nrelations < 0 then corrupt "bad relation count";
-  let headers =
-    Array.init nrelations (fun _ ->
-        let schema = r_schema r in
-        let backend = r_backend r in
-        (schema, backend))
-  in
-  let schemas = Array.to_list (Array.map fst headers) in
-  let v0 =
-    Array.fold_left
-      (fun db (schema, backend) ->
-        Database.replace db (Schema.name schema)
-          (r_relation_body r ~backend schema))
-      (Database.create schemas) headers
-  in
-  let history = ref (History.create v0) in
-  let current = ref v0 in
-  for _ = 1 to nversions - 1 do
-    let nchanged = r_int r in
-    if nchanged < 0 || nchanged > nrelations then corrupt "bad change count";
-    let db = ref !current in
-    for _ = 1 to nchanged do
-      let idx = r_int r in
-      if idx < 0 || idx >= nrelations then corrupt "bad relation index";
-      let (schema, backend) = headers.(idx) in
-      db :=
-        Database.replace !db (Schema.name schema)
-          (r_relation_body r ~backend schema)
-    done;
-    current := !db;
-    history := History.append !history !db
-  done;
-  if r.pos <> String.length src then corrupt "trailing bytes";
-  !history
+  match Wire.read_frame src ~pos:0 with
+  | Wire.End_of_input -> corrupt 0 "empty snapshot"
+  | Wire.Torn { offset; reason } -> corrupt offset reason
+  | Wire.Frame { kind = Wire.Delta; _ } ->
+      corrupt 0 "expected a checkpoint frame, got a delta frame"
+  | Wire.Frame { kind = Wire.Checkpoint; payload; next } ->
+      (* Consume exactly one frame: anything after it is typed corruption,
+         not silently accepted garbage. *)
+      if next <> String.length src then
+        corrupt next "trailing bytes after snapshot frame";
+      Wire.decode_archive payload

@@ -1,12 +1,19 @@
 (** Serialized checkpoints of the version archive.
 
     §3.3's "complete archives" are cheap in memory because consecutive
-    versions share almost all structure.  This codec carries that property
-    onto the wire: a {!Fdb_txn.History.t} is encoded as version 0 in full
-    followed, per later version, by {e only the relations that are not
-    physically shared} with their predecessor ({!Fdb_relational.Database.shares_relation}).
-    A read-heavy archive of hundreds of versions costs barely more than one
-    version; [encode_naive] (every version in full) is the control.
+    versions share almost all structure.  The shared codec
+    ({!Fdb_wire.Wire}) carries that property onto the wire: a
+    {!Fdb_txn.History.t} is encoded as version 0 in full followed, per
+    later version, by {e only the relations that are not physically
+    shared} with their predecessor
+    ({!Fdb_relational.Database.shares_relation}).  A read-heavy archive of
+    hundreds of versions costs barely more than one version;
+    [encode_naive] (every version in full) is the control.
+
+    A snapshot is exactly one {!Fdb_wire.Wire.Checkpoint} frame —
+    length-prefixed, CRC32c-checksummed, format-versioned — so the same
+    bytes a backup receives over the network are what {!Fdb_wal} appends
+    to disk.
 
     Decoding rebuilds the archive with the same cross-version slot sharing:
     an unchanged relation is the same OCaml value in both decoded versions.
@@ -23,4 +30,6 @@ val encode_naive : Fdb_txn.History.t -> string
 val decode : string -> Fdb_txn.History.t
 (** Inverse of {!val:encode} up to physical representation inside a
     relation (tuples are bulk-reloaded into the recorded backend).
-    @raise Failure on a corrupt or truncated snapshot. *)
+    Consumes exactly one frame and rejects anything left over.
+    @raise Fdb_wire.Wire.Corrupt — carrying the byte offset and reason —
+    on a corrupt, truncated or trailing-garbage snapshot. *)

@@ -1,0 +1,165 @@
+(** The durable version log: an append-only log of version deltas with
+    periodic compact checkpoints, written in the shared frame format
+    ({!Fdb_wire.Wire}).
+
+    The paper's functional design makes durability cheap: a
+    {!Fdb_txn.History.t} is an immutable spine of structure-shared
+    versions, so an append-only log of per-version deltas {e is} the
+    database.  Layout:
+
+    {v
+      seg-000000.wal:  [ckpt v0] [delta v1] [delta v2] ... [delta vK]
+      seg-000001.wal:  [ckpt vK] [delta vK+1] ...
+    v}
+
+    Every segment begins with a {b checkpoint frame} — the version index it
+    covers plus a one-version archive of that database — followed by
+    {b delta frames}, each carrying its version index and the changed
+    relation slots against the previous version.  Recovery
+    ({!val:recover}) picks the newest segment whose checkpoint frame is
+    intact, rebuilds that database, and replays the delta suffix in order,
+    stopping cleanly at the first torn, truncated, checksum-corrupt or
+    out-of-order frame.
+
+    {b Fsync discipline.}  Appends are group-buffered; {!val:sync} is the
+    explicit fsync point after which every appended version is promised to
+    survive a crash.  A checkpoint (a) syncs the current segment, (b)
+    writes and syncs the new segment's checkpoint frame, and only then (c)
+    deletes the old segments — so at any crash point some synced segment
+    still holds everything promised durable.  The [Wal_*] trace events are
+    emitted {e after} the corresponding bytes are down, so trace order is
+    a durability witness the [durability] oracle
+    ({!Fdb_check.Trace_oracle}) can check. *)
+
+open Fdb_relational
+
+(** Where log bytes live.  A first-class record of closures so the
+    simulator can inject an in-memory store with torn-write crash
+    semantics while the CLI and bench run against real files. *)
+module Store : sig
+  type t = {
+    append : string -> string -> unit;  (** [append file bytes] — buffered *)
+    sync : string -> unit;  (** flush [file]; its bytes are now durable *)
+    read : string -> string option;  (** whole current contents *)
+    list_files : unit -> string list;
+    remove : string -> unit;
+    close : unit -> unit;  (** release handles (no-op for memory) *)
+  }
+end
+
+(** In-memory store with explicit durability tracking: each file knows how
+    many bytes were covered by the last [sync].  {!val:crash} keeps the
+    synced prefix plus a {e random prefix of the unsynced suffix} — a torn
+    write — which is exactly the fault model the recovery reader must
+    survive. *)
+module Mem : sig
+  type t
+
+  val create : unit -> t
+  val store : t -> Store.t
+
+  val crash : rand:Random.State.t -> t -> unit
+  (** Tear every file at a random point no earlier than its synced length. *)
+
+  val synced : t -> string -> int
+  (** Bytes of [file] covered by the last sync (0 if absent). *)
+
+  val get : t -> string -> string
+  (** Current contents ("" if absent) — for doctoring in fault tests. *)
+
+  val set : t -> string -> string -> unit
+  (** Overwrite contents — for doctoring in fault tests.  The synced mark
+      is clamped to the new length. *)
+end
+
+module Fs : sig
+  val store : dir:string -> Store.t
+  (** A directory of segment files.  [sync] flushes the channel (the
+      strongest barrier available without a Unix dependency); call
+      [close] when done. *)
+end
+
+val segment_name : int -> string
+(** [segment_name 3] is ["seg-000003.wal"]. *)
+
+val segment_number : string -> int option
+(** Inverse of {!segment_name}; [None] for non-segment file names. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val create :
+  ?sync_every:int -> ?checkpoint_every:int -> store:Store.t -> Database.t ->
+  writer
+(** Start a log over [store] with the given initial database: writes and
+    syncs the genesis checkpoint (version 0).  [sync_every] (default 1)
+    groups that many appends per automatic fsync; 0 means only explicit
+    {!val:sync} calls.  [checkpoint_every] (default 0 = never) compacts
+    after that many appends since the last checkpoint.
+    @raise Invalid_argument on negative parameters. *)
+
+val append : writer -> Database.t -> unit
+(** Log the next committed version: encodes the delta against the current
+    newest version, buffers the frame, and applies the group-sync /
+    checkpoint policy. *)
+
+val sync : writer -> unit
+(** Explicit fsync point: every appended version becomes durable. *)
+
+val checkpoint : writer -> unit
+(** Force a compact checkpoint now (see the fsync discipline above). *)
+
+val latest : writer -> Database.t
+(** The newest appended version (the shadow of the log tail). *)
+
+val history : writer -> Fdb_txn.History.t
+(** The shadow archive of every version appended through this writer
+    (including its initial version). *)
+
+val appended : writer -> int
+(** Newest version index written to the log (0 = just the initial
+    checkpoint). *)
+
+val durable : writer -> int
+(** Newest version index covered by a sync — the crash-survival promise. *)
+
+val segment : writer -> int
+(** Current segment number. *)
+
+(** {1 Recovery} *)
+
+type stop_reason =
+  | Clean  (** the log ended exactly at a frame boundary *)
+  | Stopped of { offset : int; reason : string }
+      (** replay stopped at the first torn / truncated / checksum-corrupt /
+          out-of-order frame — everything before it was recovered *)
+
+type recovery = {
+  rhistory : Fdb_txn.History.t;
+      (** versions [base..upto], oldest first (version 0 of [rhistory] is
+          version [base] of the original log) *)
+  base : int;  (** version index the chosen checkpoint covers *)
+  upto : int;  (** newest recovered version index *)
+  segments : int;  (** segment files present in the store *)
+  stop : stop_reason;
+}
+
+val recover : Store.t -> recovery
+(** Rebuild the newest durable state by checkpoint + suffix replay.  Picks
+    the newest segment whose head checkpoint frame is intact (a segment
+    whose checkpoint was torn mid-write is skipped — its contents were
+    never promised durable), then replays delta frames in version order.
+    Emits [Wal_replay] / [Wal_recovered] trace events and [wal.*] metrics.
+    @raise Fdb_wire.Wire.Corrupt if no segment holds an intact checkpoint,
+    or if a checksum-valid frame is structurally invalid (real corruption,
+    not a torn write). *)
+
+val resume :
+  ?sync_every:int -> ?checkpoint_every:int -> store:Store.t -> recovery ->
+  writer
+(** Continue a recovered log: writes a fresh checkpoint segment at the
+    recovered state (discarding any torn tail) and returns a writer whose
+    next append is version [upto + 1]. *)
+
+val pp_stop : Format.formatter -> stop_reason -> unit

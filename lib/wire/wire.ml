@@ -1,0 +1,446 @@
+open Fdb_relational
+module History = Fdb_txn.History
+
+exception Corrupt of { offset : int; reason : string }
+
+let corrupt offset fmt =
+  Format.kasprintf (fun reason -> raise (Corrupt { offset; reason })) fmt
+
+(* -- CRC32c (Castagnoli), table-driven, reflected ------------------------- *)
+
+let crc_table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         c :=
+           if Int32.logand !c 1l <> 0l then
+             Int32.logxor (Int32.shift_right_logical !c 1) 0x82F63B78l
+           else Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+(* Raw update: feed bytes into a running (pre-finalization) crc state. *)
+let crc_feed state s pos len =
+  let t = Lazy.force crc_table in
+  let c = ref state in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int
+        (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  !c
+
+let crc_init = 0xFFFFFFFFl
+let crc_finish c = Int32.logxor c 0xFFFFFFFFl
+let crc32c s = crc_finish (crc_feed crc_init s 0 (String.length s))
+
+(* -- writer primitives ----------------------------------------------------- *)
+
+let w_int b n =
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b ';'
+
+let w_str b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let w_value b = function
+  | Value.Int n ->
+      Buffer.add_char b 'I';
+      w_int b n
+  | Value.Str s ->
+      Buffer.add_char b 'S';
+      w_str b s
+  | Value.Bool v ->
+      Buffer.add_char b 'B';
+      w_int b (if v then 1 else 0)
+  | Value.Real r ->
+      Buffer.add_char b 'R';
+      (* %h round-trips every finite float exactly *)
+      w_str b (Printf.sprintf "%h" r)
+
+let w_tuple b tup =
+  w_int b (Tuple.arity tup);
+  Array.iter (w_value b) tup
+
+let w_backend b = function
+  | Relation.List_backend -> Buffer.add_char b 'L'
+  | Relation.Avl_backend -> Buffer.add_char b 'A'
+  | Relation.Two3_backend -> Buffer.add_char b 'T'
+  | Relation.Btree_backend k ->
+      Buffer.add_char b 'B';
+      w_int b k
+
+let w_schema b schema =
+  w_str b (Schema.name schema);
+  let cols = Schema.columns schema in
+  w_int b (List.length cols);
+  List.iter
+    (fun (name, ctype) ->
+      w_str b name;
+      Buffer.add_char b
+        (match ctype with
+        | Schema.CInt -> 'i'
+        | Schema.CStr -> 's'
+        | Schema.CBool -> 'b'
+        | Schema.CReal -> 'r'))
+    cols
+
+let w_relation_body b rel =
+  let tuples = Relation.to_list rel in
+  w_int b (List.length tuples);
+  List.iter (w_tuple b) tuples
+
+let relation_exn db name =
+  match Database.relation db name with
+  | Some r -> r
+  | None -> invalid_arg "Wire: relation vanished mid-archive"
+
+let write_int = w_int
+
+(* -- reader primitives ------------------------------------------------------
+
+   Positions are absolute offsets into [src], so every [Corrupt] carries a
+   byte offset the caller can report against the original input. *)
+
+type reader = { src : string; mutable pos : int }
+
+let r_char r =
+  if r.pos >= String.length r.src then
+    corrupt r.pos "truncated (wanted 1 more byte)";
+  let c = r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let r_int r =
+  let start = r.pos in
+  while r.pos < String.length r.src && r.src.[r.pos] <> ';' do
+    r.pos <- r.pos + 1
+  done;
+  if r.pos >= String.length r.src then corrupt start "unterminated int";
+  let s = String.sub r.src start (r.pos - start) in
+  r.pos <- r.pos + 1;
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> corrupt start "bad int %S" s
+
+let read_int src ~pos =
+  let r = { src; pos } in
+  let n = r_int r in
+  (n, r.pos)
+
+let r_str r =
+  let at = r.pos in
+  let len = r_int r in
+  if len < 0 || r.pos + len > String.length r.src then
+    corrupt at "bad string length %d" len;
+  let s = String.sub r.src r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let r_value r =
+  let at = r.pos in
+  match r_char r with
+  | 'I' -> Value.Int (r_int r)
+  | 'S' -> Value.Str (r_str r)
+  | 'B' -> Value.Bool (r_int r <> 0)
+  | 'R' -> (
+      match float_of_string_opt (r_str r) with
+      | Some f -> Value.Real f
+      | None -> corrupt at "bad float")
+  | c -> corrupt at "bad value tag %C" c
+
+let r_tuple r =
+  let at = r.pos in
+  let arity = r_int r in
+  if arity < 0 then corrupt at "bad arity %d" arity;
+  Tuple.make (List.init arity (fun _ -> r_value r))
+
+let r_backend r =
+  let at = r.pos in
+  match r_char r with
+  | 'L' -> Relation.List_backend
+  | 'A' -> Relation.Avl_backend
+  | 'T' -> Relation.Two3_backend
+  | 'B' -> Relation.Btree_backend (r_int r)
+  | c -> corrupt at "bad backend tag %C" c
+
+let r_schema r =
+  let at = r.pos in
+  let name = r_str r in
+  let ncols = r_int r in
+  if ncols < 0 then corrupt at "bad column count %d" ncols;
+  let cols =
+    List.init ncols (fun _ ->
+        let cname = r_str r in
+        let ctype =
+          let cat = r.pos in
+          match r_char r with
+          | 'i' -> Schema.CInt
+          | 's' -> Schema.CStr
+          | 'b' -> Schema.CBool
+          | 'r' -> Schema.CReal
+          | c -> corrupt cat "bad column type %C" c
+        in
+        (cname, ctype))
+  in
+  try Schema.make ~name ~cols
+  with Invalid_argument m -> corrupt at "bad schema: %s" m
+
+let r_relation_body r ~backend schema =
+  let at = r.pos in
+  let count = r_int r in
+  if count < 0 then corrupt at "bad tuple count %d" count;
+  let tuples = List.init count (fun _ -> r_tuple r) in
+  match Relation.of_tuples ~backend schema tuples with
+  | Ok rel -> rel
+  | Error m -> corrupt at "bad relation body: %s" m
+
+(* -- archive payloads ------------------------------------------------------- *)
+
+let magic = "FDBSNAP1"
+
+let encode_archive ?(changed_only = true) history =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  let n = History.length history in
+  let v0 = History.version history 0 in
+  let names = Database.names v0 in
+  w_int b n;
+  w_int b (List.length names);
+  List.iter
+    (fun name ->
+      let rel = relation_exn v0 name in
+      w_schema b (Relation.schema rel);
+      w_backend b (Relation.backend rel))
+    names;
+  (* version 0: everything *)
+  List.iter (fun name -> w_relation_body b (relation_exn v0 name)) names;
+  (* later versions: indices of replaced slots, then their bodies *)
+  for i = 1 to n - 1 do
+    let before = History.version history (i - 1) in
+    let after = History.version history i in
+    let changed =
+      List.filteri
+        (fun _ name ->
+          (not changed_only)
+          || not (Database.shares_relation ~old:before after name))
+        names
+    in
+    w_int b (List.length changed);
+    List.iter
+      (fun name ->
+        (match List.find_index (String.equal name) names with
+        | Some idx -> w_int b idx
+        | None -> invalid_arg "Wire: relation vanished mid-archive");
+        w_relation_body b (relation_exn after name))
+      changed
+  done;
+  Buffer.contents b
+
+let decode_archive_sub src ~pos =
+  let r = { src; pos } in
+  if
+    pos + String.length magic > String.length src
+    || String.sub src pos (String.length magic) <> magic
+  then corrupt pos "bad magic";
+  r.pos <- pos + String.length magic;
+  let nversions = r_int r in
+  if nversions < 1 then corrupt pos "empty archive";
+  let nrelations = r_int r in
+  if nrelations < 0 then corrupt pos "bad relation count %d" nrelations;
+  let headers =
+    Array.init nrelations (fun _ ->
+        let schema = r_schema r in
+        let backend = r_backend r in
+        (schema, backend))
+  in
+  let schemas = Array.to_list (Array.map fst headers) in
+  let v0 =
+    Array.fold_left
+      (fun db (schema, backend) ->
+        Database.replace db (Schema.name schema)
+          (r_relation_body r ~backend schema))
+      (Database.create schemas) headers
+  in
+  let history = ref (History.create v0) in
+  let current = ref v0 in
+  for _ = 1 to nversions - 1 do
+    let at = r.pos in
+    let nchanged = r_int r in
+    if nchanged < 0 || nchanged > nrelations then
+      corrupt at "bad change count %d" nchanged;
+    let db = ref !current in
+    for _ = 1 to nchanged do
+      let iat = r.pos in
+      let idx = r_int r in
+      if idx < 0 || idx >= nrelations then
+        corrupt iat "bad relation index %d" idx;
+      let (schema, backend) = headers.(idx) in
+      db :=
+        Database.replace !db (Schema.name schema)
+          (r_relation_body r ~backend schema)
+    done;
+    current := !db;
+    history := History.append !history !db
+  done;
+  (!history, r.pos)
+
+let decode_archive src =
+  let (history, next) = decode_archive_sub src ~pos:0 in
+  if next <> String.length src then
+    corrupt next "trailing bytes after archive";
+  history
+
+(* -- single-version deltas -------------------------------------------------- *)
+
+let encode_version ~prev next =
+  let b = Buffer.create 256 in
+  let names = Database.names prev in
+  let changed =
+    List.filter
+      (fun name -> not (Database.shares_relation ~old:prev next name))
+      names
+  in
+  w_int b (List.length changed);
+  List.iter
+    (fun name ->
+      (match List.find_index (String.equal name) names with
+      | Some idx -> w_int b idx
+      | None -> invalid_arg "Wire: relation vanished mid-delta");
+      w_relation_body b (relation_exn next name))
+    changed;
+  Buffer.contents b
+
+let decode_version_sub ~prev src ~pos =
+  let r = { src; pos } in
+  let names = Array.of_list (Database.names prev) in
+  let nrels = Array.length names in
+  let at = r.pos in
+  let nchanged = r_int r in
+  if nchanged < 0 || nchanged > nrels then
+    corrupt at "bad change count %d" nchanged;
+  let db = ref prev in
+  for _ = 1 to nchanged do
+    let iat = r.pos in
+    let idx = r_int r in
+    if idx < 0 || idx >= nrels then corrupt iat "bad relation index %d" idx;
+    let rel = relation_exn prev names.(idx) in
+    db :=
+      Database.replace !db names.(idx)
+        (r_relation_body r ~backend:(Relation.backend rel)
+           (Relation.schema rel))
+  done;
+  (!db, r.pos)
+
+let decode_version ~prev src =
+  let (db, next) = decode_version_sub ~prev src ~pos:0 in
+  if next <> String.length src then corrupt next "trailing bytes after delta";
+  db
+
+(* -- frames ------------------------------------------------------------------
+
+   | len 4B LE | ver 1B | kind 1B | crc32c 4B LE | payload |
+
+   The crc covers ver + kind + payload, so any bit flip past the length
+   prefix is caught; a flipped length byte surfaces as a truncated payload
+   or a crc mismatch.  Reading never raises: damage comes back as [Torn]. *)
+
+type kind = Checkpoint | Delta
+
+let format_version = '\001'
+let frame_overhead = 10
+
+let kind_char = function Checkpoint -> 'C' | Delta -> 'D'
+let kind_of_char = function 'C' -> Some Checkpoint | 'D' -> Some Delta | _ -> None
+
+let put_le32 b (v : int32) =
+  for i = 0 to 3 do
+    Buffer.add_char b
+      (Char.chr
+         (Int32.to_int
+            (Int32.logand (Int32.shift_right_logical v (8 * i)) 0xFFl)))
+  done
+
+let get_le32 s pos =
+  let byte i = Int32.of_int (Char.code s.[pos + i]) in
+  Int32.logor (byte 0)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 8)
+       (Int32.logor
+          (Int32.shift_left (byte 2) 16)
+          (Int32.shift_left (byte 3) 24)))
+
+let frame ~kind payload =
+  let len = String.length payload in
+  let b = Buffer.create (len + frame_overhead) in
+  put_le32 b (Int32.of_int len);
+  Buffer.add_char b format_version;
+  Buffer.add_char b (kind_char kind);
+  let meta = Printf.sprintf "%c%c" format_version (kind_char kind) in
+  let crc =
+    crc_finish (crc_feed (crc_feed crc_init meta 0 2) payload 0 len)
+  in
+  put_le32 b crc;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+type frame_result =
+  | Frame of { kind : kind; payload : string; next : int }
+  | End_of_input
+  | Torn of { offset : int; reason : string }
+
+let torn offset fmt =
+  Format.kasprintf (fun reason -> Torn { offset; reason }) fmt
+
+let read_frame src ~pos =
+  let len_src = String.length src in
+  if pos < 0 || pos > len_src then invalid_arg "Wire.read_frame: bad pos"
+  else if pos = len_src then End_of_input
+  else if pos + frame_overhead > len_src then
+    torn pos "truncated frame header (%d of %d bytes)" (len_src - pos)
+      frame_overhead
+  else
+    let plen32 = get_le32 src pos in
+    if Int32.compare plen32 0l < 0 || Int32.compare plen32 0x7FFFFFFFl >= 0
+    then torn pos "implausible payload length"
+    else
+      let plen = Int32.to_int plen32 in
+      if src.[pos + 4] <> format_version then
+        torn (pos + 4) "unknown format version %d" (Char.code src.[pos + 4])
+      else
+        match kind_of_char src.[pos + 5] with
+        | None -> torn (pos + 5) "unknown frame kind %C" src.[pos + 5]
+        | Some kind ->
+            if pos + frame_overhead + plen > len_src then
+              torn
+                (pos + frame_overhead)
+                "truncated payload (%d of %d bytes)"
+                (len_src - pos - frame_overhead)
+                plen
+            else
+              let stored = get_le32 src (pos + 6) in
+              let crc =
+                crc_finish
+                  (crc_feed
+                     (crc_feed crc_init src (pos + 4) 2)
+                     src
+                     (pos + frame_overhead)
+                     plen)
+              in
+              if not (Int32.equal crc stored) then
+                torn pos "checksum mismatch (stored %08lx, computed %08lx)"
+                  stored crc
+              else
+                Frame
+                  {
+                    kind;
+                    payload = String.sub src (pos + frame_overhead) plen;
+                    next = pos + frame_overhead + plen;
+                  }

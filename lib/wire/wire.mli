@@ -1,0 +1,104 @@
+(** The shared codec: one frame format for network and disk.
+
+    {!Fdb_replica} ships version archives over the network and {!Fdb_wal}
+    appends them to disk; both speak this format.  A {e frame} is a
+    length-prefixed, CRC32c-checksummed record with a format version byte:
+
+    {v
+      +--------+-----+------+--------+===========+
+      | len    | ver | kind | crc32c | payload   |
+      | 4B LE  | 1B  | 1B   | 4B LE  | len bytes |
+      +--------+-----+------+--------+===========+
+    v}
+
+    The checksum covers the version byte, the kind byte and the payload, so
+    a bit flip anywhere past the length prefix is detected.  {!read_frame}
+    never raises on torn input: a truncated header, short payload, unknown
+    version/kind or checksum mismatch comes back as {!Torn}, which is what
+    lets a log reader stop cleanly at the first damaged record instead of
+    crashing.  Structural corruption {e inside} a checksum-valid payload —
+    which a torn write cannot produce — raises {!Corrupt}.
+
+    Payload codecs: a whole {!Fdb_txn.History.t} (version 0 in full, later
+    versions as changed-relation deltas exploiting structure sharing — the
+    encoding {!Fdb_replica} proved over the network) and a single-version
+    delta against a known predecessor (the WAL record). *)
+
+open Fdb_relational
+
+exception Corrupt of { offset : int; reason : string }
+(** Structurally invalid input.  [offset] is the byte position in the
+    string handed to the decoder where decoding failed. *)
+
+val crc32c : string -> int32
+(** CRC32c (Castagnoli) of the whole string; the frame checksum. *)
+
+(** {1 Frames} *)
+
+type kind = Checkpoint | Delta
+
+val frame : kind:kind -> string -> string
+(** Wrap a payload in a framed record as diagrammed above. *)
+
+val frame_overhead : int
+(** Header bytes per frame (10). *)
+
+type frame_result =
+  | Frame of { kind : kind; payload : string; next : int }
+      (** a whole, checksum-valid frame; [next] is the offset just past it *)
+  | End_of_input  (** [pos] is exactly the end of the input — a clean end *)
+  | Torn of { offset : int; reason : string }
+      (** truncated, checksum-corrupt or unrecognized — never raises *)
+
+val read_frame : string -> pos:int -> frame_result
+
+(** {1 Archive payloads} *)
+
+val encode_archive : ?changed_only:bool -> Fdb_txn.History.t -> string
+(** Delta encoding by default: version 0 full, later versions changed
+    relations only.  [~changed_only:false] writes every version in full
+    (the no-sharing control for the ablation). *)
+
+val decode_archive : string -> Fdb_txn.History.t
+(** Inverse of {!encode_archive}, up to physical representation inside a
+    relation (tuples are bulk-reloaded into the recorded backend); decoded
+    versions share unchanged relation slots.  Must consume the whole
+    string.
+    @raise Corrupt on invalid input or trailing bytes. *)
+
+val decode_archive_sub : string -> pos:int -> Fdb_txn.History.t * int
+(** [decode_archive_sub s ~pos] decodes one archive starting at [pos] and
+    returns it with the offset just past the bytes it consumed — for
+    embedding an archive inside a larger payload.
+    @raise Corrupt on invalid input. *)
+
+(** {1 Single-version deltas} *)
+
+val encode_version : prev:Database.t -> Database.t -> string
+(** The relations of [next] not physically shared with [prev]
+    ({!Fdb_relational.Database.shares_relation}), as slot indices and
+    bodies — the WAL record for one committed version.  [prev] and [next]
+    must have the same relation set (the invariant {!Database} enforces). *)
+
+val decode_version_sub :
+  prev:Database.t -> string -> pos:int -> Database.t * int
+(** Apply an encoded delta to [prev], returning the reconstructed version
+    and the offset just past the bytes consumed.  Unchanged slots are
+    physically shared with [prev].
+    @raise Corrupt on invalid input. *)
+
+val decode_version : prev:Database.t -> string -> Database.t
+(** {!decode_version_sub} over the whole string.
+    @raise Corrupt on invalid input or trailing bytes. *)
+
+(** {1 Varint helpers}
+
+    The self-delimiting integer encoding the payload codecs use (decimal
+    digits, [';']-terminated) — exposed so layered formats (e.g. the WAL's
+    version-index prefix on each delta payload) stay in one codec. *)
+
+val write_int : Buffer.t -> int -> unit
+
+val read_int : string -> pos:int -> int * int
+(** [read_int s ~pos] is [(n, next)].
+    @raise Corrupt on a malformed or unterminated integer. *)

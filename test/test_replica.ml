@@ -52,12 +52,39 @@ let test_snapshot_rejects_corruption () =
   let s = Snapshot.encode (build_history ()) in
   let truncated = String.sub s 0 (String.length s - 7) in
   let corrupted = "XYZSNAP" ^ s in
+  let bitflip =
+    let b = Bytes.of_string s in
+    let mid = String.length s / 2 in
+    Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x10));
+    Bytes.to_string b
+  in
+  (* Trailing garbage after a complete, valid frame must be rejected too —
+     decode consumes exactly the frame it reports. *)
+  let trailing = s ^ "junk" in
   List.iter
-    (fun bad ->
+    (fun (label, bad) ->
       match Snapshot.decode bad with
-      | _ -> Alcotest.fail "decode accepted a corrupt snapshot"
-      | exception Failure _ -> ())
-    [ truncated; corrupted; "" ]
+      | _ -> Alcotest.fail ("decode accepted a corrupt snapshot: " ^ label)
+      | exception Fdb_wire.Wire.Corrupt { offset; reason } ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: offset %d in bounds (%s)" label offset reason)
+            true
+            (offset >= 0 && offset <= String.length bad))
+    [
+      ("truncated", truncated);
+      ("bad prefix", corrupted);
+      ("empty", "");
+      ("bitflip", bitflip);
+      ("trailing garbage", trailing);
+    ]
+
+let test_snapshot_trailing_offset () =
+  (* The typed exception points exactly at the first trailing byte. *)
+  let s = Snapshot.encode (build_history ()) in
+  match Snapshot.decode (s ^ "!") with
+  | _ -> Alcotest.fail "accepted trailing garbage"
+  | exception Fdb_wire.Wire.Corrupt { offset; _ } ->
+      Alcotest.(check int) "offset = frame end" (String.length s) offset
 
 (* -- failover runs ---------------------------------------------------------- *)
 
@@ -201,6 +228,8 @@ let () =
             test_snapshot_delta_exploits_sharing;
           Alcotest.test_case "rejects corruption" `Quick
             test_snapshot_rejects_corruption;
+          Alcotest.test_case "trailing-garbage offset" `Quick
+            test_snapshot_trailing_offset;
         ] );
       ( "failover",
         [

@@ -1,0 +1,518 @@
+(* The durable version log (lib/wal): writer/recovery round trips, the
+   group-fsync loss bound, checkpoint compaction, the durability trace
+   oracle, the truncation-fuzz property (every byte-prefix of a log
+   recovers a version-prefix or is rejected — never a wrong history), the
+   crash-restart differential sweep, and the Pipeline durability sink. *)
+
+open Fdb_relational
+module Wal = Fdb_wal.Wal
+module Wire = Fdb_wire.Wire
+module History = Fdb_txn.History
+module Txn = Fdb_txn.Txn
+module Sim = Fdb_check.Sim
+module Gen = Fdb_check.Gen
+module Oracle = Fdb_check.Oracle
+module Trace_oracle = Fdb_check.Trace_oracle
+module Merge = Fdb_merge.Merge
+module Event = Fdb_obs.Event
+module Trace = Fdb_obs.Trace
+module Pipeline = Fdb.Pipeline
+
+let q = Fdb_query.Parser.parse_exn
+
+(* A seeded chain of committed versions (oldest first, element 0 = the
+   initial database): a generated scenario's streams, seed-merged and run
+   through the sequential reference engine, keeping changed versions. *)
+let chain ~seed =
+  let sc = Gen.generate { Gen.default_spec with seed; queries_per_client = 24 } in
+  let db0 = Gen.initial_db sc in
+  let merged = Merge.merge (Merge.Seeded seed) sc.Gen.streams in
+  let versions = ref [ db0 ] in
+  let db = ref db0 in
+  List.iter
+    (fun (m : _ Merge.tagged) ->
+      let (_r, db') = Txn.translate m.Merge.item !db in
+      if not (db' == !db) then begin
+        db := db';
+        versions := db' :: !versions
+      end)
+    merged;
+  Array.of_list (List.rev !versions)
+
+let write_chain ?sync_every ?checkpoint_every store vs =
+  let w = Wal.create ?sync_every ?checkpoint_every ~store vs.(0) in
+  for i = 1 to Array.length vs - 1 do
+    Wal.append w vs.(i)
+  done;
+  w
+
+let check_recovered msg (r : Wal.recovery) vs =
+  for i = r.Wal.base to r.Wal.upto do
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: version %d" msg i)
+      true
+      (Oracle.db_equal (History.version r.Wal.rhistory (i - r.Wal.base)) vs.(i))
+  done
+
+let is_clean (r : Wal.recovery) =
+  match r.Wal.stop with Wal.Clean -> true | Wal.Stopped _ -> false
+
+(* -- writer / recovery ------------------------------------------------------ *)
+
+let test_roundtrip () =
+  let vs = chain ~seed:1 in
+  let mem = Wal.Mem.create () in
+  let store = Wal.Mem.store mem in
+  let w = write_chain store vs in
+  Wal.sync w;
+  Alcotest.(check int) "appended" (Array.length vs - 1) (Wal.appended w);
+  Alcotest.(check int) "durable" (Wal.appended w) (Wal.durable w);
+  let r = Wal.recover store in
+  Alcotest.(check bool) "clean" true (is_clean r);
+  Alcotest.(check int) "base" 0 r.Wal.base;
+  Alcotest.(check int) "upto" (Wal.appended w) r.Wal.upto;
+  check_recovered "roundtrip" r vs
+
+let test_group_sync_loss_bound () =
+  let vs = chain ~seed:2 in
+  let mem = Wal.Mem.create () in
+  let store = Wal.Mem.store mem in
+  let w = write_chain ~sync_every:4 store vs in
+  let appended = Wal.appended w and durable = Wal.durable w in
+  Alcotest.(check bool) "loss bound" true
+    (durable <= appended && appended - durable < 4);
+  Wal.Mem.crash ~rand:(Random.State.make [| 42 |]) mem;
+  let r = Wal.recover store in
+  Alcotest.(check bool) "durable <= upto" true (durable <= r.Wal.upto);
+  Alcotest.(check bool) "upto <= appended" true (r.Wal.upto <= appended);
+  check_recovered "after crash" r vs
+
+let test_sync_every_zero_is_explicit_only () =
+  let vs = chain ~seed:3 in
+  let mem = Wal.Mem.create () in
+  let store = Wal.Mem.store mem in
+  let w = write_chain ~sync_every:0 store vs in
+  (* only the genesis checkpoint was synced *)
+  Alcotest.(check int) "durable" 0 (Wal.durable w);
+  Wal.sync w;
+  Alcotest.(check int) "after sync" (Wal.appended w) (Wal.durable w)
+
+let test_resume () =
+  let vs = chain ~seed:5 in
+  let n = Array.length vs in
+  let half = n / 2 in
+  let mem = Wal.Mem.create () in
+  let store = Wal.Mem.store mem in
+  let w = Wal.create ~sync_every:2 ~store vs.(0) in
+  for i = 1 to half - 1 do
+    Wal.append w vs.(i)
+  done;
+  Wal.sync w;
+  Wal.Mem.crash ~rand:(Random.State.make [| 7 |]) mem;
+  let r = Wal.recover store in
+  Alcotest.(check int) "nothing lost" (half - 1) r.Wal.upto;
+  let w2 = Wal.resume ~sync_every:2 ~store r in
+  Alcotest.(check bool) "fresh segment" true (Wal.segment w2 > 0);
+  for i = half to n - 1 do
+    Wal.append w2 vs.(i)
+  done;
+  Wal.sync w2;
+  let r2 = Wal.recover store in
+  Alcotest.(check int) "full chain" (n - 1) r2.Wal.upto;
+  check_recovered "resumed" r2 vs
+
+let test_create_validates () =
+  let store = Wal.Mem.store (Wal.Mem.create ()) in
+  let db = Database.create [] in
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad parameter accepted")
+    [ (fun () -> ignore (Wal.create ~sync_every:(-1) ~store db));
+      (fun () -> ignore (Wal.create ~checkpoint_every:(-2) ~store db)) ]
+
+(* -- checkpoint compaction -------------------------------------------------- *)
+
+(* Recovery from checkpoint + suffix equals recovery from the full log on
+   the overlapping version range, and compaction actually deletes the old
+   segments (only the current one remains). *)
+let test_compaction_equality () =
+  let vs = chain ~seed:11 in
+  let mem_c = Wal.Mem.create () in
+  let store_c = Wal.Mem.store mem_c in
+  let wc = write_chain ~checkpoint_every:4 store_c vs in
+  Wal.sync wc;
+  let mem_f = Wal.Mem.create () in
+  let store_f = Wal.Mem.store mem_f in
+  let wf = write_chain store_f vs in
+  Wal.sync wf;
+  let rc = Wal.recover store_c and rf = Wal.recover store_f in
+  Alcotest.(check int) "same upto" rf.Wal.upto rc.Wal.upto;
+  Alcotest.(check int) "full log from v0" 0 rf.Wal.base;
+  Alcotest.(check bool) "compacted past v0" true (rc.Wal.base > 0);
+  for i = rc.Wal.base to rc.Wal.upto do
+    Alcotest.(check bool)
+      (Printf.sprintf "overlap version %d" i)
+      true
+      (Oracle.db_equal
+         (History.version rc.Wal.rhistory (i - rc.Wal.base))
+         (History.version rf.Wal.rhistory i))
+  done;
+  Alcotest.(check bool) "latest equal" true
+    (Oracle.db_equal
+       (History.latest rc.Wal.rhistory)
+       (History.latest rf.Wal.rhistory));
+  (* old segments are gone; the survivor is the newest one *)
+  (match store_c.Wal.Store.list_files () with
+  | [ f ] ->
+      Alcotest.(check bool) "newest segment" true
+        (Wal.segment_number f = Some (Wal.segment wc))
+  | files ->
+      Alcotest.fail
+        (Printf.sprintf "%d segment files after compaction" (List.length files)));
+  check_recovered "compacted" rc vs
+
+(* A checkpoint's deletions must survive a crash right after the
+   checkpoint returns: the new segment's checkpoint frame was synced
+   before anything was deleted. *)
+let test_compaction_then_crash () =
+  let vs = chain ~seed:12 in
+  let mem = Wal.Mem.create () in
+  let store = Wal.Mem.store mem in
+  let w = write_chain ~sync_every:0 ~checkpoint_every:3 store vs in
+  let durable = Wal.durable w in
+  Wal.Mem.crash ~rand:(Random.State.make [| 13 |]) mem;
+  let r = Wal.recover store in
+  Alcotest.(check bool) "checkpointed versions survive" true
+    (r.Wal.upto >= durable);
+  check_recovered "post-checkpoint crash" r vs
+
+(* -- the durability trace oracle ------------------------------------------- *)
+
+let ev kind = { Event.ts = 0; site = 0; kind }
+
+let check_violates name events =
+  match Trace_oracle.durability events with
+  | [] -> Alcotest.fail (name ^ ": violation not detected")
+  | v :: _ ->
+      Alcotest.(check string) (name ^ ": invariant") "durability"
+        v.Trace_oracle.invariant
+
+let test_durability_oracle_rejects () =
+  (* committed-but-lost: recovery falls short of the durable mark *)
+  check_violates "lost commit"
+    [ ev (Event.Wal_append { index = 1; bytes = 10 });
+      ev (Event.Wal_append { index = 2; bytes = 10 });
+      ev (Event.Wal_sync { upto = 2 });
+      ev (Event.Wal_recovered { upto = 1; base = 0; reason = "torn" }) ];
+  (* recovery inventing versions past the last append *)
+  check_violates "invented version"
+    [ ev (Event.Wal_append { index = 1; bytes = 10 });
+      ev (Event.Wal_recovered { upto = 5; base = 0; reason = "clean" }) ];
+  (* the doctored compaction ordering: deleting the old segment when the
+     newest synced checkpoint still lives in it *)
+  check_violates "early segment delete"
+    [ ev (Event.Wal_checkpoint { upto = 0; bytes = 10; segment = 0 });
+      ev (Event.Wal_segment_delete { segment = 0 }) ];
+  check_violates "delete before any checkpoint"
+    [ ev (Event.Wal_segment_delete { segment = 0 }) ];
+  (* appends must advance one version at a time *)
+  check_violates "append gap"
+    [ ev (Event.Wal_append { index = 1; bytes = 10 });
+      ev (Event.Wal_append { index = 3; bytes = 10 }) ];
+  (* sync cannot promise more than was appended *)
+  check_violates "over-promising sync"
+    [ ev (Event.Wal_append { index = 1; bytes = 10 });
+      ev (Event.Wal_sync { upto = 2 }) ]
+
+let test_durability_oracle_accepts () =
+  Alcotest.(check (list string)) "lawful synthetic" []
+    (List.map
+       (fun v -> v.Trace_oracle.detail)
+       (Trace_oracle.durability
+          [ ev (Event.Wal_checkpoint { upto = 0; bytes = 10; segment = 0 });
+            ev (Event.Wal_append { index = 1; bytes = 10 });
+            ev (Event.Wal_sync { upto = 1 });
+            ev (Event.Wal_checkpoint { upto = 1; bytes = 12; segment = 1 });
+            ev (Event.Wal_segment_delete { segment = 0 });
+            ev (Event.Wal_append { index = 2; bytes = 10 });
+            ev (Event.Wal_recovered { upto = 1; base = 1; reason = "torn" });
+            (* the restarted writer continues from the recovered tail *)
+            ev (Event.Wal_append { index = 2; bytes = 10 }) ]))
+
+(* A real writer + recovery, recorded live, is lawful under every oracle
+   law — and actually emits the durability events. *)
+let test_live_trace_lawful () =
+  let vs = chain ~seed:6 in
+  let ((), trace) =
+    Trace.record (fun () ->
+        let mem = Wal.Mem.create () in
+        let store = Wal.Mem.store mem in
+        let w = write_chain ~sync_every:2 ~checkpoint_every:4 store vs in
+        Wal.sync w;
+        ignore (Wal.recover store))
+  in
+  let has k = List.exists (fun (e : Event.t) -> Event.name e.Event.kind = k) in
+  List.iter
+    (fun k -> Alcotest.(check bool) ("emits " ^ k) true (has k trace))
+    [ "wal_append"; "wal_sync"; "wal_checkpoint"; "wal_segment_delete";
+      "wal_replay"; "wal_recovered" ];
+  Alcotest.(check (list string)) "lawful" []
+    (List.map (fun v -> v.Trace_oracle.detail) (Trace_oracle.check trace))
+
+(* -- the truncation-fuzz property (satellite) -------------------------------
+
+   For a random history, every strict byte-prefix of the encoded log
+   either recovers a strict version-prefix (judged against the versions
+   the reference engine committed) or raises [Wire.Corrupt] — never a
+   wrong or reordered history. *)
+
+let prop_prefix_recovers_prefix =
+  QCheck2.Test.make ~name:"byte-prefix recovers version-prefix" ~count:200
+    QCheck2.Gen.(int_range 0 9999)
+    (fun seed ->
+      let rand = Random.State.make [| seed; 0xF52 |] in
+      let vs = chain ~seed:(seed mod 37) in
+      let checkpoint_every = if seed mod 2 = 0 then 0 else 3 in
+      let mem = Wal.Mem.create () in
+      let store = Wal.Mem.store mem in
+      let w = write_chain ~checkpoint_every store vs in
+      Wal.sync w;
+      (* truncate the newest segment at a random strict prefix *)
+      let name = Wal.segment_name (Wal.segment w) in
+      let bytes = Wal.Mem.get mem name in
+      let cut = Random.State.int rand (String.length bytes) in
+      Wal.Mem.set mem name (String.sub bytes 0 cut);
+      match Wal.recover store with
+      | exception Wire.Corrupt _ ->
+          (* a typed rejection is always acceptable: the cut fell inside
+             fsync'd checkpoint bytes — real corruption, not a torn
+             write — leaving no intact checkpoint to recover from *)
+          true
+      | r ->
+          r.Wal.upto <= Wal.appended w
+          && r.Wal.base <= r.Wal.upto
+          && (let ok = ref true in
+              for i = r.Wal.base to r.Wal.upto do
+                if
+                  not
+                    (Oracle.db_equal
+                       (History.version r.Wal.rhistory (i - r.Wal.base))
+                       vs.(i))
+                then ok := false
+              done;
+              !ok))
+
+(* -- the crash-restart differential sweep ----------------------------------- *)
+
+let test_run_disk_sweep () =
+  let sc = Gen.generate { Gen.default_spec with seed = 9 } in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun checkpoint_every ->
+          for seed = 0 to 3 do
+            let o = Sim.run_disk ~checkpoint_every ~fault ~seed sc in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/ck%d/seed%d recovered >= durable"
+                 (Sim.disk_fault_name fault) checkpoint_every seed)
+              true
+              (o.Sim.disk_recovered >= o.Sim.disk_durable);
+            Alcotest.(check bool) "recoveries metered" true
+              (match
+                 List.assoc_opt "wal.recoveries"
+                   o.Sim.disk_metrics.Fdb_obs.Metrics.counters
+               with
+              | Some n -> n >= 2
+              | None -> false)
+          done)
+        [ 0; 3 ])
+    Sim.all_disk_faults
+
+let test_disk_fault_names_roundtrip () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (Sim.disk_fault_name f) true
+        (Sim.disk_fault_of_name (Sim.disk_fault_name f) = Some f))
+    Sim.all_disk_faults;
+  Alcotest.(check bool) "unknown" true (Sim.disk_fault_of_name "nope" = None)
+
+(* -- the Pipeline durability sink ------------------------------------------- *)
+
+let schemas =
+  [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ];
+    Schema.make ~name:"S" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ]
+
+let tup k s = Tuple.make [ Value.Int k; Value.Str s ]
+
+let spec_small =
+  {
+    Pipeline.schemas;
+    initial = [ ("R", [ tup 1 "a"; tup 3 "c" ]); ("S", [ tup 10 "x" ]) ];
+  }
+
+let tagged =
+  List.mapi
+    (fun i src -> (i mod 3, q src))
+    [
+      "insert (2, \"b\") into R";
+      "find 1 in R";
+      "insert (2, \"dup\") into R";
+      (* rejected duplicate: no version logged *)
+      "delete 3 from R";
+      "insert (20, \"y\") into S";
+      "update R set val = \"u\" where key = 1";
+      "count R";
+      "select * from S where key >= 10";
+      "delete 99 from S" (* miss: no version logged *);
+    ]
+
+let check_final_db msg final_db db =
+  List.iter
+    (fun (name, tuples) ->
+      match Database.relation db name with
+      | None -> Alcotest.fail (msg ^ ": missing relation " ^ name)
+      | Some rel ->
+          Alcotest.(check bool)
+            (msg ^ ": " ^ name)
+            true
+            (List.equal Tuple.equal tuples (Relation.to_list rel)))
+    final_db
+
+let recover_clean store =
+  let r = Wal.recover store in
+  Alcotest.(check bool) "clean recovery" true (is_clean r);
+  r
+
+let test_sink_run () =
+  let store = Wal.Mem.store (Wal.Mem.create ()) in
+  let w = Wal.create ~store (Pipeline.initial_database spec_small) in
+  let report =
+    Pipeline.run ~semantics:Pipeline.Ordered_unique ~wal:w spec_small tagged
+  in
+  let r = recover_clean store in
+  Alcotest.(check int) "all appends durable" (Wal.appended w) r.Wal.upto;
+  check_final_db "lenient run" report.Pipeline.final_db
+    (History.latest r.Wal.rhistory)
+
+let test_sink_run_streams () =
+  let store = Wal.Mem.store (Wal.Mem.create ()) in
+  let w = Wal.create ~store (Pipeline.initial_database spec_small) in
+  let (report, _merged) =
+    Pipeline.run_streams ~semantics:Pipeline.Ordered_unique ~wal:w spec_small
+      [ List.map snd tagged ]
+  in
+  let r = recover_clean store in
+  check_final_db "run_streams" report.Pipeline.final_db
+    (History.latest r.Wal.rhistory)
+
+let test_sink_run_parallel () =
+  let store = Wal.Mem.store (Wal.Mem.create ()) in
+  let w = Wal.create ~store (Pipeline.initial_database spec_small) in
+  let report =
+    Pipeline.run_parallel ~semantics:Pipeline.Ordered_unique ~domains:2 ~wal:w
+      spec_small tagged
+  in
+  let r = recover_clean store in
+  check_final_db "run_parallel" report.Pipeline.par_final_db
+    (History.latest r.Wal.rhistory)
+
+let test_sink_run_repair () =
+  let store = Wal.Mem.store (Wal.Mem.create ()) in
+  let w = Wal.create ~store (Pipeline.initial_database spec_small) in
+  let report = Pipeline.run_repair ~domains:2 ~batch:4 ~wal:w spec_small tagged in
+  let r = recover_clean store in
+  Alcotest.(check int) "all appends durable" (Wal.appended w) r.Wal.upto;
+  check_final_db "run_repair" report.Pipeline.rep_final_db
+    (History.latest r.Wal.rhistory)
+
+(* The three logging modes agree: same inputs, same durable version chain. *)
+let test_sink_modes_agree () =
+  let log run =
+    let store = Wal.Mem.store (Wal.Mem.create ()) in
+    let w = Wal.create ~store (Pipeline.initial_database spec_small) in
+    run w;
+    Wal.recover store
+  in
+  let a =
+    log (fun w ->
+        ignore
+          (Pipeline.run ~semantics:Pipeline.Ordered_unique ~wal:w spec_small
+             tagged))
+  in
+  let b =
+    log (fun w ->
+        ignore
+          (Pipeline.run_parallel ~semantics:Pipeline.Ordered_unique ~wal:w
+             spec_small tagged))
+  in
+  Alcotest.(check int) "same version count" a.Wal.upto b.Wal.upto;
+  for i = 0 to a.Wal.upto do
+    Alcotest.(check bool)
+      (Printf.sprintf "version %d agrees" i)
+      true
+      (Oracle.db_equal
+         (History.version a.Wal.rhistory i)
+         (History.version b.Wal.rhistory i))
+  done
+
+let test_sink_rejects_prepend () =
+  let store = Wal.Mem.store (Wal.Mem.create ()) in
+  let w = Wal.create ~store (Pipeline.initial_database spec_small) in
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "Prepend + wal accepted")
+    [ (fun () -> ignore (Pipeline.run ~wal:w spec_small tagged));
+      (fun () -> ignore (Pipeline.run_streams ~wal:w spec_small []));
+      (fun () -> ignore (Pipeline.run_parallel ~domains:2 ~wal:w spec_small []))
+    ]
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "writer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "group-sync loss bound" `Quick
+            test_group_sync_loss_bound;
+          Alcotest.test_case "explicit-only sync" `Quick
+            test_sync_every_zero_is_explicit_only;
+          Alcotest.test_case "resume" `Quick test_resume;
+          Alcotest.test_case "argument validation" `Quick test_create_validates;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "checkpoint+suffix == full log" `Quick
+            test_compaction_equality;
+          Alcotest.test_case "crash after checkpoint" `Quick
+            test_compaction_then_crash;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "rejects violations" `Quick
+            test_durability_oracle_rejects;
+          Alcotest.test_case "accepts lawful" `Quick
+            test_durability_oracle_accepts;
+          Alcotest.test_case "live trace lawful" `Quick test_live_trace_lawful;
+        ] );
+      ( "fuzz",
+        [ QCheck_alcotest.to_alcotest prop_prefix_recovers_prefix ] );
+      ( "crash-restart",
+        [
+          Alcotest.test_case "differential sweep" `Slow test_run_disk_sweep;
+          Alcotest.test_case "fault names" `Quick
+            test_disk_fault_names_roundtrip;
+        ] );
+      ( "pipeline-sink",
+        [
+          Alcotest.test_case "run" `Quick test_sink_run;
+          Alcotest.test_case "run_streams" `Quick test_sink_run_streams;
+          Alcotest.test_case "run_parallel" `Slow test_sink_run_parallel;
+          Alcotest.test_case "run_repair" `Slow test_sink_run_repair;
+          Alcotest.test_case "modes agree" `Slow test_sink_modes_agree;
+          Alcotest.test_case "rejects Prepend" `Quick test_sink_rejects_prepend;
+        ] );
+    ]

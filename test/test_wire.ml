@@ -1,0 +1,237 @@
+(* The shared wire codec (lib/wire): CRC32c, the length-prefixed checksummed
+   frame format shared by the replica snapshots and the durable log, and the
+   archive/delta payload codecs.  The load-bearing properties: a torn or
+   bit-flipped frame is *detected* (never silently decoded, never an
+   unhandled exception), and structural corruption inside a checksum-valid
+   payload raises [Wire.Corrupt] with a byte offset. *)
+
+open Fdb_relational
+module Wire = Fdb_wire.Wire
+module History = Fdb_txn.History
+module Oracle = Fdb_check.Oracle
+
+let q = Fdb_query.Parser.parse_exn
+
+let schemas =
+  [ Schema.make ~name:"R" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ];
+    Schema.make ~name:"S" ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ] ]
+
+let db0 =
+  let db = Database.create schemas in
+  let load db rel tuples =
+    match Database.load db ~rel tuples with
+    | Ok db -> db
+    | Error e -> failwith e
+  in
+  let tup k s = Tuple.make [ Value.Int k; Value.Str s ] in
+  let db = load db "R" [ tup 1 "a"; tup 2 "b"; tup 3 "c" ] in
+  load db "S" [ tup 10 "x"; tup 20 "y" ]
+
+let history =
+  fst
+    (History.of_queries db0
+       [
+         q "insert (4, \"d\") into R";
+         q "delete 2 from R";
+         q "insert (30, \"z\") into S";
+         q "update R set val = \"u\" where key = 1";
+       ])
+
+(* -- crc32c ----------------------------------------------------------------- *)
+
+(* The standard CRC32-C check value: crc of the ASCII digits "123456789". *)
+let test_crc32c_check_value () =
+  Alcotest.(check int32) "check value" 0xE3069283l (Wire.crc32c "123456789");
+  Alcotest.(check int32) "empty" 0l (Wire.crc32c "")
+
+let test_crc32c_sensitivity () =
+  let a = Wire.crc32c "hello world" in
+  Alcotest.(check bool) "one bit apart" false
+    (Int32.equal a (Wire.crc32c "hello worle"));
+  Alcotest.(check bool) "prefix" false (Int32.equal a (Wire.crc32c "hello worl"))
+
+(* -- frames ----------------------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun (kind, payload) ->
+      let s = Wire.frame ~kind payload in
+      Alcotest.(check int) "framed length"
+        (String.length payload + Wire.frame_overhead)
+        (String.length s);
+      match Wire.read_frame s ~pos:0 with
+      | Wire.Frame { kind = k; payload = p; next } ->
+          Alcotest.(check bool) "kind" true (k = kind);
+          Alcotest.(check string) "payload" payload p;
+          Alcotest.(check int) "next" (String.length s) next
+      | Wire.End_of_input -> Alcotest.fail "end of input"
+      | Wire.Torn { reason; _ } -> Alcotest.fail ("torn: " ^ reason))
+    [ (Wire.Checkpoint, "ckpt payload");
+      (Wire.Delta, "");
+      (Wire.Delta, String.make 4096 '\142') ]
+
+let test_frame_stream () =
+  let s =
+    Wire.frame ~kind:Wire.Checkpoint "one" ^ Wire.frame ~kind:Wire.Delta "two"
+  in
+  (match Wire.read_frame s ~pos:0 with
+  | Wire.Frame { payload = "one"; next; _ } -> (
+      match Wire.read_frame s ~pos:next with
+      | Wire.Frame { payload = "two"; next; _ } -> (
+          match Wire.read_frame s ~pos:next with
+          | Wire.End_of_input -> ()
+          | _ -> Alcotest.fail "expected end of input")
+      | _ -> Alcotest.fail "second frame")
+  | _ -> Alcotest.fail "first frame");
+  Alcotest.check_raises "bad pos" (Invalid_argument "Wire.read_frame: bad pos")
+    (fun () -> ignore (Wire.read_frame s ~pos:(String.length s + 1)))
+
+(* Every strict byte-prefix of a frame reads as Torn (or End_of_input when
+   empty) — never a Frame, never an exception. *)
+let test_frame_prefixes_torn () =
+  let s = Wire.frame ~kind:Wire.Delta "some delta payload" in
+  for len = 0 to String.length s - 1 do
+    match Wire.read_frame (String.sub s 0 len) ~pos:0 with
+    | Wire.End_of_input -> Alcotest.(check int) "only empty" 0 len
+    | Wire.Torn { offset; _ } ->
+        Alcotest.(check bool) "offset in bounds" true
+          (offset >= 0 && offset <= len)
+    | Wire.Frame _ -> Alcotest.fail (Printf.sprintf "prefix %d decoded" len)
+  done
+
+(* CRC32c detects every single-bit error, so *any* one-bit flip anywhere in
+   a frame must read as Torn. *)
+let test_frame_bitflips_torn () =
+  let s = Wire.frame ~kind:Wire.Checkpoint "payload under test" in
+  let b = Bytes.of_string s in
+  for i = 0 to Bytes.length b - 1 do
+    for bit = 0 to 7 do
+      let orig = Bytes.get b i in
+      Bytes.set b i (Char.chr (Char.code orig lxor (1 lsl bit)));
+      (match Wire.read_frame (Bytes.to_string b) ~pos:0 with
+      | Wire.Torn _ -> ()
+      | Wire.End_of_input -> Alcotest.fail "end of input"
+      | Wire.Frame _ ->
+          Alcotest.fail (Printf.sprintf "flip %d.%d accepted" i bit));
+      Bytes.set b i orig
+    done
+  done
+
+(* -- archive payloads ------------------------------------------------------- *)
+
+let check_history_equal expected actual =
+  Alcotest.(check int) "versions" (History.length expected)
+    (History.length actual);
+  for i = 0 to History.length expected - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "version %d" i)
+      true
+      (Oracle.db_equal (History.version expected i) (History.version actual i))
+  done
+
+let test_archive_roundtrip () =
+  check_history_equal history (Wire.decode_archive (Wire.encode_archive history))
+
+(* The changed-only encoding rebuilds the same physical sharing: a version
+   that left a relation untouched shares its slot after decoding too. *)
+let test_archive_preserves_sharing () =
+  let decoded = Wire.decode_archive (Wire.encode_archive history) in
+  for i = 1 to History.length history - 1 do
+    List.iter
+      (fun name ->
+        let shares h =
+          Database.shares_relation
+            ~old:(History.version h (i - 1))
+            (History.version h i) name
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "v%d %s shared" i name)
+          (shares history) (shares decoded))
+      (Database.names (History.version history i))
+  done
+
+let test_archive_naive_roundtrip () =
+  check_history_equal history
+    (Wire.decode_archive (Wire.encode_archive ~changed_only:false history))
+
+let test_archive_sub_consumes_exactly () =
+  let payload = Wire.encode_archive history in
+  let (h, next) = Wire.decode_archive_sub (payload ^ "trailing") ~pos:0 in
+  Alcotest.(check int) "next" (String.length payload) next;
+  check_history_equal history h
+
+let test_archive_garbage_raises () =
+  List.iter
+    (fun src ->
+      match Wire.decode_archive src with
+      | exception Wire.Corrupt { offset; _ } ->
+          Alcotest.(check bool) "offset in bounds" true
+            (offset >= 0 && offset <= String.length src)
+      | _ -> Alcotest.fail "garbage decoded")
+    [ ""; "FDBSNAP"; "FDBSNAP1"; "FDBSNAP1;;;"; "not an archive at all" ]
+
+(* -- version deltas --------------------------------------------------------- *)
+
+let test_version_delta_roundtrip () =
+  for i = 1 to History.length history - 1 do
+    let prev = History.version history (i - 1) in
+    let after = History.version history i in
+    let payload = Wire.encode_version ~prev after in
+    let decoded = Wire.decode_version ~prev payload in
+    Alcotest.(check bool)
+      (Printf.sprintf "delta %d" i)
+      true
+      (Oracle.db_equal after decoded);
+    (* untouched slots are shared with [prev], not copied *)
+    List.iter
+      (fun name ->
+        if Database.shares_relation ~old:prev after name then
+          Alcotest.(check bool)
+            (Printf.sprintf "delta %d shares %s" i name)
+            true
+            (Database.shares_relation ~old:prev decoded name))
+      (Database.names after)
+  done
+
+let test_version_delta_trailing_raises () =
+  let prev = History.version history 0 in
+  let payload = Wire.encode_version ~prev (History.version history 1) in
+  match Wire.decode_version ~prev (payload ^ "x") with
+  | exception Wire.Corrupt { offset; _ } ->
+      Alcotest.(check int) "offset at trailing byte" (String.length payload)
+        offset
+  | _ -> Alcotest.fail "trailing byte accepted"
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "crc32c",
+        [
+          Alcotest.test_case "check value" `Quick test_crc32c_check_value;
+          Alcotest.test_case "sensitivity" `Quick test_crc32c_sensitivity;
+        ] );
+      ( "frames",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "stream" `Quick test_frame_stream;
+          Alcotest.test_case "prefixes torn" `Quick test_frame_prefixes_torn;
+          Alcotest.test_case "bitflips torn" `Quick test_frame_bitflips_torn;
+        ] );
+      ( "archive",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_archive_roundtrip;
+          Alcotest.test_case "sharing preserved" `Quick
+            test_archive_preserves_sharing;
+          Alcotest.test_case "naive roundtrip" `Quick
+            test_archive_naive_roundtrip;
+          Alcotest.test_case "sub consumes exactly" `Quick
+            test_archive_sub_consumes_exactly;
+          Alcotest.test_case "garbage raises" `Quick test_archive_garbage_raises;
+        ] );
+      ( "deltas",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_version_delta_roundtrip;
+          Alcotest.test_case "trailing raises" `Quick
+            test_version_delta_trailing_raises;
+        ] );
+    ]
