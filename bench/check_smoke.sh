@@ -26,3 +26,16 @@ case "$BENCH" in */*) ;; *) BENCH="./$BENCH" ;; esac
 # checkpoint interval (2 seeds per cell), and the restart-recovery bench.
 "$FDBSIM" recover-disk --seed 1 --sweep 2 > /dev/null
 "$BENCH" wal --quick -o "${TMPDIR:-/tmp}/BENCH_wal_smoke.json" > /dev/null
+# Index smoke: the indexed interpreter must agree with the plain one with
+# the store coherent and the trace laws holding, and a default stats sweep
+# must surface the indexed-planner decision counters and the maintenance
+# histograms in its snapshot.
+"$FDBSIM" index --seed 1 --sweep 3 > /dev/null
+STATS=$("$FDBSIM" stats --seed 1 --sweep 8)
+for metric in plan.index_probe plan.index_only plan.index_aggregate \
+    plan.scan_fallback index.maintain_allocs; do
+  echo "$STATS" | grep -q "$metric" || {
+    echo "fdbsim stats is missing $metric" >&2
+    exit 1
+  }
+done

@@ -526,6 +526,210 @@ let plan_bench ~quick ~seed ~out =
   close_out oc;
   Printf.printf "\nwrote %s\n" out
 
+(* -- index: secondary/covering/derived index speedups ------------------------- *)
+
+let index_bench ~quick ~seed ~out =
+  let module R = Fdb_relational.Relation in
+  let module Schema = Fdb_relational.Schema in
+  let module Tuple = Fdb_relational.Tuple in
+  let module Value = Fdb_relational.Value in
+  let module Database = Fdb_relational.Database in
+  let module Meter = Fdb_persistent.Meter in
+  let module Txn = Fdb_txn.Txn in
+  let module Plan = Fdb_query.Plan in
+  let module Ix = Fdb_index.Index in
+  section
+    (Printf.sprintf "Indexes: probes and derived aggregates vs scans (%s)"
+       (if quick then "quick" else "full"));
+  let groups = 64 in
+  let schema =
+    Schema.make ~name:"R"
+      ~cols:
+        [ ("key", Schema.CInt); ("grp", Schema.CInt); ("val", Schema.CStr) ]
+  in
+  let tup k =
+    Tuple.make
+      [ Value.Int k; Value.Int (k mod groups);
+        Value.Str (Printf.sprintf "s%06d" k) ]
+  in
+  let backends =
+    [ R.List_backend; R.Avl_backend; R.Two3_backend; R.Btree_backend 8 ]
+  in
+  let sizes = if quick then [ 1_000 ] else [ 1_000; 10_000 ] in
+  let samples = if quick then 9 else 21 in
+  let budget = if quick then 0.002 else 0.01 in
+  (* Batched samples against Sys.time's resolution: calibrate an iteration
+     count whose batch exceeds the budget, then report per-run p50/p99 over
+     [samples] batches. *)
+  let time_pctls f =
+    ignore (f ());
+    let rec calib iters =
+      let t0 = Sys.time () in
+      for _ = 1 to iters do
+        ignore (f ())
+      done;
+      let dt = Sys.time () -. t0 in
+      if dt < budget && iters < 1_000_000 then calib (iters * 4) else iters
+    in
+    let iters = calib 1 in
+    let sample () =
+      let t0 = Sys.time () in
+      for _ = 1 to iters do
+        ignore (f ())
+      done;
+      (Sys.time () -. t0) *. 1e9 /. float_of_int iters
+    in
+    let ts = List.sort compare (List.init samples (fun _ -> sample ())) in
+    let pctl p =
+      let n = List.length ts in
+      List.nth ts (max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+    in
+    (pctl 0.50, pctl 0.99)
+  in
+  let results = ref [] in
+  let record ~scenario ~backend ~size ~p50 ~p99 ~speedup =
+    results := (scenario, backend, size, p50, p99, speedup) :: !results;
+    Printf.printf "%-12s %-8s %7d %12.0f %12.0f %8.1fx\n" scenario backend
+      size p50 p99 speedup
+  in
+  Printf.printf "%-12s %-8s %7s %12s %12s %9s\n" "scenario" "backend" "size"
+    "p50-ns" "p99-ns" "speedup";
+  let maintenance = ref [] in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun backend ->
+          let name = R.backend_name backend in
+          let db =
+            match
+              Database.load
+                (Database.create ~backend [ schema ])
+                ~rel:"R"
+                (List.init size tup)
+            with
+            | Ok db -> db
+            | Error e -> failwith e
+          in
+          let r = Option.get (Database.relation db "R") in
+          let sec_desc =
+            { Plan.ix_name = "R_sec_val"; ix_rel = "R"; ix_col = "val";
+              ix_kind = Plan.Ix_secondary }
+          in
+          let cov_desc =
+            { Plan.ix_name = "R_cov_val"; ix_rel = "R"; ix_col = "val";
+              ix_kind = Plan.Ix_covering [ "key"; "grp"; "val" ] }
+          in
+          let der_desc =
+            { Plan.ix_name = "R_agg_grp"; ix_rel = "R"; ix_col = "grp";
+              ix_kind = Plan.Ix_derived "key" }
+          in
+          let session_of descs = Ix.Session.create_exn descs db in
+          (* point lookup on the unique val column; aggregate over one of
+             the [groups] grp groups *)
+          let sel_q =
+            Fdb_query.Parser.parse_exn
+              (Printf.sprintf "select * from R where val = \"s%06d\"" (size / 2))
+          in
+          let agg_q =
+            Fdb_query.Parser.parse_exn "sum key from R where grp = 7"
+          in
+          let plain q = Txn.translate q in
+          let indexed descs q =
+            Txn.translate_indexed (Ix.Session.use (session_of descs)) q
+          in
+          let check what a b =
+            let (ra, _) = a db and (rb, _) = b db in
+            if not (Txn.response_equal ra rb) then begin
+              Printf.printf "FAIL: %s diverges from the scan on %s/%d\n" what
+                name size;
+              exit 1
+            end
+          in
+          let sec = indexed [ sec_desc ] sel_q in
+          let cov = indexed [ cov_desc ] sel_q in
+          let der = indexed [ der_desc ] agg_q in
+          check "secondary" (plain sel_q) sec;
+          check "covering" (plain sel_q) cov;
+          check "derived" (plain agg_q) der;
+          let time txn = time_pctls (fun () -> fst (txn db)) in
+          let (scan50, scan99) = time (plain sel_q) in
+          let (sec50, sec99) = time sec in
+          let (cov50, cov99) = time cov in
+          let (agg50, agg99) = time (plain agg_q) in
+          let (der50, der99) = time der in
+          record ~scenario:"select-scan" ~backend:name ~size ~p50:scan50
+            ~p99:scan99 ~speedup:1.0;
+          record ~scenario:"secondary" ~backend:name ~size ~p50:sec50
+            ~p99:sec99 ~speedup:(scan50 /. sec50);
+          record ~scenario:"covering" ~backend:name ~size ~p50:cov50
+            ~p99:cov99 ~speedup:(scan50 /. cov50);
+          record ~scenario:"agg-scan" ~backend:name ~size ~p50:agg50
+            ~p99:agg99 ~speedup:1.0;
+          record ~scenario:"agg-derived" ~backend:name ~size ~p50:der50
+            ~p99:der99 ~speedup:(agg50 /. der50);
+          (* Maintenance: one fresh insert through each index alone; the
+             meter counts the path copy, shared_units the structure reuse. *)
+          List.iter
+            (fun desc ->
+              let ix =
+                match Ix.build desc r with
+                | Ok ix -> ix
+                | Error e -> failwith e
+              in
+              let m = Meter.create () in
+              let ix' = Ix.apply ~meter:m ix ~removed:[] ~added:[ tup size ] in
+              let (shared, total) = Ix.shared_units ~old:ix ix' in
+              maintenance :=
+                ( desc.Plan.ix_name, name, size, Meter.allocs m, shared,
+                  total )
+                :: !maintenance)
+            [ sec_desc; cov_desc; der_desc ])
+        backends)
+    sizes;
+  Printf.printf
+    "\n%-12s %-8s %7s %9s %9s %9s %9s\n" "index" "backend" "size"
+    "ins-alloc" "shared" "total" "sharing";
+  List.iter
+    (fun (ixn, backend, size, allocs, shared, total) ->
+      Printf.printf "%-12s %-8s %7d %9d %9d %9d %8.1f%%\n" ixn backend size
+        allocs shared total
+        (100.0 *. float_of_int shared /. float_of_int (max 1 total)))
+    (List.rev !maintenance);
+  Printf.printf
+    "\n(select/agg probe one of %d groups; speedup: scan p50 / indexed p50;\n\
+    \ sharing: units of the post-insert index reused from the pre-insert one)\n"
+    groups;
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"mode\": %S,\n  \"seed\": %d,\n  \"git_rev\": %S,\n  \
+     \"groups\": %d,\n  \"results\": [\n"
+    (if quick then "quick" else "full")
+    seed (git_rev ()) groups;
+  let rows = List.rev !results in
+  List.iteri
+    (fun i (scenario, backend, size, p50, p99, speedup) ->
+      Printf.fprintf oc
+        "    {\"scenario\": %S, \"backend\": %S, \"size\": %d, \
+         \"p50_ns\": %.0f, \"p99_ns\": %.0f, \"speedup\": %.2f}%s\n"
+        scenario backend size p50 p99 speedup
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"maintenance\": [\n";
+  let mrows = List.rev !maintenance in
+  List.iteri
+    (fun i (ixn, backend, size, allocs, shared, total) ->
+      Printf.fprintf oc
+        "    {\"index\": %S, \"backend\": %S, \"size\": %d, \
+         \"insert_allocs\": %d, \"shared_units\": %d, \"total_units\": %d, \
+         \"sharing_ratio\": %.3f}%s\n"
+        ixn backend size allocs shared total
+        (float_of_int shared /. float_of_int (max 1 total))
+        (if i = List.length mrows - 1 then "" else ","))
+    mrows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out
+
 (* -- par: scan-flood speedup on real domains --------------------------------- *)
 
 let par_bench ~quick ~seed ~out =
@@ -1077,6 +1281,25 @@ let () =
         incr i
       done;
       plan_bench ~quick:!quick ~seed:!seed ~out:!out
+  | "index" ->
+      let quick = ref false and out = ref "BENCH_index.json" in
+      let seed = ref 1 in
+      let i = ref 2 in
+      while !i < Array.length Sys.argv do
+        (match Sys.argv.(!i) with
+        | "--quick" -> quick := true
+        | "--seed" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            seed := int_of_string Sys.argv.(!i)
+        | "-o" | "--output" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            out := Sys.argv.(!i)
+        | a ->
+            Printf.eprintf "index: unknown argument %S\n" a;
+            exit 1);
+        incr i
+      done;
+      index_bench ~quick:!quick ~seed:!seed ~out:!out
   | "par" ->
       let quick = ref false and out = ref "BENCH_par.json" in
       let seed = ref 1 in
@@ -1143,6 +1366,7 @@ let () =
          ablation-repr|ablation-topo|ablation-merge|ablation-semantics|\
          ablation-engine-repr|ablation-eval-mode|scaling|recover|\
          plan [--quick] [--seed N] [-o FILE]|\
+         index [--quick] [--seed N] [-o FILE]|\
          par [--quick] [--seed N] [-o FILE]|\
          repair [--quick] [--seed N] [-o FILE]|\
          wal [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"

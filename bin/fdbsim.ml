@@ -3,6 +3,8 @@
    Subcommands:
      run        — execute a query script through the lenient pipeline
      explain    — show the access path the planner picks for each query
+                  (optionally with a declared index catalog)
+     index      — differential sweeps of the secondary/derived index layer
      workload   — generate and run a synthetic workload, print concurrency
      table      — reproduce a paper table (1, 2 or 3)
      fel        — run a mini-FEL program
@@ -167,6 +169,7 @@ let run_cmd =
 (* -- explain: show chosen access paths ---------------------------------------- *)
 
 let explain_cmd =
+  let module Plan = Fdb_query.Plan in
   let script_arg =
     Arg.(
       value & pos 0 (some file) None
@@ -180,7 +183,37 @@ let explain_cmd =
       & info [ "relations" ] ~docv:"NAMES"
           ~doc:"Relation names to resolve (schema: key:int, val:string).")
   in
-  let go script relations =
+  let ix_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ rel; col ] when rel <> "" && col <> "" -> Ok (rel, col)
+      | _ -> Error (`Msg "expected REL:COL")
+    in
+    Arg.conv (parse, fun ppf (r, c) -> Format.fprintf ppf "%s:%s" r c)
+  in
+  let secondary_arg =
+    Arg.(
+      value & opt_all ix_conv []
+      & info [ "secondary" ] ~docv:"REL:COL"
+          ~doc:"Declare a secondary index on REL's column COL (repeatable).")
+  in
+  let covering_arg =
+    Arg.(
+      value & opt_all ix_conv []
+      & info [ "covering" ] ~docv:"REL:COL"
+          ~doc:
+            "Declare a covering index on REL's column COL storing every \
+             column, so matching reads go index-only (repeatable).")
+  in
+  let derived_arg =
+    Arg.(
+      value & opt_all ix_conv []
+      & info [ "derived" ] ~docv:"REL:COL"
+          ~doc:
+            "Declare a derived aggregation index grouping REL by COL over \
+             the key column (repeatable).")
+  in
+  let go script relations secondary covering derived =
     let src =
       match script with
       | Some path -> In_channel.with_open_text path In_channel.input_all
@@ -202,19 +235,182 @@ let explain_cmd =
             relations
         in
         let schema_of name = List.assoc_opt name schemas in
+        let descs =
+          List.map
+            (fun (rel, col) ->
+              { Plan.ix_name = Printf.sprintf "%s_sec_%s" rel col;
+                ix_rel = rel; ix_col = col; ix_kind = Plan.Ix_secondary })
+            secondary
+          @ List.map
+              (fun (rel, col) ->
+                let cols =
+                  match schema_of rel with
+                  | Some s -> List.map fst (Fdb_relational.Schema.columns s)
+                  | None -> [ col ]
+                in
+                { Plan.ix_name = Printf.sprintf "%s_cov_%s" rel col;
+                  ix_rel = rel; ix_col = col;
+                  ix_kind = Plan.Ix_covering cols })
+              covering
+          @ List.map
+              (fun (rel, col) ->
+                { Plan.ix_name = Printf.sprintf "%s_agg_%s" rel col;
+                  ix_rel = rel; ix_col = col;
+                  ix_kind = Plan.Ix_derived "key" })
+              derived
+        in
+        (match
+           Fdb_index.Index.Catalog.validate (List.map snd schemas) descs
+         with
+        | Ok () -> ()
+        | Error e ->
+            Format.eprintf "fdbsim explain: %s@." e;
+            exit 2);
+        let explain =
+          if descs = [] then Plan.explain ~schema_of
+          else
+            let indexes_of rel =
+              List.filter
+                (fun (d : Plan.index_desc) -> String.equal d.Plan.ix_rel rel)
+                descs
+            in
+            Plan.explain_indexed ~schema_of ~indexes_of
+        in
         List.iter
           (fun q ->
-            Format.printf "%-50s => %s@."
-              (Fdb_query.Ast.to_string q)
-              (Fdb_query.Plan.explain ~schema_of q))
+            Format.printf "%-50s => %s@." (Fdb_query.Ast.to_string q)
+              (explain q))
           queries
   in
   let doc =
     "Show the access path the planner chooses for each query in a script \
      (point lookup, pruned range scan or full scan, plus the residual \
-     predicate), without executing anything."
+     predicate), without executing anything.  With $(b,--secondary), \
+     $(b,--covering) or $(b,--derived) declarations, the indexed planner \
+     runs instead and the lines show index probes, index-only scans and \
+     O(log n) derived-aggregate answers."
   in
-  Cmd.v (Cmd.info "explain" ~doc) Term.(const go $ script_arg $ relations_arg)
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const go $ script_arg $ relations_arg $ secondary_arg $ covering_arg
+      $ derived_arg)
+
+(* -- index: differential sweeps of the index layer ------------------------------ *)
+
+let index_cmd =
+  let module Gen = Fdb_check.Gen in
+  let module Merge = Fdb_merge.Merge in
+  let module Txn = Fdb_txn.Txn in
+  let module Ix = Fdb_index.Index in
+  let module Trace_oracle = Fdb_check.Trace_oracle in
+  let txns =
+    Arg.(
+      value & opt int 8
+      & info [ "txns"; "n" ] ~doc:"Queries per client stream.")
+  in
+  let clients =
+    Arg.(value & opt int 3 & info [ "clients" ] ~doc:"Client streams.")
+  in
+  let relations =
+    Arg.(value & opt int 2 & info [ "relations" ] ~doc:"Relations.")
+  in
+  let tuples =
+    Arg.(
+      value & opt int 8
+      & info [ "tuples" ] ~doc:"Initial tuples per relation.")
+  in
+  let sweep =
+    Arg.(
+      value & opt int 25
+      & info [ "sweep" ] ~doc:"How many consecutive seeds to run.")
+  in
+  let go seed txns clients relations tuples sweep =
+    (try
+       ignore
+         (Gen.generate
+            { Gen.default_spec with
+              clients;
+              relations;
+              queries_per_client = txns;
+              initial_tuples = tuples })
+     with Invalid_argument msg ->
+       Format.eprintf "fdbsim index: %s@." msg;
+       exit 2);
+    Fdb_obs.Metrics.reset ();
+    let failures = ref 0 and queries = ref 0 in
+    for s = seed to seed + sweep - 1 do
+      let sc =
+        Gen.generate
+          { Gen.default_spec with
+            seed = s;
+            clients;
+            relations;
+            queries_per_client = txns;
+            initial_tuples = tuples }
+      in
+      let merged = Merge.merge (Merge.Seeded ((7 * s) + 1)) sc.Gen.streams in
+      let initial = Gen.initial_db sc in
+      let session =
+        Ix.Session.create_exn (Ix.Catalog.default_for sc.Gen.schemas) initial
+      in
+      let plain = ref initial and indexed = ref initial in
+      let ((), events) =
+        Fdb_obs.Trace.record (fun () ->
+            List.iter
+              (fun (m : _ Merge.tagged) ->
+                incr queries;
+                let q = m.Merge.item in
+                let (r1, db1) = Txn.translate q !plain in
+                plain := db1;
+                let (r2, db2) =
+                  Txn.translate_indexed (Ix.Session.use session) q !indexed
+                in
+                indexed := db2;
+                if not (Txn.response_equal r1 r2) then begin
+                  incr failures;
+                  Format.printf "seed %d: %s answered %a indexed but %a plain@."
+                    s
+                    (Fdb_query.Ast.to_string q)
+                    Txn.pp_response r2 Txn.pp_response r1
+                end)
+              merged)
+      in
+      (match Ix.Store.coherent (Ix.Session.store session) !indexed with
+      | Ok () -> ()
+      | Error e ->
+          incr failures;
+          Format.printf "seed %d: index incoherence: %s@." s e);
+      List.iter
+        (fun v ->
+          incr failures;
+          Format.printf "seed %d: %a@." s Trace_oracle.pp_violation v)
+        (Trace_oracle.check events)
+    done;
+    if !failures = 0 then begin
+      Format.printf
+        "index: %d seeds, %d queries; every indexed answer matched the plain \
+         interpreter, every store matched a fresh rebuild, every trace law \
+         held@."
+        sweep !queries;
+      Format.printf "%a" Fdb_obs.Metrics.pp_snapshot
+        (Fdb_obs.Metrics.snapshot ())
+    end
+    else begin
+      Format.printf "index: %d failure(s) over %d seeds@." !failures sweep;
+      exit 1
+    end
+  in
+  let doc =
+    "Differentially test the secondary/covering/derived index layer: seeded \
+     multi-client workloads run through the plain interpreter and through an \
+     index session built from the default catalog; every response must match, \
+     every final store must equal a fresh rebuild from its base relation, and \
+     the emitted maintenance events must satisfy the index-coherence trace \
+     law."
+  in
+  Cmd.v (Cmd.info "index" ~doc)
+    Term.(
+      const go $ seed_arg $ txns $ clients $ relations $ tuples $ sweep)
 
 (* -- workload: synthetic runs ------------------------------------------------- *)
 
@@ -877,11 +1073,47 @@ let par_cmd =
               in
               compare_streams ~seed:s ~what:"simulated machine"
                 machine.Pipeline.responses par.Pipeline.par_responses)
-            topo
+            topo;
+          (* Indexed ordered leg: the same merged stream under keyed-set
+             semantics with the default catalog maintained inline on the
+             dispatch thread.  Responses must match the sequential
+             reference, the final store a fresh rebuild from the final
+             database, and the maintenance events the lockstep trace law. *)
+          let module Ix = Fdb_index.Index in
+          let session =
+            Ix.Session.create_exn
+              (Ix.Catalog.default_for sc.Gen.schemas)
+              (Pipeline.initial_database spec)
+          in
+          let (ipar, events) =
+            Fdb_obs.Trace.record (fun () ->
+                Pipeline.run_parallel ~semantics:Pipeline.Ordered_unique
+                  ~chunk ~pool ~index:session spec tagged)
+          in
+          compare_streams ~seed:s ~what:"sequential reference (indexed, ordered)"
+            (Pipeline.reference ~semantics:Pipeline.Ordered_unique spec tagged)
+            ipar.Pipeline.par_responses;
+          (match
+             Ix.Store.coherent
+               (Ix.Session.store session)
+               (Pipeline.initial_database
+                  { spec with Pipeline.initial = ipar.Pipeline.par_final_db })
+           with
+          | Ok () -> ()
+          | Error e ->
+              incr divergences;
+              Format.printf "seed %d: index incoherence: %s@." s e);
+          List.iter
+            (fun v ->
+              incr divergences;
+              Format.printf "seed %d: %a@." s
+                Fdb_check.Trace_oracle.pp_violation v)
+            (Fdb_check.Trace_oracle.check events)
         done);
     if !divergences = 0 then begin
       Format.printf
-        "par: %d seeds, every response stream identical across executors@."
+        "par: %d seeds, every response stream identical across executors; \
+         indexes coherent and lockstep under the ordered leg@."
         sweep;
       Format.printf
         "pool: %d domains, %d tasks executed cumulatively, %d stolen@."
@@ -1023,7 +1255,8 @@ let repair_cmd =
       Format.printf
         "repair: %d seeds, responses and final state identical across the \
          repair executor, the traced inline run and the sequential engine; \
-         every trace law holds and every verdict is serializable@."
+         every trace law holds, every verdict is serializable, and the \
+         maintained indexes stay coherent with every committed version@."
         sweep;
       Format.printf "%a@." Exec.pp_stats !total
     end
@@ -1342,6 +1575,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; explain_cmd; workload_cmd; table_cmd; fel_cmd; topo_cmd;
-            check_cmd; recover_cmd; trace_cmd; stats_cmd; par_cmd; repair_cmd;
-            recover_disk_cmd; wal_cmd ]))
+          [ run_cmd; explain_cmd; index_cmd; workload_cmd; table_cmd; fel_cmd;
+            topo_cmd; check_cmd; recover_cmd; trace_cmd; stats_cmd; par_cmd;
+            repair_cmd; recover_disk_cmd; wal_cmd ]))

@@ -1,5 +1,6 @@
 module Ast = Fdb_query.Ast
 module Txn = Fdb_txn.Txn
+module Ix = Fdb_index.Index
 module Topology = Fdb_net.Topology
 module Reliable = Fdb_net.Reliable
 
@@ -159,6 +160,14 @@ let run_raw ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario)
   let delayed = ref [] in
   let delayed_count = ref 0 in
   let db = ref (Gen.initial_db sc) in
+  (* The primary executes through a default index catalog: every read that
+     an index can answer takes the indexed path (checked differentially by
+     the oracle below against plain sequential semantics), every write
+     maintains the indexes in lockstep — emitting the [Index_maintain]
+     events the [index_coherence] trace law audits. *)
+  let session =
+    Ix.Session.create_exn (Ix.Catalog.default_for sc.Gen.schemas) !db
+  in
   let per_client = Array.make clients [] in
   (* Reassembly at the primary: commit strictly in per-client seq order,
      buffering gaps — the per-stream-order guarantee the oracle assumes. *)
@@ -167,7 +176,7 @@ let run_raw ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario)
   let applied = ref 0 in
   let dup_suppressed = ref 0 in
   let commit c q =
-    let (resp, db') = Txn.translate q !db in
+    let (resp, db') = Txn.translate_indexed (Ix.Session.use session) q !db in
     db := db';
     per_client.(c) <- resp :: per_client.(c);
     incr applied
@@ -243,6 +252,12 @@ let run_raw ?(faults = default_faults) ?recover_config ~seed (sc : Gen.scenario)
   done
   in
   assert_lawful trace;
+  (* End-state coherence: every index must equal a fresh rebuild from the
+     final base relations (the per-step lockstep was checked by the trace
+     law above). *)
+  (match Ix.Store.coherent (Ix.Session.store session) !db with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "Sim.run: index incoherence: %s" e));
   let total = Gen.query_count sc in
   if !applied <> total || Hashtbl.length buffered <> 0 then begin
     (* Which (client, seq) never committed — a transport bug, surfaced
@@ -321,16 +336,31 @@ let run_repair_raw ?pool ?domains ?(batch = 8) ?max_states ~seed
   let merged = Merge.merge (Merge.Seeded ((7 * seed) + 1)) sc.Gen.streams in
   let queries = List.map (fun (m : _ Merge.tagged) -> m.Merge.item) merged in
   let exec pool =
+    (* A fresh session per invocation: [exec] runs twice (pooled, then
+       traced inline) and the determinism check below requires identical
+       starting stores. *)
+    let session =
+      Ix.Session.create_exn (Ix.Catalog.default_for sc.Gen.schemas) initial
+    in
     let rec go db acc stats bid = function
       | [] -> (List.rev acc, db, stats)
       | qs :: rest ->
-          let r = Exec.run_batch ~pool ~batch_id:bid db qs in
+          let r = Exec.run_batch ~pool ~index:session ~batch_id:bid db qs in
           go r.Exec.final
             (List.rev_append r.Exec.responses acc)
             (Exec.add_stats stats r.Exec.stats)
             (bid + 1) rest
     in
-    go initial [] Exec.zero_stats 0 (chunk_list batch queries)
+    let (resps, final, stats) =
+      go initial [] Exec.zero_stats 0 (chunk_list batch queries)
+    in
+    (match Ix.Store.coherent (Ix.Session.store session) final with
+    | Ok () -> ()
+    | Error e ->
+        failwith
+          (Printf.sprintf "Sim.run_repair (seed %d): index incoherence: %s"
+             seed e));
+    (resps, final, stats)
   in
   (* All failure paths below raise inside [go] — i.e. inside the
      [Pool.with_pool] bracket when no pool was passed — so worker domains

@@ -306,6 +306,83 @@ let durability events =
     events;
   List.rev !violations
 
+(* Indexes advance in lockstep with their base relation: every maintenance
+   event must leave the index covering exactly as many tuples as the base
+   relation holds at that point, and all indexes of one relation must see
+   the same sequence of base sizes — an index that skips or reorders a
+   write shows up as a diverging base sequence even if its own cardinality
+   happens to match. *)
+let index_coherence events =
+  let violations = ref [] in
+  let note idx fmt =
+    Format.kasprintf
+      (fun detail ->
+        violations :=
+          { invariant = "index_coherence"; index = idx; detail } :: !violations)
+      fmt
+  in
+  (* rel -> (index name, base size, event position) in emission order *)
+  let maint : (string, (string * int * int) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iteri
+    (fun i (ev : Event.t) ->
+      match ev.kind with
+      | Event.Index_maintain { rel; index; kind = _; base; entries } ->
+          if entries <> base then
+            note i
+              "index %s on %s covers %d tuples while the base relation \
+               holds %d"
+              index rel entries base;
+          let cell =
+            match Hashtbl.find_opt maint rel with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.replace maint rel r;
+                r
+          in
+          cell := (index, base, i) :: !cell
+      | _ -> ())
+    events;
+  let rels =
+    List.sort compare (Hashtbl.fold (fun rel _ acc -> rel :: acc) maint [])
+  in
+  List.iter
+    (fun rel ->
+      let steps = List.rev !(Hashtbl.find maint rel) in
+      let names =
+        List.sort_uniq compare (List.map (fun (n, _, _) -> n) steps)
+      in
+      let seq_of name =
+        List.filter_map
+          (fun (n, base, at) -> if String.equal n name then Some (base, at) else None)
+          steps
+      in
+      match names with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+          let ref_seq = seq_of first in
+          List.iter
+            (fun name ->
+              let s = seq_of name in
+              if List.length s <> List.length ref_seq then
+                note (List.length events)
+                  "indexes %s and %s on %s saw %d and %d writes" first name
+                  rel (List.length ref_seq) (List.length s)
+              else
+                List.iter2
+                  (fun (b1, _) (b2, at) ->
+                    if b1 <> b2 then
+                      note at
+                        "index %s on %s saw base size %d where index %s saw \
+                         %d — maintenance out of lockstep"
+                        name rel b2 first b1)
+                  ref_seq s)
+            rest)
+    rels;
+  List.rev !violations
+
 let invariant_names =
   [
     "ack_before_reply";
@@ -315,6 +392,7 @@ let invariant_names =
     "dispatch_spans";
     "repair_convergence";
     "durability";
+    "index_coherence";
   ]
 
 let check events =
@@ -325,6 +403,7 @@ let check events =
   @ dispatch_spans events
   @ repair_convergence events
   @ durability events
+  @ index_coherence events
 
 let pp_violation ppf { invariant; index; detail } =
   Format.fprintf ppf "%s at event %d: %s" invariant index detail

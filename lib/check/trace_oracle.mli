@@ -27,7 +27,13 @@
       committed-but-lost versions at any fsync boundary; recovery never
       passes the last append; appends advance one version at a time; and
       a segment is deleted only after a checkpoint heading a strictly
-      newer segment was synced.
+      newer segment was synced;
+    - {b index-coherence}: every [Index_maintain] event leaves the index
+      covering exactly as many tuples as its base relation holds, and all
+      indexes of one relation observe the {e same} sequence of base sizes
+      — indexes and base advance in lockstep through the functional
+      update path, whatever executor (sequential, pipeline, speculative
+      repair) drove the writes.
 
     Invariants rely on emission {e order}, never on the layer-local [ts]
     values, so a trace interleaving several clocks is still checkable. *)
@@ -46,6 +52,7 @@ val fabric_conservation : Fdb_obs.Event.t list -> violation list
 val dispatch_spans : Fdb_obs.Event.t list -> violation list
 val repair_convergence : Fdb_obs.Event.t list -> violation list
 val durability : Fdb_obs.Event.t list -> violation list
+val index_coherence : Fdb_obs.Event.t list -> violation list
 
 val invariant_names : string list
 

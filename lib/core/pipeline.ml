@@ -4,7 +4,9 @@ open Fdb_relational
 open Fdb_rediflow
 module Ast = Fdb_query.Ast
 module Pred = Fdb_query.Pred
+module Plan = Fdb_query.Plan
 module Wal = Fdb_wal.Wal
+module Ix = Fdb_index.Index
 
 type semantics = Prepend | Ordered_unique
 
@@ -777,6 +779,10 @@ module Pool = Fdb_par.Pool
 let m_floods = Fdb_obs.Metrics.counter "par.scans_flooded"
 let m_chunks = Fdb_obs.Metrics.counter "par.chunk_tasks"
 
+(* Same registry name as the planner's counter in [Fdb_txn]: the metrics
+   registry keys instruments by name, so both executors share it. *)
+let m_ixagg = Fdb_obs.Metrics.counter "plan.index_aggregate"
+
 type par_report = {
   par_responses : (int * response) list;
   par_final_db : (string * Tuple.t list) list;
@@ -828,11 +834,74 @@ let flood pool ~chunk ~site0 xs ~map ~reduce =
   cell
 
 let run_parallel ?(semantics = Prepend) ?domains ?(chunk = 512) ?pool ?wal
-    spec tagged_queries =
+    ?index spec tagged_queries =
   if chunk < 1 then invalid_arg "Pipeline.run_parallel: chunk must be >= 1";
   require_ordered_unique ~who:"Pipeline.run_parallel" ~semantics wal;
+  (match (index, semantics) with
+  | (Some _, Prepend) ->
+      invalid_arg
+        "Pipeline.run_parallel: an index session requires Ordered_unique \
+         semantics (indexes mirror keyed sets)"
+  | _ -> ());
   let go pool =
     let (rels, rel_index) = seq_state semantics spec in
+    (* Index maintenance happens inline on the dispatch thread, right
+       after the write it mirrors — writes are serial here, so indexes
+       advance in lockstep with the mutable relation state.  Deltas are
+       derived before/after [seq_eval]: the removed tuple of a delete and
+       the rewrite pairs of an update are only recoverable from the
+       pre-write contents. *)
+    let eval_write q =
+      match (index, q) with
+      | (None, _) -> seq_eval ~semantics rels rel_index q
+      | (Some session, Ast.Insert { rel; values }) ->
+          let tuple = Tuple.make values in
+          let r = seq_eval ~semantics rels rel_index q in
+          (match (r, rel_index rel) with
+          | (Inserted true, Some ri) ->
+              Ix.Session.on_write (Ix.Session.use session) ~rel
+                ~base:(List.length !(snd rels.(ri)))
+                ~removed:[] ~added:[ tuple ]
+          | _ -> ());
+          r
+      | (Some session, Ast.Delete { rel; key }) ->
+          let removed =
+            match rel_index rel with
+            | Some ri -> List.find_opt (key_eq key) !(snd rels.(ri))
+            | None -> None
+          in
+          let r = seq_eval ~semantics rels rel_index q in
+          (match (r, removed, rel_index rel) with
+          | (Deleted 1, Some t, Some ri) ->
+              Ix.Session.on_write (Ix.Session.use session) ~rel
+                ~base:(List.length !(snd rels.(ri)))
+                ~removed:[ t ] ~added:[]
+          | _ -> ());
+          r
+      | (Some session, Ast.Update { rel; col; value; where }) ->
+          let pairs =
+            match rel_index rel with
+            | None -> []
+            | Some ri -> (
+                let (schema, contents) = rels.(ri) in
+                match Pred.compile_update schema col value where with
+                | Error _ -> []
+                | Ok rewrite ->
+                    List.filter_map
+                      (fun t -> Option.map (fun t' -> (t, t')) (rewrite t))
+                      !contents)
+          in
+          let r = seq_eval ~semantics rels rel_index q in
+          (match (r, rel_index rel) with
+          | (Updated n, Some ri) when n > 0 && pairs <> [] ->
+              Ix.Session.on_write (Ix.Session.use session) ~rel
+                ~base:(List.length !(snd rels.(ri)))
+                ~removed:(List.map fst pairs)
+                ~added:(List.map snd pairs)
+          | _ -> ());
+          r
+      | (Some _, _) -> seq_eval ~semantics rels rel_index q
+    in
     (* Writes mutate [rels] inline on the dispatch thread, so the durable
        version chain is rebuilt there too: snapshot the relation lists
        before a write, archive whichever relations actually changed.
@@ -873,10 +942,10 @@ let run_parallel ?(semantics = Prepend) ?domains ?(chunk = 512) ?pool ?wal
       match q with
       | (Ast.Insert _ | Ast.Delete _ | Ast.Update _)
         when Option.is_none wal ->
-          Now (seq_eval ~semantics rels rel_index q)
+          Now (eval_write q)
       | Ast.Insert _ | Ast.Delete _ | Ast.Update _ ->
           let before = Array.map (fun (_, c) -> !c) rels in
-          let r = seq_eval ~semantics rels rel_index q in
+          let r = eval_write q in
           log_write before;
           Now r
       | Ast.Find { rel; key } -> (
@@ -944,15 +1013,51 @@ let run_parallel ?(semantics = Prepend) ?domains ?(chunk = 512) ?pool ?wal
               let contents = !contents in
               match Pred.compile_aggregate schema agg col where with
               | Error e -> Now (Failed e)
-              | Ok (step, finish) ->
-                  (* The fold is opaque (not exposed as an associative
-                     op), so it runs as one asynchronous task rather than
-                     a chunked flood. *)
-                  let cell = Lcell.create () in
-                  Pool.submit pool ~site:(next_site ()) (fun () ->
-                      Lcell.put cell
-                        (Aggregated (finish (List.fold_left step None contents))));
-                  Later cell))
+              | Ok (step, finish) -> (
+                  let slow () =
+                    (* The fold is opaque (not exposed as an associative
+                       op), so it runs as one asynchronous task rather
+                       than a chunked flood. *)
+                    let cell = Lcell.create () in
+                    Pool.submit pool ~site:(next_site ()) (fun () ->
+                        Lcell.put cell
+                          (Aggregated
+                             (finish (List.fold_left step None contents))));
+                    Later cell
+                  in
+                  (* With a derived index whose group matches the predicate
+                     exactly, the maintained statistics answer inline in
+                     O(log n) — the one query shape the flood cannot chunk
+                     becomes the cheapest of all. *)
+                  match index with
+                  | None -> slow ()
+                  | Some session -> (
+                      match
+                        Plan.analyze_group schema
+                          ~indexes:(Ix.Session.descs_for session rel)
+                          ~target:(`Agg (agg, col)) where
+                      with
+                      | Some
+                          { Plan.ipath = Plan.Index_group { ix; group }; _ }
+                        -> (
+                          match
+                            Ix.Store.find (Ix.Session.store session)
+                              ix.Plan.ix_name
+                          with
+                          | None -> slow ()
+                          | Some built ->
+                              Fdb_obs.Metrics.incr m_ixagg;
+                              let answer =
+                                match Ix.group_lookup built group with
+                                | Some st -> (
+                                    match agg with
+                                    | Ast.Sum -> Some st.Ix.g_sum
+                                    | Ast.Min -> Some st.Ix.g_min
+                                    | Ast.Max -> Some st.Ix.g_max)
+                                | None -> finish None
+                              in
+                              Now (Aggregated answer))
+                      | Some _ | None -> slow ()))))
       | Ast.Join { left; right; on } -> (
           match (rel_index left, rel_index right) with
           | (None, _) -> Now (Failed (err_unknown_relation left))
@@ -1032,7 +1137,7 @@ let response_of_txn : Fdb_txn.Txn.response -> response = function
   | Fdb_txn.Txn.Joined ts -> Joined ts
   | Fdb_txn.Txn.Failed e -> Failed e
 
-let run_repair ?domains ?(batch = 16) ?pool ?wal spec tagged_queries =
+let run_repair ?domains ?(batch = 16) ?pool ?wal ?index spec tagged_queries =
   if batch < 1 then invalid_arg "Pipeline.run_repair: batch must be >= 1";
   (* Relations are keyed sets, so this mode is inherently Ordered_unique
      (see [initial_database]) — no wal guard needed. *)
@@ -1042,7 +1147,7 @@ let run_repair ?domains ?(batch = 16) ?pool ?wal spec tagged_queries =
       List.fold_left
         (fun (acc, db, stats, versions, bid) chunk ->
           let r =
-            Fdb_repair.Exec.run_batch ~pool ~batch_id:bid db
+            Fdb_repair.Exec.run_batch ~pool ?index ~batch_id:bid db
               (List.map snd chunk)
           in
           (match wal with

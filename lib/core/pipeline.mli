@@ -167,6 +167,7 @@ val run_parallel :
   ?chunk:int ->
   ?pool:Fdb_par.Pool.t ->
   ?wal:Fdb_wal.Wal.writer ->
+  ?index:Fdb_index.Index.Session.t ->
   db_spec ->
   (int * Fdb_query.Ast.query) list ->
   par_report
@@ -178,8 +179,13 @@ val run_parallel :
     [par_steals] count this run alone.  [wal] attaches a durability sink
     as in {!val:run}: writes are logged inline on the dispatch thread (so
     the log order is the stream order) and synced before the pool drains.
-    @raise Invalid_argument when [chunk < 1], or if [wal] is combined
-    with [Prepend] semantics. *)
+    [index] attaches an index session: writes maintain its indexes inline
+    on the dispatch thread in stream order (emitting the lockstep
+    [Index_maintain] events), and aggregates whose predicate matches a
+    derived index group are answered inline in O(log n) from the
+    maintained statistics instead of being folded as an opaque pool task.
+    @raise Invalid_argument when [chunk < 1], or if [wal] or [index] is
+    combined with [Prepend] semantics. *)
 
 type repair_report = {
   rep_responses : (int * response) list;  (** (tag, response), stream order *)
@@ -195,6 +201,7 @@ val run_repair :
   ?batch:int ->
   ?pool:Fdb_par.Pool.t ->
   ?wal:Fdb_wal.Wal.writer ->
+  ?index:Fdb_index.Index.Session.t ->
   db_spec ->
   (int * Fdb_query.Ast.query) list ->
   repair_report
@@ -207,5 +214,8 @@ val run_repair :
     is inherently ordered-unique: relations are keyed sets).  Pool reuse
     follows {!val:run_parallel}.  [wal] attaches a durability sink: each
     batch's repaired version chain is appended after the batch reaches
-    its fixpoint, and the log is synced at the end of the run.
+    its fixpoint, and the log is synced at the end of the run.  [index]
+    attaches an index session, threaded through every batch as in
+    {!Fdb_repair.Exec.run_batch}: speculative reads go through the
+    indexes, commits advance them at the serial commit point.
     @raise Invalid_argument when [batch < 1]. *)

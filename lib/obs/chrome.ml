@@ -60,6 +60,13 @@ let args_of (kind : Event.kind) =
   | Wal_replay { index } -> [ i "index" index ]
   | Wal_recovered { upto; base; reason } ->
       [ i "upto" upto; i "base" base; s "reason" reason ]
+  | Index_maintain { rel; index; kind; base; entries } ->
+      [
+        s "rel" rel; s "index" index; s "kind" kind; i "base" base;
+        i "entries" entries;
+      ]
+  | Index_probe { rel; index; kind } ->
+      [ s "rel" rel; s "index" index; s "kind" kind ]
 
 let record buf ~name ~ph ~ts ~tid ?(extra = []) args =
   if Buffer.length buf > 0 then Buffer.add_string buf ",\n";

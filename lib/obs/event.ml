@@ -38,6 +38,14 @@ type kind =
   | Wal_segment_delete of { segment : int }
   | Wal_replay of { index : int }
   | Wal_recovered of { upto : int; base : int; reason : string }
+  | Index_maintain of {
+      rel : string;
+      index : string;
+      kind : string;
+      base : int;
+      entries : int;
+    }
+  | Index_probe of { rel : string; index : string; kind : string }
 
 type t = { ts : int; site : int; kind : kind }
 
@@ -71,6 +79,8 @@ let name = function
   | Wal_segment_delete _ -> "wal_segment_delete"
   | Wal_replay _ -> "wal_replay"
   | Wal_recovered _ -> "wal_recovered"
+  | Index_maintain _ -> "index_maintain"
+  | Index_probe _ -> "index_probe"
 
 let pp_kind ppf = function
   | Dispatch_start { txn; label } -> Fmt.pf ppf "dispatch_start txn=%d %s" txn label
@@ -121,6 +131,11 @@ let pp_kind ppf = function
   | Wal_replay { index } -> Fmt.pf ppf "wal_replay v%d" index
   | Wal_recovered { upto; base; reason } ->
       Fmt.pf ppf "wal_recovered upto=%d base=%d (%s)" upto base reason
+  | Index_maintain { rel; index; kind; base; entries } ->
+      Fmt.pf ppf "index_maintain %s.%s (%s) base=%d entries=%d" rel index kind
+        base entries
+  | Index_probe { rel; index; kind } ->
+      Fmt.pf ppf "index_probe %s.%s (%s)" rel index kind
 
 let pp ppf { ts; site; kind } = Fmt.pf ppf "[t=%d s=%d] %a" ts site pp_kind kind
 let to_string ev = Fmt.str "%a" pp ev

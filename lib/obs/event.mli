@@ -70,6 +70,20 @@ type kind =
   | Wal_recovered of { upto : int; base : int; reason : string }
       (** recovery rebuilt versions [base..upto]; [reason] is ["clean"] or
           why replay stopped (torn / checksum / out-of-order frame) *)
+  | Index_maintain of {
+      rel : string;
+      index : string;
+      kind : string;
+      base : int;
+      entries : int;
+    }
+      (** index [index] on [rel] absorbed a write: it now covers [entries]
+          base tuples while the base relation holds [base] — the
+          lockstep-coherence law requires the two to be equal at every
+          maintenance point, for every index of the relation *)
+  | Index_probe of { rel : string; index : string; kind : string }
+      (** the executor answered a read through [index] instead of a base
+          relation access path *)
 
 type t = { ts : int; site : int; kind : kind }
 

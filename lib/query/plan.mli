@@ -40,3 +40,82 @@ val explain :
   schema_of:(string -> Schema.t option) -> Ast.query -> string
 (** One-line access-path explanation for any query, using [schema_of] to
     resolve relation names (unknown relations are reported, not errors). *)
+
+(** {1 Indexed planning}
+
+    Descriptions of the secondary / covering / derived indexes available on
+    a relation (the catalog lives in [lib/index]; the planner only sees
+    this declarative form), and an extended analysis that can route a read
+    through one of them.  [analyze] and its golden plan lines are
+    untouched: indexed planning is a separate layer consulted only when a
+    catalog is in force. *)
+
+type index_kind =
+  | Ix_secondary  (** entries carry only the primary key: probe, then fetch *)
+  | Ix_covering of string list
+      (** entries carry the named columns, so reads needing no more than
+          these are answered from the index alone *)
+  | Ix_derived of string
+      (** per-group count/sum/min/max over the named target column,
+          grouped by the indexed column *)
+
+type index_desc = {
+  ix_name : string;
+  ix_rel : string;
+  ix_col : string;  (** indexed column; the group column for [Ix_derived] *)
+  ix_kind : index_kind;
+}
+
+val index_kind_name : index_kind -> string
+(** ["secondary"], ["covering"] or ["derived"]. *)
+
+type ipath =
+  | Primary of path  (** no index beats the base access path *)
+  | Index_scan of {
+      ix : index_desc;
+      ilo : bound option;
+      ihi : bound option;
+      only : bool;  (** answered from the index payload alone *)
+    }
+  | Index_group of { ix : index_desc; group : Value.t }
+      (** O(log n): the maintained group statistics are the answer *)
+
+type iplan = { ipath : ipath; iresidual : Ast.pred }
+
+type want = Want_all | Want_cols of string list | Want_base
+(** Which columns the executor still needs per matching tuple: every
+    column ([Want_all]), a projection list ([Want_cols] — counts pass
+    [[]]), or full base tuples unconditionally ([Want_base], used by
+    aggregates whose compiled step functions read base positions). *)
+
+val analyze_indexed :
+  Schema.t -> indexes:index_desc list -> wanted:want -> Ast.pred -> iplan
+(** Like {!analyze}, with the catalog in play.  Preference order: primary
+    point lookup, index equality probe (covering before secondary),
+    primary range scan, index range scan, full scan.  (access path) ∧
+    (residual) remains equivalent to the original predicate; absorbed
+    atoms mention only the chosen index's column. *)
+
+val analyze_group :
+  Schema.t ->
+  indexes:index_desc list ->
+  target:[ `Count | `Agg of Ast.agg * string ] ->
+  Ast.pred ->
+  iplan option
+(** [Some] only when the predicate is exactly one equality on a derived
+    index's group column and the index maintains the requested statistic
+    ([Sum] additionally requires a numeric target, mirroring
+    {!Pred.compile_aggregate}). *)
+
+val pp_iplan : Format.formatter -> iplan -> unit
+
+val iplan_to_string : iplan -> string
+(** E.g. ["index-only probe cov_val [val = \"x\"]; residual a > 2"]. *)
+
+val explain_indexed :
+  schema_of:(string -> Schema.t option) ->
+  indexes_of:(string -> index_desc list) ->
+  Ast.query ->
+  string
+(** {!explain} with a catalog: select/count/aggregate lines show the
+    chosen indexed path; other queries print exactly as {!explain}. *)

@@ -70,12 +70,26 @@ type exec_result = {
   round : int;
 }
 
-let exec_tracked query db =
+module Ix = Fdb_index.Index
+
+let exec_tracked ?index query db =
   let c = Footprint.collector () in
-  let (resp, db') = Txn.translate_tracked (Footprint.tracker c) query db in
+  let tracker = Footprint.tracker c in
+  let (resp, db') =
+    match index with
+    | Some session ->
+        (* Speculative executions read the session's indexes (whose store
+           tracks the committed prefix — exactly each round's base version)
+           but never mutate them: maintenance happens once, at the serial
+           commit point below. *)
+        Txn.translate_indexed ~tracker
+          (Ix.Session.use ~maintain:false session)
+          query db
+    | None -> Txn.translate_tracked tracker query db
+  in
   (resp, db', Footprint.captured c)
 
-let run_batch ?pool ?domains ?(batch_id = 0) db0 queries =
+let run_batch ?pool ?domains ?index ?(batch_id = 0) db0 queries =
   let go pool =
     let qs = Array.of_list queries in
     let n = Array.length qs in
@@ -100,7 +114,7 @@ let run_batch ?pool ?domains ?(batch_id = 0) db0 queries =
               (if round = 0 then Event.Repair_spec { batch = batch_id; txn = j }
                else Event.Repair_redo { batch = batch_id; txn = j; round });
           let run () =
-            let (resp, db_after, fp) = exec_tracked qs.(j) base_db in
+            let (resp, db_after, fp) = exec_tracked ?index qs.(j) base_db in
             results.(j) <- Some { resp; db_after; fp; base_db; base; round }
           in
           (* The trace sink is a plain closure — not domain-safe — so traced
@@ -173,6 +187,12 @@ let run_batch ?pool ?domains ?(batch_id = 0) db0 queries =
       let v' = apply_effects !current r in
       versions.(j) <- v';
       current := v';
+      (* Indexes advance at the serial commit point, in batch order, from
+         the same effect list just replayed onto the base — so every index
+         of a relation sees the same base size, in lockstep. *)
+      (match index with
+      | Some session -> Ix.Session.apply_effects session v' r.fp.Footprint.effects
+      | None -> ());
       if r.round = 0 then begin
         incr spec_hits;
         Metrics.incr m_hits

@@ -55,6 +55,7 @@ type report = {
 val run_batch :
   ?pool:Fdb_par.Pool.t ->
   ?domains:int ->
+  ?index:Fdb_index.Index.Session.t ->
   ?batch_id:int ->
   Database.t ->
   Fdb_query.Ast.query list ->
@@ -62,4 +63,11 @@ val run_batch :
 (** Execute one batch.  Equivalent to translating and applying the queries
     sequentially (the {!Fdb_txn.Txn} reference semantics).  With [?pool]
     absent a pool of [?domains] is created and torn down around the batch
-    via {!Fdb_par.Pool.with_pool}. *)
+    via {!Fdb_par.Pool.with_pool}.
+
+    With [?index], speculative executions answer reads through the
+    session's indexes (maintenance disabled — the store tracks the
+    committed prefix, which is exactly every round's base version), and
+    each commit advances the indexes from the transaction's recorded
+    effects at the serial commit point, so indexes and base relations move
+    in lockstep in batch order. *)

@@ -19,6 +19,42 @@ let note_plan rel (plan : Plan.t) =
     Fdb_obs.Trace.emit
       (Fdb_obs.Event.Plan_chosen { rel; path = Plan.to_string plan });
   plan
+
+(* Indexed-planner decision counters.  [plan.scan_fallback] counts only the
+   analyses made {e with a catalog in force} that still ended in a full
+   scan — the miss rate of the catalog, not of the planner at large. *)
+let m_ixprobe = Fdb_obs.Metrics.counter "plan.index_probe"
+let m_ixonly = Fdb_obs.Metrics.counter "plan.index_only"
+let m_ixagg = Fdb_obs.Metrics.counter "plan.index_aggregate"
+let m_fallback = Fdb_obs.Metrics.counter "plan.scan_fallback"
+
+let note_iplan rel (ip : Plan.iplan) =
+  (match ip.Plan.ipath with
+  | Plan.Primary (Plan.Point_lookup _) -> Fdb_obs.Metrics.incr m_point
+  | Plan.Primary (Plan.Range_scan _) -> Fdb_obs.Metrics.incr m_range
+  | Plan.Primary Plan.Full_scan ->
+      Fdb_obs.Metrics.incr m_full;
+      Fdb_obs.Metrics.incr m_fallback
+  | Plan.Index_scan { only = true; _ } -> Fdb_obs.Metrics.incr m_ixonly
+  | Plan.Index_scan { only = false; _ } -> Fdb_obs.Metrics.incr m_ixprobe
+  | Plan.Index_group _ -> Fdb_obs.Metrics.incr m_ixagg);
+  if Fdb_obs.Trace.enabled () then begin
+    Fdb_obs.Trace.emit
+      (Fdb_obs.Event.Plan_chosen { rel; path = Plan.iplan_to_string ip });
+    match ip.Plan.ipath with
+    | Plan.Primary _ -> ()
+    | Plan.Index_scan { ix; _ } | Plan.Index_group { ix; _ } ->
+        Fdb_obs.Trace.emit
+          (Fdb_obs.Event.Index_probe
+             {
+               rel;
+               index = ix.Plan.ix_name;
+               kind = Plan.index_kind_name ix.Plan.ix_kind;
+             })
+  end;
+  ip
+
+module Ix = Fdb_index.Index
 module Parser = Fdb_query.Parser
 
 type response =
@@ -123,11 +159,39 @@ type tracker = {
    compute identical (response, database) pairs.  [Failed] outcomes record
    nothing — a failed transaction's response is database-independent, so no
    concurrent write can damage it. *)
-let translate_with tk query : t =
+let translate_with ?index tk query : t =
   let read_key rel key =
     match tk with Some t -> t.read_key ~rel key | None -> ()
   in
   let read_all rel = match tk with Some t -> t.read_all ~rel | None -> () in
+  (* The catalog (which indexes exist) is fixed at translate time; the
+     store (their current contents) is read at execution time, because
+     [run_queries] translates a whole stream upfront and the indexes
+     advance with every write in between. *)
+  let ix_descs rel =
+    match index with
+    | Some u -> Ix.Session.descs_for u.Ix.Session.session rel
+    | None -> []
+  in
+  let ix_find name =
+    match index with
+    | None -> None
+    | Some u -> Ix.Store.find (Ix.Session.store u.Ix.Session.session) name
+  in
+  let ix_maintains =
+    match index with Some u -> u.Ix.Session.maintain | None -> false
+  in
+  let ix_write rel db' ~removed ~added =
+    match index with
+    | Some u when removed <> [] || added <> [] ->
+        let base =
+          match Database.relation db' rel with
+          | Some r -> Relation.size r
+          | None -> 0
+        in
+        Ix.Session.on_write u ~rel ~base ~removed ~added
+    | Some _ | None -> ()
+  in
   let read_path rel (plan : Plan.t) =
     match tk with
     | None -> ()
@@ -150,7 +214,10 @@ let translate_with tk query : t =
             (* An insert reads exactly one key: its own (to detect the
                duplicate); it writes the tuple only when actually added. *)
             read_key rel (Tuple.key tuple);
-            if added then wrote rel ~removed:[] ~added:[ tuple ];
+            if added then begin
+              wrote rel ~removed:[] ~added:[ tuple ];
+              ix_write rel db' ~removed:[] ~added:[ tuple ]
+            end;
             (Inserted added, db')
         | Error e -> fail db e)
   | Ast.Find { rel; key } ->
@@ -165,11 +232,13 @@ let translate_with tk query : t =
         match Database.delete db ~rel ~key with
         | Ok (db', found) ->
             read_key rel key;
-            (if found && Option.is_some tk then
+            (if found && (Option.is_some tk || ix_maintains) then
                (* [Database.delete] does not return the removed tuple; fetch
                   it from the pre-delete version for the effect record. *)
                match Database.find db ~rel ~key with
-               | Ok (Some t) -> wrote rel ~removed:[ t ] ~added:[]
+               | Ok (Some t) ->
+                   wrote rel ~removed:[ t ] ~added:[];
+                   ix_write rel db' ~removed:[ t ] ~added:[]
                | Ok None | Error _ -> ());
             (Deleted found, db')
         | Error e -> fail db e)
@@ -177,33 +246,135 @@ let translate_with tk query : t =
       fun db ->
         with_relation db rel (fun r ->
             let schema = Relation.schema r in
-            let plan = note_plan rel (Plan.analyze schema where) in
             (* Compiling only the residual is sound: absorbed atoms mention
                the key column alone, which every schema has. *)
-            match Pred.compile schema plan.Plan.residual with
-            | Error e -> fail db e
-            | Ok residual -> (
-                let project =
+            let run_plan plan =
+              match Pred.compile schema plan.Plan.residual with
+              | Error e -> fail db e
+              | Ok residual -> (
+                  let project =
+                    match cols with
+                    | None -> Ok None
+                    | Some cs ->
+                        Result.map Option.some (resolve_columns schema cs)
+                  in
+                  match project with
+                  | Error e -> fail db e
+                  | Ok idxs ->
+                      read_path rel plan;
+                      let emit =
+                        match idxs with
+                        | None -> fun acc tup -> tup :: acc
+                        | Some is ->
+                            fun acc tup ->
+                              Array.of_list (List.map (Tuple.get tup) is)
+                              :: acc
+                      in
+                      let step acc tup =
+                        if residual tup then emit acc tup else acc
+                      in
+                      (Selected (List.rev (fold_path r plan step [])), db))
+            in
+            match ix_descs rel with
+            | [] -> run_plan (note_plan rel (Plan.analyze schema where))
+            | descs -> (
+                let wanted =
                   match cols with
-                  | None -> Ok None
-                  | Some cs ->
-                      Result.map Option.some (resolve_columns schema cs)
+                  | None -> Plan.Want_all
+                  | Some cs -> Plan.Want_cols cs
                 in
-                match project with
-                | Error e -> fail db e
-                | Ok idxs ->
-                    read_path rel plan;
-                    let emit =
-                      match idxs with
-                      | None -> fun acc tup -> tup :: acc
-                      | Some is ->
-                          fun acc tup ->
-                            Array.of_list (List.map (Tuple.get tup) is) :: acc
-                    in
-                    let step acc tup =
-                      if residual tup then emit acc tup else acc
-                    in
-                    (Selected (List.rev (fold_path r plan step [])), db)))
+                let ip =
+                  note_iplan rel
+                    (Plan.analyze_indexed schema ~indexes:descs ~wanted where)
+                in
+                match ip.Plan.ipath with
+                | Plan.Primary path ->
+                    run_plan { Plan.path; residual = ip.Plan.iresidual }
+                | Plan.Index_group _ ->
+                    fail db "select cannot use a derived index"
+                | Plan.Index_scan { ix; ilo; ihi; only } -> (
+                    match ix_find ix.Plan.ix_name with
+                    | None ->
+                        fail db
+                          (Printf.sprintf "index %s is not built"
+                             ix.Plan.ix_name)
+                    | Some built when only -> (
+                        (* Index-only: residual and projection both resolve
+                           against the stored payload; results are re-sorted
+                           into base key order, which range probes (ordered
+                           by indexed value) do not deliver. *)
+                        let ischema = Ix.stored_schema built in
+                        match Pred.compile ischema ip.Plan.iresidual with
+                        | Error e -> fail db e
+                        | Ok residual -> (
+                            let out_cols =
+                              match cols with
+                              | Some cs -> cs
+                              | None ->
+                                  List.map fst (Schema.columns schema)
+                            in
+                            match resolve_columns ischema out_cols with
+                            | Error e -> fail db e
+                            | Ok is ->
+                                read_all rel;
+                                let hits =
+                                  Ix.probe_fold built ~ilo ~ihi
+                                    (fun acc pk payload ->
+                                      if residual payload then
+                                        ( pk,
+                                          Array.of_list
+                                            (List.map (Tuple.get payload) is)
+                                        )
+                                        :: acc
+                                      else acc)
+                                    []
+                                in
+                                let sorted =
+                                  List.sort
+                                    (fun (a, _) (b, _) -> Value.compare a b)
+                                    hits
+                                in
+                                (Selected (List.map snd sorted), db)))
+                    | Some built -> (
+                        (* Probe-then-fetch: entries give primary keys; the
+                           base tuple carries the residual columns and the
+                           projection. *)
+                        match Pred.compile schema ip.Plan.iresidual with
+                        | Error e -> fail db e
+                        | Ok residual -> (
+                            let project =
+                              match cols with
+                              | None -> Ok None
+                              | Some cs ->
+                                  Result.map Option.some
+                                    (resolve_columns schema cs)
+                            in
+                            match project with
+                            | Error e -> fail db e
+                            | Ok idxs ->
+                                read_all rel;
+                                let emit tup =
+                                  match idxs with
+                                  | None -> tup
+                                  | Some is ->
+                                      Array.of_list
+                                        (List.map (Tuple.get tup) is)
+                                in
+                                let hits =
+                                  Ix.probe_fold built ~ilo ~ihi
+                                    (fun acc pk _ ->
+                                      match Relation.find_key r pk with
+                                      | Some tup when residual tup ->
+                                          (pk, emit tup) :: acc
+                                      | Some _ | None -> acc)
+                                    []
+                                in
+                                let sorted =
+                                  List.sort
+                                    (fun (a, _) (b, _) -> Value.compare a b)
+                                    hits
+                                in
+                                (Selected (List.map snd sorted), db))))))
   | Ast.Count { rel; where } -> (
       match where with
       | Ast.True ->
@@ -215,25 +386,167 @@ let translate_with tk query : t =
           fun db ->
             with_relation db rel (fun r ->
                 let schema = Relation.schema r in
-                let plan = note_plan rel (Plan.analyze schema where) in
-                match Pred.compile schema plan.Plan.residual with
-                | Error e -> fail db e
-                | Ok residual ->
-                    read_path rel plan;
-                    let step acc tup = if residual tup then acc + 1 else acc in
-                    (Counted (fold_path r plan step 0), db)))
+                let run_plan plan =
+                  match Pred.compile schema plan.Plan.residual with
+                  | Error e -> fail db e
+                  | Ok residual ->
+                      read_path rel plan;
+                      let step acc tup =
+                        if residual tup then acc + 1 else acc
+                      in
+                      (Counted (fold_path r plan step 0), db)
+                in
+                match ix_descs rel with
+                | [] -> run_plan (note_plan rel (Plan.analyze schema where))
+                | descs -> (
+                    match
+                      Plan.analyze_group schema ~indexes:descs ~target:`Count
+                        where
+                    with
+                    | Some ({ Plan.ipath = Plan.Index_group { ix; group }; _ }
+                            as ip) -> (
+                        match ix_find ix.Plan.ix_name with
+                        | None ->
+                            fail db
+                              (Printf.sprintf "index %s is not built"
+                                 ix.Plan.ix_name)
+                        | Some built ->
+                            ignore (note_iplan rel ip);
+                            read_all rel;
+                            let n =
+                              match Ix.group_lookup built group with
+                              | Some stats -> stats.Ix.g_count
+                              | None -> 0
+                            in
+                            (Counted n, db))
+                    | Some _ | None -> (
+                        let ip =
+                          note_iplan rel
+                            (Plan.analyze_indexed schema ~indexes:descs
+                               ~wanted:(Plan.Want_cols []) where)
+                        in
+                        match ip.Plan.ipath with
+                        | Plan.Primary path ->
+                            run_plan
+                              { Plan.path; residual = ip.Plan.iresidual }
+                        | Plan.Index_group _ ->
+                            fail db "count cannot use a derived index here"
+                        | Plan.Index_scan { ix; ilo; ihi; only } -> (
+                            match ix_find ix.Plan.ix_name with
+                            | None ->
+                                fail db
+                                  (Printf.sprintf "index %s is not built"
+                                     ix.Plan.ix_name)
+                            | Some built when only -> (
+                                match
+                                  Pred.compile (Ix.stored_schema built)
+                                    ip.Plan.iresidual
+                                with
+                                | Error e -> fail db e
+                                | Ok residual ->
+                                    read_all rel;
+                                    let n =
+                                      Ix.probe_fold built ~ilo ~ihi
+                                        (fun acc _ payload ->
+                                          if residual payload then acc + 1
+                                          else acc)
+                                        0
+                                    in
+                                    (Counted n, db))
+                            | Some built -> (
+                                match
+                                  Pred.compile schema ip.Plan.iresidual
+                                with
+                                | Error e -> fail db e
+                                | Ok residual ->
+                                    read_all rel;
+                                    let n =
+                                      Ix.probe_fold built ~ilo ~ihi
+                                        (fun acc pk _ ->
+                                          match Relation.find_key r pk with
+                                          | Some tup when residual tup ->
+                                              acc + 1
+                                          | Some _ | None -> acc)
+                                        0
+                                    in
+                                    (Counted n, db)))))))
   | Ast.Aggregate { agg; rel; col; where } ->
       fun db ->
         with_relation db rel (fun r ->
             let schema = Relation.schema r in
             match Pred.compile_aggregate schema agg col where with
             | Error e -> fail db e
-            | Ok (step, finish) ->
+            | Ok (step, finish) -> (
                 (* [step] tests the full [where] itself; the access path only
                    narrows which tuples are offered to it. *)
-                let plan = note_plan rel (Plan.analyze schema where) in
-                read_path rel plan;
-                (Aggregated (finish (fold_path r plan step None)), db))
+                let run_plan plan =
+                  read_path rel plan;
+                  (Aggregated (finish (fold_path r plan step None)), db)
+                in
+                match ix_descs rel with
+                | [] -> run_plan (note_plan rel (Plan.analyze schema where))
+                | descs -> (
+                    match
+                      Plan.analyze_group schema ~indexes:descs
+                        ~target:(`Agg (agg, col)) where
+                    with
+                    | Some ({ Plan.ipath = Plan.Index_group { ix; group }; _ }
+                            as ip) -> (
+                        match ix_find ix.Plan.ix_name with
+                        | None ->
+                            fail db
+                              (Printf.sprintf "index %s is not built"
+                                 ix.Plan.ix_name)
+                        | Some built ->
+                            ignore (note_iplan rel ip);
+                            read_all rel;
+                            let answer =
+                              match Ix.group_lookup built group with
+                              | Some stats -> (
+                                  match agg with
+                                  | Ast.Sum -> Some stats.Ix.g_sum
+                                  | Ast.Min -> Some stats.Ix.g_min
+                                  | Ast.Max -> Some stats.Ix.g_max)
+                              | None ->
+                                  (* Empty group: exactly the compiled
+                                     aggregate's empty answer (a typed zero
+                                     for [Sum], [None] for min/max). *)
+                                  finish None
+                            in
+                            (Aggregated answer, db))
+                    | Some _ | None -> (
+                        (* [Want_base]: [step] reads base column positions,
+                           so an index can narrow the probe but never answer
+                           from its payload alone — mixed indexed and
+                           residual conjuncts split here instead of forcing
+                           a full scan. *)
+                        let ip =
+                          note_iplan rel
+                            (Plan.analyze_indexed schema ~indexes:descs
+                               ~wanted:Plan.Want_base where)
+                        in
+                        match ip.Plan.ipath with
+                        | Plan.Primary path ->
+                            run_plan { Plan.path; residual = where }
+                        | Plan.Index_group _ ->
+                            fail db "aggregate cannot use this derived index"
+                        | Plan.Index_scan { ix; ilo; ihi; only = _ } -> (
+                            match ix_find ix.Plan.ix_name with
+                            | None ->
+                                fail db
+                                  (Printf.sprintf "index %s is not built"
+                                     ix.Plan.ix_name)
+                            | Some built ->
+                                read_all rel;
+                                let acc =
+                                  Ix.probe_fold built ~ilo ~ihi
+                                    (fun acc pk _ ->
+                                      match Relation.find_key r pk with
+                                      | Some tup -> step acc tup
+                                      | None -> acc)
+                                    None
+                                in
+                                (Aggregated (finish acc), db))))))
   | Ast.Update { rel; col; value; where } ->
       fun db ->
         with_relation db rel (fun r ->
@@ -254,26 +567,32 @@ let translate_with tk query : t =
                   | Plan.Full_scan -> (None, None)
                 in
                 read_path rel plan;
-                (if Option.is_some tk then
-                   (* Pre-collect the rewrite pairs over the same access path
-                      so the effect record lists exact removed/added tuples.
-                      The key column cannot change, so removed and added keys
-                      coincide. *)
-                   let pairs =
-                     fold_path r plan
-                       (fun acc tup ->
-                         match rewrite tup with
-                         | Some tup' -> (tup, tup') :: acc
-                         | None -> acc)
-                       []
-                   in
-                   if pairs <> [] then
-                     wrote rel
-                       ~removed:(List.rev_map fst pairs)
-                       ~added:(List.rev_map snd pairs));
+                let pairs =
+                  if Option.is_some tk || ix_maintains then
+                    (* Pre-collect the rewrite pairs over the same access
+                       path so the effect record (and index maintenance)
+                       lists exact removed/added tuples.  The key column
+                       cannot change, so removed and added keys coincide. *)
+                    fold_path r plan
+                      (fun acc tup ->
+                        match rewrite tup with
+                        | Some tup' -> (tup, tup') :: acc
+                        | None -> acc)
+                      []
+                  else []
+                in
+                if pairs <> [] then
+                  wrote rel
+                    ~removed:(List.rev_map fst pairs)
+                    ~added:(List.rev_map snd pairs);
                 let (r', changed) = Relation.update ?lo ?hi r rewrite in
                 if changed = 0 then (Updated 0, db)
-                else (Updated changed, Database.replace db rel r'))
+                else
+                  let db' = Database.replace db rel r' in
+                  ix_write rel db'
+                    ~removed:(List.rev_map fst pairs)
+                    ~added:(List.rev_map snd pairs);
+                  (Updated changed, db'))
   | Ast.Join { left; right; on = (lc, rc) } ->
       fun db ->
         with_relation db left (fun lr ->
@@ -298,6 +617,9 @@ let translate_with tk query : t =
 
 let translate query = translate_with None query
 let translate_tracked tk query = translate_with (Some tk) query
+
+let translate_indexed ?tracker u query = translate_with ~index:u tracker query
+
 let translate_string src = Result.map translate (Parser.parse src)
 
 let apply_stream txns db0 =

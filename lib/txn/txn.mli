@@ -61,6 +61,16 @@ val translate_tracked : tracker -> Fdb_query.Ast.query -> t
     untracked transaction: same response, same output database.  [Failed]
     outcomes report nothing (they are database-independent). *)
 
+val translate_indexed :
+  ?tracker:tracker -> Fdb_index.Index.Session.use -> Fdb_query.Ast.query -> t
+(** Like {!val:translate} with an index session in force: selects, counts
+    and aggregates may be answered through the session's secondary,
+    covering or derived indexes (observationally identical to the plain
+    translation), and — when the session use has maintenance enabled —
+    every write advances the session's indexes in lockstep with the base
+    relation.  Indexed reads report a conservative whole-relation read to
+    [tracker]. *)
+
 val translate_string : string -> (t, string) result
 (** Parse then translate. *)
 

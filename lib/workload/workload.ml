@@ -9,6 +9,7 @@ type spec = {
   delete_pct : float;
   update_pct : float;
   miss_ratio : float;
+  skew : float;
   clients : int;
   seed : int;
 }
@@ -22,6 +23,7 @@ let default_spec =
     delete_pct = 0.0;
     update_pct = 0.0;
     miss_ratio = 0.1;
+    skew = 0.0;
     clients = 2;
     seed = 42;
   }
@@ -53,7 +55,21 @@ let check spec =
      || spec.insert_pct +. spec.delete_pct +. spec.update_pct > 100.0
   then invalid_arg "Workload: bad operation mix";
   if spec.miss_ratio < 0.0 || spec.miss_ratio > 1.0 then
-    invalid_arg "Workload: miss_ratio outside [0, 1]"
+    invalid_arg "Workload: miss_ratio outside [0, 1]";
+  if spec.skew < 0.0 then invalid_arg "Workload: skew < 0"
+
+(* Which of [n] present keys a reference touches.  [skew = 0.0] is exactly
+   the uniform draw the generator always made — same stream consumption,
+   so existing seeds regenerate byte-identical workloads.  [skew > 0.0] is
+   a rank-skew: a uniform variate raised to [1 + skew] concentrates picks
+   on low ranks — the head of the present-key list, i.e. the most recently
+   inserted keys — approximating the zipfian access patterns real caches
+   and hot rows see.  Higher skew, hotter head. *)
+let pick_index rand ~skew n =
+  if skew <= 0.0 then Random.State.int rand n
+  else
+    let u = Random.State.float rand 1.0 in
+    min (n - 1) (int_of_float (float_of_int n *. (u ** (1.0 +. skew))))
 
 (* How many of [n] transactions are of a kind given its percentage;
    round half up so the paper's 7% of 50 becomes 4. *)
@@ -120,7 +136,8 @@ let generate spec =
                    Ast.Delete { rel; key = Value.Int (-1) }
                | keys ->
                    let key =
-                     List.nth keys (Random.State.int rand (List.length keys))
+                     List.nth keys
+                       (pick_index rand ~skew:spec.skew (List.length keys))
                    in
                    present.(r) := List.filter (fun x -> x <> key) keys;
                    Ast.Delete { rel; key = Value.Int key })
@@ -131,7 +148,8 @@ let generate spec =
                                     where = Ast.Cmp ("key", Ast.Eq, Value.Int (-1)) }
                | keys ->
                    let key =
-                     List.nth keys (Random.State.int rand (List.length keys))
+                     List.nth keys
+                       (pick_index rand ~skew:spec.skew (List.length keys))
                    in
                    Ast.Update
                      { rel; col = "val";
@@ -147,7 +165,9 @@ let generate spec =
                    { rel;
                      key =
                        Value.Int
-                         (List.nth keys (Random.State.int rand (List.length keys)))
+                         (List.nth keys
+                            (pick_index rand ~skew:spec.skew
+                               (List.length keys)))
                    })
          kinds)
   in

@@ -16,6 +16,13 @@ type spec = {
   delete_pct : float;  (** extension beyond the paper; 0 in the paper grid *)
   update_pct : float;  (** extension: single-row updates; 0 in the paper grid *)
   miss_ratio : float;  (** fraction of finds probing an absent key *)
+  skew : float;
+      (** key-popularity skew for find/delete/update references: [0.0]
+          (the default) draws uniformly over the present keys — exactly
+          the historical generator, so existing seeds are unchanged;
+          higher values concentrate references on the most recently
+          inserted keys (approximate zipfian rank-skew).
+          @raise Invalid_argument when negative. *)
   clients : int;  (** how many streams the queries are dealt into *)
   seed : int;
 }

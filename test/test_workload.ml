@@ -121,6 +121,62 @@ let test_queries_parse_back () =
       | Error e -> Alcotest.failf "%s: %s" (Ast.to_string q) e)
     (W.all_queries w)
 
+let find_keys w =
+  List.filter_map
+    (function
+      | Ast.Find { key = Fdb_relational.Value.Int k; _ } -> Some k
+      | _ -> None)
+    (W.all_queries w)
+
+let test_skew_determinism () =
+  (* skewed draws come from the same seeded stream: generation stays a
+     pure function of the spec *)
+  let spec = { W.default_spec with skew = 1.5; delete_pct = 8.0 } in
+  let a = W.generate spec and b = W.generate spec in
+  Alcotest.(check bool) "same streams" true
+    (a.W.client_streams = b.W.client_streams);
+  let c = W.generate { spec with seed = 43 } in
+  Alcotest.(check bool) "different seed differs" true
+    (a.W.client_streams <> c.W.client_streams);
+  (* the historical uniform generator is the default *)
+  Alcotest.(check (float 0.0)) "default is uniform" 0.0 W.default_spec.W.skew
+
+let test_skew_concentrates () =
+  let base =
+    { W.default_spec with transactions = 200; relations = 1;
+      initial_tuples = 100; insert_pct = 0.0; miss_ratio = 0.0 }
+  in
+  let distinct ks = List.length (List.sort_uniq compare ks) in
+  let hottest ks =
+    List.fold_left
+      (fun best k -> max best (List.length (List.filter (( = ) k) ks)))
+      0 ks
+  in
+  let uniform = find_keys (W.generate base)
+  and skewed = find_keys (W.generate { base with skew = 6.0 }) in
+  Alcotest.(check int) "same volume" (List.length uniform)
+    (List.length skewed);
+  (* heavy rank-skew piles references onto a few hot keys: the hottest
+     key dominates and the reference set shrinks *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hottest %d skewed >> %d uniform" (hottest skewed)
+       (hottest uniform))
+    true
+    (hottest skewed >= 5 * hottest uniform);
+  Alcotest.(check bool)
+    (Printf.sprintf "%d skewed distinct < %d uniform distinct"
+       (distinct skewed) (distinct uniform))
+    true
+    (distinct skewed < distinct uniform);
+  (* every skewed reference still hits a present key *)
+  Alcotest.(check bool) "all present" true
+    (List.for_all (fun k -> k >= 0 && k < 100) skewed)
+
+let test_skew_validation () =
+  match W.generate { W.default_spec with skew = -0.1 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative skew accepted"
+
 let () =
   Alcotest.run "workload"
     [
@@ -140,5 +196,13 @@ let () =
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "queries parse back" `Quick
             test_queries_parse_back;
+        ] );
+      ( "skew",
+        [
+          Alcotest.test_case "skewed determinism" `Quick test_skew_determinism;
+          Alcotest.test_case "skew concentrates references" `Quick
+            test_skew_concentrates;
+          Alcotest.test_case "negative skew rejected" `Quick
+            test_skew_validation;
         ] );
     ]
