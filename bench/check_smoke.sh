@@ -26,6 +26,12 @@ case "$BENCH" in */*) ;; *) BENCH="./$BENCH" ;; esac
 # checkpoint interval (2 seeds per cell), and the restart-recovery bench.
 "$FDBSIM" recover-disk --seed 1 --sweep 2 > /dev/null
 "$BENCH" wal --quick -o "${TMPDIR:-/tmp}/BENCH_wal_smoke.json" > /dev/null
+# Shard smoke: the full default sweep is cheap (128 scenarios) — sharded
+# executor, sequential engine, epoch-reordered replay and oracle must all
+# agree, with shard_serializability holding on every trace; plus the
+# spine-share bench (quick sizes, artifact to a scratch path).
+"$FDBSIM" shard --seed 1 > /dev/null
+"$BENCH" shard --quick -o "${TMPDIR:-/tmp}/BENCH_shard_smoke.json" > /dev/null
 # Index smoke: the indexed interpreter must agree with the plain one with
 # the store coherent and the trace laws holding, and a default stats sweep
 # must surface the indexed-planner decision counters and the maintenance

@@ -7,8 +7,9 @@
                      ablation-semantics|plan|trace-overhead|micro|all]
                     (default: all)
 
-   Usage also covers `par` (scan-flood executor scaling -> BENCH_par.json)
-   and `repair` (speculative repair executor scaling -> BENCH_repair.json).
+   Usage also covers `par` (scan-flood executor scaling -> BENCH_par.json),
+   `repair` (speculative repair executor scaling -> BENCH_repair.json) and
+   `shard` (sharded executor spine share/bypass rate -> BENCH_shard.json).
 
    `plan [--quick] [--seed N] [-o FILE]` sweeps the access-path planner
    (point / range / full scans and hash vs nested joins) over every backend
@@ -957,6 +958,125 @@ let repair_bench ~quick ~seed ~out =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* -- shard: spine share and bypass rate by shard count ------------------------ *)
+
+let shard_bench ~quick ~seed ~out =
+  let module Shard = Fdb_shard.Shard in
+  let module Merge = Fdb_merge.Merge in
+  section
+    (Printf.sprintf
+       "Sharded executor: global-spine share and bypass rate by shard count \
+        (%s)"
+       (if quick then "quick" else "full"));
+  let txns = if quick then 400 else 1600 in
+  let workload join_pct =
+    W.generate
+      {
+        W.default_spec with
+        transactions = txns;
+        relations = 6;
+        initial_tuples = 240;
+        insert_pct = 20.0;
+        delete_pct = 5.0;
+        update_pct = 10.0;
+        join_pct;
+        clients = 4;
+        seed;
+      }
+  in
+  let repeats = if quick then 2 else 3 in
+  let run join_pct shards =
+    let w = workload join_pct in
+    let spec = Pipeline.db_spec_of_workload w in
+    let tagged =
+      List.map
+        (fun (t : _ Merge.tagged) -> (t.Merge.tag, t.Merge.item))
+        (Merge.merge Merge.Arrival_order w.W.client_streams)
+    in
+    let expected =
+      Pipeline.reference ~semantics:Pipeline.Ordered_unique spec tagged
+    in
+    let best = ref infinity in
+    let stats = ref None in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      let r = Pipeline.run_sharded ~shards spec tagged in
+      let dt = Unix.gettimeofday () -. t0 in
+      if
+        not
+          (List.equal
+             (fun (t1, r1) (t2, r2) ->
+               t1 = t2 && Pipeline.response_equal r1 r2)
+             expected r.Pipeline.sh_responses)
+      then begin
+        Printf.printf
+          "FAIL: %d-shard run diverges from the sequential reference\n" shards;
+        exit 1
+      end;
+      stats := Some r.Pipeline.sh_stats;
+      if dt < !best then best := dt
+    done;
+    (!best, Option.get !stats)
+  in
+  (* bypass fraction = work that never touches the global merge point
+     (shard-local commits plus cross-shard commits the commutativity
+     analysis let bypass the spine); spine fraction is the rest. *)
+  let fracs (st : Shard.stats) =
+    let f n = float_of_int n /. float_of_int (max 1 st.Shard.txns) in
+    (f (st.Shard.local + st.Shard.bypassed), f st.Shard.spine)
+  in
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let ratios = [ 0.0; 20.0 ] in
+  let rows =
+    List.concat_map
+      (fun join_pct ->
+        List.map
+          (fun shards -> (join_pct, shards, run join_pct shards))
+          shard_counts)
+      ratios
+  in
+  Printf.printf "%9s %7s %10s %9s %9s %8s   (%d txns, 6 relations)\n"
+    "join-pct" "shards" "wall-ms" "bypass" "spine" "x-bypass" txns;
+  List.iter
+    (fun (join_pct, shards, (t, st)) ->
+      let (bypass, spine) = fracs st in
+      Printf.printf "%8.0f%% %7d %10.2f %8.1f%% %8.1f%% %8d\n" join_pct shards
+        (t *. 1000.0) (100.0 *. bypass) (100.0 *. spine) st.Shard.bypassed)
+    rows;
+  (* the acceptance claim: with no cross-shard work, nothing ever touches
+     the global merge — the bypass fraction is positive (in fact 1.0) *)
+  List.iter
+    (fun (join_pct, shards, (_, st)) ->
+      let (bypass, _) = fracs st in
+      if join_pct = 0.0 && bypass <= 0.0 then begin
+        Printf.printf
+          "FAIL: bypass fraction %.3f at cross-shard ratio 0 (%d shards)\n"
+          bypass shards;
+        exit 1
+      end)
+    rows;
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"mode\": %S,\n  \"seed\": %d,\n  \"git_rev\": %S,\n  \
+     \"transactions\": %d,\n  \"relations\": 6,\n  \"results\": [\n"
+    (if quick then "quick" else "full")
+    seed (git_rev ()) txns;
+  List.iteri
+    (fun i (join_pct, shards, (t, st)) ->
+      let (bypass, spine) = fracs st in
+      Printf.fprintf oc
+        "    {\"join_pct\": %.1f, \"shards\": %d, \"wall_ms\": %.3f, \
+         \"txns\": %d, \"local\": %d, \"cross_bypassed\": %d, \"spine\": \
+         %d, \"bypass_frac\": %.4f, \"spine_frac\": %.4f, \"max_epoch\": \
+         %d}%s\n"
+        join_pct shards (t *. 1000.0) st.Shard.txns st.Shard.local
+        st.Shard.bypassed st.Shard.spine bypass spine st.Shard.max_epoch
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 (* -- wal: restart-recovery wall-clock vs log length -------------------------- *)
 
 let wal_bench ~quick ~seed ~out =
@@ -1338,6 +1458,25 @@ let () =
         incr i
       done;
       repair_bench ~quick:!quick ~seed:!seed ~out:!out
+  | "shard" ->
+      let quick = ref false and out = ref "BENCH_shard.json" in
+      let seed = ref 1 in
+      let i = ref 2 in
+      while !i < Array.length Sys.argv do
+        (match Sys.argv.(!i) with
+        | "--quick" -> quick := true
+        | "--seed" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            seed := int_of_string Sys.argv.(!i)
+        | "-o" | "--output" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            out := Sys.argv.(!i)
+        | a ->
+            Printf.eprintf "shard: unknown argument %S\n" a;
+            exit 1);
+        incr i
+      done;
+      shard_bench ~quick:!quick ~seed:!seed ~out:!out
   | "wal" ->
       let quick = ref false and out = ref "BENCH_wal.json" in
       let seed = ref 1 in
@@ -1369,6 +1508,7 @@ let () =
          index [--quick] [--seed N] [-o FILE]|\
          par [--quick] [--seed N] [-o FILE]|\
          repair [--quick] [--seed N] [-o FILE]|\
+         shard [--quick] [--seed N] [-o FILE]|\
          wal [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
         other;
       exit 1

@@ -442,6 +442,186 @@ let run_repair ?pool ?domains ?batch ?max_states ~seed sc =
   in
   { o with repair_metrics = metrics }
 
+(* -- the sharded two-level merge sweep ------------------------------------- *)
+
+module Shard = Fdb_shard.Shard
+
+type shard_outcome = {
+  shard_verdict : Oracle.verdict;
+  shard_stats : Shard.stats;
+  shard_streams : int array;  (** shard-local commit stream length per shard *)
+  shard_trace : Fdb_obs.Event.t list;
+  shard_metrics : Fdb_obs.Metrics.snapshot;
+}
+
+(* Rewrite a generated scenario to an exact cross-shard ratio: each query
+   slot is forced to a cross-relation join with probability [ratio], and
+   below the threshold any native cross-relation join is folded onto its
+   left relation — so ratio 0.0 carries no cross-shard work at all and
+   the knob is monotone. *)
+let cross_shardify ~ratio ~seed (sc : Gen.scenario) =
+  if ratio < 0.0 || ratio > 1.0 then
+    invalid_arg "Sim.cross_shardify: ratio outside [0, 1]";
+  let rels =
+    Array.of_list (List.map Fdb_relational.Schema.name sc.Gen.schemas)
+  in
+  let nr = Array.length rels in
+  let rand = Random.State.make [| seed; 0x5a4d |] in
+  let cross_join () =
+    let l = Random.State.int rand nr in
+    let r = (l + 1 + Random.State.int rand (max 1 (nr - 1))) mod nr in
+    Ast.Join { left = rels.(l); right = rels.(r); on = ("key", "key") }
+  in
+  let streams =
+    List.map
+      (List.map (fun q ->
+           if Random.State.float rand 1.0 < ratio then cross_join ()
+           else
+             match q with
+             | Ast.Join { left; on; _ } -> Ast.Join { left; right = left; on }
+             | q -> q))
+      sc.Gen.streams
+  in
+  { sc with Gen.streams }
+
+let shard_fail ~seed fmt =
+  Format.kasprintf
+    (fun m -> failwith (Printf.sprintf "Sim.run_sharded (seed %d): %s" seed m))
+    fmt
+
+let run_sharded_raw ?policy ?(replicate = false) ?max_states ~shards ~seed
+    (sc : Gen.scenario) =
+  if shards < 1 then invalid_arg "Sim.run_sharded: shards < 1";
+  let initial = Gen.initial_db sc in
+  let policy =
+    Option.value policy ~default:(Merge.Seeded ((13 * seed) + 3))
+  in
+  (* The sharded run executes under a recording sink; the trace must
+     satisfy every law, including [shard_serializability]. *)
+  let (r, trace) =
+    Fdb_obs.Trace.record (fun () ->
+        Shard.run ~policy ~shards ~initial sc.Gen.streams)
+  in
+  assert_lawful trace;
+  let n = Array.length r.Shard.queries in
+  let queries = Array.to_list r.Shard.queries in
+  (* Differential 1: the ideal sequential engine over the same router
+     order — the sharded executor's scatter/gather must be invisible. *)
+  let (seq_resps, seq_final) = Txn.run_queries initial queries in
+  List.iteri
+    (fun i s ->
+      if not (Txn.response_equal r.Shard.responses.(i) s) then
+        shard_fail ~seed
+          "response %d diverged from the sequential engine: sharded %a, \
+           sequential %a"
+          i Txn.pp_response r.Shard.responses.(i) Txn.pp_response s)
+    seq_resps;
+  if not (Oracle.db_equal r.Shard.final seq_final) then
+    shard_fail ~seed "final database diverged from the sequential engine";
+  (* Shard count 1 collapses to the unsharded pipeline: the rendered
+     output bytes must be identical, not merely equivalent. *)
+  if shards = 1 then begin
+    let render resps db =
+      Format.asprintf "%a|%a"
+        (Format.pp_print_list Txn.pp_response)
+        resps Fdb_relational.Database.pp db
+    in
+    let ours = render (Array.to_list r.Shard.responses) r.Shard.final in
+    let ref_ = render seq_resps seq_final in
+    if not (String.equal ours ref_) then
+      shard_fail ~seed
+        "shards=1 output is not byte-identical to the unsharded pipeline"
+  end;
+  (* Differential 2: the adversarial shard-major replay.  A falsely
+     granted bypass — a non-commuting pair committing in shard-local
+     order — shows up here as a diverging response or final database. *)
+  let sched = Shard.reorder_schedule r in
+  if List.length sched <> n then
+    shard_fail ~seed "reorder schedule dropped %d transactions"
+      (n - List.length sched);
+  let (re_resps, re_final) =
+    Txn.run_queries initial (List.map (fun (_, _, q) -> q) sched)
+  in
+  List.iter2
+    (fun (i, _, _) resp ->
+      if not (Txn.response_equal r.Shard.responses.(i) resp) then
+        shard_fail ~seed
+          "txn %d answered %a in the epoch-reordered replay but %a in the \
+           sharded run — an unsound bypass"
+          i Txn.pp_response resp Txn.pp_response r.Shard.responses.(i))
+    sched re_resps;
+  if not (Oracle.db_equal r.Shard.final re_final) then
+    shard_fail ~seed
+      "final database diverged under the epoch-reordered replay — an \
+       unsound bypass";
+  (* Differential 3: the serializability oracle over the per-client
+     observation. *)
+  let clients = List.length sc.Gen.streams in
+  let per_client = Array.make clients [] in
+  Array.iteri
+    (fun i tag -> per_client.(tag) <- r.Shard.responses.(i) :: per_client.(tag))
+    r.Shard.tags;
+  let obs =
+    {
+      Oracle.responses = Array.to_list (Array.map List.rev per_client);
+      final = r.Shard.final;
+    }
+  in
+  let verdict = Oracle.check ?max_states ~initial ~streams:sc.Gen.streams obs in
+  if not (Oracle.accepted verdict) then
+    shard_fail ~seed "oracle verdict: %a" Oracle.pp_verdict verdict;
+  (* Composition with lib/replica: each shard's commit stream drives its
+     own primary/backup pair, whose surviving state must equal the
+     slice.  (Cross-shard joins are read-only, so the slice evolves only
+     through the shard's local stream — asserted via [foreign_writes].) *)
+  if replicate then begin
+    let slices = Shard.slice ~shards initial in
+    Array.iteri
+      (fun s slice0 ->
+        if r.Shard.foreign_writes.(s) then
+          shard_fail ~seed "shard %d slice written by a cross-shard txn" s;
+        let stream = r.Shard.local_queries.(s) in
+        let rep = Replica.run ~initial:slice0 [ stream ] in
+        if rep.Replica.acked_lost <> [] then
+          shard_fail ~seed "shard %d replica lost %d acked commits" s
+            (List.length rep.Replica.acked_lost);
+        if rep.Replica.dup_applied > 0 then
+          shard_fail ~seed "shard %d replica applied %d commits twice" s
+            rep.Replica.dup_applied;
+        if not (Oracle.db_equal rep.Replica.final r.Shard.shard_dbs.(s)) then
+          shard_fail ~seed
+            "shard %d replica final state diverged from the slice" s;
+        let local_resps =
+          List.filter_map
+            (fun i ->
+              match Shard.shards_of_query ~shards r.Shard.queries.(i) with
+              | [ s' ] when s' = s -> Some r.Shard.responses.(i)
+              | _ -> None)
+            r.Shard.commit_log.(s)
+        in
+        let rep_resps = List.concat rep.Replica.responses in
+        if
+          not (List.equal Txn.response_equal local_resps rep_resps)
+        then
+          shard_fail ~seed
+            "shard %d replica responses diverged from the commit stream" s)
+      slices
+  end;
+  {
+    shard_verdict = verdict;
+    shard_stats = r.Shard.stats;
+    shard_streams = Array.map List.length r.Shard.commit_log;
+    shard_trace = trace;
+    shard_metrics = no_metrics;
+  }
+
+let run_sharded ?policy ?replicate ?max_states ~shards ~seed sc =
+  let (o, metrics) =
+    Fdb_obs.Metrics.scoped (fun () ->
+        run_sharded_raw ?policy ?replicate ?max_states ~shards ~seed sc)
+  in
+  { o with shard_metrics = metrics }
+
 (* -- the crash-restart disk sweep ------------------------------------------- *)
 
 module Wal = Fdb_wal.Wal

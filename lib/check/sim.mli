@@ -129,6 +129,65 @@ val run_repair :
     oracle verdict (the message carries [seed] for replay).
     @raise Invalid_argument when [batch < 1]. *)
 
+(** {1 Sharded two-level serialization} *)
+
+type shard_outcome = {
+  shard_verdict : Oracle.verdict;
+  shard_stats : Fdb_shard.Shard.stats;
+  shard_streams : int array;
+      (** shard-local commit stream length per shard *)
+  shard_trace : Fdb_obs.Event.t list;
+      (** from the traced run; checked against {!Trace_oracle.check}
+          including [shard_serializability] *)
+  shard_metrics : Fdb_obs.Metrics.snapshot;
+}
+
+val cross_shardify : ratio:float -> seed:int -> Gen.scenario -> Gen.scenario
+(** Rewrite a generated scenario to a controlled cross-shard ratio: each
+    query slot is independently forced to a cross-relation join with
+    probability [ratio], and below the threshold any native
+    cross-relation join is folded onto its left relation — so
+    [ratio = 0.0] carries {e no} cross-shard work and the knob is
+    monotone.  Deterministic in [seed].
+    @raise Invalid_argument when [ratio] is outside [[0, 1]]. *)
+
+val run_sharded :
+  ?policy:Fdb_merge.Merge.policy ->
+  ?replicate:bool ->
+  ?max_states:int ->
+  shards:int ->
+  seed:int ->
+  Gen.scenario ->
+  shard_outcome
+(** Differential sweep of the sharded executor ({!Fdb_shard.Shard}).
+    The scenario runs through {!Fdb_shard.Shard.run} under a recording
+    trace sink ([policy] defaults to a [seed]-derived seeded merge), and
+    must survive four independent checks:
+
+    - the trace satisfies every {!Trace_oracle} law, including
+      [shard_serializability];
+    - {b sequential differential}: responses and final database equal
+      the ideal engine's ({!Fdb_txn.Txn.run_queries}) over the same
+      router order — and for [shards = 1] the rendered output bytes are
+      identical to the unsharded pipeline's, not merely equivalent;
+    - {b adversarial replay}: re-executing
+      {!Fdb_shard.Shard.reorder_schedule} (each epoch reordered
+      shard-major) reproduces every response and the final database —
+      the soundness witness for every bypass the analysis granted;
+    - {b serializability}: the per-client observation is accepted by the
+      {!Oracle} ([max_states] bounds its search).
+
+    With [replicate] set, each shard's local commit stream additionally
+    drives a {!Fdb_replica.Replica.run} over its slice: the surviving
+    replica state must equal the final slice, no acked commit may be
+    lost or doubly applied, and the replica's responses must reproduce
+    the sharded run's — the composition of partitioning with per-shard
+    primary/backup replication.
+
+    Runs under {!Fdb_obs.Metrics.scoped} like {!val:run}.
+    @raise Failure on any divergence (the message carries [seed]).
+    @raise Invalid_argument when [shards < 1]. *)
+
 (** {1 Crash-restart disk recovery} *)
 
 type disk_fault =

@@ -383,6 +383,73 @@ let index_coherence events =
     rels;
   List.rev !violations
 
+(* The two-level merge's ordering laws: every shard-local commit stream is
+   gap-free (positions are exactly 0, 1, 2, ... per shard — a committed
+   version can never be skipped or reordered within a shard), the global
+   spine releases its sequence numbers in exactly increasing order (it is
+   the single serial stream), and no transaction the analysis saw conflict
+   may take the bypass — a bypassed non-commuting pair would make the
+   shards' independent orders observably diverge. *)
+let shard_serializability events =
+  let violations = ref [] in
+  let note idx fmt =
+    Format.kasprintf
+      (fun detail ->
+        violations :=
+          { invariant = "shard_serializability"; index = idx; detail }
+          :: !violations)
+      fmt
+  in
+  let pos : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let gsn = ref 0 in
+  let conflicted : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let bypassed : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun i (ev : Event.t) ->
+      match ev.kind with
+      | Event.Shard_commit { shard; txn; pos = p } ->
+          let expect =
+            Option.value ~default:0 (Hashtbl.find_opt pos shard)
+          in
+          if p <> expect then
+            note i
+              "shard %d: txn %d commits at stream position %d, expected %d \
+               — gap or reorder in the shard-local stream"
+              shard txn p expect;
+          Hashtbl.replace pos shard (max (p + 1) (expect + 1))
+      | Event.Shard_spine { txn; gsn = g } ->
+          if g <> !gsn then
+            note i
+              "txn %d takes global sequence number %d, expected %d — spine \
+               out of global-merge order"
+              txn g !gsn;
+          gsn := max (g + 1) (!gsn + 1);
+          (match Hashtbl.find_opt bypassed txn with
+          | Some at ->
+              note i "txn %d on the spine after bypassing it (event %d)" txn at
+          | None -> ())
+      | Event.Shard_conflict { txn; against } -> (
+          Hashtbl.replace conflicted txn i;
+          match Hashtbl.find_opt bypassed txn with
+          | Some at ->
+              note i
+                "txn %d bypassed the spine (event %d) despite a non-commuting \
+                 conflict with txn %d"
+                txn at against
+          | None -> ())
+      | Event.Shard_bypass { txn; _ } -> (
+          Hashtbl.replace bypassed txn i;
+          match Hashtbl.find_opt conflicted txn with
+          | Some at ->
+              note i
+                "txn %d bypasses the spine despite the non-commuting conflict \
+                 seen at event %d"
+                txn at
+          | None -> ())
+      | _ -> ())
+    events;
+  List.rev !violations
+
 let invariant_names =
   [
     "ack_before_reply";
@@ -393,6 +460,7 @@ let invariant_names =
     "repair_convergence";
     "durability";
     "index_coherence";
+    "shard_serializability";
   ]
 
 let check events =
@@ -404,6 +472,7 @@ let check events =
   @ repair_convergence events
   @ durability events
   @ index_coherence events
+  @ shard_serializability events
 
 let pp_violation ppf { invariant; index; detail } =
   Format.fprintf ppf "%s at event %d: %s" invariant index detail

@@ -33,7 +33,14 @@
       indexes of one relation observe the {e same} sequence of base sizes
       — indexes and base advance in lockstep through the functional
       update path, whatever executor (sequential, pipeline, speculative
-      repair) drove the writes.
+      repair) drove the writes;
+    - {b shard-serializability}: every shard-local commit stream is
+      gap-free ([Shard_commit] positions per shard are exactly
+      0, 1, 2, ...), the global spine's sequence numbers appear in
+      exactly increasing order ([Shard_spine] is the single serial
+      stream), and a transaction for which a non-commuting conflict was
+      reported ([Shard_conflict]) never takes the bypass
+      ([Shard_bypass]) — bypassed pairs must commute.
 
     Invariants rely on emission {e order}, never on the layer-local [ts]
     values, so a trace interleaving several clocks is still checkable. *)
@@ -53,6 +60,7 @@ val dispatch_spans : Fdb_obs.Event.t list -> violation list
 val repair_convergence : Fdb_obs.Event.t list -> violation list
 val durability : Fdb_obs.Event.t list -> violation list
 val index_coherence : Fdb_obs.Event.t list -> violation list
+val shard_serializability : Fdb_obs.Event.t list -> violation list
 
 val invariant_names : string list
 

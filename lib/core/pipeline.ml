@@ -1190,3 +1190,51 @@ let run_repair ?domains ?(batch = 16) ?pool ?wal ?index spec tagged_queries =
     }
   in
   match pool with Some p -> go p | None -> Pool.with_pool ?domains go
+
+(* -- the sharded two-level merge executor ---------------------------------- *)
+
+type shard_report = {
+  sh_responses : (int * response) list;
+  sh_final_db : (string * Tuple.t list) list;
+  sh_shards : int;
+  sh_versions : int;  (* durable versions incl. v0 *)
+  sh_stats : Fdb_shard.Shard.stats;
+}
+
+let run_sharded ?(shards = 2) ?wal spec tagged_queries =
+  (* Relations are keyed sets, so this mode is inherently Ordered_unique
+     (see [initial_database]) — no wal guard needed. *)
+  let db0 = initial_database spec in
+  let merged =
+    List.map
+      (fun (tag, q) -> { Fdb_merge.Merge.tag; item = q })
+      tagged_queries
+  in
+  let r = Fdb_shard.Shard.run_merged ~shards ~initial:db0 merged in
+  (match wal with
+  | Some w ->
+      List.iter (Wal.append w) r.Fdb_shard.Shard.versions;
+      Wal.sync w
+  | None -> ());
+  let responses =
+    List.mapi
+      (fun i tag -> (tag, response_of_txn r.Fdb_shard.Shard.responses.(i)))
+      (Array.to_list r.Fdb_shard.Shard.tags)
+  in
+  let final_db =
+    List.map
+      (fun schema ->
+        let name = Schema.name schema in
+        ( name,
+          match Database.relation r.Fdb_shard.Shard.final name with
+          | Some rel -> Relation.to_list rel
+          | None -> [] ))
+      spec.schemas
+  in
+  {
+    sh_responses = responses;
+    sh_final_db = final_db;
+    sh_shards = shards;
+    sh_versions = 1 + List.length r.Fdb_shard.Shard.versions;
+    sh_stats = r.Fdb_shard.Shard.stats;
+  }

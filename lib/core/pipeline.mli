@@ -219,3 +219,32 @@ val run_repair :
     {!Fdb_repair.Exec.run_batch}: speculative reads go through the
     indexes, commits advance them at the serial commit point.
     @raise Invalid_argument when [batch < 1]. *)
+
+type shard_report = {
+  sh_responses : (int * response) list;  (** (tag, response), stream order *)
+  sh_final_db : (string * Tuple.t list) list;
+      (** the shard slices reassembled *)
+  sh_shards : int;
+  sh_versions : int;
+      (** durable global versions, including v0 (the initial database) *)
+  sh_stats : Fdb_shard.Shard.stats;
+}
+
+val run_sharded :
+  ?shards:int ->
+  ?wal:Fdb_wal.Wal.writer ->
+  db_spec ->
+  (int * Fdb_query.Ast.query) list ->
+  shard_report
+(** The fourth execution mode: multi-site serialization with a
+    commutativity-aware bypass ({!Fdb_shard.Shard}).  The already-merged
+    stream (tags are client ids — the level-1 router order) is executed
+    over [shards] (default 2) relation slices, each with its own merge
+    point and version archive; cross-shard transactions whose footprints
+    commute with the open epoch bypass the global spine, the rest are
+    serialized through it.  Responses and final state equal
+    {!val:reference}[ ~semantics:Ordered_unique] over the same order
+    (this mode is inherently ordered-unique: relations are keyed sets).
+    [wal] attaches a durability sink fed the reassembled global version
+    chain, synced at the end of the run.
+    @raise Invalid_argument when [shards < 1]. *)

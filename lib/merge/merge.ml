@@ -6,34 +6,39 @@ type policy =
   | Seeded of int
   | Concatenated
 
-(* Queues of the remaining items of each stream. *)
-let drain_step queues tag acc =
-  match queues.(tag) with
-  | [] -> (acc, false)
-  | item :: rest ->
-      queues.(tag) <- rest;
-      if Fdb_obs.Trace.enabled () then
-        Fdb_obs.Trace.emit
-          (Fdb_obs.Event.Merge_take { tag; pos = List.length acc });
-      ({ tag; item } :: acc, true)
-
 let total_left queues = Array.exists (fun q -> q <> []) queues
 
 let merge policy streams =
   let queues = Array.of_list streams in
   let n = Array.length queues in
   if n = 0 then []
-  else
+  else begin
     let acc = ref [] in
+    (* The output position is threaded as a counter: computing it as
+       [List.length acc] on every take made a traced merge O(n^2). *)
+    let pos = ref 0 in
+    let take tag =
+      match queues.(tag) with
+      | [] -> false
+      | item :: rest ->
+          queues.(tag) <- rest;
+          if Fdb_obs.Trace.enabled () then
+            Fdb_obs.Trace.emit (Fdb_obs.Event.Merge_take { tag; pos = !pos });
+          acc := { tag; item } :: !acc;
+          incr pos;
+          true
+    in
     (match policy with
     | Arrival_order ->
         while total_left queues do
           for tag = 0 to n - 1 do
-            let (acc', _) = drain_step queues tag !acc in
-            acc := acc'
+            ignore (take tag)
           done
         done
     | Eager_clients bursts ->
+        (* A burst that never takes cannot drain the queues; keep only
+           positive sizes so the policy always terminates. *)
+        let bursts = List.filter (fun b -> b > 0) bursts in
         let bursts = if bursts = [] then [ 1 ] else bursts in
         let nb = List.length bursts in
         let round = ref 0 in
@@ -41,8 +46,7 @@ let merge policy streams =
           for tag = 0 to n - 1 do
             let burst = List.nth bursts ((!round + tag) mod nb) in
             for _ = 1 to burst do
-              let (acc', _) = drain_step queues tag !acc in
-              acc := acc'
+              ignore (take tag)
             done
           done;
           incr round
@@ -58,19 +62,16 @@ let merge policy streams =
           let tag =
             List.nth nonempty (Random.State.int rand (List.length nonempty))
           in
-          let (acc', _) = drain_step queues tag !acc in
-          acc := acc'
+          ignore (take tag)
         done
     | Concatenated ->
         for tag = 0 to n - 1 do
-          let continue = ref true in
-          while !continue do
-            let (acc', took) = drain_step queues tag !acc in
-            acc := acc';
-            continue := took
+          while take tag do
+            ()
           done
         done);
     List.rev !acc
+  end
 
 let merge_timed streams =
   let entries =

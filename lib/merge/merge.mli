@@ -16,7 +16,9 @@ type 'a tagged = { tag : int; item : 'a }
 type policy =
   | Arrival_order  (** round-robin across streams: one item per client turn *)
   | Eager_clients of int list
-      (** clients drain in bursts of the given sizes (cyclically) *)
+      (** clients drain in bursts of the given sizes (cyclically);
+          non-positive sizes are ignored, and a list with none left
+          behaves as [[1]] *)
   | Seeded of int  (** uniformly random nonempty stream each step *)
   | Concatenated  (** stream 0 entirely, then stream 1, ... (degenerate) *)
 

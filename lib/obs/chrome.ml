@@ -67,6 +67,11 @@ let args_of (kind : Event.kind) =
       ]
   | Index_probe { rel; index; kind } ->
       [ s "rel" rel; s "index" index; s "kind" kind ]
+  | Shard_commit { shard; txn; pos } ->
+      [ i "shard" shard; i "txn" txn; i "pos" pos ]
+  | Shard_bypass { txn; shards } -> [ i "txn" txn; i "shards" shards ]
+  | Shard_spine { txn; gsn } -> [ i "txn" txn; i "gsn" gsn ]
+  | Shard_conflict { txn; against } -> [ i "txn" txn; i "against" against ]
 
 let record buf ~name ~ph ~ts ~tid ?(extra = []) args =
   if Buffer.length buf > 0 then Buffer.add_string buf ",\n";

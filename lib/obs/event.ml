@@ -46,6 +46,10 @@ type kind =
       entries : int;
     }
   | Index_probe of { rel : string; index : string; kind : string }
+  | Shard_commit of { shard : int; txn : int; pos : int }
+  | Shard_bypass of { txn : int; shards : int }
+  | Shard_spine of { txn : int; gsn : int }
+  | Shard_conflict of { txn : int; against : int }
 
 type t = { ts : int; site : int; kind : kind }
 
@@ -81,6 +85,10 @@ let name = function
   | Wal_recovered _ -> "wal_recovered"
   | Index_maintain _ -> "index_maintain"
   | Index_probe _ -> "index_probe"
+  | Shard_commit _ -> "shard_commit"
+  | Shard_bypass _ -> "shard_bypass"
+  | Shard_spine _ -> "shard_spine"
+  | Shard_conflict _ -> "shard_conflict"
 
 let pp_kind ppf = function
   | Dispatch_start { txn; label } -> Fmt.pf ppf "dispatch_start txn=%d %s" txn label
@@ -136,6 +144,13 @@ let pp_kind ppf = function
         base entries
   | Index_probe { rel; index; kind } ->
       Fmt.pf ppf "index_probe %s.%s (%s)" rel index kind
+  | Shard_commit { shard; txn; pos } ->
+      Fmt.pf ppf "shard_commit s%d txn=%d pos=%d" shard txn pos
+  | Shard_bypass { txn; shards } ->
+      Fmt.pf ppf "shard_bypass txn=%d shards=%d" txn shards
+  | Shard_spine { txn; gsn } -> Fmt.pf ppf "shard_spine txn=%d gsn=%d" txn gsn
+  | Shard_conflict { txn; against } ->
+      Fmt.pf ppf "shard_conflict txn=%d against=%d" txn against
 
 let pp ppf { ts; site; kind } = Fmt.pf ppf "[t=%d s=%d] %a" ts site pp_kind kind
 let to_string ev = Fmt.str "%a" pp ev

@@ -84,6 +84,23 @@ type kind =
   | Index_probe of { rel : string; index : string; kind : string }
       (** the executor answered a read through [index] instead of a base
           relation access path *)
+  | Shard_commit of { shard : int; txn : int; pos : int }
+      (** transaction [txn] (merged-order index) committed on [shard] at
+          shard-local stream position [pos]; the positions of one shard
+          must be exactly 0, 1, 2, ... — a gap or reorder is a torn
+          shard-local version stream *)
+  | Shard_bypass of { txn : int; shards : int }
+      (** cross-shard [txn] (touching [shards] shards) passed the
+          commutativity analysis and committed shard-locally, bypassing
+          the global spine *)
+  | Shard_spine of { txn : int; gsn : int }
+      (** cross-shard [txn] was serialized through the global arbiter as
+          global sequence number [gsn]; gsns must appear in exactly
+          increasing order — the spine is the single serial stream *)
+  | Shard_conflict of { txn : int; against : int }
+      (** the analysis found a non-commuting conflict between [txn] and
+          the earlier in-epoch transaction [against]; [txn] must therefore
+          take the spine, never the bypass *)
 
 type t = { ts : int; site : int; kind : kind }
 

@@ -8,6 +8,7 @@ type spec = {
   insert_pct : float;
   delete_pct : float;
   update_pct : float;
+  join_pct : float;
   miss_ratio : float;
   skew : float;
   clients : int;
@@ -22,6 +23,7 @@ let default_spec =
     insert_pct = 14.0;
     delete_pct = 0.0;
     update_pct = 0.0;
+    join_pct = 0.0;
     miss_ratio = 0.1;
     skew = 0.0;
     clients = 2;
@@ -52,7 +54,9 @@ let check spec =
   if spec.initial_tuples < 0 then invalid_arg "Workload: initial_tuples < 0";
   if spec.clients < 1 then invalid_arg "Workload: clients < 1";
   if spec.insert_pct < 0.0 || spec.delete_pct < 0.0 || spec.update_pct < 0.0
-     || spec.insert_pct +. spec.delete_pct +. spec.update_pct > 100.0
+     || spec.join_pct < 0.0
+     || spec.insert_pct +. spec.delete_pct +. spec.update_pct +. spec.join_pct
+        > 100.0
   then invalid_arg "Workload: bad operation mix";
   if spec.miss_ratio < 0.0 || spec.miss_ratio > 1.0 then
     invalid_arg "Workload: miss_ratio outside [0, 1]";
@@ -96,6 +100,7 @@ let generate spec =
   let n_ins = count_of_pct spec.insert_pct n in
   let n_del = count_of_pct spec.delete_pct n in
   let n_upd = count_of_pct spec.update_pct n in
+  let n_join = count_of_pct spec.join_pct n in
   let kinds = Array.make n `Find in
   for i = 0 to n_ins - 1 do
     kinds.(i) <- `Insert
@@ -105,6 +110,12 @@ let generate spec =
   done;
   for i = n_ins + n_del to min (n - 1) (n_ins + n_del + n_upd - 1) do
     kinds.(i) <- `Update
+  done;
+  for
+    i = n_ins + n_del + n_upd
+    to min (n - 1) (n_ins + n_del + n_upd + n_join - 1)
+  do
+    kinds.(i) <- `Join
   done;
   for i = n - 1 downto 1 do
     let j = Random.State.int rand (i + 1) in
@@ -155,6 +166,19 @@ let generate spec =
                      { rel; col = "val";
                        value = Value.Str (Printf.sprintf "u%d" key);
                        where = Ast.Cmp ("key", Ast.Eq, Value.Int key) })
+           | `Join ->
+               (* Cross-relation when there is more than one relation —
+                  the multi-site (cross-shard) transaction of the sharded
+                  executor.  Consumes one extra draw, but only workloads
+                  with [join_pct > 0] reach this branch, so historical
+                  seeds regenerate byte-identical streams. *)
+               let r2 =
+                 if k = 1 then r
+                 else (r + 1 + Random.State.int rand (k - 1)) mod k
+               in
+               Ast.Join
+                 { left = rel; right = relation_name (r2 + 1);
+                   on = ("key", "key") }
            | `Find ->
                let miss = Random.State.float rand 1.0 < spec.miss_ratio in
                if miss || !(present.(r)) = [] then

@@ -15,6 +15,10 @@ type spec = {
   insert_pct : float;  (** percentage of transactions that are inserts *)
   delete_pct : float;  (** extension beyond the paper; 0 in the paper grid *)
   update_pct : float;  (** extension: single-row updates; 0 in the paper grid *)
+  join_pct : float;
+      (** extension: cross-relation key joins — the multi-site
+          transactions of the sharded executor; 0 in the paper grid (and
+          [0.0] leaves historical seeds byte-identical) *)
   miss_ratio : float;  (** fraction of finds probing an absent key *)
   skew : float;
       (** key-popularity skew for find/delete/update references: [0.0]

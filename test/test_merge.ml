@@ -46,10 +46,45 @@ let test_merge_timed () =
   Alcotest.(check (list string)) "tie break" [ "x"; "y" ]
     (List.map (fun t -> t.M.item) tied)
 
+(* Pin the positions carried by Merge_take on a 3-stream merge: the pos
+   field must be the output position 0, 1, 2, ... in emission order (it
+   is threaded as a counter — recomputing it per take once made a traced
+   merge quadratic). *)
+let test_merge_take_positions () =
+  let (merged, trace) =
+    Fdb_obs.Trace.record (fun () ->
+        M.merge M.Arrival_order [ [ "a1"; "a2" ]; [ "b1" ]; [ "c1"; "c2" ] ])
+  in
+  let takes =
+    List.filter_map
+      (fun (e : Fdb_obs.Event.t) ->
+        match e.Fdb_obs.Event.kind with
+        | Fdb_obs.Event.Merge_take { tag; pos } -> Some (tag, pos)
+        | _ -> None)
+      trace
+  in
+  Alcotest.(check (list (pair int int)))
+    "one take per item, positions 0..4 in order"
+    [ (0, 0); (1, 1); (2, 2); (0, 3); (2, 4) ]
+    takes;
+  Alcotest.(check (list (pair int string)))
+    "round robin over three streams"
+    [ (0, "a1"); (1, "b1"); (2, "c1"); (0, "a2"); (2, "c2") ]
+    (List.map (fun t -> (t.M.tag, t.M.item)) merged)
+
 let test_empty_inputs () =
   Alcotest.(check int) "no streams" 0 (List.length (M.merge M.Arrival_order []));
   Alcotest.(check int) "empty streams" 0
     (List.length (M.merge (M.Seeded 3) [ []; [] ]))
+
+(* Non-positive burst sizes used to spin forever (nothing was ever
+   taken); they must be ignored and the merge must still drain. *)
+let test_eager_nonpositive_bursts () =
+  List.iter
+    (fun bursts ->
+      let merged = M.merge (M.Eager_clients bursts) [ [ 1; 2 ]; [ 3 ] ] in
+      Alcotest.(check int) "drains everything" 3 (List.length merged))
+    [ [ 0 ]; [ -2; 0 ]; [ 0; 2 ]; [] ]
 
 let gen_streams =
   QCheck2.Gen.(
@@ -108,7 +143,11 @@ let () =
             test_merge_unequal_lengths;
           Alcotest.test_case "choose" `Quick test_choose;
           Alcotest.test_case "timed" `Quick test_merge_timed;
+          Alcotest.test_case "traced take positions" `Quick
+            test_merge_take_positions;
           Alcotest.test_case "empty" `Quick test_empty_inputs;
+          Alcotest.test_case "non-positive bursts terminate" `Quick
+            test_eager_nonpositive_bursts;
         ] );
       ( "properties",
         [

@@ -427,6 +427,17 @@ let test_sink_run_repair () =
   check_final_db "run_repair" report.Pipeline.rep_final_db
     (History.latest r.Wal.rhistory)
 
+let test_sink_run_sharded () =
+  let store = Wal.Mem.store (Wal.Mem.create ()) in
+  let w = Wal.create ~store (Pipeline.initial_database spec_small) in
+  let report = Pipeline.run_sharded ~shards:2 ~wal:w spec_small tagged in
+  let r = recover_clean store in
+  Alcotest.(check int) "all appends durable" (Wal.appended w) r.Wal.upto;
+  Alcotest.(check int) "one version per commit plus the initial"
+    report.Pipeline.sh_versions (1 + r.Wal.upto);
+  check_final_db "run_sharded" report.Pipeline.sh_final_db
+    (History.latest r.Wal.rhistory)
+
 (* The three logging modes agree: same inputs, same durable version chain. *)
 let test_sink_modes_agree () =
   let log run =
@@ -512,6 +523,7 @@ let () =
           Alcotest.test_case "run_streams" `Quick test_sink_run_streams;
           Alcotest.test_case "run_parallel" `Slow test_sink_run_parallel;
           Alcotest.test_case "run_repair" `Slow test_sink_run_repair;
+          Alcotest.test_case "run_sharded" `Quick test_sink_run_sharded;
           Alcotest.test_case "modes agree" `Slow test_sink_modes_agree;
           Alcotest.test_case "rejects Prepend" `Quick test_sink_rejects_prepend;
         ] );
