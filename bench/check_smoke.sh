@@ -45,3 +45,8 @@ for metric in plan.index_probe plan.index_only plan.index_aggregate \
     exit 1
   }
 done
+# Traffic smoke: the open-loop harness through every execution mode on two
+# layouts — final states must agree (the command exits 1 on divergence) —
+# plus a quick bench run (artifact to a scratch path).
+"$FDBSIM" traffic -n 600 --tuples 2000 > /dev/null
+"$BENCH" traffic --quick -o "${TMPDIR:-/tmp}/BENCH_traffic_smoke.json" > /dev/null

@@ -1227,6 +1227,133 @@ let wal_bench ~quick ~seed ~out =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* -- traffic: open-loop production harness over the execution modes ---------- *)
+
+let traffic_bench ~quick ~seed ~out =
+  let module Openloop = Fdb_workload.Openloop in
+  let module Traffic = Fdb.Traffic in
+  let module R = Fdb_relational.Relation in
+  section
+    (Printf.sprintf
+       "Production traffic: open-loop stream, latency percentiles (%s)"
+       (if quick then "quick" else "full"));
+  let initial_tuples = if quick then 20_000 else 1_000_000 in
+  let txns = if quick then 4_000 else 30_000 in
+  let spec = Openloop.standard ~initial_tuples ~txns ~seed () in
+  let t0 = Unix.gettimeofday () in
+  let plan = Openloop.generate spec in
+  let gen_s = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "generated %d txns over %d initial tuples (%d tenants) in %.2fs\n"
+    (Openloop.total_txns plan) initial_tuples spec.Openloop.tenants gen_s;
+  let clock = Monotonic_clock.now in
+  let runs =
+    [
+      (Traffic.Sequential, R.Btree_backend 8);
+      (Traffic.Sequential, R.Column_backend 256);
+    ]
+    @
+    (* the batched modes at differential scale: they re-materialize state
+       between microbatches, so they ride a smaller stream *)
+    if quick then []
+    else
+      [
+        (Traffic.Parallel { domains = None }, R.Btree_backend 8);
+        (Traffic.Sharded { shards = 4 }, R.Btree_backend 8);
+      ]
+  in
+  let small_plan =
+    if quick then plan
+    else Openloop.generate (Openloop.standard ~initial_tuples:20_000 ~txns:4_000 ~seed ())
+  in
+  let reports =
+    List.map
+      (fun (mode, backend) ->
+        let p =
+          match mode with Traffic.Sequential -> plan | _ -> small_plan
+        in
+        let r = Traffic.drive ~mode ~backend ~clock p in
+        Printf.printf
+          "%-10s %-10s load %6.2fs  run %6.2fs  %9.0f txn/s  p50 %7.0fns  \
+           p99 %8.0fns  p999 %8.0fns  failed %d\n"
+          r.Traffic.tr_mode r.Traffic.tr_backend r.Traffic.tr_load_s
+          r.Traffic.tr_run_s r.Traffic.tr_throughput r.Traffic.tr_p50_ns
+          r.Traffic.tr_p99_ns r.Traffic.tr_p999_ns r.Traffic.tr_failed;
+        List.iter
+          (fun ph ->
+            Printf.printf
+              "           phase %-12s %6d txns  p50 %7.0fns  p99 %8.0fns  \
+               p999 %8.0fns\n"
+              ph.Traffic.ph_name ph.Traffic.ph_txns ph.Traffic.ph_p50_ns
+              ph.Traffic.ph_p99_ns ph.Traffic.ph_p999_ns)
+          r.Traffic.tr_phases;
+        (mode, r))
+      runs
+  in
+  (* differential: every sequential run saw the same stream, so the final
+     states must agree across backends — and the batched modes against the
+     small stream's sequential reference *)
+  (match reports with
+  | (_, first) :: _ ->
+      let small_ref =
+        if quick then first.Traffic.tr_final_digest
+        else
+          (Traffic.drive ~backend:(R.Btree_backend 8) ~clock small_plan)
+            .Traffic.tr_final_digest
+      in
+      List.iter
+        (fun (mode, r) ->
+          let expect =
+            match mode with
+            | Traffic.Sequential when not quick -> first.Traffic.tr_final_digest
+            | _ -> small_ref
+          in
+          if r.Traffic.tr_final_digest <> expect then begin
+            Printf.printf "FAIL: %s/%s final state diverges\n"
+              r.Traffic.tr_mode r.Traffic.tr_backend;
+            exit 1
+          end)
+        reports;
+      Printf.printf "final states agree across backends and modes\n"
+  | [] -> ());
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"mode\": %S,\n  \"seed\": %d,\n  \"git_rev\": %S,\n  \
+     \"relations\": %d,\n  \"initial_tuples\": %d,\n  \"tenants\": %d,\n  \
+     \"txns\": %d,\n  \"generate_s\": %.3f,\n  \"results\": [\n"
+    (if quick then "quick" else "full")
+    seed (git_rev ()) spec.Openloop.relations initial_tuples
+    spec.Openloop.tenants txns gen_s;
+  List.iteri
+    (fun i (_, r) ->
+      let phases =
+        String.concat ", "
+          (List.map
+             (fun ph ->
+               Printf.sprintf
+                 "{\"name\": %S, \"txns\": %d, \"p50_ns\": %.0f, \
+                  \"p99_ns\": %.0f, \"p999_ns\": %.0f}"
+                 ph.Traffic.ph_name ph.Traffic.ph_txns ph.Traffic.ph_p50_ns
+                 ph.Traffic.ph_p99_ns ph.Traffic.ph_p999_ns)
+             r.Traffic.tr_phases)
+      in
+      Printf.fprintf oc
+        "    {\"mode\": %S, \"backend\": %S, \"initial_tuples\": %d, \
+         \"txns\": %d, \"load_s\": %.3f, \"run_s\": %.3f, \
+         \"throughput_txn_s\": %.0f, \"latency_unit\": %S, \"p50_ns\": %.0f, \
+         \"p99_ns\": %.0f, \"p999_ns\": %.0f, \"failed\": %d, \
+         \"final_tuples\": %d, \"final_digest\": %S, \"phases\": [%s]}%s\n"
+        r.Traffic.tr_mode r.Traffic.tr_backend r.Traffic.tr_initial_tuples
+        r.Traffic.tr_txns r.Traffic.tr_load_s r.Traffic.tr_run_s
+        r.Traffic.tr_throughput r.Traffic.tr_latency_unit r.Traffic.tr_p50_ns
+        r.Traffic.tr_p99_ns r.Traffic.tr_p999_ns r.Traffic.tr_failed
+        r.Traffic.tr_final_tuples r.Traffic.tr_final_digest phases
+        (if i = List.length reports - 1 then "" else ","))
+    reports;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 (* -- trace-overhead: zero allocations when the sink is disabled -------------- *)
 
 let trace_overhead () =
@@ -1496,6 +1623,25 @@ let () =
         incr i
       done;
       wal_bench ~quick:!quick ~seed:!seed ~out:!out
+  | "traffic" ->
+      let quick = ref false and out = ref "BENCH_traffic.json" in
+      let seed = ref 42 in
+      let i = ref 2 in
+      while !i < Array.length Sys.argv do
+        (match Sys.argv.(!i) with
+        | "--quick" -> quick := true
+        | "--seed" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            seed := int_of_string Sys.argv.(!i)
+        | "-o" | "--output" when !i + 1 < Array.length Sys.argv ->
+            incr i;
+            out := Sys.argv.(!i)
+        | a ->
+            Printf.eprintf "traffic: unknown argument %S\n" a;
+            exit 1);
+        incr i
+      done;
+      traffic_bench ~quick:!quick ~seed:!seed ~out:!out
   | "trace-overhead" -> trace_overhead ()
   | "micro" -> micro ()
   | "all" -> all ()
@@ -1509,6 +1655,7 @@ let () =
          par [--quick] [--seed N] [-o FILE]|\
          repair [--quick] [--seed N] [-o FILE]|\
          shard [--quick] [--seed N] [-o FILE]|\
-         wal [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
+         wal [--quick] [--seed N] [-o FILE]|\
+         traffic [--quick] [--seed N] [-o FILE]|trace-overhead|micro|all)\n"
         other;
       exit 1

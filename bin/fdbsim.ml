@@ -1735,6 +1735,71 @@ let wal_cmd =
   in
   Cmd.v (Cmd.info "wal" ~doc) Term.(const go $ seed_arg $ dir $ gen)
 
+(* -- traffic: open-loop stream through the execution modes --------------------- *)
+
+let traffic_cmd =
+  let module Openloop = Fdb_workload.Openloop in
+  let module Traffic = Fdb.Traffic in
+  let module Relation = Fdb_relational.Relation in
+  let txns =
+    Arg.(
+      value & opt int 2_000 & info [ "n"; "transactions" ] ~doc:"Transactions.")
+  in
+  let tuples =
+    Arg.(value & opt int 5_000 & info [ "tuples" ] ~doc:"Initial tuples.")
+  in
+  let relations =
+    Arg.(value & opt int 2 & info [ "r"; "relations" ] ~doc:"Relations.")
+  in
+  let tenants =
+    Arg.(value & opt int 3 & info [ "tenants" ] ~doc:"Tenant streams.")
+  in
+  let go txns tuples relations tenants seed =
+    let plan =
+      Openloop.generate
+        (Openloop.standard ~relations ~initial_tuples:tuples ~tenants ~txns
+           ~seed ())
+    in
+    Format.printf "%d transactions over %d initial tuples, %d tenants@." txns
+      tuples tenants;
+    let print r =
+      Format.printf
+        "%-10s %-10s %9.0f txn/s  p50 %7.0fns  p99 %8.0fns  p999 %8.0fns  \
+         failed %d@."
+        r.Traffic.tr_mode r.Traffic.tr_backend r.Traffic.tr_throughput
+        r.Traffic.tr_p50_ns r.Traffic.tr_p99_ns r.Traffic.tr_p999_ns
+        r.Traffic.tr_failed;
+      r.Traffic.tr_final_digest
+    in
+    (* differential smoke: the same stream through every execution mode and
+       two layouts must land byte-identical final states *)
+    let reference =
+      print (Traffic.drive ~backend:(Relation.Btree_backend 8) plan)
+    in
+    let digests =
+      List.map
+        (fun (mode, backend) -> print (Traffic.drive ~mode ~backend plan))
+        [
+          (Traffic.Sequential, Relation.Column_backend 256);
+          (Traffic.Parallel { domains = None }, Relation.Btree_backend 8);
+          (Traffic.Repair { batch = 32 }, Relation.Btree_backend 8);
+          (Traffic.Sharded { shards = 4 }, Relation.Btree_backend 8);
+        ]
+    in
+    if List.for_all (String.equal reference) digests then
+      Format.printf "final states agree across modes and backends@."
+    else begin
+      Format.printf "FAIL: final states diverge@.";
+      exit 1
+    end
+  in
+  let doc =
+    "Drive an open-loop traffic plan through every execution mode and check \
+     the final states agree."
+  in
+  Cmd.v (Cmd.info "traffic" ~doc)
+    Term.(const go $ txns $ tuples $ relations $ tenants $ seed_arg)
+
 (* -- topo: describe a topology -------------------------------------------------- *)
 
 let topo_cmd =
@@ -1766,4 +1831,4 @@ let () =
        (Cmd.group info
           [ run_cmd; explain_cmd; index_cmd; workload_cmd; table_cmd; fel_cmd;
             topo_cmd; check_cmd; recover_cmd; trace_cmd; stats_cmd; par_cmd;
-            repair_cmd; shard_cmd; recover_disk_cmd; wal_cmd ]))
+            repair_cmd; shard_cmd; recover_disk_cmd; wal_cmd; traffic_cmd ]))

@@ -145,7 +145,8 @@ let build (desc : Plan.index_desc) r =
   let branching =
     match Relation.backend r with
     | Relation.Btree_backend b -> Some b
-    | Relation.List_backend | Relation.Avl_backend | Relation.Two3_backend ->
+    | Relation.List_backend | Relation.Avl_backend | Relation.Two3_backend
+    | Relation.Column_backend _ ->
         None
   in
   let ( let* ) = Result.bind in

@@ -148,6 +148,31 @@ let merged_stats h =
     buckets = !buckets;
   }
 
+(* The q-quantile estimated from the power-of-two buckets: find the bucket
+   the target rank falls in and interpolate linearly inside it, clamped to
+   the exact observed min/max so the ends are never extrapolated past
+   reality.  Resolution is the bucket width (a factor of two), which is
+   what a latency tail wants: p99/p999 within 2x at O(1) space. *)
+let percentile (h : histo_stats) q =
+  if h.count = 0 then 0.0
+  else
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int h.count in
+    let rec go cum = function
+      | [] -> float_of_int h.max
+      | (upper, n) :: rest ->
+          let cum' = cum +. float_of_int n in
+          if cum' >= rank || rest = [] then
+            let hi = float_of_int upper in
+            (* bucket with inclusive upper 2^i - 1 starts at 2^(i-1) *)
+            let lo = if upper <= 0 then hi else float_of_int ((upper + 1) / 2) in
+            let frac = if n = 0 then 0.0 else (rank -. cum) /. float_of_int n in
+            Float.max (float_of_int h.min)
+              (Float.min (float_of_int h.max) (lo +. (frac *. (hi -. lo))))
+          else go cum' rest
+    in
+    go 0.0 h.buckets
+
 (* Only instruments with activity appear: a merely-registered counter is
    indistinguishable from an unloaded module's, so including zeros would
    make snapshots depend on initialisation order. *)

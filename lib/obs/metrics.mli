@@ -41,6 +41,14 @@ type histo_stats = {
   buckets : (int * int) list;  (** (inclusive upper bound, count), non-empty buckets only *)
 }
 
+val percentile : histo_stats -> float -> float
+(** [percentile stats q] ([q] in [[0, 1]], clamped) estimates the
+    q-quantile of the observations from the power-of-two buckets by linear
+    interpolation within the bucket the rank falls in, clamped to the
+    exact observed min/max — the p50/p99/p999 reader for latency
+    histograms.  [0.0] when empty.  Resolution is the bucket width, i.e.
+    within a factor of two. *)
+
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
   histograms : (string * histo_stats) list;  (** sorted by name *)

@@ -11,23 +11,39 @@ module AV = Avl.Make (TupleByKey)
 module T23 = Two3.Make (TupleByKey)
 module BT = Btree.Make (TupleByKey)
 
+module CO = Column.Make (struct
+  type t = Tuple.t
+
+  type field = Value.t
+
+  (* a tuple already is its field array; field 0 is the key *)
+  let fields = Fun.id
+
+  let of_fields = Fun.id
+
+  let compare_field = Value.compare
+end)
+
 type backend =
   | List_backend
   | Avl_backend
   | Two3_backend
   | Btree_backend of int
+  | Column_backend of int
 
 let backend_name = function
   | List_backend -> "list"
   | Avl_backend -> "avl"
   | Two3_backend -> "two3"
   | Btree_backend b -> Printf.sprintf "btree-%d" b
+  | Column_backend c -> Printf.sprintf "column-%d" c
 
 type repr =
   | L of PL.t
   | A of AV.t
   | T of T23.t
   | B of BT.t
+  | C of CO.t
 
 type t = { schema : Schema.t; back : backend; repr : repr }
 
@@ -38,6 +54,7 @@ let create ?(backend = List_backend) schema =
     | Avl_backend -> A AV.empty
     | Two3_backend -> T T23.empty
     | Btree_backend b -> B (BT.create ~branching:b ())
+    | Column_backend c -> C (CO.create ~chunk:c ())
   in
   { schema; back = backend; repr }
 
@@ -50,6 +67,7 @@ let size r =
   | A a -> AV.size a
   | T t -> T23.size t
   | B b -> BT.size b
+  | C c -> CO.size c
 
 let to_list r =
   match r.repr with
@@ -57,6 +75,7 @@ let to_list r =
   | A a -> AV.to_list a
   | T t -> T23.to_list t
   | B b -> BT.to_list b
+  | C c -> CO.to_list c
 
 (* A probe tuple carrying only the key; compare_key ignores the rest. *)
 let probe key = [| key |]
@@ -67,6 +86,7 @@ let mem_key r key =
   | A a -> AV.member (probe key) a
   | T t -> T23.member (probe key) t
   | B b -> BT.member (probe key) b
+  | C c -> CO.member (probe key) c
 
 let find_key r key =
   match r.repr with
@@ -74,6 +94,7 @@ let find_key r key =
   | A a -> AV.find (probe key) a
   | T t -> T23.find (probe key) t
   | B b -> BT.find (probe key) b
+  | C c -> CO.find (probe key) c
 
 let insert ?meter r tuple =
   if not (Schema.matches r.schema tuple) then
@@ -88,6 +109,7 @@ let insert ?meter r tuple =
       | A a -> A (AV.insert ?meter tuple a)
       | T t -> T (T23.insert ?meter tuple t)
       | B b -> B (BT.insert ?meter tuple b)
+      | C c -> C (CO.insert ?meter tuple c)
     in
     Ok ({ r with repr }, true)
 
@@ -105,6 +127,9 @@ let delete_key ?meter r key =
   | B b ->
       let (b', found) = BT.delete ?meter (probe key) b in
       ({ r with repr = B b' }, found)
+  | C c ->
+      let (c', found) = CO.delete ?meter (probe key) c in
+      ({ r with repr = C c' }, found)
 
 let select r pred = List.filter pred (to_list r)
 
@@ -114,6 +139,7 @@ let fold ?meter f acc r =
   | A a -> AV.fold ?meter f acc a
   | T t -> T23.fold ?meter f acc t
   | B b -> BT.fold ?meter f acc b
+  | C c -> CO.fold ?meter f acc c
 
 let iter f r =
   match r.repr with
@@ -121,6 +147,7 @@ let iter f r =
   | A a -> AV.iter f a
   | T t -> T23.iter f t
   | B b -> BT.iter f b
+  | C c -> CO.iter f c
 
 type bound = Inclusive of Value.t | Exclusive of Value.t
 
@@ -145,6 +172,7 @@ let range_fold ?meter ?lo ?hi f acc r =
   | A a -> AV.range_fold ?meter ~ge_lo ~le_hi f acc a
   | T t -> T23.range_fold ?meter ~ge_lo ~le_hi f acc t
   | B b -> BT.range_fold ?meter ~ge_lo ~le_hi f acc b
+  | C c -> CO.range_fold ?meter ~ge_lo ~le_hi f acc c
 
 let range ?meter ?lo ?hi r =
   List.rev (range_fold ?meter ?lo ?hi (fun acc tup -> tup :: acc) [] r)
@@ -176,16 +204,42 @@ let update ?meter ?lo ?hi r rewrite =
   | B b ->
       let (b', n) = BT.rewrite ?meter ~ge_lo ~le_hi f b in
       ((if n = 0 then r else { r with repr = B b' }), n)
+  | C c ->
+      let (c', n) = CO.rewrite ?meter ~ge_lo ~le_hi f c in
+      ((if n = 0 then r else { r with repr = C c' }), n)
 
 let of_tuples ?backend schema tuples =
-  let rec go r = function
-    | [] -> Ok r
-    | tup :: rest -> (
-        match insert r tup with
-        | Ok (r', _) -> go r' rest
-        | Error e -> Error e)
-  in
-  go (create ?backend schema) tuples
+  match backend with
+  | Some (Column_backend chunk) -> (
+      (* bulk path: validate, then sort-and-pack in one pass — the
+         sequential insert fold below would rebuild a chunk per tuple *)
+      let rec validate = function
+        | [] -> Ok ()
+        | tup :: rest ->
+            if Schema.matches schema tup then validate rest
+            else
+              Error
+                (Format.asprintf "tuple %a does not match schema %a" Tuple.pp
+                   tup Schema.pp schema)
+      in
+      match validate tuples with
+      | Error e -> Error e
+      | Ok () ->
+          Ok
+            {
+              schema;
+              back = Column_backend chunk;
+              repr = C (CO.of_list ~chunk tuples);
+            })
+  | _ ->
+      let rec go r = function
+        | [] -> Ok r
+        | tup :: rest -> (
+            match insert r tup with
+            | Ok (r', _) -> go r' rest
+            | Error e -> Error e)
+      in
+      go (create ?backend schema) tuples
 
 let shared_units ~old r =
   match (old.repr, r.repr) with
@@ -193,7 +247,10 @@ let shared_units ~old r =
   | (A o, A n) -> AV.shared_nodes ~old:o n
   | (T o, T n) -> T23.shared_nodes ~old:o n
   | (B o, B n) -> BT.shared_pages ~old:o n
+  | (C o, C n) -> CO.shared_chunks ~old:o n
   | _ -> invalid_arg "Relation.shared_units: backend mismatch"
+
+let column_chunks r = match r.repr with C c -> CO.chunks_cols c | _ -> [||]
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>%a [%s, %d tuples]@]" Schema.pp r.schema

@@ -9,6 +9,9 @@ type backend =
   | Avl_backend
   | Two3_backend
   | Btree_backend of int  (** branching factor *)
+  | Column_backend of int
+      (** chunked column store: per-column packed arrays at this chunk
+          granularity, persistent by chunk path-copying *)
 
 val backend_name : backend -> string
 
@@ -86,8 +89,16 @@ val of_tuples : ?backend:backend -> Schema.t -> Tuple.t list -> (t, string) resu
     first occurrence. *)
 
 val shared_units : old:t -> t -> int * int
-(** [(shared, total)] physical sharing (cells, nodes or pages, per the
-    backend) of the new version against the old.  Both must use the same
-    backend. @raise Invalid_argument otherwise. *)
+(** [(shared, total)] physical sharing (cells, nodes, pages or chunks, per
+    the backend) of the new version against the old.  Both must use the
+    same backend. @raise Invalid_argument otherwise. *)
+
+val column_chunks : t -> Value.t array array array
+(** The packed per-chunk column arrays of a {!constructor:Column_backend}
+    relation, ascending: element [ci] is chunk [ci]'s columns,
+    [cols.(j).(i)] the value of column [j] in its row [i].  Shared with
+    the relation — callers must not mutate.  [[||]] for other backends
+    (indistinguishable from an empty column relation; callers dispatch on
+    {!val:backend} first). *)
 
 val pp : Format.formatter -> t -> unit

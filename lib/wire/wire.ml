@@ -76,6 +76,9 @@ let w_backend b = function
   | Relation.Btree_backend k ->
       Buffer.add_char b 'B';
       w_int b k
+  | Relation.Column_backend k ->
+      Buffer.add_char b 'C';
+      w_int b k
 
 let w_schema b schema =
   w_str b (Schema.name schema);
@@ -169,6 +172,7 @@ let r_backend r =
   | 'A' -> Relation.Avl_backend
   | 'T' -> Relation.Two3_backend
   | 'B' -> Relation.Btree_backend (r_int r)
+  | 'C' -> Relation.Column_backend (r_int r)
   | c -> corrupt at "bad backend tag %C" c
 
 let r_schema r =
@@ -344,6 +348,42 @@ let decode_version ~prev src =
   if next <> String.length src then corrupt next "trailing bytes after delta";
   db
 
+(* -- chunked column payloads -------------------------------------------------
+
+   A whole relation as a header frame plus one frame per chunk, the chunk
+   bodies column-major and typed by the schema (no per-value tags — the
+   column layout pays for itself on the wire).  A [Column_backend] relation
+   serializes its actual chunks; any other backend is packed into fixed
+   256-row runs, so the format is backend-agnostic. *)
+
+let column_magic = "FDBCOL1"
+
+let generic_chunk_rows = 256
+
+let w_col_value b ctype v =
+  match (ctype, v) with
+  | (Schema.CInt, Value.Int n) -> w_int b n
+  | (Schema.CStr, Value.Str s) -> w_str b s
+  | (Schema.CBool, Value.Bool v) -> Buffer.add_char b (if v then '1' else '0')
+  | (Schema.CReal, Value.Real v) -> w_str b (Printf.sprintf "%h" v)
+  | _ -> invalid_arg "Wire.encode_chunked: value does not match its column"
+
+let r_col_value r ctype =
+  match ctype with
+  | Schema.CInt -> Value.Int (r_int r)
+  | Schema.CStr -> Value.Str (r_str r)
+  | Schema.CBool -> (
+      let at = r.pos in
+      match r_char r with
+      | '0' -> Value.Bool false
+      | '1' -> Value.Bool true
+      | c -> corrupt at "bad packed bool %C" c)
+  | Schema.CReal -> (
+      let at = r.pos in
+      match float_of_string_opt (r_str r) with
+      | Some f -> Value.Real f
+      | None -> corrupt at "bad packed float")
+
 (* -- frames ------------------------------------------------------------------
 
    | len 4B LE | ver 1B | kind 1B | crc32c 4B LE | payload |
@@ -444,3 +484,100 @@ let read_frame src ~pos =
                     payload = String.sub src (pos + frame_overhead) plen;
                     next = pos + frame_overhead + plen;
                   }
+
+let encode_chunked rel =
+  let schema = Relation.schema rel in
+  let ctypes = Array.of_list (List.map snd (Schema.columns schema)) in
+  let ncols = Array.length ctypes in
+  let chunks =
+    match Relation.backend rel with
+    | Relation.Column_backend _ -> Relation.column_chunks rel
+    | _ ->
+        let tuples = Array.of_list (Relation.to_list rel) in
+        let n = Array.length tuples in
+        let nchunks = (n + generic_chunk_rows - 1) / generic_chunk_rows in
+        Array.init nchunks (fun ci ->
+            let lo = ci * generic_chunk_rows in
+            let len = min generic_chunk_rows (n - lo) in
+            Array.init ncols (fun j ->
+                Array.init len (fun i -> Tuple.get tuples.(lo + i) j)))
+  in
+  let header = Buffer.create 64 in
+  Buffer.add_string header column_magic;
+  w_schema header schema;
+  w_backend header (Relation.backend rel);
+  w_int header (Array.length chunks);
+  w_int header (Relation.size rel);
+  let out = Buffer.create 4096 in
+  Buffer.add_string out (frame ~kind:Checkpoint (Buffer.contents header));
+  Array.iter
+    (fun cols ->
+      if Array.length cols <> ncols then
+        invalid_arg "Wire.encode_chunked: chunk width differs from the schema";
+      let rows = if ncols = 0 then 0 else Array.length cols.(0) in
+      let b = Buffer.create (rows * 8) in
+      w_int b rows;
+      Array.iteri
+        (fun j col ->
+          if Array.length col <> rows then
+            invalid_arg "Wire.encode_chunked: ragged chunk";
+          Array.iter (w_col_value b ctypes.(j)) col)
+        cols;
+      Buffer.add_string out (frame ~kind:Delta (Buffer.contents b)))
+    chunks;
+  Buffer.contents out
+
+(* Validate the frame at [pos] (CRC) and hand back an in-place reader over
+   its payload, so [Corrupt] offsets stay absolute in [src]. *)
+let chunk_frame src ~pos ~expect =
+  match read_frame src ~pos with
+  | End_of_input -> corrupt pos "truncated chunk stream"
+  | Torn { offset; reason } -> corrupt offset "torn frame: %s" reason
+  | Frame { kind; next; _ } ->
+      if kind <> expect then corrupt pos "unexpected frame kind";
+      ({ src; pos = pos + frame_overhead }, next)
+
+let decode_chunked src =
+  let (r, next) = chunk_frame src ~pos:0 ~expect:Checkpoint in
+  let at = r.pos in
+  if
+    r.pos + String.length column_magic > String.length src
+    || String.sub src r.pos (String.length column_magic) <> column_magic
+  then corrupt at "bad magic";
+  r.pos <- r.pos + String.length column_magic;
+  let schema = r_schema r in
+  let backend = r_backend r in
+  let nchunks = r_int r in
+  if nchunks < 0 then corrupt at "bad chunk count %d" nchunks;
+  let nrows = r_int r in
+  if nrows < 0 then corrupt at "bad row count %d" nrows;
+  if r.pos <> next then corrupt r.pos "trailing bytes in chunk header";
+  let ctypes = Array.of_list (List.map snd (Schema.columns schema)) in
+  let ncols = Array.length ctypes in
+  let pos = ref next in
+  let tuples = ref [] in
+  let total = ref 0 in
+  for _ = 1 to nchunks do
+    let (r, next) = chunk_frame src ~pos:!pos ~expect:Delta in
+    let at = r.pos in
+    let rows = r_int r in
+    if rows < 0 then corrupt at "bad chunk row count %d" rows;
+    let cols =
+      Array.map (fun ctype -> Array.init rows (fun _ -> r_col_value r ctype)) ctypes
+    in
+    if r.pos <> next then corrupt r.pos "trailing bytes in chunk";
+    for i = rows - 1 downto 0 do
+      tuples := Tuple.make (List.init ncols (fun j -> cols.(j).(i))) :: !tuples
+    done;
+    total := !total + rows;
+    pos := next
+  done;
+  (match read_frame src ~pos:!pos with
+  | End_of_input -> ()
+  | Torn { offset; reason } -> corrupt offset "torn frame: %s" reason
+  | Frame _ -> corrupt !pos "trailing bytes after chunk stream");
+  if !total <> nrows then
+    corrupt !pos "row count mismatch (header %d, chunks %d)" nrows !total;
+  match Relation.of_tuples ~backend schema (List.rev !tuples) with
+  | Ok rel -> rel
+  | Error m -> corrupt 0 "bad chunked relation: %s" m

@@ -91,6 +91,26 @@ val decode_version : prev:Database.t -> string -> Database.t
 (** {!decode_version_sub} over the whole string.
     @raise Corrupt on invalid input or trailing bytes. *)
 
+(** {1 Chunked column payloads} *)
+
+val encode_chunked : Relation.t -> string
+(** A whole relation as a self-delimiting frame stream: one
+    {!constructor:Checkpoint} header frame (schema, backend, chunk and row
+    counts) followed by one {!constructor:Delta} frame per chunk, the
+    chunk bodies packed column-major and typed by the schema — no
+    per-value tags, the column layout's compact binary form.  A
+    {!Fdb_relational.Relation.Column_backend} relation writes its actual
+    chunks; any other backend is packed into fixed 256-row runs, so the
+    format is backend-agnostic.  Each chunk rides its own CRC32c frame, so
+    torn writes and bit flips are detected per chunk. *)
+
+val decode_chunked : string -> Relation.t
+(** Inverse of {!encode_chunked}; tuples are bulk-reloaded into the
+    recorded backend (the column backend's O(n log n) pack path).  Must
+    consume the whole string.
+    @raise Corrupt on torn or truncated frames, checksum mismatch,
+    structural damage or trailing bytes. *)
+
 (** {1 Varint helpers}
 
     The self-delimiting integer encoding the payload codecs use (decimal

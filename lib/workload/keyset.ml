@@ -1,0 +1,112 @@
+(* An indexable set of present keys, ranked newest-first.
+
+   The generator used to keep each relation's present keys as a plain list
+   (head = most recently inserted) and address it with [List.nth] /
+   [List.filter] — O(n) per reference, O(n^2) per workload, minutes for a
+   million-tuple spec.  This is the same abstract sequence with O(log n)
+   rank selection and rank removal: keys live in an append-order array and
+   a Fenwick (binary indexed) tree counts the alive slots, so the element
+   at newest-first rank [i] is the [(count - i)]-th alive slot in append
+   order.  Ranks — and therefore every random draw the generator makes —
+   are identical to the legacy list at every skew, which is what keeps
+   historical seeds byte-identical. *)
+
+type t = {
+  mutable keys : int array;  (* append order; slots [0, len) are in use *)
+  mutable alive : Bytes.t;  (* '\001' alive, '\000' removed, per slot *)
+  mutable tree : int array;  (* 1-based Fenwick tree over the alive flags *)
+  mutable cap : int;  (* a power of two *)
+  mutable len : int;
+  mutable count : int;  (* alive slots *)
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(capacity = 8) () =
+  let cap = pow2_at_least (max 1 capacity) 1 in
+  {
+    keys = Array.make cap 0;
+    alive = Bytes.make cap '\000';
+    tree = Array.make (cap + 1) 0;
+    cap;
+    len = 0;
+    count = 0;
+  }
+
+let size t = t.count
+
+(* Add [delta] at slot [p] (0-based) in the Fenwick tree. *)
+let bump t p delta =
+  let i = ref (p + 1) in
+  while !i <= t.cap do
+    t.tree.(!i) <- t.tree.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+let grow t =
+  let cap = t.cap * 2 in
+  let keys = Array.make cap 0 in
+  Array.blit t.keys 0 keys 0 t.len;
+  let alive = Bytes.make cap '\000' in
+  Bytes.blit t.alive 0 alive 0 t.len;
+  (* Linear-time Fenwick build: by the time slot [i] propagates to its
+     parent it already holds its own flag plus its children's sums. *)
+  let tree = Array.make (cap + 1) 0 in
+  for i = 1 to cap do
+    if i <= t.len && Bytes.get alive (i - 1) = '\001' then
+      tree.(i) <- tree.(i) + 1;
+    let j = i + (i land -i) in
+    if j <= cap then tree.(j) <- tree.(j) + tree.(i)
+  done;
+  t.keys <- keys;
+  t.alive <- alive;
+  t.tree <- tree;
+  t.cap <- cap
+
+let prepend t key =
+  if t.len = t.cap then grow t;
+  t.keys.(t.len) <- key;
+  Bytes.set t.alive t.len '\001';
+  bump t t.len 1;
+  t.len <- t.len + 1;
+  t.count <- t.count + 1
+
+(* 0-based slot of the k-th (1-based) alive slot in append order, by
+   binary lifting down the Fenwick tree: O(log cap). *)
+let select t k =
+  let pos = ref 0 and rem = ref k in
+  let bit = ref t.cap in
+  while !bit > 0 do
+    let next = !pos + !bit in
+    if next <= t.cap && t.tree.(next) < !rem then begin
+      rem := !rem - t.tree.(next);
+      pos := next
+    end;
+    bit := !bit / 2
+  done;
+  !pos
+
+let get t idx =
+  if idx < 0 || idx >= t.count then invalid_arg "Keyset.get: rank out of range";
+  t.keys.(select t (t.count - idx))
+
+let remove t idx =
+  if idx < 0 || idx >= t.count then
+    invalid_arg "Keyset.remove: rank out of range";
+  let p = select t (t.count - idx) in
+  Bytes.set t.alive p '\000';
+  bump t p (-1);
+  t.count <- t.count - 1;
+  t.keys.(p)
+
+let of_list newest_first =
+  let t = create ~capacity:(max 8 (List.length newest_first)) () in
+  List.iter (prepend t) (List.rev newest_first);
+  t
+
+let to_list t =
+  let acc = ref [] in
+  for p = 0 to t.len - 1 do
+    if Bytes.get t.alive p = '\001' then acc := t.keys.(p) :: !acc
+  done;
+  !acc

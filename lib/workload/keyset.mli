@@ -1,0 +1,35 @@
+(** Indexable present-key set, ranked newest-first.
+
+    The dense replacement for the generator's per-relation key lists:
+    rank 0 is the most recently prepended key, the highest rank the oldest
+    survivor, exactly the order of the legacy
+    [key :: rest] / [List.nth] / [List.filter] representation — but
+    selection and removal by rank are O(log n) (Fenwick tree over an
+    append-order array), so million-key workloads generate in seconds. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty set.  [capacity] pre-sizes the backing array (it grows by
+    doubling regardless). *)
+
+val of_list : int list -> t
+(** From a newest-first key list (the legacy [present] representation). *)
+
+val size : t -> int
+(** Keys currently present. *)
+
+val prepend : t -> int -> unit
+(** Add a key at rank 0 (the "most recent" end). *)
+
+val get : t -> int -> int
+(** [get t rank] is the key at newest-first [rank].
+    @raise Invalid_argument unless [0 <= rank < size t]. *)
+
+val remove : t -> int -> int
+(** Remove and return the key at newest-first [rank]; the ranks of the
+    remaining keys keep their relative order.
+    @raise Invalid_argument unless [0 <= rank < size t]. *)
+
+val to_list : t -> int list
+(** Newest-first, the legacy order. *)

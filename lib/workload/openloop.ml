@@ -1,0 +1,286 @@
+open Fdb_relational
+module Ast = Fdb_query.Ast
+
+type mix = {
+  insert_pct : float;
+  delete_pct : float;
+  update_pct : float;
+  join_pct : float;
+  miss_ratio : float;
+  skew : float;
+}
+
+type storm = { hot_keys : int; hot_pct : float }
+
+type phase = { name : string; txns : int; mix : mix; storm : storm option }
+
+type spec = {
+  relations : int;
+  initial_tuples : int;
+  tenants : int;
+  seed : int;
+  phases : phase list;
+}
+
+type t = {
+  spec : spec;
+  schemas : Schema.t list;
+  initial : (string * Tuple.t list) list;
+  stream : (int * Ast.query) array;
+  phase_bounds : (string * int * int) list;
+}
+
+let read_mix =
+  {
+    insert_pct = 0.0;
+    delete_pct = 0.0;
+    update_pct = 0.0;
+    join_pct = 0.0;
+    miss_ratio = 0.05;
+    skew = 0.0;
+  }
+
+let check spec =
+  if spec.relations < 1 then invalid_arg "Openloop: relations < 1";
+  if spec.initial_tuples < 0 then invalid_arg "Openloop: initial_tuples < 0";
+  if spec.tenants < 1 then invalid_arg "Openloop: tenants < 1";
+  if spec.phases = [] then invalid_arg "Openloop: no phases";
+  List.iter
+    (fun ph ->
+      if ph.txns < 0 then invalid_arg "Openloop: phase txns < 0";
+      let m = ph.mix in
+      if m.insert_pct < 0.0 || m.delete_pct < 0.0 || m.update_pct < 0.0
+         || m.join_pct < 0.0
+         || m.insert_pct +. m.delete_pct +. m.update_pct +. m.join_pct
+            > 100.0 +. Workload.mix_epsilon
+      then invalid_arg "Openloop: bad operation mix";
+      if m.miss_ratio < 0.0 || m.miss_ratio > 1.0 then
+        invalid_arg "Openloop: miss_ratio outside [0, 1]";
+      if m.skew < 0.0 then invalid_arg "Openloop: skew < 0";
+      match ph.storm with
+      | None -> ()
+      | Some s ->
+          if s.hot_keys < 1 then invalid_arg "Openloop: storm hot_keys < 1";
+          if s.hot_pct < 0.0 || s.hot_pct > 100.0 then
+            invalid_arg "Openloop: storm hot_pct outside [0, 100]")
+    spec.phases
+
+let schema_for i =
+  Schema.make
+    ~name:(Workload.relation_name i)
+    ~cols:[ ("key", Schema.CInt); ("val", Schema.CStr) ]
+
+let tuple_for key =
+  Tuple.make [ Value.Int key; Value.Str (Printf.sprintf "t%d" key) ]
+
+(* Same rank-skew draw as [Workload.pick_index]: a uniform variate raised
+   to [1 + skew] concentrates picks on low ranks — the most recently
+   inserted keys. *)
+let pick_rank rand ~skew n =
+  if skew <= 0.0 then Random.State.int rand n
+  else
+    let u = Random.State.float rand 1.0 in
+    min (n - 1) (int_of_float (float_of_int n *. (u ** (1.0 +. skew))))
+
+(* A key reference during a hot-key storm aims at the [hot_keys] most
+   recent ranks with probability [hot_pct]; the rest of the traffic keeps
+   the phase's base skew. *)
+let pick_reference rand ph n =
+  match ph.storm with
+  | Some s when Random.State.float rand 100.0 < s.hot_pct ->
+      Random.State.int rand (min s.hot_keys n)
+  | _ -> pick_rank rand ~skew:ph.mix.skew n
+
+let shuffled_kinds rand ph =
+  let n = ph.txns in
+  let (n_ins, n_del, n_upd, n_join) =
+    Workload.mix_counts ~insert_pct:ph.mix.insert_pct
+      ~delete_pct:ph.mix.delete_pct ~update_pct:ph.mix.update_pct
+      ~join_pct:ph.mix.join_pct n
+  in
+  let kinds = Array.make n `Find in
+  for i = 0 to n_ins - 1 do
+    kinds.(i) <- `Insert
+  done;
+  for i = n_ins to n_ins + n_del - 1 do
+    kinds.(i) <- `Delete
+  done;
+  for i = n_ins + n_del to n_ins + n_del + n_upd - 1 do
+    kinds.(i) <- `Update
+  done;
+  for i = n_ins + n_del + n_upd to n_ins + n_del + n_upd + n_join - 1 do
+    kinds.(i) <- `Join
+  done;
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rand (i + 1) in
+    let tmp = kinds.(i) in
+    kinds.(i) <- kinds.(j);
+    kinds.(j) <- tmp
+  done;
+  kinds
+
+let generate spec =
+  check spec;
+  let rand = Random.State.make [| spec.seed |] in
+  let k = spec.relations in
+  let schemas = List.init k (fun i -> schema_for (i + 1)) in
+  let initial_keys = Array.make k [] in
+  for key = spec.initial_tuples - 1 downto 0 do
+    let r = key mod k in
+    initial_keys.(r) <- key :: initial_keys.(r)
+  done;
+  let initial =
+    List.init k (fun i ->
+        (Workload.relation_name (i + 1), List.map tuple_for initial_keys.(i)))
+  in
+  let present = Array.map Keyset.of_list initial_keys in
+  let next_key = ref spec.initial_tuples in
+  let total = List.fold_left (fun acc ph -> acc + ph.txns) 0 spec.phases in
+  let stream = Array.make total (0, Ast.Find { rel = ""; key = Value.Int 0 }) in
+  let off = ref 0 in
+  let phase_bounds =
+    List.map
+      (fun ph ->
+        let start = !off in
+        let kinds = shuffled_kinds rand ph in
+        Array.iter
+          (fun kind ->
+            let tenant = Random.State.int rand spec.tenants in
+            let r = Random.State.int rand k in
+            let rel = Workload.relation_name (r + 1) in
+            let q =
+              match kind with
+              | `Insert ->
+                  let key = !next_key in
+                  incr next_key;
+                  Keyset.prepend present.(r) key;
+                  Ast.Insert
+                    {
+                      rel;
+                      values =
+                        [ Value.Int key; Value.Str (Printf.sprintf "t%d" key) ];
+                    }
+              | `Delete ->
+                  let keys = present.(r) in
+                  if Keyset.size keys = 0 then
+                    Ast.Delete { rel; key = Value.Int (-1) }
+                  else
+                    let key =
+                      Keyset.remove keys
+                        (pick_reference rand ph (Keyset.size keys))
+                    in
+                    Ast.Delete { rel; key = Value.Int key }
+              | `Update ->
+                  let keys = present.(r) in
+                  if Keyset.size keys = 0 then
+                    Ast.Update
+                      {
+                        rel;
+                        col = "val";
+                        value = Value.Str "touched";
+                        where = Ast.Cmp ("key", Ast.Eq, Value.Int (-1));
+                      }
+                  else
+                    let key =
+                      Keyset.get keys (pick_reference rand ph (Keyset.size keys))
+                    in
+                    Ast.Update
+                      {
+                        rel;
+                        col = "val";
+                        value = Value.Str (Printf.sprintf "u%d" key);
+                        where = Ast.Cmp ("key", Ast.Eq, Value.Int key);
+                      }
+              | `Join ->
+                  let r2 =
+                    if k = 1 then r
+                    else (r + 1 + Random.State.int rand (k - 1)) mod k
+                  in
+                  Ast.Join
+                    {
+                      left = rel;
+                      right = Workload.relation_name (r2 + 1);
+                      on = ("key", "key");
+                    }
+              | `Find ->
+                  let miss =
+                    Random.State.float rand 1.0 < ph.mix.miss_ratio
+                  in
+                  let keys = present.(r) in
+                  if miss || Keyset.size keys = 0 then
+                    Ast.Find
+                      { rel; key = Value.Int (-1 - Random.State.int rand 1000) }
+                  else
+                    Ast.Find
+                      {
+                        rel;
+                        key =
+                          Value.Int
+                            (Keyset.get keys
+                               (pick_reference rand ph (Keyset.size keys)));
+                      }
+            in
+            stream.(!off) <- (tenant, q);
+            incr off)
+          kinds;
+        (ph.name, start, !off))
+      spec.phases
+  in
+  { spec; schemas; initial; stream; phase_bounds }
+
+let total_txns t = Array.length t.stream
+
+let tagged t = Array.to_list t.stream
+
+let tenant_stream t tenant =
+  Array.to_list t.stream
+  |> List.filter_map (fun (tn, q) -> if tn = tenant then Some q else None)
+
+let standard ?(relations = 1) ?(initial_tuples = 1_000_000) ?(tenants = 4)
+    ?(txns = 30_000) ?(seed = 42) () =
+  (* The canonical production sweep: a read-heavy steady state, a hot-key
+     storm concentrating most references on the 64 newest keys, and a
+     write burst — the read/write mix schedule swept across phases. *)
+  let steady = txns * 4 / 10 in
+  let storm = txns * 3 / 10 in
+  let burst = txns - steady - storm in
+  {
+    relations;
+    initial_tuples;
+    tenants;
+    seed;
+    phases =
+      [
+        {
+          name = "steady";
+          txns = steady;
+          mix =
+            {
+              read_mix with
+              insert_pct = 10.0;
+              delete_pct = 5.0;
+              update_pct = 5.0;
+              skew = 0.8;
+            };
+          storm = None;
+        };
+        {
+          name = "hot-storm";
+          txns = storm;
+          mix = { read_mix with update_pct = 10.0; miss_ratio = 0.0 };
+          storm = Some { hot_keys = 64; hot_pct = 90.0 };
+        };
+        {
+          name = "write-burst";
+          txns = burst;
+          mix =
+            {
+              read_mix with
+              insert_pct = 40.0;
+              delete_pct = 20.0;
+              update_pct = 20.0;
+            };
+          storm = None;
+        };
+      ];
+  }

@@ -1,0 +1,85 @@
+(** Open-loop production traffic generation.
+
+    Where {!Workload} regenerates the paper's 50-transaction experiment,
+    this module generates the traffic the ROADMAP's production north-star
+    needs: million-tuple initial relations, multi-tenant merged streams,
+    and a schedule of {e phases} that each impose their own read/write mix
+    — including hot-key storm phases that slam most references into a tiny
+    set of recent keys.  Generation is open-loop (the stream exists before
+    any executor runs, arrival order fixed at generation time),
+    deterministic in the seed, and O(n log n) in the stream length thanks
+    to {!Keyset}. *)
+
+open Fdb_relational
+
+type mix = {
+  insert_pct : float;
+  delete_pct : float;
+  update_pct : float;
+  join_pct : float;
+  miss_ratio : float;  (** fraction of finds probing an absent key *)
+  skew : float;  (** rank-skew toward recent keys, as {!Workload.spec} *)
+}
+
+type storm = {
+  hot_keys : int;  (** the hot set: this many of the most recent keys *)
+  hot_pct : float;  (** percentage of key references aimed at the hot set *)
+}
+
+type phase = {
+  name : string;
+  txns : int;
+  mix : mix;
+  storm : storm option;
+}
+
+type spec = {
+  relations : int;
+  initial_tuples : int;  (** spread round-robin over the relations *)
+  tenants : int;  (** streams merged into the arrival order *)
+  seed : int;
+  phases : phase list;  (** executed in order — the mix schedule *)
+}
+
+type t = {
+  spec : spec;
+  schemas : Schema.t list;
+  initial : (string * Tuple.t list) list;  (** per-relation bulk load *)
+  stream : (int * Fdb_query.Ast.query) array;
+      (** (tenant, query) in merged arrival order *)
+  phase_bounds : (string * int * int) list;
+      (** per phase: name and the [[start, stop)] offsets into [stream] *)
+}
+
+val read_mix : mix
+(** 100% finds, 5% miss ratio, no skew — the base to override. *)
+
+val check : spec -> unit
+(** @raise Invalid_argument on a malformed spec (negative counts, mixes
+    over 100%, storm parameters out of range). *)
+
+val generate : spec -> t
+(** Deterministic in [spec] (including the seed); scales to million-tuple
+    initial relations in seconds. *)
+
+val total_txns : t -> int
+
+val tagged : t -> (int * Fdb_query.Ast.query) list
+(** The merged stream as the tagged list every [Pipeline] execution mode
+    consumes; tags are tenant ids. *)
+
+val tenant_stream : t -> int -> Fdb_query.Ast.query list
+(** One tenant's substream, in arrival order. *)
+
+val standard :
+  ?relations:int ->
+  ?initial_tuples:int ->
+  ?tenants:int ->
+  ?txns:int ->
+  ?seed:int ->
+  unit ->
+  spec
+(** The canonical three-phase production sweep: [steady] (read-heavy,
+    mild skew), [hot-storm] (90% of references into the 64 newest keys),
+    [write-burst] (40/20/20 insert/delete/update).  Defaults: 1 relation,
+    1M initial tuples, 4 tenants, 30k transactions, seed 42. *)

@@ -48,6 +48,11 @@ let schema_for i =
 
 let tuple_for key = Tuple.make [ Value.Int key; Value.Str (Printf.sprintf "t%d" key) ]
 
+(* Mixes that should sum to exactly 100 often don't in floating point
+   (e.g. three copies of [100.0 /. 3.0] sum to 100.00000000000001), so the
+   over-100 rejection tolerates rounding noise up to this epsilon. *)
+let mix_epsilon = 1e-6
+
 let check spec =
   if spec.transactions < 0 then invalid_arg "Workload: transactions < 0";
   if spec.relations < 1 then invalid_arg "Workload: relations < 1";
@@ -56,7 +61,7 @@ let check spec =
   if spec.insert_pct < 0.0 || spec.delete_pct < 0.0 || spec.update_pct < 0.0
      || spec.join_pct < 0.0
      || spec.insert_pct +. spec.delete_pct +. spec.update_pct +. spec.join_pct
-        > 100.0
+        > 100.0 +. mix_epsilon
   then invalid_arg "Workload: bad operation mix";
   if spec.miss_ratio < 0.0 || spec.miss_ratio > 1.0 then
     invalid_arg "Workload: miss_ratio outside [0, 1]";
@@ -75,10 +80,43 @@ let pick_index rand ~skew n =
     let u = Random.State.float rand 1.0 in
     min (n - 1) (int_of_float (float_of_int n *. (u ** (1.0 +. skew))))
 
-(* How many of [n] transactions are of a kind given its percentage;
-   round half up so the paper's 7% of 50 becomes 4. *)
-let count_of_pct pct n =
-  int_of_float (Float.round (pct *. float_of_int n /. 100.0))
+(* How many of [n] transactions each named kind gets, by largest
+   remainder: the combined named total is rounded half away from zero
+   (so the paper's lone 7% of 50 still becomes 4) and clamped to [n],
+   each kind takes the floor of its exact quota, and the leftover units
+   go to the largest fractional remainders, ties in declaration order
+   (insert, delete, update, join).  Unlike rounding each kind
+   independently, the total can never overflow [n] — a 33.4/33.4/33.4
+   mix of 10 transactions is 4/3/3, not three 3s plus a clamped tail
+   that silently starves the later kinds. *)
+let mix_counts ~insert_pct ~delete_pct ~update_pct ~join_pct n =
+  let quotas =
+    Array.map
+      (fun pct -> pct *. float_of_int n /. 100.0)
+      [| insert_pct; delete_pct; update_pct; join_pct |]
+  in
+  let target =
+    min n (int_of_float (Float.round (Array.fold_left ( +. ) 0.0 quotas)))
+  in
+  let counts = Array.map (fun q -> int_of_float (Float.floor q)) quotas in
+  let by_remainder =
+    List.stable_sort
+      (fun i j ->
+        Float.compare
+          (quotas.(j) -. float_of_int counts.(j))
+          (quotas.(i) -. float_of_int counts.(i)))
+      [ 0; 1; 2; 3 ]
+  in
+  let leftover = ref (target - Array.fold_left ( + ) 0 counts) in
+  List.iter
+    (fun i ->
+      if !leftover > 0 then begin
+        counts.(i) <- counts.(i) + 1;
+        decr leftover
+      end)
+    by_remainder;
+  assert (Array.fold_left ( + ) 0 counts <= n);
+  (counts.(0), counts.(1), counts.(2), counts.(3))
 
 let generate spec =
   check spec;
@@ -97,24 +135,21 @@ let generate spec =
   in
   (* Kind sequence: the right counts of inserts/deletes, shuffled. *)
   let n = spec.transactions in
-  let n_ins = count_of_pct spec.insert_pct n in
-  let n_del = count_of_pct spec.delete_pct n in
-  let n_upd = count_of_pct spec.update_pct n in
-  let n_join = count_of_pct spec.join_pct n in
+  let (n_ins, n_del, n_upd, n_join) =
+    mix_counts ~insert_pct:spec.insert_pct ~delete_pct:spec.delete_pct
+      ~update_pct:spec.update_pct ~join_pct:spec.join_pct n
+  in
   let kinds = Array.make n `Find in
   for i = 0 to n_ins - 1 do
     kinds.(i) <- `Insert
   done;
-  for i = n_ins to min (n - 1) (n_ins + n_del - 1) do
+  for i = n_ins to n_ins + n_del - 1 do
     kinds.(i) <- `Delete
   done;
-  for i = n_ins + n_del to min (n - 1) (n_ins + n_del + n_upd - 1) do
+  for i = n_ins + n_del to n_ins + n_del + n_upd - 1 do
     kinds.(i) <- `Update
   done;
-  for
-    i = n_ins + n_del + n_upd
-    to min (n - 1) (n_ins + n_del + n_upd + n_join - 1)
-  do
+  for i = n_ins + n_del + n_upd to n_ins + n_del + n_upd + n_join - 1 do
     kinds.(i) <- `Join
   done;
   for i = n - 1 downto 1 do
@@ -123,8 +158,10 @@ let generate spec =
     kinds.(i) <- kinds.(j);
     kinds.(j) <- tmp
   done;
-  (* Present keys per relation evolve as inserts/deletes are generated. *)
-  let present = Array.map (fun ks -> ref ks) initial_keys in
+  (* Present keys per relation evolve as inserts/deletes are generated.
+     [Keyset] ranks match the legacy newest-first lists exactly, so the
+     draws below reproduce historical streams byte for byte. *)
+  let present = Array.map Keyset.of_list initial_keys in
   let next_key = ref spec.initial_tuples in
   let pick_relation () = Random.State.int rand k in
   let queries =
@@ -137,35 +174,35 @@ let generate spec =
            | `Insert ->
                let key = !next_key in
                incr next_key;
-               present.(r) := key :: !(present.(r));
+               Keyset.prepend present.(r) key;
                Ast.Insert { rel; values = [ Value.Int key;
                                             Value.Str (Printf.sprintf "t%d" key) ] }
-           | `Delete -> (
-               match !(present.(r)) with
-               | [] ->
-                   (* nothing to delete here: probe an absent key *)
-                   Ast.Delete { rel; key = Value.Int (-1) }
-               | keys ->
-                   let key =
-                     List.nth keys
-                       (pick_index rand ~skew:spec.skew (List.length keys))
-                   in
-                   present.(r) := List.filter (fun x -> x <> key) keys;
-                   Ast.Delete { rel; key = Value.Int key })
-           | `Update -> (
-               match !(present.(r)) with
-               | [] -> Ast.Update { rel; col = "val";
-                                    value = Value.Str "touched";
-                                    where = Ast.Cmp ("key", Ast.Eq, Value.Int (-1)) }
-               | keys ->
-                   let key =
-                     List.nth keys
-                       (pick_index rand ~skew:spec.skew (List.length keys))
-                   in
-                   Ast.Update
-                     { rel; col = "val";
-                       value = Value.Str (Printf.sprintf "u%d" key);
-                       where = Ast.Cmp ("key", Ast.Eq, Value.Int key) })
+           | `Delete ->
+               let keys = present.(r) in
+               if Keyset.size keys = 0 then
+                 (* nothing to delete here: probe an absent key *)
+                 Ast.Delete { rel; key = Value.Int (-1) }
+               else
+                 let key =
+                   Keyset.remove keys
+                     (pick_index rand ~skew:spec.skew (Keyset.size keys))
+                 in
+                 Ast.Delete { rel; key = Value.Int key }
+           | `Update ->
+               let keys = present.(r) in
+               if Keyset.size keys = 0 then
+                 Ast.Update { rel; col = "val";
+                              value = Value.Str "touched";
+                              where = Ast.Cmp ("key", Ast.Eq, Value.Int (-1)) }
+               else
+                 let key =
+                   Keyset.get keys
+                     (pick_index rand ~skew:spec.skew (Keyset.size keys))
+                 in
+                 Ast.Update
+                   { rel; col = "val";
+                     value = Value.Str (Printf.sprintf "u%d" key);
+                     where = Ast.Cmp ("key", Ast.Eq, Value.Int key) }
            | `Join ->
                (* Cross-relation when there is more than one relation —
                   the multi-site (cross-shard) transaction of the sharded
@@ -181,17 +218,17 @@ let generate spec =
                    on = ("key", "key") }
            | `Find ->
                let miss = Random.State.float rand 1.0 < spec.miss_ratio in
-               if miss || !(present.(r)) = [] then
+               let keys = present.(r) in
+               if miss || Keyset.size keys = 0 then
                  Ast.Find { rel; key = Value.Int (-1 - Random.State.int rand 1000) }
                else
-                 let keys = !(present.(r)) in
                  Ast.Find
                    { rel;
                      key =
                        Value.Int
-                         (List.nth keys
+                         (Keyset.get keys
                             (pick_index rand ~skew:spec.skew
-                               (List.length keys)))
+                               (Keyset.size keys)))
                    })
          kinds)
   in

@@ -41,6 +41,25 @@ val paper_insert_percentages : float list
 val paper_relation_counts : int list
 (** [5; 3; 1] — the column order of Tables I-III. *)
 
+val mix_epsilon : float
+(** Tolerance for the "operation mix sums to at most 100" validation:
+    mixes like three copies of [100.0 /. 3.0] sum to just over 100 in
+    floating point and must not be rejected for it. *)
+
+val mix_counts :
+  insert_pct:float ->
+  delete_pct:float ->
+  update_pct:float ->
+  join_pct:float ->
+  int ->
+  int * int * int * int
+(** [(inserts, deletes, updates, joins)] out of [n] transactions, by
+    largest remainder: the combined named total is rounded half away from
+    zero and clamped to [n], each kind floors its exact quota, and the
+    leftover units go to the largest fractional remainders (ties in
+    declaration order).  The total never exceeds [n]; the rest are finds.
+    This is exactly the allocation {!val:generate} uses. *)
+
 type t = {
   spec : spec;
   schemas : Schema.t list;

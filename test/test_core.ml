@@ -442,6 +442,44 @@ let test_fig22_rows () =
         (large.Experiment.h_fraction < small.Experiment.h_fraction)
   | _ -> Alcotest.fail "expected two rows"
 
+(* -- traffic driver ---------------------------------------------------------- *)
+
+let traffic_plan =
+  Fdb_workload.Openloop.generate
+    (Fdb_workload.Openloop.standard ~relations:2 ~initial_tuples:600
+       ~tenants:2 ~txns:400 ~seed:9 ())
+
+let test_traffic_differential () =
+  (* the same stream through every mode and two layouts must land the same
+     final state; Sequential carries the per-phase percentiles *)
+  let module T = Fdb.Traffic in
+  let seq = T.drive ~backend:(Relation.Btree_backend 8) traffic_plan in
+  Alcotest.(check int) "txns" 400 seq.T.tr_txns;
+  Alcotest.(check string) "unit" "txn" seq.T.tr_latency_unit;
+  Alcotest.(check int) "three phases" 3 (List.length seq.T.tr_phases);
+  List.iter
+    (fun ph ->
+      Alcotest.(check bool) (ph.T.ph_name ^ " has latencies") true
+        (ph.T.ph_txns > 0 && ph.T.ph_p50_ns >= 0.0
+        && ph.T.ph_p50_ns <= ph.T.ph_p999_ns))
+    seq.T.tr_phases;
+  let digests =
+    List.map
+      (fun (label, mode, backend) ->
+        let r = T.drive ~mode ~microbatch:64 ~backend traffic_plan in
+        (label, r.T.tr_final_digest, r.T.tr_final_tuples))
+      [
+        ("seq-column", T.Sequential, Relation.Column_backend 64);
+        ("sharded", T.Sharded { shards = 2 }, Relation.Btree_backend 8);
+        ("repair", T.Repair { batch = 16 }, Relation.Btree_backend 8);
+      ]
+  in
+  List.iter
+    (fun (label, digest, tuples) ->
+      Alcotest.(check string) (label ^ " digest") seq.T.tr_final_digest digest;
+      Alcotest.(check int) (label ^ " tuples") seq.T.tr_final_tuples tuples)
+    digests
+
 let () =
   Alcotest.run "core"
     [
@@ -484,6 +522,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_run_streams_serializable;
           QCheck_alcotest.to_alcotest prop_machine_matches_ideal;
           Alcotest.test_case "determinism" `Quick test_experiment_determinism;
+        ] );
+      ( "traffic",
+        [
+          Alcotest.test_case "modes and backends agree" `Quick
+            test_traffic_differential;
         ] );
       ( "cluster",
         [

@@ -118,6 +118,57 @@ let test_metrics_bucket_uppers () =
     stats.Metrics.buckets;
   Alcotest.(check int) "max survives the clamp" max_int stats.Metrics.max
 
+let test_metrics_percentile () =
+  Metrics.reset ();
+  let stats_of_obs obs =
+    Metrics.reset ();
+    let h = Metrics.histogram "test.obs.pct" in
+    List.iter (Metrics.observe h) obs;
+    match
+      List.assoc_opt "test.obs.pct" (Metrics.snapshot ()).Metrics.histograms
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "histogram missing"
+  in
+  (* empty histogram reads 0 everywhere (an unobserved instrument never
+     reaches the snapshot, so build the zero stats directly) *)
+  let empty =
+    { Metrics.count = 0; sum = 0; min = 0; max = 0; buckets = [] }
+  in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Metrics.percentile empty 0.5);
+  Alcotest.(check (float 0.0)) "empty p999" 0.0
+    (Metrics.percentile empty 0.999);
+  (* a single value is every percentile *)
+  let one = stats_of_obs [ 37 ] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "single p%g" (q *. 100.0))
+        37.0 (Metrics.percentile one q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* percentiles clamp to the observed extremes, not bucket bounds *)
+  let two = stats_of_obs [ 10; 1000 ] in
+  Alcotest.(check (float 0.0)) "low clamps to min" 10.0
+    (Metrics.percentile two 0.0);
+  Alcotest.(check (float 0.0)) "high clamps to max" 1000.0
+    (Metrics.percentile two 1.0);
+  (* a known distribution: 99 fast observations, one slow outlier.  The
+     p50 stays in the fast bucket, the p999 lands in the outlier's one —
+     within power-of-two bucket resolution. *)
+  let dist = stats_of_obs (List.init 99 (fun _ -> 100) @ [ 100_000 ]) in
+  let p50 = Metrics.percentile dist 0.5
+  and p99 = Metrics.percentile dist 0.99
+  and p999 = Metrics.percentile dist 0.999 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %.0f in the fast bucket" p50)
+    true
+    (p50 >= 64.0 && p50 <= 127.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "p999 %.0f reaches the outlier" p999)
+    true
+    (p999 > 1000.0 && p999 <= 100_000.0);
+  Alcotest.(check bool) "monotone" true (p50 <= p99 && p99 <= p999)
+
 let test_metrics_scoped () =
   Metrics.reset ();
   let c = Metrics.counter "test.obs.scoped.c" in
@@ -338,6 +389,8 @@ let () =
             test_metrics_bucket_boundaries;
           Alcotest.test_case "bucket upper bounds in stats" `Quick
             test_metrics_bucket_uppers;
+          Alcotest.test_case "percentiles from buckets" `Quick
+            test_metrics_percentile;
           Alcotest.test_case "scoped isolates and restores" `Quick
             test_metrics_scoped ] );
       ( "trace",

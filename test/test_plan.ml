@@ -19,7 +19,7 @@ let schema =
 
 let backends =
   [ Relation.List_backend; Relation.Avl_backend; Relation.Two3_backend;
-    Relation.Btree_backend 4 ]
+    Relation.Btree_backend 4; Relation.Column_backend 4 ]
 
 let tup k =
   Tuple.make

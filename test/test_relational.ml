@@ -63,7 +63,7 @@ let test_schema () =
 
 let backends =
   [ Relation.List_backend; Relation.Avl_backend; Relation.Two3_backend;
-    Relation.Btree_backend 4 ]
+    Relation.Btree_backend 4; Relation.Column_backend 4 ]
 
 let test_relation_roundtrip () =
   List.iter
@@ -127,7 +127,87 @@ let test_relation_sharing_backend_mismatch () =
     (Invalid_argument "Relation.shared_units: backend mismatch") (fun () ->
       ignore (Relation.shared_units ~old:a b))
 
+(* -- the column backend's chunk layout ------------------------------------- *)
+
+let column_rel ?(chunk = 4) tuples =
+  match Relation.of_tuples ~backend:(Relation.Column_backend chunk) schema tuples with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_column_chunk_sharing () =
+  let tuples = List.init 32 (fun i -> tup i "v") in
+  let r = column_rel tuples in
+  Alcotest.(check int) "chunks" 8 (Array.length (Relation.column_chunks r));
+  (* a point insert path-copies one chunk and the spine; the rest share.
+     key 100 lands in the full last chunk, which splits in half *)
+  let r2 =
+    match Relation.insert r (tup 100 "new") with
+    | Ok (r2, true) -> r2
+    | _ -> Alcotest.fail "insert failed"
+  in
+  let (shared, total) = Relation.shared_units ~old:r r2 in
+  Alcotest.(check (pair int int)) "only the split chunk rebuilt" (7, 9)
+    (shared, total);
+  (* a delete rebuilds exactly the containing chunk *)
+  let (r3, found) = Relation.delete_key r (v_int 5) in
+  Alcotest.(check bool) "deleted" true found;
+  let (shared, total) = Relation.shared_units ~old:r r3 in
+  Alcotest.(check (pair int int)) "7 of 8 chunks shared" (7, 8) (shared, total);
+  (* an update touching two chunks rebuilds two *)
+  let (r4, touched) =
+    Relation.update r
+      ~lo:(Relation.Inclusive (v_int 6))
+      ~hi:(Relation.Inclusive (v_int 9))
+      (fun t -> Some (Tuple.make [ Tuple.get t 0; v_str "w" ]))
+  in
+  Alcotest.(check int) "rows touched" 4 touched;
+  let (shared, total) = Relation.shared_units ~old:r r4 in
+  Alcotest.(check (pair int int)) "6 of 8 chunks shared" (6, 8) (shared, total)
+
+let test_column_direct () =
+  let module C = Fdb_persistent.Column.Make (struct
+    type t = int
+    type field = int
+
+    let fields k = [| k |]
+    let of_fields f = f.(0)
+    let compare_field = compare
+  end) in
+  (* of_list dedups to the first occurrence and packs full chunks *)
+  let c = C.of_list ~chunk:4 [ 3; 1; 3; 2; 1; 5; 4; 9; 8; 7; 6 ] in
+  Alcotest.(check (list int)) "sorted, first occurrence kept"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (C.to_list c);
+  Alcotest.(check int) "packed chunks" 3 (C.chunk_count c);
+  Alcotest.(check bool) "invariant" true (C.invariant c);
+  (* inserting into a full chunk splits it in half *)
+  let c0 = C.of_list ~chunk:4 [ 1; 2; 3; 4 ] in
+  let c1 = C.insert 2 c0 in
+  Alcotest.(check bool) "set semantics" true (C.to_list c1 = C.to_list c0);
+  let c2 = C.insert 5 c0 in
+  Alcotest.(check int) "split" 2 (C.chunk_count c2);
+  Alcotest.(check (list int)) "split contents" [ 1; 2; 3; 4; 5 ] (C.to_list c2);
+  Alcotest.(check bool) "split invariant" true (C.invariant c2);
+  (* deleting the last row of a chunk drops the chunk *)
+  let c3 = C.of_list ~chunk:2 [ 1; 2; 3 ] in
+  let (c4, found) = C.delete 3 c3 in
+  Alcotest.(check bool) "found" true found;
+  Alcotest.(check int) "empty chunk dropped" 1 (C.chunk_count c4);
+  let (c5, found) = C.delete 42 c4 in
+  Alcotest.(check bool) "missing" false found;
+  Alcotest.(check bool) "miss shares" true (c5 == c4);
+  (* range_fold visits only overlapping chunks *)
+  let big = C.of_list ~chunk:4 (List.init 64 Fun.id) in
+  let meter = Fdb_persistent.Meter.create () in
+  let seen =
+    C.range_fold ~meter ~ge_lo:(fun k -> k >= 20) ~le_hi:(fun k -> k < 28)
+      (fun acc k -> k :: acc) [] big
+  in
+  Alcotest.(check (list int)) "range" [ 27; 26; 25; 24; 23; 22; 21; 20 ] seen;
+  Alcotest.(check bool) "pruned visit" true
+    (Fdb_persistent.Meter.allocs meter <= 4)
+
 let prop_backends_agree =
+
   QCheck2.Test.make ~name:"all backends agree under random keyed ops"
     ~count:150
     QCheck2.Gen.(list_size (int_range 0 60) (int_range (-20) 20))
@@ -149,7 +229,8 @@ let prop_backends_agree =
       let reference = apply Relation.List_backend in
       List.for_all
         (fun b -> List.equal Tuple.equal (apply b) reference)
-        [ Relation.Avl_backend; Relation.Two3_backend; Relation.Btree_backend 4 ])
+        [ Relation.Avl_backend; Relation.Two3_backend; Relation.Btree_backend 4;
+          Relation.Column_backend 4 ])
 
 (* -- algebra ---------------------------------------------------------------- *)
 
@@ -271,6 +352,9 @@ let () =
           Alcotest.test_case "schema mismatch" `Quick
             test_relation_schema_mismatch;
           Alcotest.test_case "select" `Quick test_relation_select;
+          Alcotest.test_case "column chunk sharing" `Quick
+            test_column_chunk_sharing;
+          Alcotest.test_case "column layout direct" `Quick test_column_direct;
           Alcotest.test_case "sharing backend mismatch" `Quick
             test_relation_sharing_backend_mismatch;
           QCheck_alcotest.to_alcotest prop_backends_agree;

@@ -117,6 +117,99 @@ let test_frame_bitflips_torn () =
     done
   done
 
+(* -- chunked column payloads ------------------------------------------------ *)
+
+let wide_schema =
+  Schema.make ~name:"W"
+    ~cols:
+      [ ("key", Schema.CInt); ("flag", Schema.CBool); ("ratio", Schema.CReal);
+        ("label", Schema.CStr) ]
+
+let wide_tup k =
+  Tuple.make
+    [ Value.Int k; Value.Bool (k mod 3 = 0); Value.Real (float_of_int k /. 7.0);
+      Value.Str (Printf.sprintf "row;%d\"with\nnasty bytes" k) ]
+
+let wide_rel ~backend n =
+  match Relation.of_tuples ~backend wide_schema (List.init n wide_tup) with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let chunked_backends =
+  [ Relation.Column_backend 16; Relation.Btree_backend 4;
+    Relation.List_backend; Relation.Avl_backend ]
+
+let check_rel_equal name expected actual =
+  Alcotest.(check string) (name ^ " backend")
+    (Relation.backend_name (Relation.backend expected))
+    (Relation.backend_name (Relation.backend actual));
+  Alcotest.(check int) (name ^ " size") (Relation.size expected)
+    (Relation.size actual);
+  Alcotest.(check bool) (name ^ " contents") true
+    (List.equal Tuple.equal (Relation.to_list expected)
+       (Relation.to_list actual))
+
+(* The chunked format is backend-agnostic: a column relation writes its
+   actual chunks, the others pack fixed runs — all roundtrip through the
+   same frames, every value type included. *)
+let test_chunked_roundtrip () =
+  List.iter
+    (fun backend ->
+      let name = Relation.backend_name backend in
+      let r = wide_rel ~backend 100 in
+      check_rel_equal name r (Wire.decode_chunked (Wire.encode_chunked r));
+      let empty = Relation.create ~backend wide_schema in
+      check_rel_equal (name ^ " empty") empty
+        (Wire.decode_chunked (Wire.encode_chunked empty)))
+    chunked_backends
+
+(* Every strict prefix of an encoding must raise [Corrupt] — a torn write
+   is detected, never silently decoded as a smaller relation. *)
+let test_chunked_prefixes_corrupt () =
+  let s = Wire.encode_chunked (wide_rel ~backend:(Relation.Column_backend 8) 40) in
+  for len = 0 to String.length s - 1 do
+    match Wire.decode_chunked (String.sub s 0 len) with
+    | exception Wire.Corrupt { offset; _ } ->
+        Alcotest.(check bool) "offset in bounds" true
+          (offset >= 0 && offset <= len)
+    | _ -> Alcotest.fail (Printf.sprintf "prefix %d decoded" len)
+  done
+
+(* Any single-bit flip anywhere lands on some chunk's CRC (or the header's)
+   and must raise [Corrupt]. *)
+let test_chunked_bitflips_corrupt () =
+  let s = Wire.encode_chunked (wide_rel ~backend:(Relation.Column_backend 8) 24) in
+  let b = Bytes.of_string s in
+  for i = 0 to Bytes.length b - 1 do
+    let orig = Bytes.get b i in
+    let bit = i mod 8 in
+    Bytes.set b i (Char.chr (Char.code orig lxor (1 lsl bit)));
+    (match Wire.decode_chunked (Bytes.to_string b) with
+    | exception Wire.Corrupt _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "flip %d.%d accepted" i bit));
+    Bytes.set b i orig
+  done;
+  (* and trailing garbage after a valid stream is rejected too *)
+  match Wire.decode_chunked (Bytes.to_string b ^ "x") with
+  | exception Wire.Corrupt _ -> ()
+  | _ -> Alcotest.fail "trailing byte accepted"
+
+let prop_chunked_roundtrip =
+  QCheck2.Test.make ~name:"chunked codec roundtrips any relation" ~count:100
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 80) (int_range (-50) 50)) (int_range 2 32))
+    (fun (keys, chunk) ->
+      let backend = Relation.Column_backend chunk in
+      let r =
+        match
+          Relation.of_tuples ~backend wide_schema (List.map wide_tup keys)
+        with
+        | Ok r -> r
+        | Error e -> failwith e
+      in
+      let r' = Wire.decode_chunked (Wire.encode_chunked r) in
+      List.equal Tuple.equal (Relation.to_list r) (Relation.to_list r'))
+
 (* -- archive payloads ------------------------------------------------------- *)
 
 let check_history_equal expected actual =
@@ -227,6 +320,16 @@ let () =
           Alcotest.test_case "sub consumes exactly" `Quick
             test_archive_sub_consumes_exactly;
           Alcotest.test_case "garbage raises" `Quick test_archive_garbage_raises;
+        ] );
+      ( "chunked",
+        [
+          Alcotest.test_case "roundtrip all backends" `Quick
+            test_chunked_roundtrip;
+          Alcotest.test_case "prefixes corrupt" `Quick
+            test_chunked_prefixes_corrupt;
+          Alcotest.test_case "bitflips corrupt" `Quick
+            test_chunked_bitflips_corrupt;
+          QCheck_alcotest.to_alcotest prop_chunked_roundtrip;
         ] );
       ( "deltas",
         [

@@ -177,6 +177,398 @@ let test_skew_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "negative skew accepted"
 
+(* -- pinned golden streams --------------------------------------------------
+
+   The O(n^2) present-key fix swapped the generator's data structure; these
+   digests were captured from the legacy list-based generator and pin that
+   the streams are byte-identical — at skew 0 and, because [Keyset] ranks
+   match the legacy list exactly, at every skew. *)
+
+let stream_digest spec =
+  let w = W.generate spec in
+  let b = Buffer.create 4096 in
+  List.iteri
+    (fun i stream ->
+      Buffer.add_string b (Printf.sprintf "-- client %d\n" i);
+      List.iter
+        (fun q ->
+          Buffer.add_string b (Ast.to_string q);
+          Buffer.add_char b '\n')
+        stream)
+    w.W.client_streams;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let pinned_specs =
+  [
+    ("default", W.default_spec, "35dab3cf458c24db0f2d2a367d9dfb28");
+    ( "paper-0-r1",
+      { W.default_spec with insert_pct = 0.0; relations = 1 },
+      "5bcb736dd7330a9d47653f60e267023a" );
+    ( "paper-4-r1",
+      { W.default_spec with insert_pct = 4.0; relations = 1 },
+      "01fbe447d68871a26a2c1a3b11f6a2c5" );
+    ( "paper-7-r5",
+      { W.default_spec with insert_pct = 7.0; relations = 5 },
+      "88e047cbc987c7dde9c5205c81af1049" );
+    ( "paper-38-r3",
+      { W.default_spec with insert_pct = 38.0 },
+      "8ba4367205c566e99c4d6211bbde31fc" );
+    ( "del-ins",
+      { W.default_spec with delete_pct = 10.0; insert_pct = 10.0 },
+      "138a2b12146627c87ec4504b8731dd2b" );
+    ( "upd-ins",
+      { W.default_spec with update_pct = 20.0; insert_pct = 10.0 },
+      "e4eabd0ede3c41840c15e46abb1a4877" );
+    ( "mixed",
+      { W.default_spec with insert_pct = 24.0; delete_pct = 6.0;
+        update_pct = 6.0 },
+      "c8c9f0cd18cb6073f81cc98c77663b7f" );
+    ( "skew-delete",
+      { W.default_spec with skew = 1.5; delete_pct = 8.0 },
+      "d722df0172fe2e5eb373c6ef31772576" );
+    ( "skew-hot",
+      { W.default_spec with transactions = 200; relations = 1;
+        initial_tuples = 100; insert_pct = 0.0; miss_ratio = 0.0; skew = 6.0 },
+      "175620895839c34ce09753f837342553" );
+    ( "shard-bench",
+      { W.default_spec with transactions = 1600; relations = 6;
+        initial_tuples = 240; insert_pct = 20.0; delete_pct = 5.0;
+        update_pct = 10.0; join_pct = 20.0; clients = 4; seed = 1 },
+      "499fbfda4fb64ef61c1ccd830dce6426" );
+    ( "churn",
+      { W.default_spec with transactions = 500; relations = 2;
+        initial_tuples = 40; insert_pct = 30.0; delete_pct = 30.0;
+        update_pct = 10.0; miss_ratio = 0.3; clients = 3; seed = 7 },
+      "6655e8ace8135549546e54a97562def2" );
+  ]
+
+let test_pinned_goldens () =
+  List.iter
+    (fun (name, spec, expected) ->
+      Alcotest.(check string) name expected (stream_digest spec))
+    pinned_specs
+
+(* -- keyset ----------------------------------------------------------------- *)
+
+let keyset_vs_list_model =
+  (* The Fenwick keyset against the legacy list it replaces: same get,
+     same remove, same order, under arbitrary op sequences. *)
+  QCheck2.Test.make ~count:200 ~name:"keyset matches the list model"
+    QCheck2.Gen.(
+      pair (list (int_bound 2)) (list nat))
+    (fun (ops, picks) ->
+      let module K = Fdb_workload.Keyset in
+      let ks = K.create () in
+      let model = ref [] in
+      let next = ref 0 in
+      let picks = ref (picks @ [ 0 ]) in
+      let pick bound =
+        match !picks with
+        | [] -> 0
+        | p :: rest ->
+            picks := rest;
+            if bound = 0 then 0 else p mod bound
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+              K.prepend ks !next;
+              model := !next :: !model;
+              incr next
+          | 1 ->
+              let n = List.length !model in
+              if n > 0 then begin
+                let i = pick n in
+                let got = K.remove ks i in
+                let want = List.nth !model i in
+                if got <> want then QCheck2.Test.fail_report "remove mismatch";
+                model := List.filteri (fun j _ -> j <> i) !model
+              end
+          | _ ->
+              let n = List.length !model in
+              if n > 0 then begin
+                let i = pick n in
+                if K.get ks i <> List.nth !model i then
+                  QCheck2.Test.fail_report "get mismatch"
+              end)
+        ops;
+      K.to_list ks = !model && K.size ks = List.length !model)
+
+(* -- operation mix allocation ----------------------------------------------- *)
+
+let count_kinds w =
+  List.fold_left
+    (fun (i, d, u, j, f) q ->
+      match q with
+      | Ast.Insert _ -> (i + 1, d, u, j, f)
+      | Ast.Delete _ -> (i, d + 1, u, j, f)
+      | Ast.Update _ -> (i, d, u + 1, j, f)
+      | Ast.Join _ -> (i, d, u, j + 1, f)
+      | _ -> (i, d, u, j, f + 1))
+    (0, 0, 0, 0, 0) (W.all_queries w)
+
+let test_overflow_mix () =
+  (* The satellite bug: three 33.4% kinds over 10 transactions used to
+     round each to 3, then the half-up total (10) pushed the clamped
+     assignment loops past the array and starved the later kinds.
+     Largest remainder allocates 4/3/3 and exactly fills the stream. *)
+  let (i, d, u, j) =
+    W.mix_counts ~insert_pct:33.4 ~delete_pct:33.4 ~update_pct:33.4
+      ~join_pct:0.0 10
+  in
+  Alcotest.(check (list int)) "33.4/33.4/33.4 of 10" [ 4; 3; 3; 0 ]
+    [ i; d; u; j ];
+  let w =
+    W.generate
+      { W.default_spec with transactions = 10; insert_pct = 33.3;
+        delete_pct = 33.3; update_pct = 33.3 }
+  in
+  let (gi, gd, gu, gj, gf) = count_kinds w in
+  Alcotest.(check (list int)) "generated counts" [ 4; 3; 3; 0; 0 ]
+    [ gi; gd; gu; gj; gf ];
+  (* a 25x4 mix of 10 must also fill exactly, leaving no finds *)
+  let (i, d, u, j) =
+    W.mix_counts ~insert_pct:25.0 ~delete_pct:25.0 ~update_pct:25.0
+      ~join_pct:25.0 10
+  in
+  Alcotest.(check int) "25x4 of 10 total" 10 (i + d + u + j)
+
+let mix_conformance =
+  QCheck2.Test.make ~count:300 ~name:"mix allocation conforms"
+    QCheck2.Gen.(
+      tup4 (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)
+        (float_bound_inclusive 100.0) (int_range 0 300))
+    (fun (a, b, c, n) ->
+      (* scale three raw draws into a mix summing to at most 100 *)
+      let total = a +. b +. c in
+      let scale = if total > 100.0 then 100.0 /. total else 1.0 in
+      let insert_pct = a *. scale
+      and delete_pct = b *. scale
+      and update_pct = c *. scale in
+      let (i, d, u, j) =
+        W.mix_counts ~insert_pct ~delete_pct ~update_pct ~join_pct:0.0 n
+      in
+      let quota pct = pct *. float_of_int n /. 100.0 in
+      (* never overflows the stream *)
+      i + d + u + j <= n
+      && j = 0
+      (* each kind within one transaction of its exact quota *)
+      && abs_float (float_of_int i -. quota insert_pct) < 1.0
+      && abs_float (float_of_int d -. quota delete_pct) < 1.0
+      && abs_float (float_of_int u -. quota update_pct) < 1.0
+      (* and the generator emits exactly the allocated counts *)
+      &&
+      let w =
+        W.generate
+          { W.default_spec with transactions = n; insert_pct; delete_pct;
+            update_pct; initial_tuples = 30 }
+      in
+      let (gi, gd, gu, _, gf) = count_kinds w in
+      gi = i && gd = d && gu = u && gf = n - i - d - u)
+
+let test_epsilon_boundary () =
+  (* mixes that sum to exactly 100 modulo float noise must be accepted:
+     two thirds plus two sixths sums to 100.00000000000001 *)
+  let third = 100.0 /. 3.0 and sixth = 100.0 /. 6.0 in
+  Alcotest.(check bool) "float noise over 100" true
+    (third +. third +. sixth +. sixth > 100.0);
+  let w =
+    W.generate
+      { W.default_spec with transactions = 30; insert_pct = third;
+        delete_pct = third; update_pct = sixth; join_pct = sixth }
+  in
+  let (i, d, u, j, f) = count_kinds w in
+  Alcotest.(check (list int)) "noisy 100% mix fills the stream"
+    [ 10; 10; 5; 5; 0 ]
+    [ i; d; u; j; f ];
+  (* an exact 100 stays accepted *)
+  ignore
+    (W.generate
+       { W.default_spec with insert_pct = 60.0; delete_pct = 40.0 });
+  (* genuinely over-100 mixes stay rejected *)
+  (match
+     W.generate { W.default_spec with insert_pct = 80.0; delete_pct = 30.0 }
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "80+30 accepted");
+  match
+    W.generate { W.default_spec with insert_pct = 100.0; delete_pct = 0.001 }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "100+0.001 accepted"
+
+let test_generation_scales () =
+  (* The O(n^2) bug made million-tuple specs take minutes; the keyset
+     makes generation near-linear.  Time a spec and one 4x larger: a
+     quadratic generator would blow the generous 16x envelope. *)
+  let churn n tuples =
+    { W.default_spec with transactions = n; initial_tuples = tuples;
+      relations = 2; insert_pct = 20.0; delete_pct = 20.0;
+      update_pct = 10.0; miss_ratio = 0.05; seed = 5 }
+  in
+  let time spec =
+    let t0 = Sys.time () in
+    ignore (W.generate spec);
+    Sys.time () -. t0
+  in
+  let small = time (churn 25_000 100_000) in
+  let big = time (churn 100_000 400_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "4x work stays near-linear (%.3fs -> %.3fs)" small big)
+    true
+    (big <= Float.max 1.0 (16.0 *. small))
+
+(* -- open-loop traffic ------------------------------------------------------ *)
+
+module O = Fdb_workload.Openloop
+
+let small_plan =
+  O.standard ~relations:2 ~initial_tuples:2_000 ~tenants:3 ~txns:1_500
+    ~seed:11 ()
+
+let test_openloop_determinism () =
+  let a = O.generate small_plan and b = O.generate small_plan in
+  Alcotest.(check bool) "same stream" true (a.O.stream = b.O.stream);
+  let c = O.generate { small_plan with seed = 12 } in
+  Alcotest.(check bool) "different seed differs" true (c.O.stream <> a.O.stream)
+
+let test_openloop_phases () =
+  let t = O.generate small_plan in
+  (* phase bounds partition the stream in order *)
+  let stop =
+    List.fold_left
+      (fun expect (name, start, stop) ->
+        Alcotest.(check int) (name ^ " starts where previous stopped") expect
+          start;
+        Alcotest.(check bool) (name ^ " non-empty") true (stop > start);
+        stop)
+      0 t.O.phase_bounds
+  in
+  Alcotest.(check int) "bounds cover the stream" (O.total_txns t) stop;
+  (* tenants tag every query and each tenant sees a substream *)
+  Array.iter
+    (fun (tenant, _) ->
+      Alcotest.(check bool) "tenant in range" true
+        (tenant >= 0 && tenant < small_plan.O.tenants))
+    t.O.stream;
+  let per_tenant =
+    List.init small_plan.O.tenants (fun tn ->
+        List.length (O.tenant_stream t tn))
+  in
+  Alcotest.(check int) "tenant streams partition the arrival order"
+    (O.total_txns t)
+    (List.fold_left ( + ) 0 per_tenant);
+  Alcotest.(check bool) "every tenant gets traffic" true
+    (List.for_all (fun n -> n > 0) per_tenant)
+
+let test_openloop_storm_concentrates () =
+  (* one relation, two read-only phases differing only in the storm: 95% of
+     the stormy phase's references must pile into the 8 newest keys *)
+  let plan =
+    {
+      O.relations = 1;
+      initial_tuples = 2_000;
+      tenants = 1;
+      seed = 3;
+      phases =
+        [
+          { O.name = "uniform"; txns = 600; mix = O.read_mix; storm = None };
+          {
+            O.name = "storm";
+            txns = 600;
+            mix = O.read_mix;
+            storm = Some { O.hot_keys = 8; hot_pct = 95.0 };
+          };
+        ];
+    }
+  in
+  let t = O.generate plan in
+  let find_keys_in (start, stop) =
+    let acc = ref [] in
+    for i = start to stop - 1 do
+      match snd t.O.stream.(i) with
+      | Ast.Find { key = Fdb_relational.Value.Int k; _ } -> acc := k :: !acc
+      | _ -> ()
+    done;
+    !acc
+  in
+  let bounds name =
+    let (_, start, stop) =
+      List.find (fun (n, _, _) -> n = name) t.O.phase_bounds
+    in
+    (start, stop)
+  in
+  let uniform = find_keys_in (bounds "uniform")
+  and storm = find_keys_in (bounds "storm") in
+  let distinct ks = List.length (List.sort_uniq compare ks) in
+  let hot ks =
+    (* occurrences of the 8 most frequent keys *)
+    let sorted = List.sort compare ks in
+    let runs = ref [] and cur = ref 0 and prev = ref min_int in
+    List.iter
+      (fun k ->
+        if k = !prev then incr cur
+        else begin
+          if !cur > 0 then runs := !cur :: !runs;
+          prev := k;
+          cur := 1
+        end)
+      sorted;
+    if !cur > 0 then runs := !cur :: !runs;
+    match List.sort (fun a b -> compare b a) !runs with
+    | a :: rest ->
+        List.fold_left ( + ) a
+          (List.filteri (fun i _ -> i < 7) rest)
+    | [] -> 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "storm concentrates (%d distinct of %d refs)"
+       (distinct storm) (List.length storm))
+    true
+    (List.length storm > 500 && distinct storm * 4 < List.length storm);
+  (* ~95% of stormy references hit the top-8 keys; the uniform phase
+     spreads over ~2000 keys, so its top-8 share stays tiny *)
+  Alcotest.(check bool) "hot-set share dominates under storm" true
+    (hot storm * 10 > List.length storm * 8);
+  Alcotest.(check bool) "uniform phase stays flat" true
+    (hot uniform * 4 < List.length uniform)
+
+let test_openloop_validation () =
+  let expect_invalid name spec =
+    match O.generate spec with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  expect_invalid "no tenants" { small_plan with tenants = 0 };
+  expect_invalid "no phases" { small_plan with phases = [] };
+  expect_invalid "bad storm"
+    {
+      small_plan with
+      phases =
+        [
+          {
+            O.name = "p";
+            txns = 10;
+            mix = O.read_mix;
+            storm = Some { O.hot_keys = 0; hot_pct = 50.0 };
+          };
+        ];
+    };
+  expect_invalid "over-100 mix"
+    {
+      small_plan with
+      phases =
+        [
+          {
+            O.name = "p";
+            txns = 10;
+            mix = { O.read_mix with insert_pct = 70.0; delete_pct = 40.0 };
+            storm = None;
+          };
+        ];
+    }
+
 let () =
   Alcotest.run "workload"
     [
@@ -204,5 +596,31 @@ let () =
             test_skew_concentrates;
           Alcotest.test_case "negative skew rejected" `Quick
             test_skew_validation;
+        ] );
+      ( "pinned",
+        [
+          Alcotest.test_case "golden streams byte-identical" `Quick
+            test_pinned_goldens;
+          QCheck_alcotest.to_alcotest keyset_vs_list_model;
+        ] );
+      ( "mix",
+        [
+          Alcotest.test_case "largest remainder fills overflow mix" `Quick
+            test_overflow_mix;
+          QCheck_alcotest.to_alcotest mix_conformance;
+          Alcotest.test_case "epsilon boundary" `Quick test_epsilon_boundary;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "generation near-linear" `Slow
+            test_generation_scales;
+        ] );
+      ( "openloop",
+        [
+          Alcotest.test_case "determinism" `Quick test_openloop_determinism;
+          Alcotest.test_case "phases and tenants" `Quick test_openloop_phases;
+          Alcotest.test_case "storm concentrates" `Quick
+            test_openloop_storm_concentrates;
+          Alcotest.test_case "validation" `Quick test_openloop_validation;
         ] );
     ]
